@@ -1,0 +1,107 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every ``bench_*.py`` file regenerates one table or figure from the
+paper's evaluation. The benches print the same rows/series the paper
+reports (run pytest with ``-s`` to see them) and attach the data to
+``benchmark.extra_info`` for programmatic access.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.common.util import divisors
+from repro.workload.einsum import EinsumSpec
+
+#: Nominal host frequency used to convert wall time to host cycles for
+#: the CPHC metric (Sec 6.2).
+HOST_HZ = 2.5e9
+
+#: Per-layer average activation densities (post-ReLU), set to the
+#: regimes the Eyeriss paper reports for AlexNet. Weight tensors are
+#: dense unless a bench prunes them.
+ALEXNET_ACT_DENSITY = {
+    "conv1": 0.66,
+    "conv2": 0.55,
+    "conv3": 0.47,
+    "conv4": 0.42,
+    "conv5": 0.42,
+    "fc6": 0.30,
+    "fc7": 0.25,
+    "fc8": 0.30,
+}
+
+DEFAULT_ACT_DENSITY = 0.55
+DEFAULT_WEIGHT_DENSITY = 0.40
+
+
+def act_density(layer_name: str) -> float:
+    return ALEXNET_ACT_DENSITY.get(layer_name, DEFAULT_ACT_DENSITY)
+
+
+def dnn_densities(layer) -> dict[str, float]:
+    """Representative density assignment for a conv/fc layer."""
+    spec = layer.spec
+    tensors = {t.name for t in spec.tensors}
+    densities = {}
+    if "I" in tensors:
+        densities["I"] = act_density(layer.name)
+    if "W" in tensors:
+        densities["W"] = DEFAULT_WEIGHT_DENSITY
+    if "A" in tensors:  # matmul-form fc layers
+        densities["A"] = act_density(layer.name)
+        densities["B"] = DEFAULT_WEIGHT_DENSITY
+    return densities
+
+
+def shrink_dims(spec: EinsumSpec, caps: dict[str, int]) -> EinsumSpec:
+    """Downscale an Einsum for cycle-level simulation.
+
+    Each dimension is clamped to the largest divisor of its bound not
+    exceeding the cap, so mappings still factor exactly.
+    """
+    new_dims = {}
+    for dim, bound in spec.dims.items():
+        cap = caps.get(dim, bound)
+        best = 1
+        for d in divisors(bound):
+            if d <= cap:
+                best = d
+        new_dims[dim] = best
+    return EinsumSpec(f"{spec.name}_small", new_dims, list(spec.tensors))
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Render one reproduced table to stdout."""
+    out = sys.stdout
+    out.write(f"\n=== {title} ===\n")
+    widths = [
+        max(len(str(header[i])), *(len(_fmt(r[i])) for r in rows))
+        for i in range(len(header))
+    ]
+    out.write(
+        "  ".join(str(h).ljust(w) for h, w in zip(header, widths)) + "\n"
+    )
+    for row in rows:
+        out.write(
+            "  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths)) + "\n"
+        )
+    out.flush()
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def geomean_error(pairs: list[tuple[float, float]]) -> float:
+    """Mean absolute relative error of (reference, measured) pairs."""
+    errs = [
+        abs(m - r) / r for r, m in pairs if r
+    ]
+    return sum(errs) / len(errs) if errs else 0.0

@@ -1,0 +1,70 @@
+"""Fig. 1: processing speed and energy of bitmask vs coordinate-list
+designs across matmul operand densities.
+
+Paper's claims to reproduce:
+* bitmask never improves processing speed; coordinate list does,
+* at low density coordinate list wins on both axes,
+* as tensors densify, coordinate list's per-nonzero metadata overhead
+  makes it lose on energy (crossover) while bitmask approaches dense.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _support import print_table
+
+from repro import Evaluator, Workload, matmul
+from repro.designs import toy
+
+DENSITIES = [0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0]
+SHAPE = (256, 256, 256)
+
+
+def run_fig01():
+    ev = Evaluator()
+    designs = {
+        "dense": toy.dense_design(),
+        "bitmask": toy.bitmask_design(),
+        "coordinate-list": toy.coordinate_list_design(),
+    }
+    rows = []
+    for density in DENSITIES:
+        wl = Workload.uniform(
+            matmul(*SHAPE), {"A": density, "B": density}
+        )
+        results = {
+            name: ev.evaluate(design, wl)
+            for name, design in designs.items()
+        }
+        base = results["dense"]
+        rows.append(
+            [
+                density,
+                base.cycles / results["bitmask"].cycles,
+                base.cycles / results["coordinate-list"].cycles,
+                base.energy_pj / results["bitmask"].energy_pj,
+                base.energy_pj / results["coordinate-list"].energy_pj,
+            ]
+        )
+    return rows
+
+
+def test_fig01_motivation(benchmark):
+    rows = benchmark.pedantic(run_fig01, rounds=1, iterations=1)
+    print_table(
+        "Fig. 1: speedup & energy efficiency vs dense (higher = better)",
+        ["density", "bm speedup", "cl speedup", "bm energy eff", "cl energy eff"],
+        rows,
+    )
+    benchmark.extra_info["rows"] = rows
+
+    by_density = {r[0]: r for r in rows}
+    # Bitmask never changes processing speed.
+    assert all(abs(r[1] - 1.0) < 1e-6 for r in rows)
+    # Coordinate list is faster when sparse.
+    assert by_density[0.05][2] > 5.0
+    # Energy crossover: coordinate list wins sparse, loses dense.
+    assert by_density[0.1][4] > by_density[0.1][3]
+    assert by_density[1.0][4] < by_density[1.0][3]

@@ -1,0 +1,66 @@
+"""Fig. 9: fiber density probabilities for fibers of various shapes in
+a tensor with 50% randomly distributed nonzeros.
+
+The hypergeometric density model must show: small fibers have extreme
+density spread (a 1-element fiber is 0% or 100% dense); larger fibers
+concentrate around the tensor density, i.e. a tile's shape varies
+inversely with the deviation in its density. We also cross-check the
+model against an actual random tensor.
+"""
+
+import math
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _support import print_table
+
+from repro.sparse.density import ActualDataDensity, UniformDensity
+from repro.tensor.generator import uniform_random_tensor
+
+TENSOR_SIZE = 4096
+DENSITY = 0.5
+SHAPES = [1, 2, 4, 8, 16, 64, 256]
+
+
+def run_fig09():
+    model = UniformDensity(DENSITY, tensor_size=TENSOR_SIZE)
+    data = uniform_random_tensor((TENSOR_SIZE,), DENSITY, seed=0)
+    actual = ActualDataDensity(data)
+    rows = []
+    for shape in SHAPES:
+        dist = model.occupancy_distribution(shape)
+        mean = sum(k * p for k, p in dist)
+        std = math.sqrt(sum((k - mean) ** 2 * p for k, p in dist))
+        rows.append(
+            [
+                shape,
+                model.prob_empty(shape),
+                mean / shape,
+                std / shape,
+                actual.prob_empty(shape),
+            ]
+        )
+    return rows
+
+
+def test_fig09_fiber_density(benchmark):
+    rows = benchmark.pedantic(run_fig09, rounds=1, iterations=1)
+    print_table(
+        "Fig. 9: fiber density probability vs fiber shape (50% tensor)",
+        ["shape", "P(empty)", "mean density", "density std", "empirical P(empty)"],
+        rows,
+    )
+    benchmark.extra_info["rows"] = rows
+
+    # Mean density equals tensor density at every shape.
+    assert all(abs(r[2] - DENSITY) < 1e-9 for r in rows)
+    # Deviation shrinks as fibers grow (the paper's key observation).
+    stds = [r[3] for r in rows]
+    assert all(a > b for a, b in zip(stds, stds[1:]))
+    # Model tracks the actual data.
+    for row in rows:
+        assert abs(row[1] - row[4]) < 0.05

@@ -1,0 +1,125 @@
+"""Fig. 12: Eyeriss V2 PE processing-latency validation on MobileNet.
+
+The paper validates PE cycle counts against an actual-sparsity-pattern
+baseline: with a uniform density model Sparseloop stays >99% accurate
+in total and tracks per-layer trends, but layers with both operands
+compressed show up to ~7% error from the statistical approximation of
+the intersection ratio; switching to the actual-data density model
+closes the gap.
+
+Our baseline is the cycle-level simulator on downscaled MobileNet
+layers with actual random data.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _support import print_table, shrink_dims
+
+from repro import Workload
+from repro.dataflow import analyze_dataflow
+from repro.designs import eyeriss_v2
+from repro.micro.latency import compute_latency
+from repro.refsim import CycleLevelSimulator
+from repro.sparse.density import ActualDataDensity, UniformDensity
+from repro.sparse.postprocess import analyze_sparse
+from repro.tensor.generator import uniform_random_tensor
+from repro.workload.nets import mobilenet_v1
+
+DENSITY_I = 0.55
+DENSITY_W = 0.40
+LAYER_NAMES = ["pw2", "dw3", "pw3", "pw5", "pw7"]
+CAPS = {"c": 16, "k": 16, "p": 4, "q": 4}
+
+
+def _model_cycles(design, spec, densities):
+    wl = Workload(spec, dict(densities))
+    mapping = design.mapping_for(wl)
+    dense = analyze_dataflow(wl, design.arch, mapping)
+    sparse = analyze_sparse(dense, design.safs)
+    return compute_latency(design.arch, dense, sparse).cycles
+
+
+def run_fig12():
+    design = eyeriss_v2.eyeriss_v2_pe_design()
+    layers = {l.name: l for l in mobilenet_v1()}
+    rows = []
+    totals = {"sim": 0.0, "uniform": 0.0, "actual": 0.0}
+    for name in LAYER_NAMES:
+        spec = shrink_dims(layers[name].spec, CAPS)
+        seed = sum(ord(ch) for ch in name)  # deterministic per layer
+        data_i = uniform_random_tensor(
+            spec.tensor_shape("I"), DENSITY_I, seed=seed
+        )
+        data_w = uniform_random_tensor(
+            spec.tensor_shape("W"), DENSITY_W, seed=seed + 1
+        )
+        data = {
+            "I": data_i,
+            "W": data_w,
+            "O": np.zeros(spec.tensor_shape("O")),
+        }
+        wl = Workload.uniform(spec, {"I": DENSITY_I, "W": DENSITY_W})
+        mapping = design.mapping_for(wl)
+        sim = CycleLevelSimulator(
+            spec, design.arch, mapping, data, design.safs
+        )
+        sim_cycles = sim.run().cycles
+
+        uniform_cycles = _model_cycles(
+            design,
+            spec,
+            {
+                "I": UniformDensity(DENSITY_I, spec.tensor_size("I")),
+                "W": UniformDensity(DENSITY_W, spec.tensor_size("W")),
+            },
+        )
+        actual_cycles = _model_cycles(
+            design,
+            spec,
+            {"I": ActualDataDensity(data_i), "W": ActualDataDensity(data_w)},
+        )
+        totals["sim"] += sim_cycles
+        totals["uniform"] += uniform_cycles
+        totals["actual"] += actual_cycles
+        rows.append(
+            [
+                name,
+                sim_cycles,
+                uniform_cycles,
+                100 * abs(uniform_cycles - sim_cycles) / sim_cycles,
+                actual_cycles,
+                100 * abs(actual_cycles - sim_cycles) / sim_cycles,
+            ]
+        )
+    return rows, totals
+
+
+def test_fig12_eyeriss_v2(benchmark):
+    rows, totals = benchmark.pedantic(run_fig12, rounds=1, iterations=1)
+    print_table(
+        "Fig. 12: Eyeriss V2 PE latency (baseline vs density models)",
+        ["layer", "baseline", "uniform", "err %", "actual-data", "err %"],
+        rows,
+    )
+    total_err_uniform = abs(totals["uniform"] - totals["sim"]) / totals["sim"]
+    total_err_actual = abs(totals["actual"] - totals["sim"]) / totals["sim"]
+    print(
+        f"total-cycle accuracy: uniform {100 * (1 - total_err_uniform):.2f}% "
+        f"(paper: >99%), actual-data {100 * (1 - total_err_actual):.2f}%"
+    )
+    benchmark.extra_info["rows"] = rows
+
+    # Total cycles accuracy >99% with both density models (paper
+    # claims >99% for uniform and exactness for actual-data; our
+    # baseline differs slightly since it is a full simulator, not an
+    # analytical model over actual patterns).
+    assert total_err_uniform < 0.015
+    assert total_err_actual < 0.015
+    # Per-layer error bounded near the paper's 7% worst case.
+    for row in rows:
+        assert row[3] < 10.0

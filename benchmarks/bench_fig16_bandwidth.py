@@ -1,0 +1,99 @@
+"""Fig. 16: SMEM bandwidth required for the ideal speedup at each
+structured-sparsity ratio (Sec 7.1.3).
+
+The paper shows why STC-flexible stalls: full tensor-core utilization
+always consumes 1x weights per cycle, but uncompressed inputs scale as
+the inverse weight density (2x at 2:4, 3x at 2:6, 4x at 2:8), plus
+metadata whose size depends on the chosen representation format (RLE
+needs fewer bits than CP for 2:6).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _support import print_table
+
+from repro import Evaluator, Workload
+from repro.designs import stc
+from repro.designs.common import conv_as_gemm
+from repro.sparse.density import FixedStructuredDensity, UniformDensity
+from repro.workload.nets import resnet50
+
+RATIOS = {"2:4": (2, 4), "2:6": (2, 6), "2:8": (2, 8)}
+
+
+def _per_cycle_traffic(result, level, tensor):
+    """Actual words per *ideal compute* cycle for one tensor at a level."""
+    ideal_cycles = result.latency.compute_cycles
+    actions = result.sparse.at(level, tensor)
+    arch_level = next(
+        l for l in result.dense.arch.levels if l.name == level
+    )
+    meta_scale = arch_level.metadata_word_bits / arch_level.word_bits
+    data = actions.data_reads.actual / ideal_cycles
+    meta = actions.metadata_reads.actual * meta_scale / ideal_cycles
+    return data, meta
+
+
+def run_fig16():
+    ev = Evaluator(check_capacity=False)
+    layer = resnet50()[10]
+    gemm = conv_as_gemm(layer)
+    rows = []
+    weights_base = None
+    for fmt_name, design_factory in [
+        ("CP", lambda n: stc.stc_flexible_design(n)),
+        ("RLE", lambda n: stc.stc_flexible_rle_design()),
+    ]:
+        for ratio_name, (m, n) in RATIOS.items():
+            design = design_factory(n)
+            # Unthrottle SMEM so demand reflects the ideal speedup.
+            for level in design.arch.levels:
+                level.read_bandwidth = None
+                level.write_bandwidth = None
+            wl = Workload(
+                gemm,
+                {
+                    "A": FixedStructuredDensity(m, n),
+                    "B": UniformDensity(1.0, gemm.tensor_size("B")),
+                },
+            )
+            result = ev.evaluate(design, wl)
+            w_data, w_meta = _per_cycle_traffic(result, "SMEM", "A")
+            i_data, _ = _per_cycle_traffic(result, "SMEM", "B")
+            if weights_base is None:
+                weights_base = i_data / 2  # 2:4 inputs are the 2x ref
+            rows.append(
+                [
+                    fmt_name,
+                    ratio_name,
+                    w_data,
+                    i_data,
+                    w_meta,
+                ]
+            )
+    return rows
+
+
+def test_fig16_bandwidth(benchmark):
+    rows = benchmark.pedantic(run_fig16, rounds=1, iterations=1)
+    print_table(
+        "Fig. 16: SMEM words/cycle needed for ideal speedup",
+        ["metadata fmt", "ratio", "weights", "inputs", "metadata"],
+        rows,
+    )
+    benchmark.extra_info["rows"] = rows
+
+    cp = {r[1]: r for r in rows if r[0] == "CP"}
+    # Weights stay ~1x across ratios (nonzeros per cycle are fixed).
+    w = [cp[k][2] for k in RATIOS]
+    assert max(w) / min(w) < 1.2
+    # Inputs scale as the inverse density: 2x -> 3x -> 4x.
+    inputs = [cp[k][3] for k in RATIOS]
+    assert abs(inputs[1] / inputs[0] - 1.5) < 0.1   # 3x / 2x
+    assert abs(inputs[2] / inputs[0] - 2.0) < 0.1   # 4x / 2x
+    # RLE metadata is no larger than CP's for the bigger blocks.
+    rle = {r[1]: r for r in rows if r[0] == "RLE"}
+    assert rle["2:6"][4] <= cp["2:6"][4] + 1e-9

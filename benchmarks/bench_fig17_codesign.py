@@ -1,0 +1,68 @@
+"""Fig. 17: co-design of dataflow, SAFs and sparsity (Sec 7.2).
+
+Normalized EDP of the four Table 8 combinations running spMspM across
+operand densities from hyper-sparse (scientific/graph workloads) to NN
+regimes. Claims to reproduce:
+
+* the best design is a function of the target density (crossover),
+* ReuseAZ.HierarchicalSkip wins for hyper-sparse workloads (early
+  off-chip elimination),
+* ReuseABZ.InnermostSkip wins for denser (NN) workloads,
+* ReuseABZ.HierarchicalSkip — the "most features" design — is never
+  the best: the ReuseABZ dataflow leaves the off-chip intersection
+  with leader tiles that are almost never empty (Fig. 10 pricing).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _support import print_table
+
+from repro import Evaluator, Workload, matmul
+from repro.designs import codesign
+
+DENSITIES = [1e-5, 1e-4, 1e-3, 1e-2, 0.06, 0.15, 0.3]
+SHAPE = (1024, 1024, 1024)
+
+
+def run_fig17():
+    ev = Evaluator()
+    rows = []
+    winners = {}
+    for density in DENSITIES:
+        wl = Workload.uniform(
+            matmul(*SHAPE), {"A": density, "B": density}
+        )
+        edps = {}
+        for dataflow, saf in codesign.ALL_COMBINATIONS:
+            design = codesign.build_design(dataflow, saf)
+            edps[f"{dataflow}.{saf}"] = ev.evaluate(design, wl).edp
+        base = edps["ReuseABZ.InnermostSkip"]
+        rows.append(
+            [density] + [edps[f"{d}.{s}"] / base for d, s in codesign.ALL_COMBINATIONS]
+        )
+        winners[density] = min(edps, key=edps.get)
+    return rows, winners
+
+
+def test_fig17_codesign(benchmark):
+    rows, winners = benchmark.pedantic(run_fig17, rounds=1, iterations=1)
+    names = [f"{d}.{s}" for d, s in codesign.ALL_COMBINATIONS]
+    print_table(
+        "Fig. 17: EDP normalized to ReuseABZ.InnermostSkip",
+        ["density", *names],
+        rows,
+    )
+    print("winners:", {f"{d:g}": w for d, w in winners.items()})
+    benchmark.extra_info["rows"] = rows
+
+    # The best design depends on the density regime.
+    assert len(set(winners.values())) > 1
+    # Hyper-sparse: early off-chip elimination wins.
+    assert winners[1e-4] == "ReuseAZ.HierarchicalSkip"
+    # NN regime: on-chip reuse with innermost intersection wins.
+    assert winners[0.3] == "ReuseABZ.InnermostSkip"
+    # The "all features" design is never the best.
+    assert "ReuseABZ.HierarchicalSkip" not in winners.values()

@@ -1,0 +1,76 @@
+"""Quickstart: model a sparse matmul accelerator in ~40 lines.
+
+Builds a two-level architecture, describes a sparse matrix
+multiplication workload, attaches a coordinate-payload format plus
+skipping SAFs, and evaluates speed/energy with the three-step model.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Architecture,
+    ComputeLevel,
+    Design,
+    Evaluator,
+    LevelMapping,
+    Loop,
+    Mapping,
+    SAFSpec,
+    StorageLevel,
+    Workload,
+    matmul,
+)
+from repro.sparse.formats import CoordinatePayload, FormatRank, FormatSpec
+from repro.sparse.saf import skip_compute, skip_storage
+
+# 1. Architecture: DRAM -> 64KB buffer -> 16 MACs.
+arch = Architecture(
+    "quickstart",
+    [
+        StorageLevel("DRAM", None, component="dram",
+                     read_bandwidth=8, write_bandwidth=8),
+        StorageLevel("Buffer", 48 * 1024, component="sram",
+                     read_bandwidth=8, write_bandwidth=8),
+    ],
+    ComputeLevel("MAC", instances=16),
+)
+
+# 2. Workload: Z[m,n] = sum_k A[m,k] * B[k,n]; A is 25% dense.
+workload = Workload.uniform(matmul(256, 256, 256), {"A": 0.25, "B": 0.6})
+
+# 3. Mapping: output stationary, n parallelised across the MACs.
+mapping = Mapping(
+    [
+        LevelMapping("DRAM", [Loop("m", 4), Loop("n", 4)]),
+        LevelMapping(
+            "Buffer",
+            [Loop("m", 64), Loop("n", 4), Loop("k", 256)],
+            [Loop("n", 16)],
+        ),
+    ]
+)
+
+# 4. SAFs: compress A (CP-CP, a coordinate list), skip B's fetches and
+#    the compute cycles whenever the paired A value is zero.
+cp2 = FormatSpec([FormatRank(CoordinatePayload()), FormatRank(CoordinatePayload())])
+safs = SAFSpec(
+    formats={("DRAM", "A"): cp2, ("Buffer", "A"): cp2},
+    storage_safs=[skip_storage("B", ["A"], "Buffer")],
+    compute_safs=[skip_compute(["A"])],
+)
+
+design = Design("quickstart-sparse", arch, safs, mapping=mapping)
+dense_design = Design("quickstart-dense", arch, SAFSpec(), mapping=mapping)
+
+evaluator = Evaluator()
+sparse_result = evaluator.evaluate(design, workload)
+dense_result = evaluator.evaluate(dense_design, workload)
+
+print(sparse_result.summary())
+print()
+print(f"speedup over dense design:  "
+      f"{dense_result.cycles / sparse_result.cycles:.2f}x")
+print(f"energy saving over dense:   "
+      f"{dense_result.energy_pj / sparse_result.energy_pj:.2f}x")
+print(f"buffer A compression rate:  "
+      f"{sparse_result.compression_rate('Buffer', 'A'):.2f}x")

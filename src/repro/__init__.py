@@ -1,0 +1,50 @@
+"""repro: a from-scratch reproduction of Sparseloop (MICRO 2022).
+
+Sparseloop is an analytical modeling framework for sparse tensor
+accelerators. The public API mirrors the paper's structure:
+
+* :mod:`repro.workload` — extended-Einsum workloads and DNN layer tables
+* :mod:`repro.arch` — architecture specifications
+* :mod:`repro.mapping` — mappings and mapspace search
+* :mod:`repro.sparse` — density models, formats, and SAF specifications
+* :mod:`repro.model` — the three-step evaluation engine
+* :mod:`repro.designs` — prebuilt accelerator models from the paper
+* :mod:`repro.refsim` — cycle-level reference simulator (validation)
+"""
+
+from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
+from repro.mapping.mapping import LevelMapping, Loop, Mapping
+from repro.model.engine import Design, Evaluator
+from repro.model.result import EvaluationResult
+from repro.sparse.density import (
+    ActualDataDensity,
+    BandedDensity,
+    FixedStructuredDensity,
+    UniformDensity,
+)
+from repro.sparse.saf import SAFSpec
+from repro.workload.einsum import conv2d, matmul
+from repro.workload.spec import Workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Architecture",
+    "StorageLevel",
+    "ComputeLevel",
+    "Loop",
+    "LevelMapping",
+    "Mapping",
+    "Workload",
+    "matmul",
+    "conv2d",
+    "UniformDensity",
+    "FixedStructuredDensity",
+    "BandedDensity",
+    "ActualDataDensity",
+    "SAFSpec",
+    "Design",
+    "Evaluator",
+    "EvaluationResult",
+    "__version__",
+]

@@ -1,0 +1,83 @@
+"""Command-line entry point: evaluate a YAML design specification.
+
+Usage::
+
+    python -m repro evaluate spec.yaml
+    python -m repro evaluate spec.yaml --search --budget 64
+
+The spec file combines arch / workload / safs / mapping sections (see
+:mod:`repro.io.yaml_spec` for the schema). With ``--search`` the
+mapping section may be omitted and the built-in mapper explores the
+mapspace instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.io.yaml_spec import load_design
+from repro.mapping.mapspace import MapspaceConstraints
+from repro.model.engine import Evaluator
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    design, workload = load_design(args.spec)
+    evaluator = Evaluator(
+        check_capacity=not args.no_capacity_check,
+        search_budget=args.budget,
+    )
+    if args.search:
+        design.mapping = None
+        design.constraints = design.constraints or MapspaceConstraints()
+    result = evaluator.evaluate(design, workload)
+    print(result.summary())
+    if args.verbose:
+        print()
+        print("mapping:")
+        print(result.dense.mapping.describe())
+        print()
+        for level, usage in result.usage.items():
+            capacity = (
+                "unbounded"
+                if usage.capacity_words is None
+                else f"{usage.capacity_words:g}"
+            )
+            print(
+                f"occupancy {level}: {usage.used_words:.1f} / {capacity} "
+                f"words ({usage.utilization:.1%})"
+            )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sparseloop reproduction: analytical sparse tensor "
+        "accelerator modeling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    ev = sub.add_parser("evaluate", help="evaluate a YAML design spec")
+    ev.add_argument("spec", help="path to the YAML specification")
+    ev.add_argument(
+        "--search",
+        action="store_true",
+        help="search the mapspace instead of using the spec's mapping",
+    )
+    ev.add_argument(
+        "--budget", type=int, default=64, help="mappings sampled per search"
+    )
+    ev.add_argument(
+        "--no-capacity-check",
+        action="store_true",
+        help="allow mappings whose tiles overflow storage",
+    )
+    ev.add_argument("-v", "--verbose", action="store_true")
+    ev.set_defaults(func=_cmd_evaluate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Mini-Accelergy: architecture-level energy estimation backend.
+
+The paper uses Accelergy [54] to translate fine-grained action counts
+into energy. This subpackage provides the same role: a library of
+primitive components (DRAM, SRAM, register file, MAC, intersection
+unit) with analytically-scaled per-action energies on a public
+45nm-flavored calibration, and a backend that binds architecture
+levels to component models.
+"""
+
+from repro.accelergy.backend import Accelergy, ComputeEnergy, StorageEnergy
+from repro.accelergy.library import COMPONENT_LIBRARY, ComponentModel
+
+__all__ = [
+    "Accelergy",
+    "StorageEnergy",
+    "ComputeEnergy",
+    "ComponentModel",
+    "COMPONENT_LIBRARY",
+]

@@ -1,0 +1,103 @@
+"""The Accelergy backend: binds architecture levels to energy models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
+from repro.accelergy.library import ComponentModel, build_component
+
+
+@dataclass(frozen=True)
+class StorageEnergy:
+    """Per-action energies (pJ) of one storage level."""
+
+    read: float
+    write: float
+    metadata_read: float
+    metadata_write: float
+    gated_fraction: float
+
+    def action_energy(self, action: str, kind: str) -> float:
+        """Energy of one fine-grained action.
+
+        ``action`` is read/write/metadata_read/metadata_write; ``kind``
+        is actual/gated/skipped.
+        """
+        base = getattr(self, action)
+        if kind == "actual":
+            return base
+        if kind == "gated":
+            return base * self.gated_fraction
+        if kind == "skipped":
+            return 0.0
+        raise ValueError(f"unknown action kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class ComputeEnergy:
+    """Per-operation energies (pJ) of the compute level."""
+
+    op: float
+    gated_fraction: float
+
+    def action_energy(self, kind: str) -> float:
+        if kind == "actual":
+            return self.op
+        if kind == "gated":
+            return self.op * self.gated_fraction
+        if kind == "skipped":
+            return 0.0
+        raise ValueError(f"unknown action kind {kind!r}")
+
+
+class Accelergy:
+    """Energy estimation backend for an architecture.
+
+    Builds one component model per storage level (passing through the
+    level's capacity/width attributes) plus the compute model, and
+    exposes per-action energies to the micro-architecture step.
+    """
+
+    def __init__(self, arch: Architecture):
+        self.arch = arch
+        self._storage: dict[str, StorageEnergy] = {}
+        self._models: dict[str, ComponentModel] = {}
+        for level in arch.levels:
+            self._storage[level.name] = self._build_storage(level)
+        self._compute = self._build_compute(arch.compute)
+
+    def _build_storage(self, level: StorageLevel) -> StorageEnergy:
+        attrs = {
+            "capacity_words": level.capacity_words,
+            "word_bits": level.word_bits,
+            "metadata_word_bits": level.metadata_word_bits,
+            **level.component_attrs,
+        }
+        model = build_component(level.component, attrs)
+        self._models[level.name] = model
+        return StorageEnergy(
+            read=model.energy_per_action("read"),
+            write=model.energy_per_action("write"),
+            metadata_read=model.energy_per_action("metadata_read"),
+            metadata_write=model.energy_per_action("metadata_write"),
+            gated_fraction=model.gated_fraction,
+        )
+
+    def _build_compute(self, compute: ComputeLevel) -> ComputeEnergy:
+        model = build_component(compute.component, dict(compute.component_attrs))
+        self._models[compute.name] = model
+        return ComputeEnergy(
+            op=model.energy_per_action("op"),
+            gated_fraction=model.gated_fraction,
+        )
+
+    def storage(self, level_name: str) -> StorageEnergy:
+        return self._storage[level_name]
+
+    @property
+    def compute(self) -> ComputeEnergy:
+        return self._compute
+
+    def component(self, name: str) -> ComponentModel:
+        return self._models[name]

@@ -1,0 +1,158 @@
+"""Primitive component energy models.
+
+Per-action energies follow public 45nm numbers (Horowitz ISSCC'14 and
+the Eyeriss energy hierarchy: RF ~ 1x, NoC ~ 2x, global buffer ~ 6x,
+DRAM ~ 200x a MAC). SRAM access energy scales with the square root of
+capacity (CACTI-flavored) and linearly with access width. The paper's
+artifact makes the same substitution of a public node for the authors'
+proprietary technology data.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.common.errors import SpecError
+
+#: Reference data word width all base energies are calibrated at.
+REFERENCE_WORD_BITS = 16
+
+
+class ComponentModel(ABC):
+    """Base class for primitive components.
+
+    ``attrs`` carries instance attributes from the architecture spec
+    (e.g. capacity, word width); models read what they need and ignore
+    the rest, mirroring Accelergy's attribute-passing style.
+    """
+
+    def __init__(self, attrs: dict | None = None):
+        self.attrs = dict(attrs or {})
+
+    @abstractmethod
+    def energy_per_action(self, action: str) -> float:
+        """Energy in pJ for one action (e.g. 'read', 'write', 'op')."""
+
+    @property
+    def gated_fraction(self) -> float:
+        """Energy of a gated action relative to an actual one.
+
+        Clock/control overhead remains when a unit idles for a cycle;
+        10% is a representative figure and can be overridden per level
+        via ``component_attrs={'gated_fraction': ...}``.
+        """
+        return float(self.attrs.get("gated_fraction", 0.10))
+
+    def _width_scale(self, bits_attr: str = "word_bits") -> float:
+        bits = float(self.attrs.get(bits_attr, REFERENCE_WORD_BITS))
+        return bits / REFERENCE_WORD_BITS
+
+
+class DramModel(ComponentModel):
+    """Off-chip DRAM: flat per-word access energy (pin + array)."""
+
+    BASE_PJ = 200.0  # per 16-bit word
+
+    def energy_per_action(self, action: str) -> float:
+        if action in ("read", "write"):
+            return self.BASE_PJ * self._width_scale()
+        if action in ("metadata_read", "metadata_write"):
+            return self.BASE_PJ * self._width_scale("metadata_word_bits")
+        raise SpecError(f"dram has no action {action!r}")
+
+
+class SramModel(ComponentModel):
+    """On-chip SRAM: energy scales with sqrt(capacity) and width."""
+
+    BASE_PJ = 1.1  # per 16-bit access of a 1KB array
+    WRITE_FACTOR = 1.1
+
+    def _capacity_scale(self) -> float:
+        capacity_words = float(self.attrs.get("capacity_words") or 1024.0)
+        word_bits = float(self.attrs.get("word_bits", REFERENCE_WORD_BITS))
+        kib = max(0.0625, capacity_words * word_bits / 8.0 / 1024.0)
+        return math.sqrt(kib)
+
+    def energy_per_action(self, action: str) -> float:
+        base = self.BASE_PJ * self._capacity_scale()
+        if action == "read":
+            return base * self._width_scale()
+        if action == "write":
+            return base * self.WRITE_FACTOR * self._width_scale()
+        if action == "metadata_read":
+            return base * self._width_scale("metadata_word_bits")
+        if action == "metadata_write":
+            return (
+                base * self.WRITE_FACTOR * self._width_scale("metadata_word_bits")
+            )
+        raise SpecError(f"sram has no action {action!r}")
+
+
+class RegFileModel(ComponentModel):
+    """Small register file / scratchpad near the compute units."""
+
+    BASE_PJ = 0.45  # per 16-bit access
+
+    def energy_per_action(self, action: str) -> float:
+        if action in ("read", "write"):
+            return self.BASE_PJ * self._width_scale()
+        if action in ("metadata_read", "metadata_write"):
+            return self.BASE_PJ * self._width_scale("metadata_word_bits")
+        raise SpecError(f"regfile has no action {action!r}")
+
+
+class LatchModel(ComponentModel):
+    """Pipeline latch / operand register (cheapest storage)."""
+
+    BASE_PJ = 0.08
+
+    def energy_per_action(self, action: str) -> float:
+        if action in ("read", "write", "metadata_read", "metadata_write"):
+            return self.BASE_PJ * self._width_scale()
+        raise SpecError(f"latch has no action {action!r}")
+
+
+class MacModel(ComponentModel):
+    """Multiply-accumulate unit (16-bit fixed point by default)."""
+
+    BASE_PJ = 2.2
+
+    def energy_per_action(self, action: str) -> float:
+        if action == "op":
+            # Multiplier energy grows ~quadratically with width.
+            return self.BASE_PJ * self._width_scale() ** 2
+        raise SpecError(f"mac has no action {action!r}")
+
+
+class IntersectionModel(ComponentModel):
+    """Metadata intersection / coordinate comparison unit."""
+
+    BASE_PJ = 0.25
+
+    def energy_per_action(self, action: str) -> float:
+        if action in ("op", "check"):
+            return self.BASE_PJ
+        raise SpecError(f"intersection unit has no action {action!r}")
+
+
+COMPONENT_LIBRARY: dict[str, type[ComponentModel]] = {
+    "dram": DramModel,
+    "sram": SramModel,
+    "regfile": RegFileModel,
+    "latch": LatchModel,
+    "mac": MacModel,
+    "intersection": IntersectionModel,
+}
+
+
+def build_component(name: str, attrs: dict | None = None) -> ComponentModel:
+    """Instantiate a component model from the library by class name."""
+    try:
+        cls = COMPONENT_LIBRARY[name]
+    except KeyError:
+        raise SpecError(
+            f"unknown component class {name!r}; library has "
+            f"{sorted(COMPONENT_LIBRARY)}"
+        ) from None
+    return cls(attrs)

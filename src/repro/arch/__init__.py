@@ -1,0 +1,5 @@
+"""Architecture specification: storage hierarchy and compute array."""
+
+from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
+
+__all__ = ["Architecture", "StorageLevel", "ComputeLevel"]

@@ -1,0 +1,25 @@
+"""Shared utilities: errors, math helpers, and spec loading."""
+
+from repro.common.errors import (
+    MappingError,
+    ReproError,
+    SpecError,
+    ValidationError,
+)
+from repro.common.util import (
+    ceil_div,
+    clamp,
+    factorizations,
+    prod,
+)
+
+__all__ = [
+    "ReproError",
+    "SpecError",
+    "MappingError",
+    "ValidationError",
+    "ceil_div",
+    "clamp",
+    "prod",
+    "factorizations",
+]

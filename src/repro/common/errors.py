@@ -1,0 +1,21 @@
+"""Exception hierarchy for the repro library.
+
+Every exception raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch a single base class.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SpecError(ReproError):
+    """An input specification (workload, architecture, SAF) is malformed."""
+
+
+class MappingError(ReproError):
+    """A mapping is inconsistent with the workload or architecture."""
+
+
+class ValidationError(ReproError):
+    """A mapping failed micro-architectural validity checks (e.g. capacity)."""

@@ -1,0 +1,76 @@
+"""Small numeric helpers used across the library."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator, Sequence
+
+
+def prod(values: Iterable[float]) -> float:
+    """Product of an iterable; 1 for an empty iterable.
+
+    Unlike :func:`math.prod`, keeps integer inputs integral but accepts
+    floats as well (tile densities, scaling factors).
+    """
+    result = 1
+    for value in values:
+        result = result * value
+    return result
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division; ``denominator`` must be positive."""
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    return -(-numerator // denominator)
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the inclusive range [low, high]."""
+    if low > high:
+        raise ValueError(f"empty clamp range [{low}, {high}]")
+    return max(low, min(high, value))
+
+
+def divisors(n: int) -> list[int]:
+    """All positive divisors of ``n`` in ascending order."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    small, large = [], []
+    limit = int(math.isqrt(n))
+    for candidate in range(1, limit + 1):
+        if n % candidate == 0:
+            small.append(candidate)
+            if candidate != n // candidate:
+                large.append(n // candidate)
+    return small + large[::-1]
+
+
+def factorizations(n: int, parts: int) -> Iterator[tuple[int, ...]]:
+    """Yield every ordered tuple of ``parts`` positive ints whose product is ``n``.
+
+    Used by the mapper to enumerate per-level tiling factors. The number
+    of tuples grows quickly; callers should bound ``n`` and ``parts``.
+    """
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    if parts == 1:
+        yield (n,)
+        return
+    for first in divisors(n):
+        for rest in factorizations(n // first, parts - 1):
+            yield (first, *rest)
+
+
+def bits_to_words(bits: float, word_bits: int) -> float:
+    """Convert a bit count to (fractional) words of ``word_bits`` each."""
+    if word_bits <= 0:
+        raise ValueError(f"word_bits must be positive, got {word_bits}")
+    return bits / word_bits
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

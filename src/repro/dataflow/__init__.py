@@ -1,0 +1,5 @@
+"""Step one: dataflow modeling — dense traffic from a mapping (Sec 5.2)."""
+
+from repro.dataflow.nest_analysis import DenseTraffic, TensorTraffic, analyze_dataflow
+
+__all__ = ["analyze_dataflow", "DenseTraffic", "TensorTraffic"]

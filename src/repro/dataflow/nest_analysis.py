@@ -1,0 +1,427 @@
+"""Dense loop-nest analysis: the Timeloop-style dataflow modeling step.
+
+Given a workload Einsum, an architecture, and a mapping, this module
+derives the *dense traffic*: uncompressed data movement per (storage
+level, tensor) and the dense compute count (Sec 5.2). The sparse
+modeling step later filters this traffic.
+
+The analysis follows the classic stationarity model:
+
+* The tile resident at level *L* for tensor *t* is the footprint of all
+  loops at levels ≤ *L* (inner levels), projected through *t*'s rank
+  projections.
+* The tile is refetched once per iteration of the temporal loops
+  outside *L*, counted from the outermost loop down to the innermost
+  loop *relevant* to *t* — irrelevant loops inside that point leave the
+  tile stationary.
+* Spatial loops fan data out to child instances: loops over dims
+  irrelevant to *t* multicast (one parent read feeds many children) or,
+  for the output tensor, spatially reduce (drains merge in an adder
+  tree).
+* Output tensors additionally model drain traffic (partial tiles
+  evicted upward at the end of each residency episode), refill traffic
+  (partials re-fetched when reduction loops outside the level revisit a
+  tile), and read-modify-write accumulation reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.spec import Architecture
+from repro.common.errors import MappingError
+from repro.common.util import prod
+from repro.mapping.mapping import Loop, Mapping
+from repro.workload.einsum import EinsumSpec, TensorRef
+from repro.workload.spec import Workload
+
+
+@dataclass
+class TensorTraffic:
+    """Dense traffic of one tensor at one storage level.
+
+    All counts are totals across instances for the whole workload
+    execution, in data *elements* (words). ``reads``/``writes`` are the
+    grand totals; the remaining fields attribute subsets of them:
+    ``fills`` (writes arriving from the parent), ``drains`` (output
+    reads leaving to the parent), ``rmw_reads`` (accumulation
+    read-modify-write reads), ``refill_writes`` (partial-sum tiles
+    re-entering from the parent).
+    """
+
+    tensor: str
+    level: str
+    level_index: int
+    tile_size: int
+    tile_dim_extents: dict[str, int]
+    tile_rank_extents: tuple[int, ...]
+    instances: int
+    episodes: float
+    distinct: float
+    reads: float = 0.0
+    writes: float = 0.0
+    fills: float = 0.0
+    drains: float = 0.0
+    rmw_reads: float = 0.0
+    refill_writes: float = 0.0
+    compute_feed_reads: float = 0.0
+    update_writes: float = 0.0
+
+    @property
+    def total_accesses(self) -> float:
+        return self.reads + self.writes
+
+    @property
+    def transfer_reads(self) -> float:
+        """Reads serving bulk tile transfers (not compute-feed/RMW)."""
+        return self.reads - self.compute_feed_reads - self.rmw_reads
+
+
+@dataclass
+class DenseTraffic:
+    """Full output of the dataflow modeling step."""
+
+    workload: Workload
+    arch: Architecture
+    mapping: Mapping
+    traffic: dict[tuple[str, str], TensorTraffic] = field(default_factory=dict)
+    computes: int = 0
+    utilized_compute_instances: int = 1
+    #: Per tensor: dims (and extents) the operand latch holds the datum
+    #: across — the innermost run of loops irrelevant to the tensor.
+    #: This is the granularity at which compute-feed reads pair with
+    #: other tensors' data (the leader-tile source, Fig. 10).
+    latch_extents: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: The loop-structure view used by the sparse modeling step to
+    #: derive leader tiles; populated by :func:`analyze_dataflow`.
+    nest: object = field(default=None, repr=False)
+
+    def at(self, level: str, tensor: str) -> TensorTraffic:
+        try:
+            return self.traffic[(level, tensor)]
+        except KeyError:
+            raise KeyError(
+                f"no traffic recorded for tensor {tensor!r} at level "
+                f"{level!r}; kept levels: "
+                f"{[k for k in self.traffic if k[1] == tensor]}"
+            ) from None
+
+    def levels_keeping(self, tensor: str) -> list[str]:
+        return [lvl for (lvl, t) in self.traffic if t == tensor]
+
+    @property
+    def per_instance_computes(self) -> float:
+        return self.computes / self.utilized_compute_instances
+
+
+class _NestView:
+    """Precomputed per-level loop structure shared by all tensors."""
+
+    def __init__(self, einsum: EinsumSpec, arch: Architecture, mapping: Mapping):
+        self.einsum = einsum
+        self.arch = arch
+        self.mapping = mapping
+        # Storage levels indexed innermost = 0 ... outermost = N-1.
+        self.num_levels = len(arch.levels)
+        # mapping.levels is outermost-first; re-index.
+        self.level_maps = list(reversed(mapping.levels))
+        self.level_names = [lm.level for lm in self.level_maps]
+        # Per level (inner-indexed): temporal loops (outer->inner), spatial loops.
+        self.temporal: list[list[Loop]] = [
+            list(lm.temporal) for lm in self.level_maps
+        ]
+        self.spatial: list[list[Loop]] = [
+            list(lm.spatial) for lm in self.level_maps
+        ]
+
+    def tile_dim_extents(self, level_index: int) -> dict[str, int]:
+        """Per-dimension footprint extents of the tile at ``level_index``.
+
+        The tile covers all loops at levels <= level_index (temporal and
+        spatial).
+        """
+        extents = {dim: 1 for dim in self.einsum.dims}
+        for j in range(level_index + 1):
+            for loop in self.temporal[j] + self.spatial[j]:
+                extents[loop.dim] *= loop.bound
+        return extents
+
+    def instances_used(self, level_index: int) -> int:
+        """Utilized instances of ``level_index`` = spatial fanout above it."""
+        fanout = 1
+        for j in range(level_index + 1, self.num_levels):
+            for loop in self.spatial[j]:
+                fanout *= loop.bound
+        return fanout
+
+    def compute_instances_used(self) -> int:
+        fanout = 1
+        for j in range(self.num_levels):
+            for loop in self.spatial[j]:
+                fanout *= loop.bound
+        return fanout
+
+    def outside_temporal(self, level_index: int) -> list[Loop]:
+        """Temporal loops outside ``level_index``, outermost first."""
+        loops: list[Loop] = []
+        for j in range(self.num_levels - 1, level_index, -1):
+            loops.extend(self.temporal[j])
+        return loops
+
+    def boundary_spatial(self, parent_index: int, child_index: int) -> list[Loop]:
+        """Spatial loops between a parent level and a child level.
+
+        These are the spatial loops at levels (child, parent], i.e. the
+        fanout an access crosses travelling from parent to child.
+        ``child_index`` may be -1 for the compute level.
+        """
+        loops: list[Loop] = []
+        for j in range(child_index + 1, parent_index + 1):
+            loops.extend(self.spatial[j])
+        return loops
+
+    def episode_span_extents(
+        self, child_index: int, follower_dims: frozenset[str]
+    ) -> dict[str, int]:
+        """Per-dim extents of the iteration space one child-tile
+        residency episode spans.
+
+        A tile filled into ``child_index`` stays resident while loops
+        inside the innermost follower-relevant outside loop iterate; the
+        span covers the child tile itself plus those stationary loops.
+        This is the granularity at which a transferred tile pairs with
+        other tensors' data (leader tiles for transfer-level SAFs).
+        """
+        extents = dict(self.tile_dim_extents(child_index))
+        outside = self.outside_temporal(child_index)
+        innermost_relevant = -1
+        for idx, loop in enumerate(outside):
+            if loop.dim in follower_dims:
+                innermost_relevant = idx
+        for loop in outside[innermost_relevant + 1 :]:
+            extents[loop.dim] = extents.get(loop.dim, 1) * loop.bound
+        return extents
+
+    def latch_extents(self, relevant_dims: frozenset[str]) -> dict[str, int]:
+        """Operand-latch reuse span for a tensor (Fig. 10 semantics).
+
+        Scanning the temporal nest from the innermost loop outward, the
+        datum delivered to the compute unit stays latched while loops
+        irrelevant to the tensor iterate. Returns the per-dim extents of
+        that innermost irrelevant run (empty dict = no latch reuse).
+        """
+        extents: dict[str, int] = {}
+        for j in range(self.num_levels):
+            for loop in reversed(self.temporal[j]):
+                if loop.dim in relevant_dims:
+                    return extents
+                extents[loop.dim] = extents.get(loop.dim, 1) * loop.bound
+        return extents
+
+
+def _episodes_and_distinct(
+    outside: list[Loop], relevant_dims: frozenset[str]
+) -> tuple[float, float]:
+    """Stationarity analysis over the outside temporal loops.
+
+    ``episodes`` multiplies bounds from the outermost loop down to the
+    innermost relevant loop; ``distinct`` multiplies relevant loop
+    bounds only.
+    """
+    episodes = 1.0
+    distinct = 1.0
+    # Find index of innermost relevant loop.
+    innermost_relevant = -1
+    for idx, loop in enumerate(outside):
+        if loop.dim in relevant_dims:
+            innermost_relevant = idx
+            distinct *= loop.bound
+    for idx, loop in enumerate(outside):
+        if idx > innermost_relevant:
+            break
+        episodes *= loop.bound
+    return episodes, distinct
+
+
+def _multicast_factor(
+    boundary: list[Loop],
+    relevant_dims: frozenset[str],
+    enabled: bool,
+) -> float:
+    """Fanout over which one parent access serves many children."""
+    if not enabled:
+        return 1.0
+    factor = 1.0
+    for loop in boundary:
+        if loop.dim not in relevant_dims:
+            factor *= loop.bound
+    return factor
+
+
+def analyze_dataflow(
+    workload: Workload, arch: Architecture, mapping: Mapping
+) -> DenseTraffic:
+    """Run the dense dataflow modeling step.
+
+    Returns per-(level, tensor) dense traffic and the dense compute
+    count. Raises :class:`MappingError` if the mapping is structurally
+    invalid.
+    """
+    einsum = workload.einsum
+    mapping.validate(einsum, arch)
+    nest = _NestView(einsum, arch, mapping)
+
+    result = DenseTraffic(workload=workload, arch=arch, mapping=mapping)
+    result.nest = nest
+    result.computes = einsum.total_operations
+    result.utilized_compute_instances = nest.compute_instances_used()
+
+    for tensor in einsum.tensors:
+        result.latch_extents[tensor.name] = nest.latch_extents(tensor.dims)
+        chain = _keep_chain_indices(nest, tensor.name)
+        if not chain:
+            raise MappingError(
+                f"tensor {tensor.name!r} kept at no level"
+            )  # pragma: no cover - validate() already rejects this
+        records = {
+            idx: _make_record(nest, tensor, idx) for idx in chain
+        }
+        if tensor.is_output:
+            _analyze_output(nest, tensor, chain, records)
+        else:
+            _analyze_operand(nest, tensor, chain, records)
+        for idx, record in records.items():
+            result.traffic[(record.level, tensor.name)] = record
+    return result
+
+
+def _keep_chain_indices(nest: _NestView, tensor: str) -> list[int]:
+    """Indices (inner-first ordering) of levels keeping ``tensor``,
+    returned outermost-first."""
+    chain = [
+        idx
+        for idx in range(nest.num_levels - 1, -1, -1)
+        if nest.level_maps[idx].keeps(tensor)
+    ]
+    return chain
+
+
+def _make_record(
+    nest: _NestView, tensor: TensorRef, level_index: int
+) -> TensorTraffic:
+    extents = nest.tile_dim_extents(level_index)
+    outside = nest.outside_temporal(level_index)
+    episodes, distinct = _episodes_and_distinct(outside, tensor.dims)
+    return TensorTraffic(
+        tensor=tensor.name,
+        level=nest.level_names[level_index],
+        level_index=level_index,
+        tile_size=tensor.tile_size(extents),
+        tile_dim_extents=extents,
+        tile_rank_extents=tensor.tile_rank_extents(extents),
+        instances=nest.instances_used(level_index),
+        episodes=episodes,
+        distinct=distinct,
+    )
+
+
+def _analyze_operand(
+    nest: _NestView,
+    tensor: TensorRef,
+    chain: list[int],
+    records: dict[int, TensorTraffic],
+) -> None:
+    """Traffic for an input tensor along its keep chain."""
+    computes = nest.einsum.total_operations
+    innermost = chain[-1]
+    # Compute consumption: one element per compute, amortised by
+    # multicast across the spatial fanout and by the operand latch
+    # (the datum stays at the compute unit while innermost loops
+    # irrelevant to the tensor iterate).
+    boundary = nest.boundary_spatial(innermost, -1)
+    multicast = _multicast_factor(
+        boundary,
+        tensor.dims,
+        nest.arch.level(nest.level_names[innermost]).multicast,
+    )
+    latch = prod(nest.latch_extents(tensor.dims).values())
+    feed = computes / multicast / latch
+    records[innermost].reads += feed
+    records[innermost].compute_feed_reads += feed
+
+    # Parent -> child fills along the chain.
+    for parent_idx, child_idx in zip(chain, chain[1:]):
+        child = records[child_idx]
+        fills = child.tile_size * child.instances * child.episodes
+        child.writes += fills
+        child.fills += fills
+        boundary = nest.boundary_spatial(parent_idx, child_idx)
+        multicast = _multicast_factor(
+            boundary,
+            tensor.dims,
+            nest.arch.level(nest.level_names[parent_idx]).multicast,
+        )
+        records[parent_idx].reads += fills / multicast
+
+
+def _analyze_output(
+    nest: _NestView,
+    tensor: TensorRef,
+    chain: list[int],
+    records: dict[int, TensorTraffic],
+) -> None:
+    """Traffic for the output tensor: updates, drains, refills, RMW."""
+    computes = nest.einsum.total_operations
+    innermost = chain[-1]
+    outermost = chain[0]
+
+    # Updates arriving from compute, merged across spatial reduction.
+    # Accumulation in the resident tile is read-modify-write: arrivals
+    # beyond the first per resident element (per episode) cost a read.
+    boundary = nest.boundary_spatial(innermost, -1)
+    reduction = _multicast_factor(
+        boundary,
+        tensor.dims,
+        nest.arch.level(nest.level_names[innermost]).spatial_reduction,
+    )
+    inner = records[innermost]
+    latch = prod(nest.latch_extents(tensor.dims).values())
+    incoming = computes / reduction / latch
+    inner.writes += incoming
+    inner.update_writes += incoming
+    # Only the first write of each element per *distinct* tile is free;
+    # revisited (refilled) episodes accumulate onto restored partials,
+    # so their first updates read-modify-write too.
+    first_writes = inner.tile_size * inner.instances * inner.distinct
+    rmw = max(0.0, incoming - first_writes)
+    inner.rmw_reads += rmw
+    inner.reads += rmw
+
+    # Child -> parent drains and parent -> child refills along the chain.
+    # Policy: a level that revisits an output tile refills the partials
+    # from its parent, so every drain carries a complete version and the
+    # parent overwrites (no RMW merge at the parent).
+    for parent_idx, child_idx in zip(chain, chain[1:]):
+        parent = records[parent_idx]
+        child = records[child_idx]
+        level = nest.arch.level(nest.level_names[parent_idx])
+        boundary = nest.boundary_spatial(parent_idx, child_idx)
+        reduction = _multicast_factor(
+            boundary, tensor.dims, level.spatial_reduction
+        )
+
+        drains = child.tile_size * child.instances * child.episodes
+        child.reads += drains
+        child.drains += drains
+        parent.writes += drains / reduction
+
+        refills = (
+            child.tile_size * child.instances * (child.episodes - child.distinct)
+        )
+        if refills > 0:
+            child.writes += refills
+            child.refill_writes += refills
+            parent.reads += refills / reduction
+
+    # The outermost keeping level never drains or refills further.
+    assert records[outermost].drains == 0.0

@@ -1,0 +1,11 @@
+"""Prebuilt accelerator models from the paper (Table 3, Sec 6-7).
+
+Each module builds a :class:`repro.model.engine.Design` capturing the
+architecture topology, representation formats, and gating/skipping SAFs
+of a published accelerator, plus a mapping factory encoding its
+dataflow.
+"""
+
+from repro.designs import codesign, dstc, eyeriss, eyeriss_v2, scnn, stc, toy
+
+__all__ = ["toy", "eyeriss", "eyeriss_v2", "scnn", "dstc", "stc", "codesign"]

@@ -1,0 +1,103 @@
+"""Shared helpers for building design mapping factories."""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.util import divisors
+from repro.workload.einsum import EinsumSpec
+from repro.workload.nets import NetLayer
+from repro.workload.einsum import matmul
+
+
+def split_factor(bound: int, inner_target: int) -> tuple[int, int]:
+    """Split ``bound`` into (outer, inner) with inner <= target.
+
+    Picks the largest divisor of ``bound`` not exceeding
+    ``inner_target`` so loop bounds always multiply back exactly.
+    """
+    if inner_target <= 1:
+        return bound, 1
+    inner = 1
+    for d in divisors(bound):
+        if d <= inner_target:
+            inner = d
+    return bound // inner, inner
+
+
+def split_three(bound: int, inner: int, middle: int) -> tuple[int, int, int]:
+    """Split ``bound`` into (outer, middle, inner) honoring targets."""
+    rest, inner_f = split_factor(bound, inner)
+    outer_f, middle_f = split_factor(rest, middle)
+    return outer_f, middle_f, inner_f
+
+
+def conv_as_gemm(layer: NetLayer) -> EinsumSpec:
+    """Lower a conv layer to the GEMM its im2col form computes.
+
+    Tensor-core style designs (STC, DSTC) consume matrix
+    multiplications: M = output channels, K = C*R*S, N = N*P*Q.
+    Non-conv (matmul) layers pass through.
+    """
+    spec = layer.spec
+    if set(spec.dims) == {"m", "k", "n"}:
+        return spec
+    d = spec.dims
+    m = d.get("k", 1)
+    k = d.get("c", 1) * d.get("r", 1) * d.get("s", 1)
+    n = d.get("n", 1) * d.get("p", 1) * d.get("q", 1)
+    return matmul(m, k, n, name=f"{spec.name}_gemm")
+
+
+def pow2_floor(value: int) -> int:
+    """Largest power of two <= value (>= 1)."""
+    return 1 << max(0, int(math.floor(math.log2(max(1, value)))))
+
+
+def generic_matmul_mapping(workload, arch):
+    """Conservative matmul schedule for DNN designs' FC/attention layers.
+
+    Conv-oriented mapping factories delegate here when handed a plain
+    matmul (fully-connected or BERT layers): small inner tiles that fit
+    any of the modeled register files, larger middle tiles, remainder
+    outermost.
+    """
+    from repro.mapping.mapping import LevelMapping, Loop, Mapping
+
+    dims = workload.einsum.dims
+    m_rest, m0 = split_factor(dims["m"], 16)
+    n_rest, n0 = split_factor(dims["n"], 16)
+    k_rest, k0 = split_factor(dims["k"], 64)
+    m1, m2 = split_factor(m_rest, 16)
+    n1, n2 = split_factor(n_rest, 16)
+    k1, k2 = split_factor(k_rest, 8)
+
+    names = arch.level_names  # outermost first
+    inner = [Loop("k", k0)]
+    middle = [Loop("m", m0), Loop("n", n0), Loop("k", k2)]
+    outer = [
+        Loop("m", m1),
+        Loop("n", n1),
+        Loop("k", k1),
+        Loop("m", m2),
+        Loop("n", n2),
+    ]
+
+    def prune(loops):
+        return [l for l in loops if l.bound > 1]
+
+    if len(names) == 2:
+        return Mapping(
+            [
+                LevelMapping(names[0], prune(outer + middle[2:3])),
+                LevelMapping(
+                    names[1], prune(middle[:2] + inner)
+                ),
+            ]
+        )
+    levels = [LevelMapping(names[0], prune(outer))]
+    levels.append(LevelMapping(names[1], prune(middle)))
+    levels.append(LevelMapping(names[2], prune(inner)))
+    for extra in names[3:]:
+        levels.append(LevelMapping(extra, []))
+    return Mapping(levels)

@@ -1,0 +1,17 @@
+"""YAML specification loading (the paper's Fig. 6 input style)."""
+
+from repro.io.yaml_spec import (
+    load_architecture,
+    load_design,
+    load_mapping,
+    load_saf_spec,
+    load_workload,
+)
+
+__all__ = [
+    "load_architecture",
+    "load_workload",
+    "load_mapping",
+    "load_saf_spec",
+    "load_design",
+]

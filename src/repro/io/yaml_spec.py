@@ -1,0 +1,236 @@
+"""Load Sparseloop-style YAML specifications (Fig. 6).
+
+The original tool consumes YAML descriptions of the architecture,
+workload, SAFs, and mapping. This module provides the same front-end
+for the Python reproduction. Each loader accepts either a YAML string,
+a path to a file, or an already-parsed dict.
+
+Example::
+
+    arch:
+      name: simple
+      storage:
+        - {name: BackingStorage, capacity_words: 65536, component: dram}
+        - {name: Buffer, capacity_words: 1024, component: sram,
+           read_bandwidth: 4}
+      compute: {name: MAC, instances: 4}
+
+    workload:
+      kernel: matmul
+      dims: {m: 16, k: 16, n: 16}
+      densities: {A: 0.25, B: 0.5}
+
+    safs:
+      formats:
+        - {level: Buffer, tensor: A, format: CSR}
+      actions:
+        - {kind: skip, target: B, condition_on: [A], level: Buffer}
+        - {kind: gate, unit: compute}
+
+    mapping:
+      - level: BackingStorage
+        temporal: [{dim: m, bound: 4}]
+      - level: Buffer
+        temporal: [{dim: m, bound: 4}, {dim: k, bound: 16}]
+        spatial: [{dim: n, bound: 4}]
+        keep: [A, Z]
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import yaml
+
+from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
+from repro.common.errors import SpecError
+from repro.mapping.mapping import LevelMapping, Loop, Mapping
+from repro.model.engine import Design
+from repro.sparse.formats import (
+    Bitmask,
+    CoordinatePayload,
+    FormatRank,
+    FormatSpec,
+    RunLengthEncoding,
+    Uncompressed,
+    UncompressedBitmask,
+    UncompressedOffsetPairs,
+    classic_format,
+)
+from repro.sparse.saf import ComputeSAF, SAFKind, SAFSpec, StorageSAF
+from repro.workload.einsum import conv2d, depthwise_conv2d, matmul
+from repro.workload.spec import Workload
+
+_KERNELS = {
+    "matmul": matmul,
+    "conv2d": conv2d,
+    "depthwise_conv2d": depthwise_conv2d,
+}
+
+_RANK_FORMATS = {
+    "U": Uncompressed,
+    "B": Bitmask,
+    "UB": UncompressedBitmask,
+    "CP": CoordinatePayload,
+    "RLE": RunLengthEncoding,
+    "UOP": UncompressedOffsetPairs,
+}
+
+
+def _as_dict(source) -> dict:
+    """Accept a dict, a YAML string, or a path to a YAML file."""
+    if isinstance(source, dict):
+        return source
+    if isinstance(source, Path) or (
+        isinstance(source, str)
+        and "\n" not in source
+        and source.endswith((".yaml", ".yml"))
+    ):
+        with open(source) as handle:
+            return yaml.safe_load(handle)
+    if isinstance(source, str):
+        return yaml.safe_load(source)
+    raise SpecError(f"cannot load a spec from {type(source).__name__}")
+
+
+def load_architecture(source) -> Architecture:
+    """Build an :class:`Architecture` from its YAML description."""
+    spec = _as_dict(source)
+    spec = spec.get("arch", spec)
+    storage_specs = spec.get("storage")
+    if not storage_specs:
+        raise SpecError("architecture spec needs a 'storage' list")
+    levels = []
+    for entry in storage_specs:
+        entry = dict(entry)
+        name = entry.pop("name", None)
+        if name is None:
+            raise SpecError("every storage level needs a 'name'")
+        levels.append(StorageLevel(name, **entry))
+    compute_spec = dict(spec.get("compute", {}))
+    compute = ComputeLevel(
+        name=compute_spec.pop("name", "MAC"), **compute_spec
+    )
+    return Architecture(spec.get("name", "arch"), levels, compute)
+
+
+def load_workload(source) -> Workload:
+    """Build a :class:`Workload` from its YAML description."""
+    spec = _as_dict(source)
+    spec = spec.get("workload", spec)
+    kernel_name = spec.get("kernel")
+    if kernel_name not in _KERNELS:
+        raise SpecError(
+            f"unknown kernel {kernel_name!r}; supported: {sorted(_KERNELS)}"
+        )
+    dims = spec.get("dims", {})
+    einsum = _KERNELS[kernel_name](**dims, name=spec.get("name", kernel_name))
+    densities = {k: float(v) for k, v in spec.get("densities", {}).items()}
+    return Workload.uniform(einsum, densities, name=spec.get("name"))
+
+
+def _parse_format(desc) -> FormatSpec:
+    """Parse a format: a classic name ('CSR') or a rank list
+    ('B-UOP-RLE', optionally with flattening like 'B^3-RLE')."""
+    if isinstance(desc, list):
+        ranks = []
+        for item in desc:
+            item = dict(item)
+            kind = item.pop("rank")
+            flattened = item.pop("flattened_ranks", 1)
+            cls = _RANK_FORMATS.get(kind)
+            if cls is None:
+                raise SpecError(f"unknown rank format {kind!r}")
+            ranks.append(FormatRank(cls(**item), flattened_ranks=flattened))
+        return FormatSpec(ranks)
+    text = str(desc)
+    try:
+        return classic_format(text)
+    except SpecError:
+        pass
+    ranks = []
+    for token in text.split("-"):
+        if "^" in token:
+            kind, _sep, count = token.partition("^")
+            flattened = int(count)
+        else:
+            kind, flattened = token, 1
+        cls = _RANK_FORMATS.get(kind.upper())
+        if cls is None:
+            raise SpecError(f"unknown rank format {kind!r} in {text!r}")
+        ranks.append(FormatRank(cls(), flattened_ranks=flattened))
+    return FormatSpec(ranks)
+
+
+def load_saf_spec(source) -> SAFSpec:
+    """Build a :class:`SAFSpec` from its YAML description."""
+    spec = _as_dict(source)
+    spec = spec.get("safs", spec)
+    formats = {}
+    for entry in spec.get("formats", []):
+        formats[(entry["level"], entry["tensor"])] = _parse_format(
+            entry["format"]
+        )
+    storage_safs = []
+    compute_safs = []
+    for entry in spec.get("actions", []):
+        kind = SAFKind(entry["kind"])
+        conditioned = tuple(entry.get("condition_on", ()))
+        if entry.get("unit") == "compute" or "target" not in entry:
+            compute_safs.append(ComputeSAF(kind, conditioned))
+        else:
+            storage_safs.append(
+                StorageSAF(kind, entry["target"], conditioned, entry["level"])
+            )
+    return SAFSpec(
+        formats=formats,
+        storage_safs=storage_safs,
+        compute_safs=compute_safs,
+    )
+
+
+def load_mapping(source) -> Mapping:
+    """Build a :class:`Mapping` from its YAML description."""
+    spec = _as_dict(source)
+    spec = spec.get("mapping", spec)
+    if not isinstance(spec, list):
+        raise SpecError("mapping spec must be a list of level entries")
+    levels = []
+    for entry in spec:
+        temporal = [
+            Loop(l["dim"], int(l["bound"])) for l in entry.get("temporal", [])
+        ]
+        spatial = [
+            Loop(l["dim"], int(l["bound"]), spatial=True)
+            for l in entry.get("spatial", [])
+        ]
+        keep = entry.get("keep")
+        levels.append(
+            LevelMapping(
+                entry["level"],
+                temporal,
+                spatial,
+                keep=set(keep) if keep is not None else None,
+            )
+        )
+    return Mapping(levels)
+
+
+def load_design(source) -> tuple[Design, Workload]:
+    """Load a full evaluation input: arch + workload + safs + mapping.
+
+    Returns the (design, workload) pair ready for
+    :meth:`repro.model.engine.Evaluator.evaluate`.
+    """
+    spec = _as_dict(source)
+    arch = load_architecture(spec)
+    workload = load_workload(spec)
+    safs = load_saf_spec(spec) if "safs" in spec else SAFSpec()
+    mapping = load_mapping(spec) if "mapping" in spec else None
+    design = Design(
+        name=spec.get("name", arch.name),
+        arch=arch,
+        safs=safs,
+        mapping=mapping,
+    )
+    return design, workload

@@ -1,0 +1,6 @@
+"""Mappings (loop-nest schedules) and mapspace search."""
+
+from repro.mapping.mapping import LevelMapping, Loop, Mapping
+from repro.mapping.mapspace import MapspaceConstraints, Mapper
+
+__all__ = ["Loop", "LevelMapping", "Mapping", "Mapper", "MapspaceConstraints"]

@@ -1,0 +1,216 @@
+"""Mapspace constraints and mapping enumeration (Sec 5.1).
+
+Characterising a design requires finding its best mapping for each
+workload, so Sparseloop accepts *mapspace constraints* instead of a
+fixed mapping and searches the space they allow. This module provides
+the combinatorial machinery: per-dimension factorization across levels,
+permutation handling, and exhaustive or random enumeration. Picking the
+best candidate by model feedback lives in
+:meth:`repro.model.engine.Evaluator.search_mappings`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.arch.spec import Architecture
+from repro.common.errors import MappingError
+from repro.common.util import divisors, factorizations, prod
+from repro.mapping.mapping import LevelMapping, Loop, Mapping
+from repro.workload.einsum import EinsumSpec
+
+
+@dataclass
+class MapspaceConstraints:
+    """Restrictions on the allowed schedules (Fig. 6's mapspace input).
+
+    Attributes:
+        loop_orders: Fixed temporal loop order (outermost first) per
+            level name; dims omitted from the order are appended in
+            workload order. ``None`` = search permutations too (only for
+            levels listed in ``permute_levels``).
+        spatial_dims: Dims allowed to be spatial at each level name.
+        keep: Per-level resident tensor sets (``None`` entry = keep all).
+        fixed_factors: Pin ``level -> dim -> factor`` tiling choices.
+        max_permutations: Cap on permutations searched per level.
+    """
+
+    loop_orders: dict[str, list[str]] = field(default_factory=dict)
+    spatial_dims: dict[str, list[str]] = field(default_factory=dict)
+    keep: dict[str, set[str] | None] = field(default_factory=dict)
+    fixed_factors: dict[str, dict[str, int]] = field(default_factory=dict)
+    max_permutations: int = 8
+
+
+class Mapper:
+    """Enumerates valid mappings of a workload onto an architecture.
+
+    The mapspace per dimension is the set of factorizations of its
+    bound across (temporal slots of every level) + (spatial slots of
+    levels allowing that dim spatially). ``enumerate_mappings`` walks it
+    exhaustively; ``sample_mappings`` draws random points for large
+    spaces.
+    """
+
+    def __init__(
+        self,
+        einsum: EinsumSpec,
+        arch: Architecture,
+        constraints: MapspaceConstraints | None = None,
+    ):
+        self.einsum = einsum
+        self.arch = arch
+        self.constraints = constraints or MapspaceConstraints()
+        self.level_names = arch.level_names  # outermost first
+        # Slot layout: per dim, temporal slot per level then spatial
+        # slots for levels that allow this dim spatially.
+        self._spatial_slots: list[tuple[str, str]] = []  # (level, dim)
+        for level in self.level_names:
+            for dim in self.constraints.spatial_dims.get(level, []):
+                if dim not in einsum.dims:
+                    raise MappingError(
+                        f"constraint allows unknown spatial dim {dim!r} at "
+                        f"{level!r}"
+                    )
+                self._spatial_slots.append((level, dim))
+
+    # ------------------------------------------------------------------
+    # Factor enumeration
+
+    def _dim_slot_names(self, dim: str) -> list[tuple[str, str]]:
+        """Slots a dim's bound can be split across: ('t'|'s', level)."""
+        slots = [("t", level) for level in self.level_names]
+        slots += [
+            ("s", level) for (level, d) in self._spatial_slots if d == dim
+        ]
+        return slots
+
+    def _dim_factorizations(self, dim: str) -> Iterator[tuple[int, ...]]:
+        bound = self.einsum.dims[dim]
+        slots = self._dim_slot_names(dim)
+        pinned = {
+            ("t", level): level_factors.get(dim)
+            for level, level_factors in self.constraints.fixed_factors.items()
+        }
+        for combo in factorizations(bound, len(slots)):
+            ok = True
+            for slot, factor in zip(slots, combo):
+                want = pinned.get(slot)
+                if want is not None and factor != want:
+                    ok = False
+                    break
+            if ok:
+                yield combo
+
+    def _random_dim_factorization(
+        self, dim: str, rng: random.Random
+    ) -> tuple[int, ...]:
+        bound = self.einsum.dims[dim]
+        slots = self._dim_slot_names(dim)
+        remaining = bound
+        combo = []
+        for _ in range(len(slots) - 1):
+            f = rng.choice(divisors(remaining))
+            combo.append(f)
+            remaining //= f
+        combo.append(remaining)
+        rng.shuffle(combo)
+        return tuple(combo)
+
+    # ------------------------------------------------------------------
+    # Mapping construction
+
+    def _build_mapping(
+        self, factor_choices: dict[str, tuple[int, ...]]
+    ) -> Mapping:
+        levels: list[LevelMapping] = []
+        for level in self.level_names:
+            temporal_factors: dict[str, int] = {}
+            spatial_factors: dict[str, int] = {}
+            for dim, combo in factor_choices.items():
+                slots = self._dim_slot_names(dim)
+                for slot, factor in zip(slots, combo):
+                    kind, slot_level = slot
+                    if slot_level != level or factor == 1:
+                        continue
+                    if kind == "t":
+                        temporal_factors[dim] = factor
+                    else:
+                        spatial_factors[dim] = factor
+            order = self.constraints.loop_orders.get(level)
+            ordered_dims = self._ordered(temporal_factors, order)
+            temporal = [Loop(d, temporal_factors[d]) for d in ordered_dims]
+            spatial = [
+                Loop(d, f, spatial=True) for d, f in spatial_factors.items()
+            ]
+            keep = self.constraints.keep.get(level, None)
+            levels.append(LevelMapping(level, temporal, spatial, keep=keep))
+        return Mapping(levels)
+
+    def _ordered(
+        self, factors: dict[str, int], order: list[str] | None
+    ) -> list[str]:
+        if order is None:
+            return [d for d in self.einsum.dims if d in factors]
+        ordered = [d for d in order if d in factors]
+        ordered += [d for d in self.einsum.dims if d in factors and d not in ordered]
+        return ordered
+
+    # ------------------------------------------------------------------
+    # Public enumeration API
+
+    def enumerate_mappings(self, limit: int | None = None) -> Iterator[Mapping]:
+        """Exhaustively yield structurally-valid mappings.
+
+        Candidates violating hardware fanout limits are silently
+        dropped. ``limit`` caps the number of yielded mappings.
+        """
+        dims = list(self.einsum.dims)
+        produced = 0
+        spaces = [list(self._dim_factorizations(d)) for d in dims]
+        for combos in itertools.product(*spaces):
+            mapping = self._build_mapping(dict(zip(dims, combos)))
+            if not self._structurally_valid(mapping):
+                continue
+            yield mapping
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+
+    def sample_mappings(
+        self, count: int, seed: int | None = None, max_tries: int | None = None
+    ) -> Iterator[Mapping]:
+        """Yield up to ``count`` random valid mappings."""
+        rng = random.Random(seed)
+        dims = list(self.einsum.dims)
+        tries = 0
+        produced = 0
+        budget = max_tries or count * 50
+        while produced < count and tries < budget:
+            tries += 1
+            combos = {
+                d: self._random_dim_factorization(d, rng) for d in dims
+            }
+            mapping = self._build_mapping(combos)
+            if self._structurally_valid(mapping):
+                produced += 1
+                yield mapping
+
+    def _structurally_valid(self, mapping: Mapping) -> bool:
+        try:
+            mapping.validate(self.einsum, self.arch)
+        except MappingError:
+            return False
+        return True
+
+    def mapspace_size_estimate(self) -> int:
+        """Upper bound on the factorization space (permutations excluded)."""
+        total = 1
+        for dim in self.einsum.dims:
+            slots = len(self._dim_slot_names(dim))
+            bound = self.einsum.dims[dim]
+            total *= sum(1 for _ in factorizations(bound, slots))
+        return total

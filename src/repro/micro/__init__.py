@@ -1,0 +1,13 @@
+"""Step three: micro-architectural modeling (Sec 5.4)."""
+
+from repro.micro.energy import EnergyResult, compute_energy
+from repro.micro.latency import LatencyResult, compute_latency
+from repro.micro.validity import check_validity
+
+__all__ = [
+    "check_validity",
+    "compute_latency",
+    "LatencyResult",
+    "compute_energy",
+    "EnergyResult",
+]

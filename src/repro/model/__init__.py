@@ -1,0 +1,6 @@
+"""Top-level Sparseloop evaluation engine."""
+
+from repro.model.engine import Design, Evaluator
+from repro.model.result import EvaluationResult
+
+__all__ = ["Design", "Evaluator", "EvaluationResult"]

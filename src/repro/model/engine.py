@@ -1,0 +1,180 @@
+"""The Sparseloop evaluation engine (Fig. 5).
+
+``Evaluator.evaluate`` runs the three decoupled modeling steps:
+
+1. dataflow modeling (dense traffic from the mapping),
+2. sparse modeling (SAF filtering with statistical density models),
+3. micro-architectural modeling (validity, cycles, energy).
+
+A :class:`Design` bundles the architecture, the SAF specification, and
+how mappings are obtained (fixed, per-workload factory, or a mapspace
+search through :class:`~repro.mapping.mapspace.Mapper`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.accelergy.backend import Accelergy
+from repro.arch.spec import Architecture
+from repro.common.errors import MappingError, SpecError, ValidationError
+from repro.dataflow.nest_analysis import analyze_dataflow
+from repro.mapping.mapping import Mapping
+from repro.mapping.mapspace import Mapper, MapspaceConstraints
+from repro.micro.energy import compute_energy
+from repro.micro.latency import compute_latency
+from repro.micro.validity import check_validity
+from repro.model.result import EvaluationResult
+from repro.sparse.postprocess import analyze_sparse
+from repro.sparse.saf import SAFSpec
+from repro.workload.spec import Workload
+
+MappingFactory = Callable[[Workload, Architecture], Mapping]
+
+
+@dataclass
+class Design:
+    """A complete accelerator design point.
+
+    Exactly one of ``mapping``, ``mapping_factory``, or ``constraints``
+    decides how each workload is scheduled:
+
+    * ``mapping`` — a fixed mapping (single-workload studies),
+    * ``mapping_factory`` — callable producing a mapping per workload
+      (the native dataflow of a design, e.g. SCNN's
+      PlanarTiled-InputStationary),
+    * ``constraints`` — a mapspace to search with the built-in mapper.
+    """
+
+    name: str
+    arch: Architecture
+    safs: SAFSpec = field(default_factory=SAFSpec)
+    mapping: Mapping | None = None
+    mapping_factory: MappingFactory | None = None
+    constraints: MapspaceConstraints | None = None
+
+    def mapping_for(self, workload: Workload) -> Mapping | None:
+        if self.mapping is not None:
+            return self.mapping
+        if self.mapping_factory is not None:
+            return self.mapping_factory(workload, self.arch)
+        return None
+
+
+@dataclass
+class Evaluator:
+    """Runs the three-step Sparseloop model.
+
+    ``check_capacity``: raise when worst-case tiles overflow a level.
+    ``search_budget``: mappings sampled when a design only provides
+    mapspace constraints.
+    """
+
+    check_capacity: bool = True
+    search_budget: int = 64
+    search_seed: int = 0
+
+    def evaluate(
+        self,
+        design: Design,
+        workload: Workload,
+        mapping: Mapping | None = None,
+    ) -> EvaluationResult:
+        """Evaluate one design on one workload.
+
+        ``mapping`` overrides the design's own mapping policy. If the
+        design carries only mapspace constraints, the mapper searches
+        for the lowest-EDP valid mapping.
+        """
+        mapping = mapping or design.mapping_for(workload)
+        if mapping is None:
+            if design.constraints is None:
+                raise SpecError(
+                    f"design {design.name!r} has no mapping, factory, or "
+                    "constraints"
+                )
+            result = self.search_mappings(design, workload)
+            if result is None:
+                raise MappingError(
+                    f"no valid mapping found for {design.name!r} on "
+                    f"{workload.name!r} within budget {self.search_budget}"
+                )
+            return result
+        return self._evaluate_mapping(design, workload, mapping)
+
+    def _evaluate_mapping(
+        self, design: Design, workload: Workload, mapping: Mapping
+    ) -> EvaluationResult:
+        dense = analyze_dataflow(workload, design.arch, mapping)
+        sparse = analyze_sparse(dense, design.safs)
+        usage = check_validity(
+            design.arch, sparse, raise_on_invalid=self.check_capacity
+        )
+        latency = compute_latency(design.arch, dense, sparse)
+        energy = compute_energy(design.arch, sparse, Accelergy(design.arch))
+        return EvaluationResult(
+            design_name=design.name,
+            workload_name=workload.name or workload.einsum.name,
+            dense=dense,
+            sparse=sparse,
+            latency=latency,
+            energy=energy,
+            usage=usage,
+        )
+
+    def search_mappings(
+        self,
+        design: Design,
+        workload: Workload,
+        objective: Callable[[EvaluationResult], float] | None = None,
+        candidates: Iterable[Mapping] | None = None,
+    ) -> EvaluationResult | None:
+        """Find the best valid mapping by the objective (default EDP).
+
+        Uses the design's constraints with the built-in mapper unless
+        explicit ``candidates`` are supplied. Returns None when no
+        candidate is valid.
+        """
+        objective = objective or (lambda r: r.edp)
+        if candidates is None:
+            mapper = Mapper(workload.einsum, design.arch, design.constraints)
+            space = mapper.mapspace_size_estimate()
+            if space <= self.search_budget * 4:
+                candidates = mapper.enumerate_mappings()
+            else:
+                candidates = mapper.sample_mappings(
+                    self.search_budget, seed=self.search_seed
+                )
+        best: EvaluationResult | None = None
+        best_score = float("inf")
+        for mapping in candidates:
+            try:
+                result = self._evaluate_mapping(design, workload, mapping)
+            except (ValidationError, MappingError):
+                continue
+            score = objective(result)
+            if score < best_score:
+                best, best_score = result, score
+        return best
+
+    def evaluate_network(
+        self,
+        design: Design,
+        layers,
+        densities_for: Callable[[object], dict[str, float]],
+    ) -> list[tuple[object, EvaluationResult]]:
+        """Per-layer evaluation of a full network (Sec 6.1 methodology).
+
+        ``layers`` is a list of :class:`~repro.workload.nets.NetLayer`;
+        ``densities_for(layer)`` supplies per-tensor densities. Results
+        aggregate per layer; total latency/energy multiply by layer
+        repeat counts.
+        """
+        results = []
+        for layer in layers:
+            workload = Workload.uniform(
+                layer.spec, densities_for(layer), name=layer.name
+            )
+            results.append((layer, self.evaluate(design, workload)))
+        return results

@@ -1,0 +1,72 @@
+"""Evaluation results: the model's outputs for one (design, workload)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dataflow.nest_analysis import DenseTraffic
+from repro.micro.energy import EnergyResult
+from repro.micro.latency import LatencyResult
+from repro.micro.validity import LevelUsage
+from repro.sparse.traffic import SparseTraffic
+
+
+@dataclass
+class EvaluationResult:
+    """Processing speed, energy, and traffic for one evaluation."""
+
+    design_name: str
+    workload_name: str
+    dense: DenseTraffic
+    sparse: SparseTraffic
+    latency: LatencyResult
+    energy: EnergyResult
+    usage: dict[str, LevelUsage] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> float:
+        return self.latency.cycles
+
+    @property
+    def energy_pj(self) -> float:
+        return self.energy.total_pj
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (pJ x cycles)."""
+        return self.energy_pj * self.cycles
+
+    @property
+    def energy_per_compute(self) -> float:
+        computes = max(1.0, self.sparse.compute.actual)
+        return self.energy_pj / computes
+
+    @property
+    def actual_computes(self) -> float:
+        return self.sparse.compute.actual
+
+    def level_energy(self, level: str) -> float:
+        return self.energy.component(level)
+
+    def level_cycles(self, level: str) -> float:
+        return self.latency.per_component.get(level, 0.0)
+
+    def compression_rate(self, level: str, tensor: str) -> float:
+        return self.sparse.at(level, tensor).compression_rate
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.design_name} / {self.workload_name}",
+            f"  cycles: {self.cycles:.4g} (bottleneck: {self.latency.bottleneck},"
+            f" utilization {self.latency.utilization:.1%})",
+            f"  energy: {self.energy_pj:.6g} pJ  (EDP {self.edp:.6g})",
+            "  computes: "
+            f"actual {self.sparse.compute.actual:.4g}, "
+            f"gated {self.sparse.compute.gated:.4g}, "
+            f"skipped {self.sparse.compute.skipped:.4g}",
+        ]
+        for name, energy in sorted(
+            self.energy.per_component.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"    {name}: {energy:.6g} pJ")
+        return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""Cycle-level reference simulator (validation substrate).
+
+Plays the role of the design-specific simulators and STONNE-style
+cycle-level baselines the paper validates against (Table 5, Fig. 11,
+Fig. 12): it iterates *actual tensor data* through the mapped loop
+nest, performing real per-element intersection checks, and counts every
+storage access and compute slot.
+"""
+
+from repro.refsim.simulator import CycleLevelSimulator, SimulationCounts
+
+__all__ = ["CycleLevelSimulator", "SimulationCounts"]

@@ -1,0 +1,308 @@
+"""Implementation of the cycle-level simulator's main loop.
+
+Separated from :mod:`repro.refsim.simulator` to keep the state-heavy
+execution kernel readable. The kernel tracks, per spatial instance and
+per cycle: tile residency (fills/drains/refills with stationarity),
+operand latches with broadcast (multicast) de-duplication, and
+reduction-tree-merged output updates — mirroring the semantics the
+analytical model prices statistically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.refsim import simulator as _sim
+
+
+def run_simulation(sim) -> "_sim.SimulationCounts":
+    counts = _sim.SimulationCounts()
+    dims = list(sim.einsum.dims)
+    dim_coords = {d: 0 for d in dims}
+    loops = sim.loops
+    loop_indices = [0] * len(loops)
+
+    inputs = sim.einsum.inputs
+    output = sim.einsum.output
+    keep_innermost = {
+        t.name: sim.mapping.keep_chain(t.name)[-1]
+        for t in sim.einsum.tensors
+    }
+    chains = {
+        t.name: sim.mapping.keep_chain(t.name) for t in sim.einsum.tensors
+    }
+
+    spatial_positions = [i for i, rec in enumerate(loops) if rec.spatial]
+    temporal_positions = [i for i, rec in enumerate(loops) if not rec.spatial]
+
+    def instance_key(depth: int) -> tuple[int, ...]:
+        return tuple(
+            loop_indices[i] for i in spatial_positions if i < depth
+        )
+
+    def temporal_key(depth: int) -> tuple[int, ...]:
+        return tuple(
+            loop_indices[i] for i in temporal_positions if i < depth
+        )
+
+    tile_extents = {
+        idx: sim._tile_extents(idx) for idx in range(sim.num_levels)
+    }
+
+    # ------------------------------------------------------------------
+    # Tile residency state (per level, tensor, instance).
+    last_origin: dict[tuple, tuple] = {}
+    seen_origins: dict[tuple, set] = {}
+    pending_drain: dict[tuple, dict[str, int]] = {}
+    last_parent_read: dict[tuple, tuple] = {}
+    drained_parent: set = set()
+
+    out_data = sim.data[output.name].astype(float).copy()
+
+    def tile_words(level_name: str, tensor, tile) -> float:
+        if sim._is_compressed(level_name, tensor.name):
+            return float(np.count_nonzero(tile))
+        return float(tile.size)
+
+    def output_tile(origin_coords: dict[str, int], level_index: int):
+        extents = tile_extents[level_index]
+        arr_slices = []
+        for rank in output.ranks:
+            start = 0
+            span = 0
+            for term in rank.terms:
+                start += term.coefficient * origin_coords.get(term.dim, 0)
+                span += term.coefficient * (extents.get(term.dim, 1) - 1)
+            arr_slices.append(slice(start, start + span + 1))
+        return out_data[tuple(arr_slices)]
+
+    # ------------------------------------------------------------------
+    # Output accumulation state.
+    out_written: dict[tuple, int] = {}
+    out_episode = [0]
+    out_latch: dict[tuple, tuple] = {}
+    out_name = output.name
+    out_level = keep_innermost[out_name]
+    out_level_index = sim.level_names.index(out_level)
+    # Spatial loops at/below the output's keeping level that are
+    # irrelevant to it merge updates in a reduction tree.
+    out_relevant_spatial = [
+        i
+        for i in spatial_positions
+        if loops[i].level_index <= out_level_index
+        and loops[i].dim in output.dims
+    ]
+    out_red = 1
+    for i in spatial_positions:
+        if (
+            loops[i].level_index <= out_level_index
+            and loops[i].dim not in output.dims
+        ):
+            out_red *= loops[i].bound
+
+    # ------------------------------------------------------------------
+    # Operand latch / broadcast state.
+    latched: dict[tuple, tuple] = {}
+    bcast_seen: dict[str, set] = {t.name: set() for t in inputs}
+    current_cycle = [None]
+
+    skip_leaders, gate_leaders = sim.skip_leaders, sim.gate_leaders
+    storage_skip_on, storage_gate_on = sim.storage_skip_on, sim.storage_gate_on
+
+    def drain_output(level_index: int, inst: tuple) -> None:
+        key = (level_index, out_name, inst)
+        snapshot = pending_drain.pop(key, None)
+        if snapshot is None:
+            return
+        level_name = sim.level_names[level_index]
+        tile = output_tile(snapshot, level_index)
+        words = tile_words(level_name, output, tile)
+        chain = chains[out_name]
+        pos = chain.index(level_name)
+        counts.read_counter(level_name, out_name).actual += words
+        if pos > 0:
+            parent = chain[pos - 1]
+            parent_words = tile_words(parent, output, tile)
+            counts.write_counter(parent, out_name).actual += parent_words
+
+    def mark_refilled(origin: tuple, level_index: int) -> None:
+        extents = tile_extents[level_index]
+        out_episode[0] += 1
+        episode = out_episode[0]
+        shape = output.tile_rank_extents(extents)
+        grids = np.indices(shape).reshape(len(shape), -1).T
+        for offset in grids:
+            coords = tuple(o + g for o, g in zip(origin, offset))
+            out_written[coords] = episode
+
+    def handle_fills(depth: int) -> None:
+        for level_index in range(sim.num_levels - 1, -1, -1):
+            if sim._prefix[level_index] != depth:
+                continue
+            level_name = sim.level_names[level_index]
+            inst = instance_key(depth)
+            t_key = temporal_key(depth)
+            for tensor in sim.einsum.tensors:
+                chain = chains[tensor.name]
+                if level_name not in chain:
+                    continue
+                if chain.index(level_name) == 0:
+                    continue
+                origin = sim._tensor_coords(tensor, dim_coords)
+                key = (level_index, tensor.name, inst)
+                if last_origin.get(key) == origin:
+                    continue
+                if tensor.is_output:
+                    drain_output(level_index, inst)
+                    last_origin[key] = origin
+                    pending_drain[key] = dict(dim_coords)
+                    seen = seen_origins.setdefault(key, set())
+                    if origin in seen:
+                        tile = output_tile(dict(dim_coords), level_index)
+                        refill = tile_words(level_name, tensor, tile)
+                        counts.write_counter(
+                            level_name, tensor.name
+                        ).actual += refill
+                        parent = chain[chain.index(level_name) - 1]
+                        counts.read_counter(parent, tensor.name).actual += (
+                            tile_words(parent, tensor, tile)
+                        )
+                        if level_name == chain[-1]:
+                            mark_refilled(origin, level_index)
+                    seen.add(origin)
+                    continue
+                last_origin[key] = origin
+                tile = sim._tile_slice(
+                    tensor, dim_coords, tile_extents[level_index]
+                )
+                words = tile_words(level_name, tensor, tile)
+                counts.fills[(level_name, tensor.name)] = (
+                    counts.fills.get((level_name, tensor.name), 0.0) + words
+                )
+                counts.write_counter(level_name, tensor.name).actual += words
+                # One parent read can be multicast to sibling instances
+                # requesting the same tile in the same temporal step.
+                parent = chain[chain.index(level_name) - 1]
+                read_key = (level_index, tensor.name)
+                if last_parent_read.get(read_key) != (t_key, origin):
+                    last_parent_read[read_key] = (t_key, origin)
+                    counts.read_counter(parent, tensor.name).actual += (
+                        tile_words(parent, tensor, tile)
+                    )
+
+    def compute_slot() -> None:
+        cycle = temporal_key(len(loops))
+        if cycle != current_cycle[0]:
+            current_cycle[0] = cycle
+            for seen in bcast_seen.values():
+                seen.clear()
+        lane = instance_key(len(loops))
+
+        operand_values = {}
+        for tensor in inputs:
+            coords = sim._tensor_coords(tensor, dim_coords)
+            operand_values[tensor.name] = (
+                sim.data[tensor.name][coords],
+                coords,
+            )
+        skipped = any(
+            operand_values[name][0] == 0
+            for name in operand_values
+            if name in skip_leaders
+        )
+        gated = False
+        if skipped:
+            counts.computes.skipped += 1
+        else:
+            gated = any(
+                operand_values[name][0] == 0
+                for name in operand_values
+                if name in gate_leaders
+            )
+            if gated:
+                counts.computes.gated += 1
+            else:
+                counts.computes.actual += 1
+
+        # Operand fetches: explicit storage SAFs (or the tensor's own
+        # walked metadata) eliminate them; compute-only skipping does
+        # not. A fetch serves all lanes needing the same datum this
+        # cycle (broadcast), and each lane latches its datum across
+        # cycles where its coordinate is unchanged.
+        for tensor in inputs:
+            name = tensor.name
+            value, coords = operand_values[name]
+            level = keep_innermost[name]
+            compressed = sim._is_compressed(level, name)
+            fetch_skipped = any(
+                operand_values.get(leader, (1,))[0] == 0
+                for leader in storage_skip_on.get(name, ())
+            )
+            if value == 0 and compressed and name in skip_leaders:
+                fetch_skipped = True
+            if fetch_skipped:
+                continue
+            latch_key = (name, lane)
+            if latched.get(latch_key) == coords:
+                continue
+            latched[latch_key] = coords
+            if coords in bcast_seen[name]:
+                continue  # broadcast already fetched this datum
+            bcast_seen[name].add(coords)
+            counter = counts.read_counter(level, name)
+            fetch_gated = any(
+                operand_values.get(leader, (1,))[0] == 0
+                for leader in storage_gate_on.get(name, ())
+            )
+            if value == 0 and compressed:
+                fetch_gated = True
+            if fetch_gated:
+                counter.gated += 1
+            else:
+                counter.actual += 1
+
+        if skipped:
+            return
+        coords = sim._tensor_coords(output, dim_coords)
+        if gated:
+            counts.write_counter(out_level, out_name).gated += 1.0 / out_red
+            return
+        product = 1.0
+        for value, _c in operand_values.values():
+            product *= float(value)
+        out_data[coords] += product
+        # The accumulator (one per output-relevant lane group, fed by a
+        # reduction tree across the irrelevant lanes) writes back when
+        # its output coordinate changes.
+        group = tuple(loop_indices[i] for i in out_relevant_spatial)
+        if out_latch.get(group) == coords:
+            return
+        out_latch[group] = coords
+        counts.write_counter(out_level, out_name).actual += 1
+        if out_written.get(coords) == out_episode[0]:
+            counts.read_counter(out_level, out_name).actual += 1
+        out_written[coords] = out_episode[0]
+
+    def recurse(depth: int) -> None:
+        handle_fills(depth)
+        if depth == len(loops):
+            compute_slot()
+            return
+        rec = loops[depth]
+        base = dim_coords[rec.dim]
+        for i in range(rec.bound):
+            loop_indices[depth] = i
+            dim_coords[rec.dim] = base + i * rec.stride
+            recurse(depth + 1)
+        dim_coords[rec.dim] = base
+        loop_indices[depth] = 0
+
+    recurse(0)
+    for level_index in range(sim.num_levels):
+        for key in [
+            k for k in list(pending_drain) if k[0] == level_index
+        ]:
+            drain_output(level_index, key[2])
+    sim.output_data = out_data
+    counts.cycles = counts.computes.cycled / sim.spatial_fanout
+    return counts

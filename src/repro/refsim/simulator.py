@@ -1,0 +1,244 @@
+"""Cycle-level simulation of a mapped loop nest over actual data.
+
+The simulator executes every point of the iteration space in schedule
+order (the mapping's loop nest), tracking:
+
+* compute slots, classified actual / gated / skipped by real
+  per-element intersection of the operand values,
+* operand reads at each tensor's innermost keeping level, with
+  operand-latch reuse (a read only when the operand coordinate
+  changes),
+* tile fill/drain traffic at every storage level, with stationarity
+  (a fill only when the resident tile's origin changes) and
+  compressed-format word counts from the actual nonzero counts,
+* output accumulation (read-modify-write) behaviour.
+
+It is deliberately an *actual-data, per-operation* simulator — the
+class of baseline the paper validates against and compares simulation
+speed with (Table 5). It is orders of magnitude slower than the
+analytical model, which is the point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.spec import Architecture
+from repro.common.errors import SpecError
+from repro.common.util import prod
+from repro.mapping.mapping import Mapping
+from repro.sparse.saf import SAFKind, SAFSpec
+from repro.workload.einsum import EinsumSpec, TensorRef
+
+
+@dataclass
+class ActionCounts:
+    actual: float = 0.0
+    gated: float = 0.0
+    skipped: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.actual + self.gated + self.skipped
+
+    @property
+    def cycled(self) -> float:
+        return self.actual + self.gated
+
+
+@dataclass
+class SimulationCounts:
+    """All counters produced by one simulation run."""
+
+    computes: ActionCounts = field(default_factory=ActionCounts)
+    #: (level, tensor) -> reads / writes counters (data words).
+    reads: dict[tuple[str, str], ActionCounts] = field(default_factory=dict)
+    writes: dict[tuple[str, str], ActionCounts] = field(default_factory=dict)
+    fills: dict[tuple[str, str], float] = field(default_factory=dict)
+    cycles: float = 0.0
+
+    def read_counter(self, level: str, tensor: str) -> ActionCounts:
+        return self.reads.setdefault((level, tensor), ActionCounts())
+
+    def write_counter(self, level: str, tensor: str) -> ActionCounts:
+        return self.writes.setdefault((level, tensor), ActionCounts())
+
+
+@dataclass(frozen=True)
+class _LoopRec:
+    dim: str
+    bound: int
+    level_index: int
+    spatial: bool
+    stride: int  # contribution of one iteration to the dim coordinate
+
+
+class CycleLevelSimulator:
+    """Execute a mapping over actual tensor data and count everything.
+
+    ``data`` maps tensor names to dense numpy arrays whose shapes match
+    ``einsum.tensor_shape``. SAF semantics honoured: compressed formats
+    (word counts follow actual nonzeros), compute gating/skipping, and
+    leader-follower storage skipping at both compute-feed and transfer
+    granularity.
+    """
+
+    def __init__(
+        self,
+        einsum: EinsumSpec,
+        arch: Architecture,
+        mapping: Mapping,
+        data: dict[str, np.ndarray],
+        safs: SAFSpec | None = None,
+    ):
+        self.einsum = einsum
+        self.arch = arch
+        self.mapping = mapping
+        self.safs = safs or SAFSpec()
+        mapping.validate(einsum, arch)
+        self.data = {}
+        for tensor in einsum.tensors:
+            if tensor.name not in data:
+                raise SpecError(f"no data provided for tensor {tensor.name!r}")
+            arr = np.asarray(data[tensor.name])
+            want = einsum.tensor_shape(tensor.name)
+            if tuple(arr.shape) != tuple(want):
+                raise SpecError(
+                    f"tensor {tensor.name!r} data shape {arr.shape} != "
+                    f"expected {want}"
+                )
+            self.data[tensor.name] = arr
+
+        self._build_loops()
+        self._classify_saf_roles()
+
+    # ------------------------------------------------------------------
+    # Setup
+
+    def _build_loops(self) -> None:
+        level_maps = list(reversed(self.mapping.levels))  # inner-first
+        num_levels = len(level_maps)
+        raw: list[tuple[str, int, int, bool]] = []
+        for idx in range(num_levels - 1, -1, -1):
+            lm = level_maps[idx]
+            for loop in lm.temporal:
+                raw.append((loop.dim, loop.bound, idx, False))
+            for loop in lm.spatial:
+                raw.append((loop.dim, loop.bound, idx, True))
+        # Strides: product of bounds of later (inner) loops of same dim.
+        loops: list[_LoopRec] = []
+        for pos, (dim, bound, level, spatial) in enumerate(raw):
+            stride = 1
+            for dim2, bound2, _l2, _s2 in raw[pos + 1 :]:
+                if dim2 == dim:
+                    stride *= bound2
+            loops.append(_LoopRec(dim, bound, level, spatial, stride))
+        self.loops = loops
+        self.num_levels = num_levels
+        self.level_names = [lm.level for lm in level_maps]
+        # Prefix length per level: loops at levels strictly above it.
+        self._prefix: dict[int, int] = {}
+        for level in range(num_levels - 1, -1, -1):
+            self._prefix[level] = sum(
+                1 for rec in loops if rec.level_index > level
+            )
+        self.spatial_fanout = int(
+            prod(rec.bound for rec in loops if rec.spatial)
+        )
+
+    def _classify_saf_roles(self) -> None:
+        """Which tensors drive skipping/gating at the compute units, and
+        which storage fetches each SAF eliminates."""
+        inputs = {t.name for t in self.einsum.inputs}
+        self.skip_leaders: set[str] = set()
+        self.gate_leaders: set[str] = set()
+        #: target tensor -> leaders whose zeros eliminate its fetches.
+        self.storage_skip_on: dict[str, set[str]] = {}
+        self.storage_gate_on: dict[str, set[str]] = {}
+        for saf in self.safs.compute_safs:
+            conditioned = set(saf.conditioned_on) or inputs
+            target = (
+                self.skip_leaders
+                if saf.kind is SAFKind.SKIP
+                else self.gate_leaders
+            )
+            target |= conditioned & inputs
+        for saf in self.safs.storage_safs:
+            leaders = set(saf.conditioned_on) & inputs
+            table = (
+                self.storage_skip_on
+                if saf.kind is SAFKind.SKIP
+                else self.storage_gate_on
+            )
+            table.setdefault(saf.target, set()).update(leaders)
+            if saf.kind is SAFKind.SKIP:
+                self.skip_leaders |= leaders
+            else:
+                self.gate_leaders |= leaders
+        # Compressed operand formats walked by skipping hardware.
+        for tensor in self.einsum.inputs:
+            chain = self.mapping.keep_chain(tensor.name)
+            fmt = self.safs.format_for(chain[-1], tensor.name)
+            if fmt is not None and fmt.is_compressed:
+                if tensor.name in self.skip_leaders | self.gate_leaders:
+                    continue
+                self.gate_leaders.add(tensor.name)
+        self.gate_leaders -= self.skip_leaders
+
+    def _is_compressed(self, level: str, tensor: str) -> bool:
+        fmt = self.safs.format_for(level, tensor)
+        return fmt is not None and fmt.is_compressed
+
+    # ------------------------------------------------------------------
+    # Helpers over the iteration state
+
+    def _tensor_coords(
+        self, tensor: TensorRef, dim_coords: dict[str, int]
+    ) -> tuple[int, ...]:
+        coords = []
+        for rank in tensor.ranks:
+            value = 0
+            for term in rank.terms:
+                value += term.coefficient * dim_coords.get(term.dim, 0)
+            coords.append(value)
+        return tuple(coords)
+
+    def _tile_slice(
+        self,
+        tensor: TensorRef,
+        origin_coords: dict[str, int],
+        extents: dict[str, int],
+    ) -> np.ndarray:
+        arr = self.data[tensor.name]
+        slices = []
+        for rank in tensor.ranks:
+            start = 0
+            span = 0
+            for term in rank.terms:
+                start += term.coefficient * origin_coords.get(term.dim, 0)
+                span += term.coefficient * (extents.get(term.dim, 1) - 1)
+            slices.append(slice(start, start + span + 1))
+        return arr[tuple(slices)]
+
+    def _tile_extents(self, level_index: int) -> dict[str, int]:
+        extents = {d: 1 for d in self.einsum.dims}
+        for rec in self.loops:
+            if rec.level_index <= level_index:
+                extents[rec.dim] *= rec.bound
+        return extents
+
+    # ------------------------------------------------------------------
+    # Main run
+
+    def run(self) -> SimulationCounts:
+        """Execute the mapped loop nest over the actual data.
+
+        Delegates to :func:`repro.refsim._run_impl.run_simulation`,
+        which implements the instance-aware execution kernel. After the
+        run, ``self.output_data`` holds the computed output tensor.
+        """
+        from repro.refsim._run_impl import run_simulation
+
+        return run_simulation(self)

@@ -1,0 +1,39 @@
+"""Sparse modeling step: density models, format models, SAF analyzers."""
+
+from repro.sparse.density import (
+    ActualDataDensity,
+    BandedDensity,
+    DensityModel,
+    FixedStructuredDensity,
+    UniformDensity,
+)
+from repro.sparse.formats import (
+    Bitmask,
+    CoordinatePayload,
+    FormatSpec,
+    RankFormat,
+    RunLengthEncoding,
+    Uncompressed,
+    UncompressedOffsetPairs,
+    classic_format,
+)
+from repro.sparse.saf import ComputeSAF, SAFSpec, StorageSAF
+
+__all__ = [
+    "DensityModel",
+    "UniformDensity",
+    "FixedStructuredDensity",
+    "BandedDensity",
+    "ActualDataDensity",
+    "RankFormat",
+    "Uncompressed",
+    "Bitmask",
+    "CoordinatePayload",
+    "RunLengthEncoding",
+    "UncompressedOffsetPairs",
+    "FormatSpec",
+    "classic_format",
+    "SAFSpec",
+    "StorageSAF",
+    "ComputeSAF",
+]

@@ -1,0 +1,318 @@
+"""Gating/Skipping analyzer (Sec 5.3.4).
+
+Evaluates how many ineffectual operations each gating/skipping SAF
+eliminates. The crux is identifying the *leader tile*: the region of
+the leader tensor that a follower access is exclusively paired with,
+which is determined by the data reuse the mapping creates (Fig. 10).
+
+* For compute-feed accesses, the follower datum stays latched at the
+  compute unit across the innermost run of loops irrelevant to it; the
+  leader tile spans exactly those loops.
+* For tile transfers, the follower tile's residency episode spans the
+  child tile plus the outside loops it is stationary across; the leader
+  tile spans that episode.
+
+The probability that a leader tile is empty comes from the leader's
+statistical density model; with multiple hierarchical SAFs on the same
+leader, the elimination events nest, so the analyzer keeps the finest
+granularity (minimum keep probability) rather than multiplying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import SpecError
+from repro.dataflow.nest_analysis import DenseTraffic
+from repro.sparse.saf import ComputeSAF, SAFKind, SAFSpec, StorageSAF
+from repro.workload.einsum import TensorRef
+
+
+@dataclass(frozen=True)
+class EliminationSource:
+    """One elimination mechanism acting on a flow.
+
+    ``keep`` is the probability an operation survives this source
+    (e.g. P(leader tile nonempty)). Sources with the same ``leader``
+    describe nested events at different granularities and are combined
+    by minimum keep; independent leaders multiply.
+    """
+
+    kind: SAFKind
+    leader: str
+    keep: float
+    origin: str = ""
+    #: True when an explicit storage-SAF intersection unit produces
+    #: this source; each decided operation then costs a check.
+    is_intersection: bool = False
+
+
+@dataclass(frozen=True)
+class FlowClassification:
+    """Fractions of a flow's operations that are skipped/gated/actual."""
+
+    actual: float
+    gated: float
+    skipped: float
+
+    @classmethod
+    def from_sources(
+        cls, sources: list[EliminationSource]
+    ) -> "FlowClassification":
+        skip_keeps: dict[str, float] = {}
+        gate_keeps: dict[str, float] = {}
+        for src in sources:
+            table = skip_keeps if src.kind is SAFKind.SKIP else gate_keeps
+            prev = table.get(src.leader, 1.0)
+            table[src.leader] = min(prev, src.keep)
+        k_skip = 1.0
+        for keep in skip_keeps.values():
+            k_skip *= keep
+        k_gate = 1.0
+        for leader, keep in gate_keeps.items():
+            # A gate source nested inside a skip source on the same
+            # leader only gates what the skip did not already remove.
+            nested_skip = skip_keeps.get(leader, 1.0)
+            if nested_skip > 0:
+                keep = min(1.0, keep / nested_skip)
+            k_gate *= keep
+        actual = k_skip * k_gate
+        gated = k_skip * (1.0 - k_gate)
+        skipped = 1.0 - k_skip
+        return cls(actual=actual, gated=gated, skipped=skipped)
+
+
+NO_ELIMINATION = FlowClassification(actual=1.0, gated=0.0, skipped=0.0)
+
+
+class GatingSkippingAnalyzer:
+    """Derives flow classifications for one (design, workload, mapping).
+
+    The analyzer is constructed from the dense traffic (which carries
+    the loop-nest view) and the design's SAF specification.
+    """
+
+    def __init__(self, dense: DenseTraffic, safs: SAFSpec):
+        self.dense = dense
+        self.safs = safs
+        self.einsum = dense.workload.einsum
+        self.workload = dense.workload
+        self.nest = dense.nest
+
+    # ------------------------------------------------------------------
+    # Leader tile computation
+
+    def _leader_keep(
+        self, leader_name: str, pair_extents: dict[str, int]
+    ) -> float:
+        """P(leader tile nonempty) for the given pairing extents."""
+        leader = self.einsum.tensor(leader_name)
+        extents = {d: pair_extents.get(d, 1) for d in self.einsum.dims}
+        shape = leader.tile_rank_extents(extents)
+        model = self.workload.density_of(leader_name)
+        return model.prob_nonempty(shape)
+
+    def compute_feed_extents(self, follower: TensorRef) -> dict[str, int]:
+        """Pairing extents for a compute-feed access of ``follower``."""
+        return dict(self.dense.latch_extents.get(follower.name, {}))
+
+    def transfer_extents(
+        self, follower: TensorRef, child_level: str
+    ) -> dict[str, int]:
+        """Pairing extents for a tile transfer into ``child_level``."""
+        child_index = self.dense.arch.level_index(child_level)
+        return self.nest.episode_span_extents(child_index, follower.dims)
+
+    # ------------------------------------------------------------------
+    # Source collection per flow
+
+    def storage_saf_sources(
+        self,
+        follower: TensorRef,
+        saf: StorageSAF,
+        pair_extents: dict[str, int],
+    ) -> list[EliminationSource]:
+        sources = []
+        for leader_name in saf.conditioned_on:
+            keep = self._leader_keep(leader_name, pair_extents)
+            sources.append(
+                EliminationSource(
+                    kind=saf.kind,
+                    leader=leader_name,
+                    keep=keep,
+                    origin=saf.describe(),
+                    is_intersection=True,
+                )
+            )
+        return sources
+
+    def flow_sources(
+        self, follower: TensorRef, flow_level: str
+    ) -> list[EliminationSource]:
+        """Sources acting on the flow of ``follower`` sourced at
+        ``flow_level`` (compute-feed if innermost keeping level, else
+        the transfer to the next keeping level below).
+
+        SAFs at ancestor keeping levels propagate downward: a tile
+        never delivered generates no lower-level traffic either. Each
+        ancestor SAF keeps its own (coarser) granularity; the
+        per-leader minimum-keep rule in
+        :class:`FlowClassification` resolves the nesting.
+        """
+        chain = self.dense.mapping.keep_chain(follower.name)
+        if flow_level not in chain:
+            raise SpecError(
+                f"flow level {flow_level!r} is not in {follower.name!r}'s "
+                f"keep chain {chain}"
+            )
+        sources: list[EliminationSource] = []
+        position = chain.index(flow_level)
+        for level in chain[: position + 1]:
+            for saf in self.safs.storage_safs_at(level):
+                if saf.target != follower.name:
+                    continue
+                extents = self._granularity_for(follower, level, chain)
+                sources.extend(
+                    self.storage_saf_sources(follower, saf, extents)
+                )
+        # NOTE: compute SAFs do NOT appear here. Eliminating an operand
+        # *fetch* requires an explicit storage SAF (Table 3); a design
+        # that only skips compute (e.g. STC's post-fetch 4:2 selection)
+        # still pays the full fetch bandwidth — the bottleneck of
+        # Sec 7.1.3.
+        return sources
+
+    def _granularity_for(
+        self, follower: TensorRef, saf_level: str, chain: list[str]
+    ) -> dict[str, int]:
+        """Pairing extents at which a SAF at ``saf_level`` operates."""
+        if saf_level == chain[-1]:
+            return self.compute_feed_extents(follower)
+        child = chain[chain.index(saf_level) + 1]
+        return self.transfer_extents(follower, child)
+
+    def _own_format_source(
+        self, follower: TensorRef, level: str
+    ) -> EliminationSource | None:
+        fmt = self.safs.format_for(level, follower.name)
+        if fmt is None or not fmt.is_compressed:
+            return None
+        density = self.workload.density_of(follower.name).density
+        kind = (
+            SAFKind.SKIP
+            if self._tensor_drives_skipping(follower.name)
+            else SAFKind.GATE
+        )
+        return EliminationSource(
+            kind=kind,
+            leader=follower.name,
+            keep=density,
+            origin=f"compressed format at {level}",
+        )
+
+    def tensor_drives_skipping(self, tensor: str) -> bool:
+        """Public alias used by the post-processing step."""
+        return self._tensor_drives_skipping(tensor)
+
+    def _tensor_drives_skipping(self, tensor: str) -> bool:
+        """Whether the design walks this tensor's metadata to skip.
+
+        True when any skipping SAF intersects on the tensor (it appears
+        as a leader of a skip SAF, or a compute-skip SAF conditions on
+        it / on all operands).
+        """
+        for saf in self.safs.storage_safs:
+            if saf.kind is SAFKind.SKIP and tensor in saf.conditioned_on:
+                return True
+        for saf in self.safs.compute_safs:
+            if saf.kind is not SAFKind.SKIP:
+                continue
+            if not saf.conditioned_on or tensor in saf.conditioned_on:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Compute classification
+
+    def compute_sources(self) -> list[EliminationSource]:
+        """Elimination sources acting on the compute units.
+
+        Combines explicit compute SAFs, implicit propagation from
+        storage SAFs on the operand feeds, and compressed operand
+        formats. All act at single-element granularity (keep = operand
+        density).
+        """
+        inputs = {t.name: t for t in self.einsum.inputs}
+        sources: list[EliminationSource] = []
+        for saf in self.safs.compute_safs:
+            conditioned = saf.conditioned_on or tuple(inputs)
+            for name in conditioned:
+                if name not in inputs:
+                    continue
+                sources.append(
+                    EliminationSource(
+                        kind=saf.kind,
+                        leader=name,
+                        keep=self.workload.density_of(name).density,
+                        origin=saf.describe(),
+                    )
+                )
+        for saf in self.safs.storage_safs:
+            if saf.target not in inputs and saf.target != self.einsum.output.name:
+                continue
+            if saf.target == self.einsum.output.name:
+                continue  # output SAFs do not decide compute
+            for leader_name in saf.conditioned_on:
+                if leader_name not in inputs:
+                    continue
+                sources.append(
+                    EliminationSource(
+                        kind=saf.kind,
+                        leader=leader_name,
+                        keep=self.workload.density_of(leader_name).density,
+                        origin=f"implicit from {saf.describe()}",
+                    )
+                )
+        for name, tensor in inputs.items():
+            chain = self.dense.mapping.keep_chain(name)
+            own = self._own_format_source(tensor, chain[-1])
+            if own is not None:
+                sources.append(own)
+        return sources
+
+    def classify_compute(self) -> FlowClassification:
+        return FlowClassification.from_sources(self.compute_sources())
+
+    def classify_output_updates(self) -> FlowClassification:
+        """Classification of accumulator write-backs.
+
+        The accumulator flushes once per latch group (the innermost
+        temporal loops irrelevant to the output, merged across the
+        spatial reduction lanes); a flush is ineffectual only when
+        *every* compute in its group was. Leader keeps are therefore
+        re-evaluated at the group granularity rather than per compute.
+        """
+        out = self.einsum.output
+        extents = dict(self.dense.latch_extents.get(out.name, {}))
+        chain = self.dense.mapping.keep_chain(out.name)
+        innermost_idx = self.dense.arch.level_index(chain[-1])
+        for loop in self.nest.boundary_spatial(innermost_idx, -1):
+            if loop.dim not in out.dims:
+                extents[loop.dim] = extents.get(loop.dim, 1) * loop.bound
+        sources = [
+            EliminationSource(
+                kind=s.kind,
+                leader=s.leader,
+                keep=self._leader_keep(s.leader, extents),
+                origin=f"{s.origin} (update group)",
+            )
+            for s in self.compute_sources()
+        ]
+        return FlowClassification.from_sources(sources)
+
+    def classify_flow(
+        self, follower: TensorRef, flow_level: str
+    ) -> FlowClassification:
+        return FlowClassification.from_sources(
+            self.flow_sources(follower, flow_level)
+        )

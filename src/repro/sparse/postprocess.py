@@ -1,0 +1,363 @@
+"""Traffic post-processing (Sec 5.3.5): assemble the sparse traffic.
+
+Combines the three analyzers — format analyzer, gating/skipping
+analyzer, and the dense dataflow traffic — into per-(level, tensor)
+fine-grained action counts. Per-tile effects are evaluated locally and
+scaled by the number of tiles moved, and SAF interactions are resolved
+here (e.g. format metadata skipped along with skipped data transfers).
+"""
+
+from __future__ import annotations
+
+from repro.common.util import prod
+from repro.dataflow.nest_analysis import DenseTraffic, TensorTraffic
+from repro.sparse.density import UniformDensity
+from repro.sparse.format_analyzer import TileOccupancy, analyze_tile_format
+from repro.sparse.formats import FormatSpec, dense_format
+from repro.sparse.gating_skipping import (
+    NO_ELIMINATION,
+    FlowClassification,
+    GatingSkippingAnalyzer,
+)
+from repro.sparse.saf import SAFSpec
+from repro.sparse.traffic import ActionBreakdown, LevelTensorActions, SparseTraffic
+from repro.workload.einsum import TensorRef
+from repro.workload.spec import Workload
+
+
+def ensure_output_density(workload: Workload) -> None:
+    """Derive the output tensor's density when the user left it unset.
+
+    An output element is nonzero if any of its reduction contributions
+    is effectual: ``d_out = 1 - (1 - prod(d_in)) ** reduction_volume``
+    under independence. Users can override by supplying an explicit
+    density model for the output.
+    """
+    out = workload.einsum.output
+    if out.name in workload.densities:
+        return
+    d_eff = 1.0
+    for tensor in workload.einsum.inputs:
+        d_eff *= workload.density_of(tensor.name).density
+    reduction_volume = prod(
+        bound
+        for dim, bound in workload.einsum.dims.items()
+        if dim in workload.einsum.reduction_dims
+    )
+    d_out = 1.0 - (1.0 - d_eff) ** reduction_volume
+    workload.densities[out.name] = UniformDensity(
+        d_out, workload.einsum.tensor_size(out.name)
+    )
+
+
+class _LevelFormatInfo:
+    """Cached per-(level, tensor) format scaling factors."""
+
+    def __init__(
+        self,
+        occupancy: TileOccupancy,
+        word_bits: int,
+        metadata_word_bits: int,
+        compressed: bool,
+    ):
+        self.occupancy = occupancy
+        self.compressed = compressed
+        self.payload_fraction = occupancy.payload_fraction if compressed else 1.0
+        bits_per_elem = occupancy.metadata_bits_per_element()
+        self.metadata_words_per_element = bits_per_elem / metadata_word_bits
+        self.occupancy_words = occupancy.occupancy_words(word_bits)
+        self.worst_occupancy_words = occupancy.worst_occupancy_words(word_bits)
+        self.compression_rate = occupancy.compression_rate(word_bits)
+
+
+def analyze_sparse(dense: DenseTraffic, safs: SAFSpec) -> SparseTraffic:
+    """Run the sparse modeling step on top of dense traffic."""
+    workload = dense.workload
+    ensure_output_density(workload)
+    analyzer = GatingSkippingAnalyzer(dense, safs)
+    sparse = SparseTraffic()
+
+    compute_cls = analyzer.classify_compute()
+    sparse.compute = ActionBreakdown.split(
+        dense.computes, compute_cls.actual, compute_cls.gated
+    )
+    sparse.compute_fractions = (
+        compute_cls.actual,
+        compute_cls.gated,
+        compute_cls.skipped,
+    )
+
+    fmt_cache: dict[tuple[str, str], _LevelFormatInfo] = {}
+
+    def fmt_info(level: str, tensor: str) -> _LevelFormatInfo:
+        key = (level, tensor)
+        if key not in fmt_cache:
+            record = dense.at(level, tensor)
+            spec = safs.format_for(level, tensor)
+            compressed = spec is not None and spec.is_compressed
+            fmt: FormatSpec = spec or dense_format(len(record.tile_rank_extents))
+            occ = analyze_tile_format(
+                fmt,
+                record.tile_rank_extents,
+                workload.density_of(tensor),
+            )
+            arch_level = dense.arch.level(level)
+            fmt_cache[key] = _LevelFormatInfo(
+                occ,
+                arch_level.word_bits,
+                arch_level.metadata_word_bits,
+                compressed,
+            )
+        return fmt_cache[key]
+
+    for tensor in workload.einsum.tensors:
+        chain = dense.mapping.keep_chain(tensor.name)
+        if tensor.is_output:
+            _process_output(
+                dense, analyzer, sparse, tensor, chain, fmt_info, compute_cls
+            )
+        else:
+            _process_operand(dense, analyzer, sparse, tensor, chain, fmt_info)
+
+    # Record occupancy for every (level, tensor) pair.
+    for (level, name), record in dense.traffic.items():
+        info = fmt_info(level, name)
+        actions = sparse.at(level, name)
+        actions.occupancy_words = info.occupancy_words
+        actions.worst_occupancy_words = info.worst_occupancy_words
+        actions.compression_rate = info.compression_rate
+    return sparse
+
+
+def _data_split(
+    total: float,
+    cls: FlowClassification,
+    payload_fraction: float,
+    residue: str = "skip",
+) -> ActionBreakdown:
+    """Split dense data traffic into fine-grained actions.
+
+    ``cls`` carries SAF-driven elimination; ``payload_fraction`` is the
+    share of positions a compressed format materialises. The
+    compressed-away residue costs nothing on bulk transfers
+    (``residue='skip'``); on positional compute-feed accesses without
+    skipping hardware the unit idles through them (``residue='gate'``,
+    the bitmask-design behaviour of Fig. 1).
+    """
+    actual = total * cls.actual * payload_fraction
+    if residue == "gate":
+        gated = total * (cls.gated + cls.actual * (1.0 - payload_fraction))
+    else:
+        gated = total * cls.gated * payload_fraction
+    skipped = max(0.0, total - actual - gated)
+    return ActionBreakdown(actual=actual, gated=gated, skipped=skipped)
+
+
+def _metadata_split(
+    total_dense: float,
+    cls: FlowClassification,
+    info: _LevelFormatInfo,
+    positional: bool = False,
+) -> ActionBreakdown:
+    """Metadata traffic accompanying data traffic.
+
+    For bulk transfers, a skipped tile's metadata never moves either.
+    For positional (compute-feed) streams the intersection/positioning
+    hardware walks the *entire* stored metadata stream — deciding to
+    skip a position still requires reading its encoding — so the full
+    (compressed) metadata volume is charged as actual.
+    """
+    total_meta = total_dense * info.metadata_words_per_element
+    if positional:
+        return ActionBreakdown(actual=total_meta, gated=0.0, skipped=0.0)
+    return ActionBreakdown(
+        actual=total_meta * (cls.actual + cls.gated),
+        gated=0.0,
+        skipped=total_meta * cls.skipped,
+    )
+
+
+def _process_operand(
+    dense: DenseTraffic,
+    analyzer: GatingSkippingAnalyzer,
+    sparse: SparseTraffic,
+    tensor: TensorRef,
+    chain: list[str],
+    fmt_info,
+) -> None:
+    name = tensor.name
+    innermost = chain[-1]
+
+    # Compute-feed reads at the innermost keeping level. Zero positions
+    # of a compressed operand are skipped when the design walks its
+    # metadata, gated otherwise (cycles spent idling).
+    record = dense.at(innermost, name)
+    sources = analyzer.flow_sources(tensor, innermost)
+    cls = FlowClassification.from_sources(sources)
+    info = fmt_info(innermost, name)
+    actions = sparse.at(innermost, name)
+    feed = record.compute_feed_reads
+    # The intersection unit merges the two *compressed* coordinate
+    # streams, touching ~(nnz_follower + nnz_leader) entries rather
+    # than every dense position.
+    own_density = dense.workload.density_of(name).density
+    for source in sources:
+        if not source.is_intersection:
+            continue
+        walked = min(
+            1.0,
+            own_density + dense.workload.density_of(source.leader).density,
+        )
+        actions.intersection_checks += feed * walked
+    residue = (
+        "skip" if analyzer.tensor_drives_skipping(name) else "gate"
+    ) if info.compressed else "skip"
+    actions.data_reads.add(
+        _data_split(feed, cls, info.payload_fraction, residue)
+    )
+    actions.metadata_reads.add(
+        _metadata_split(feed, cls, info, positional=True)
+    )
+
+    # Transfers along the keep chain (parent reads + child fills).
+    for parent, child in zip(chain, chain[1:]):
+        t_sources = analyzer.flow_sources(tensor, parent)
+        cls_t = FlowClassification.from_sources(t_sources)
+        parent_record = dense.at(parent, name)
+        child_record = dense.at(child, name)
+        p_info = fmt_info(parent, name)
+        c_info = fmt_info(child, name)
+
+        parent_actions = sparse.at(parent, name)
+        # Tile-granular intersection decisions at the transfer source.
+        tiles_decided = child_record.episodes * child_record.instances
+        parent_actions.intersection_checks += tiles_decided * sum(
+            1 for s in t_sources if s.is_intersection
+        )
+        parent_reads = parent_record.transfer_reads
+        parent_actions.data_reads.add(
+            _data_split(parent_reads, cls_t, p_info.payload_fraction)
+        )
+        parent_actions.metadata_reads.add(
+            _metadata_split(parent_reads, cls_t, p_info)
+        )
+
+        child_actions = sparse.at(child, name)
+        fills = child_record.fills
+        child_actions.data_writes.add(
+            _data_split(fills, cls_t, c_info.payload_fraction)
+        )
+        child_actions.metadata_writes.add(_metadata_split(fills, cls_t, c_info))
+
+
+def _process_output(
+    dense: DenseTraffic,
+    analyzer: GatingSkippingAnalyzer,
+    sparse: SparseTraffic,
+    tensor: TensorRef,
+    chain: list[str],
+    fmt_info,
+    compute_cls: FlowClassification,
+) -> None:
+    name = tensor.name
+    innermost = chain[-1]
+
+    # Updates from compute: the accumulator flushes once per latch
+    # group, and a flush survives if any compute in its group did —
+    # classified at group granularity (Sec 5.3.4's statistical
+    # characterisation at the right tile shape).
+    record = dense.at(innermost, name)
+    info = fmt_info(innermost, name)
+    actions = sparse.at(innermost, name)
+    updates = record.update_writes
+    update_cls = analyzer.classify_output_updates()
+    actions.data_writes.add(
+        ActionBreakdown.split(updates, update_cls.actual, update_cls.gated)
+    )
+    # Accumulation (read-modify-write) reads: every surviving update
+    # beyond each element's first write per episode reads the partial.
+    # The first writes are a fixed count (tile establishment), so they
+    # are subtracted from the surviving updates, not scaled.
+    rmw = record.rmw_reads
+    first_writes = updates - rmw
+    rmw_actual = max(0.0, updates * update_cls.actual - first_writes)
+    actions.data_reads.add(
+        ActionBreakdown(
+            actual=rmw_actual,
+            gated=0.0,
+            skipped=max(0.0, rmw - rmw_actual),
+        )
+    )
+
+    # Drains and refills along the chain.
+    for parent, child in zip(chain, chain[1:]):
+        cls_d = _drain_classification(analyzer, tensor, parent, child)
+        parent_record = dense.at(parent, name)
+        child_record = dense.at(child, name)
+        p_info = fmt_info(parent, name)
+        c_info = fmt_info(child, name)
+        reduction = _boundary_reduction(dense, parent, child, tensor)
+
+        child_actions = sparse.at(child, name)
+        drains = child_record.drains
+        child_actions.data_reads.add(
+            _data_split(drains, cls_d, c_info.payload_fraction)
+        )
+        child_actions.metadata_reads.add(_metadata_split(drains, cls_d, c_info))
+
+        parent_actions = sparse.at(parent, name)
+        arriving = drains / reduction
+        parent_actions.data_writes.add(
+            _data_split(arriving, cls_d, p_info.payload_fraction)
+        )
+        parent_actions.metadata_writes.add(
+            _metadata_split(arriving, cls_d, p_info)
+        )
+
+        refills = child_record.refill_writes
+        if refills > 0:
+            child_actions.data_writes.add(
+                _data_split(refills, cls_d, c_info.payload_fraction)
+            )
+            parent_actions.data_reads.add(
+                _data_split(refills / reduction, cls_d, p_info.payload_fraction)
+            )
+
+
+def _drain_classification(
+    analyzer: GatingSkippingAnalyzer,
+    tensor: TensorRef,
+    parent: str,
+    child: str,
+) -> FlowClassification:
+    """Classification of output drain traffic at a chain boundary.
+
+    Only explicit SAFs targeting the output at the parent level apply
+    (e.g. ExTensor's ``Skip Z <- A & B`` at every level); leader tiles
+    span the child tile's residency episode.
+    """
+    sources = []
+    for saf in analyzer.safs.storage_safs_at(parent):
+        if saf.target != tensor.name:
+            continue
+        extents = analyzer.transfer_extents(tensor, child)
+        sources.extend(analyzer.storage_saf_sources(tensor, saf, extents))
+    if not sources:
+        return NO_ELIMINATION
+    return FlowClassification.from_sources(sources)
+
+
+def _boundary_reduction(
+    dense: DenseTraffic, parent: str, child: str, tensor: TensorRef
+) -> float:
+    """Spatial reduction factor between two keeping levels."""
+    nest = dense.nest
+    parent_idx = dense.arch.level_index(parent)
+    child_idx = dense.arch.level_index(child)
+    if not dense.arch.level(parent).spatial_reduction:
+        return 1.0
+    factor = 1.0
+    for loop in nest.boundary_spatial(parent_idx, child_idx):
+        if loop.dim not in tensor.dims:
+            factor *= loop.bound
+    return factor

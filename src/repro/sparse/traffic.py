@@ -1,0 +1,100 @@
+"""Sparse traffic data model: fine-grained action breakdowns (Sec 5.3.4).
+
+The sparse modeling step decomposes every dense traffic number into
+three fine-grained action types: *actual* (happened, full cost),
+*gated* (unit idles: cycle spent, energy saved) and *skipped* (cycle
+and energy saved). Data and metadata accesses are tracked separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ActionBreakdown:
+    """Counts of one action split into actual / gated / skipped."""
+
+    actual: float = 0.0
+    gated: float = 0.0
+    skipped: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.actual + self.gated + self.skipped
+
+    @property
+    def cycled(self) -> float:
+        """Operations that consume cycles (actual + gated)."""
+        return self.actual + self.gated
+
+    def add(self, other: "ActionBreakdown") -> None:
+        self.actual += other.actual
+        self.gated += other.gated
+        self.skipped += other.skipped
+
+    def scaled(self, factor: float) -> "ActionBreakdown":
+        return ActionBreakdown(
+            self.actual * factor, self.gated * factor, self.skipped * factor
+        )
+
+    @classmethod
+    def split(
+        cls, total: float, actual_frac: float, gated_frac: float
+    ) -> "ActionBreakdown":
+        """Split ``total`` by fractions; the remainder is skipped."""
+        actual = total * actual_frac
+        gated = total * gated_frac
+        skipped = max(0.0, total - actual - gated)
+        return cls(actual, gated, skipped)
+
+
+@dataclass
+class LevelTensorActions:
+    """All sparse actions of one tensor at one storage level."""
+
+    tensor: str
+    level: str
+    data_reads: ActionBreakdown = field(default_factory=ActionBreakdown)
+    data_writes: ActionBreakdown = field(default_factory=ActionBreakdown)
+    metadata_reads: ActionBreakdown = field(default_factory=ActionBreakdown)
+    metadata_writes: ActionBreakdown = field(default_factory=ActionBreakdown)
+    #: Expected resident occupancy in data-word equivalents.
+    occupancy_words: float = 0.0
+    #: Worst-case occupancy (drives the capacity validity check).
+    worst_occupancy_words: float = 0.0
+    #: Compression rate of the resident tile (dense words / encoded).
+    compression_rate: float = 1.0
+    #: Intersection-unit decisions made for this tensor's flows at
+    #: this level (Sec 3.1.3's hardware overhead of skipping).
+    intersection_checks: float = 0.0
+
+    @property
+    def total_cycled_accesses(self) -> float:
+        return (
+            self.data_reads.cycled
+            + self.data_writes.cycled
+            + self.metadata_reads.cycled
+            + self.metadata_writes.cycled
+        )
+
+
+@dataclass
+class SparseTraffic:
+    """Output of the sparse modeling step: filtered (sparse) traffic."""
+
+    actions: dict[tuple[str, str], LevelTensorActions] = field(
+        default_factory=dict
+    )
+    compute: ActionBreakdown = field(default_factory=ActionBreakdown)
+    #: Fraction of dense computes classified {actual, gated, skipped}.
+    compute_fractions: tuple[float, float, float] = (1.0, 0.0, 0.0)
+
+    def at(self, level: str, tensor: str) -> LevelTensorActions:
+        key = (level, tensor)
+        if key not in self.actions:
+            self.actions[key] = LevelTensorActions(tensor=tensor, level=level)
+        return self.actions[key]
+
+    def level_actions(self, level: str) -> list[LevelTensorActions]:
+        return [a for (lvl, _t), a in self.actions.items() if lvl == level]

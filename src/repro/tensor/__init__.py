@@ -1,0 +1,23 @@
+"""Tensor substrate: fibertree abstraction and sparse tensor generators.
+
+The fibertree (Sec 5.3.1 of the paper) is a format-agnostic description
+of a sparse tensor: each dimension is a named *rank*, each rank holds
+*fibers* (one per parent coordinate), and a fiber maps coordinates to
+payloads (sub-fibers or leaf values). Empty payloads are omitted, so
+the tree reflects the tensor's sparsity structure exactly.
+"""
+
+from repro.tensor.fibertree import Fiber, FiberTree
+from repro.tensor.generator import (
+    banded_matrix,
+    structured_sparse_matrix,
+    uniform_random_tensor,
+)
+
+__all__ = [
+    "Fiber",
+    "FiberTree",
+    "uniform_random_tensor",
+    "banded_matrix",
+    "structured_sparse_matrix",
+]

@@ -1,0 +1,95 @@
+"""Synthetic sparse tensor generators.
+
+Each generator mirrors one of the sparsity patterns in Table 4 of the
+paper: uniform random (randomly pruned DNNs, activations), banded
+(scientific matrices), and fixed-structured (N:M pruned weights).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.common.errors import SpecError
+
+
+def uniform_random_tensor(
+    shape: Sequence[int],
+    density: float,
+    seed: int | None = None,
+    value_low: float = 0.5,
+    value_high: float = 2.0,
+) -> np.ndarray:
+    """Tensor with exactly ``round(size * density)`` nonzeros, placed
+    uniformly at random (sampling without replacement).
+
+    Matching the paper's uniform density model, the *count* of nonzeros
+    is fixed so tile occupancies follow a hypergeometric distribution.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise SpecError(f"density must be in [0, 1], got {density}")
+    rng = np.random.default_rng(seed)
+    size = int(np.prod(shape))
+    nnz = int(round(size * density))
+    flat = np.zeros(size)
+    if nnz:
+        positions = rng.choice(size, size=nnz, replace=False)
+        flat[positions] = rng.uniform(value_low, value_high, size=nnz)
+    return flat.reshape(tuple(shape))
+
+
+def banded_matrix(
+    rows: int,
+    cols: int,
+    band_width: int,
+    fill_density: float = 1.0,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Matrix that is nonzero only within ``|i - j| <= band_width``.
+
+    ``fill_density`` thins the band uniformly, modeling imperfectly
+    filled bands seen in SuiteSparse matrices.
+    """
+    if band_width < 0:
+        raise SpecError(f"band_width must be >= 0, got {band_width}")
+    if not 0.0 <= fill_density <= 1.0:
+        raise SpecError(f"fill_density must be in [0, 1], got {fill_density}")
+    rng = np.random.default_rng(seed)
+    i = np.arange(rows)[:, None]
+    j = np.arange(cols)[None, :]
+    in_band = np.abs(i - j) <= band_width
+    values = rng.uniform(0.5, 2.0, size=(rows, cols))
+    keep = rng.uniform(size=(rows, cols)) < fill_density
+    return np.where(in_band & keep, values, 0.0)
+
+
+def structured_sparse_matrix(
+    rows: int,
+    cols: int,
+    nonzeros_per_block: int,
+    block_size: int,
+    seed: int | None = None,
+) -> np.ndarray:
+    """N:M structured-sparse matrix along the column (innermost) axis.
+
+    Every aligned block of ``block_size`` consecutive elements in a row
+    holds exactly ``nonzeros_per_block`` nonzeros (the 2:4 pattern of
+    the Ampere sparse tensor core generalised to N:M). ``cols`` must be
+    a multiple of ``block_size``.
+    """
+    if nonzeros_per_block > block_size:
+        raise SpecError(
+            f"{nonzeros_per_block}:{block_size} structure is infeasible"
+        )
+    if cols % block_size != 0:
+        raise SpecError(
+            f"cols={cols} must be a multiple of block_size={block_size}"
+        )
+    rng = np.random.default_rng(seed)
+    out = np.zeros((rows, cols))
+    for r in range(rows):
+        for b in range(0, cols, block_size):
+            picks = rng.choice(block_size, size=nonzeros_per_block, replace=False)
+            out[r, b + picks] = rng.uniform(0.5, 2.0, size=nonzeros_per_block)
+    return out

@@ -1,0 +1,6 @@
+"""Workload specification: extended Einsum algorithms and DNN layer tables."""
+
+from repro.workload.einsum import EinsumSpec, TensorRef, conv2d, matmul
+from repro.workload.spec import Workload
+
+__all__ = ["EinsumSpec", "TensorRef", "matmul", "conv2d", "Workload"]

@@ -1,0 +1,262 @@
+"""Layer tables for the networks used in the paper's evaluation.
+
+Table 5 measures modeling speed on ResNet50, BERT-base, VGG16 and
+AlexNet; Fig. 12 uses MobileNet(V1); Table 7 uses AlexNet conv1-5;
+Fig. 15 uses representative ResNet50 layers. Shapes follow the original
+publications (grouped AlexNet convolutions are modeled with per-group
+channel counts, as in the Eyeriss paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workload.einsum import EinsumSpec, conv2d, depthwise_conv2d, matmul
+
+
+@dataclass(frozen=True)
+class NetLayer:
+    """One layer of a network: a kernel spec plus its repeat count."""
+
+    name: str
+    spec: EinsumSpec
+    repeat: int = 1
+
+    @property
+    def total_operations(self) -> int:
+        return self.spec.total_operations * self.repeat
+
+
+def _conv(name, k, c, p, q, r, s, stride=1, n=1) -> EinsumSpec:
+    return conv2d(n=n, k=k, c=c, p=p, q=q, r=r, s=s, stride=stride, name=name)
+
+
+def alexnet(batch: int = 1) -> list[NetLayer]:
+    """AlexNet conv layers (grouped convs use per-group channels) + FC."""
+    layers = [
+        NetLayer("conv1", _conv("conv1", 96, 3, 55, 55, 11, 11, 4, batch)),
+        NetLayer("conv2", _conv("conv2", 256, 48, 27, 27, 5, 5, 1, batch)),
+        NetLayer("conv3", _conv("conv3", 384, 256, 13, 13, 3, 3, 1, batch)),
+        NetLayer("conv4", _conv("conv4", 384, 192, 13, 13, 3, 3, 1, batch)),
+        NetLayer("conv5", _conv("conv5", 256, 192, 13, 13, 3, 3, 1, batch)),
+        NetLayer("fc6", matmul(batch, 9216, 4096, name="fc6")),
+        NetLayer("fc7", matmul(batch, 4096, 4096, name="fc7")),
+        NetLayer("fc8", matmul(batch, 4096, 1000, name="fc8")),
+    ]
+    return layers
+
+
+def vgg16(batch: int = 1) -> list[NetLayer]:
+    """VGG16: thirteen 3x3 convolutions plus three FC layers."""
+    cfg = [
+        # (name, K, C, P=Q)
+        ("conv1_1", 64, 3, 224),
+        ("conv1_2", 64, 64, 224),
+        ("conv2_1", 128, 64, 112),
+        ("conv2_2", 128, 128, 112),
+        ("conv3_1", 256, 128, 56),
+        ("conv3_2", 256, 256, 56),
+        ("conv3_3", 256, 256, 56),
+        ("conv4_1", 512, 256, 28),
+        ("conv4_2", 512, 512, 28),
+        ("conv4_3", 512, 512, 28),
+        ("conv5_1", 512, 512, 14),
+        ("conv5_2", 512, 512, 14),
+        ("conv5_3", 512, 512, 14),
+    ]
+    layers = [
+        NetLayer(name, _conv(name, k, c, hw, hw, 3, 3, 1, batch))
+        for name, k, c, hw in cfg
+    ]
+    layers += [
+        NetLayer("fc6", matmul(batch, 25088, 4096, name="fc6")),
+        NetLayer("fc7", matmul(batch, 4096, 4096, name="fc7")),
+        NetLayer("fc8", matmul(batch, 4096, 1000, name="fc8")),
+    ]
+    return layers
+
+
+def resnet50(batch: int = 1) -> list[NetLayer]:
+    """ResNet50 unique conv shapes with repeat counts.
+
+    Bottleneck blocks contribute 1x1-reduce / 3x3 / 1x1-expand triples;
+    identical shapes across repeated blocks are collapsed via
+    ``repeat``. Downsample (projection) convolutions included.
+    """
+    layers = [NetLayer("conv1", _conv("conv1", 64, 3, 112, 112, 7, 7, 2, batch))]
+
+    def stage(prefix, blocks, c_in, c_mid, c_out, hw, first_stride):
+        entries = []
+        # First block: possibly strided 3x3 and a projection shortcut.
+        entries.append(
+            NetLayer(
+                f"{prefix}_a_1x1r",
+                _conv(f"{prefix}_a_1x1r", c_mid, c_in, hw, hw, 1, 1, 1, batch),
+            )
+        )
+        out_hw = hw // first_stride
+        entries.append(
+            NetLayer(
+                f"{prefix}_a_3x3",
+                _conv(
+                    f"{prefix}_a_3x3",
+                    c_mid,
+                    c_mid,
+                    out_hw,
+                    out_hw,
+                    3,
+                    3,
+                    first_stride,
+                    batch,
+                ),
+            )
+        )
+        entries.append(
+            NetLayer(
+                f"{prefix}_a_1x1e",
+                _conv(f"{prefix}_a_1x1e", c_out, c_mid, out_hw, out_hw, 1, 1, 1, batch),
+            )
+        )
+        entries.append(
+            NetLayer(
+                f"{prefix}_proj",
+                _conv(
+                    f"{prefix}_proj", c_out, c_in, out_hw, out_hw, 1, 1, first_stride, batch
+                ),
+            )
+        )
+        # Remaining blocks share one shape triple.
+        rest = blocks - 1
+        if rest > 0:
+            entries.append(
+                NetLayer(
+                    f"{prefix}_b_1x1r",
+                    _conv(f"{prefix}_b_1x1r", c_mid, c_out, out_hw, out_hw, 1, 1, 1, batch),
+                    repeat=rest,
+                )
+            )
+            entries.append(
+                NetLayer(
+                    f"{prefix}_b_3x3",
+                    _conv(f"{prefix}_b_3x3", c_mid, c_mid, out_hw, out_hw, 3, 3, 1, batch),
+                    repeat=rest,
+                )
+            )
+            entries.append(
+                NetLayer(
+                    f"{prefix}_b_1x1e",
+                    _conv(f"{prefix}_b_1x1e", c_out, c_mid, out_hw, out_hw, 1, 1, 1, batch),
+                    repeat=rest,
+                )
+            )
+        return entries
+
+    layers += stage("res2", 3, 64, 64, 256, 56, 1)
+    layers += stage("res3", 4, 256, 128, 512, 56, 2)
+    layers += stage("res4", 6, 512, 256, 1024, 28, 2)
+    layers += stage("res5", 3, 1024, 512, 2048, 14, 2)
+    layers.append(NetLayer("fc", matmul(batch, 2048, 1000, name="fc")))
+    return layers
+
+
+def mobilenet_v1(batch: int = 1, resolution: int = 224) -> list[NetLayer]:
+    """MobileNetV1: standard conv + 13 depthwise-separable blocks."""
+    hw = resolution // 2
+    layers = [
+        NetLayer("conv1", _conv("conv1", 32, 3, hw, hw, 3, 3, 2, batch))
+    ]
+    # (c_in, c_out, stride) per separable block.
+    blocks = [
+        (32, 64, 1),
+        (64, 128, 2),
+        (128, 128, 1),
+        (128, 256, 2),
+        (256, 256, 1),
+        (256, 512, 2),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 1024, 2),
+        (1024, 1024, 1),
+    ]
+    for idx, (c_in, c_out, stride) in enumerate(blocks, start=2):
+        out_hw = hw // stride
+        layers.append(
+            NetLayer(
+                f"dw{idx}",
+                depthwise_conv2d(
+                    batch, c_in, out_hw, out_hw, 3, 3, stride, name=f"dw{idx}"
+                ),
+            )
+        )
+        layers.append(
+            NetLayer(
+                f"pw{idx}",
+                _conv(f"pw{idx}", c_out, c_in, out_hw, out_hw, 1, 1, 1, batch),
+            )
+        )
+        hw = out_hw
+    layers.append(NetLayer("fc", matmul(batch, 1024, 1000, name="fc")))
+    return layers
+
+
+def bert_base(seq_len: int = 512) -> list[NetLayer]:
+    """BERT-base encoder as matmuls (12 layers, 12 heads, hidden 768)."""
+    hidden, heads, layers_n = 768, 12, 12
+    head_dim = hidden // heads
+    ffn = 4 * hidden
+    layers = [
+        NetLayer(
+            "qkv_proj",
+            matmul(seq_len, hidden, hidden, name="qkv_proj"),
+            repeat=3 * layers_n,
+        ),
+        NetLayer(
+            "attn_qk",
+            matmul(seq_len, head_dim, seq_len, name="attn_qk"),
+            repeat=heads * layers_n,
+        ),
+        NetLayer(
+            "attn_av",
+            matmul(seq_len, seq_len, head_dim, name="attn_av"),
+            repeat=heads * layers_n,
+        ),
+        NetLayer(
+            "out_proj",
+            matmul(seq_len, hidden, hidden, name="out_proj"),
+            repeat=layers_n,
+        ),
+        NetLayer(
+            "ffn_up",
+            matmul(seq_len, hidden, ffn, name="ffn_up"),
+            repeat=layers_n,
+        ),
+        NetLayer(
+            "ffn_down",
+            matmul(seq_len, ffn, hidden, name="ffn_down"),
+            repeat=layers_n,
+        ),
+    ]
+    return layers
+
+
+NETWORKS = {
+    "alexnet": alexnet,
+    "vgg16": vgg16,
+    "resnet50": resnet50,
+    "mobilenet_v1": mobilenet_v1,
+    "bert_base": bert_base,
+}
+
+
+def network(name: str, **kwargs) -> list[NetLayer]:
+    """Look up a network's layer table by name."""
+    try:
+        factory = NETWORKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown network {name!r}; available: {sorted(NETWORKS)}"
+        ) from None
+    return factory(**kwargs)

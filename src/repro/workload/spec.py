@@ -1,0 +1,85 @@
+"""Workload = Einsum algorithm + per-tensor density characterisation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import SpecError
+from repro.sparse.density import DensityModel, UniformDensity
+from repro.workload.einsum import EinsumSpec
+
+
+@dataclass
+class Workload:
+    """A complete workload specification (Sec 5.1).
+
+    ``densities`` maps tensor names to :class:`DensityModel` instances;
+    tensors left unlisted are dense. The helper :meth:`uniform` builds
+    the common case of uniformly-random operand sparsity with exact
+    (hypergeometric) tensor-size-aware models.
+    """
+
+    einsum: EinsumSpec
+    densities: dict[str, DensityModel] = field(default_factory=dict)
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        known = {t.name for t in self.einsum.tensors}
+        for tensor in self.densities:
+            if tensor not in known:
+                raise SpecError(
+                    f"density given for unknown tensor {tensor!r}; "
+                    f"einsum has {sorted(known)}"
+                )
+        if self.name is None:
+            self.name = self.einsum.name
+
+    def density_of(self, tensor: str) -> DensityModel:
+        """Density model for ``tensor`` (dense model if unspecified)."""
+        model = self.densities.get(tensor)
+        if model is None:
+            model = UniformDensity(1.0, self.einsum.tensor_size(tensor))
+            self.densities[tensor] = model
+        return model
+
+    @classmethod
+    def uniform(
+        cls,
+        einsum: EinsumSpec,
+        densities: dict[str, float],
+        name: str | None = None,
+    ) -> "Workload":
+        """Workload with uniform-random density models per tensor.
+
+        Each model is bound to the exact tensor size so tile occupancy
+        follows the hypergeometric distribution.
+        """
+        models: dict[str, DensityModel] = {}
+        for tensor, density in densities.items():
+            models[tensor] = UniformDensity(density, einsum.tensor_size(tensor))
+        return cls(einsum, models, name=name)
+
+    @property
+    def effectual_operations(self) -> float:
+        """Expected compute count with all-nonzero operands (independent)."""
+        fraction = 1.0
+        for tensor in self.einsum.inputs:
+            fraction *= self.density_of(tensor.name).density
+        return self.einsum.total_operations * fraction
+
+    def describe(self) -> str:
+        lines = [f"workload {self.name}: {self.einsum.name}"]
+        lines.append(
+            "dims: "
+            + ", ".join(f"{d}={b}" for d, b in self.einsum.dims.items())
+        )
+        for tensor in self.einsum.tensors:
+            model = self.densities.get(tensor.name)
+            density = model.density if model else 1.0
+            role = "output" if tensor.is_output else "input"
+            lines.append(
+                f"  {tensor.name} ({role}): shape "
+                f"{self.einsum.tensor_shape(tensor.name)}, "
+                f"density {density:.4f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Tests for the mini-Accelergy energy backend."""
+
+import math
+
+import pytest
+
+from repro.accelergy.backend import Accelergy
+from repro.accelergy.library import (
+    COMPONENT_LIBRARY,
+    DramModel,
+    MacModel,
+    SramModel,
+    build_component,
+)
+from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
+from repro.common.errors import SpecError
+
+
+class TestLibrary:
+    def test_all_components_instantiable(self):
+        for name in COMPONENT_LIBRARY:
+            build_component(name, {})
+
+    def test_unknown_component(self):
+        with pytest.raises(SpecError):
+            build_component("tpu")
+
+    def test_energy_hierarchy(self):
+        """DRAM >> SRAM > regfile > latch (the Eyeriss hierarchy)."""
+        dram = build_component("dram").energy_per_action("read")
+        sram = build_component(
+            "sram", {"capacity_words": 64 * 1024}
+        ).energy_per_action("read")
+        rf = build_component("regfile").energy_per_action("read")
+        latch = build_component("latch").energy_per_action("read")
+        assert dram > 10 * sram > 10 * rf > rf / 10 > latch / 10
+
+    def test_sram_scales_with_capacity(self):
+        small = SramModel({"capacity_words": 1024}).energy_per_action("read")
+        big = SramModel({"capacity_words": 64 * 1024}).energy_per_action("read")
+        assert big > small
+        assert math.isclose(big / small, math.sqrt(64), rel_tol=1e-9)
+
+    def test_width_scaling(self):
+        narrow = DramModel({"word_bits": 8}).energy_per_action("read")
+        wide = DramModel({"word_bits": 16}).energy_per_action("read")
+        assert math.isclose(wide, 2 * narrow)
+
+    def test_metadata_cheaper_than_data(self):
+        model = SramModel(
+            {"capacity_words": 4096, "word_bits": 16, "metadata_word_bits": 4}
+        )
+        assert model.energy_per_action("metadata_read") < model.energy_per_action(
+            "read"
+        )
+
+    def test_mac_width_quadratic(self):
+        mac8 = MacModel({"word_bits": 8}).energy_per_action("op")
+        mac16 = MacModel({"word_bits": 16}).energy_per_action("op")
+        assert math.isclose(mac16 / mac8, 4.0)
+
+    def test_gated_fraction_default_and_override(self):
+        assert build_component("sram").gated_fraction == 0.10
+        custom = build_component("sram", {"gated_fraction": 0.0})
+        assert custom.gated_fraction == 0.0
+
+    def test_invalid_action(self):
+        with pytest.raises(SpecError):
+            build_component("mac").energy_per_action("read")
+
+
+class TestBackend:
+    @pytest.fixture
+    def arch(self):
+        return Architecture(
+            "a",
+            [
+                StorageLevel("DRAM", None, component="dram"),
+                StorageLevel("Buffer", 4096, component="sram"),
+            ],
+            ComputeLevel("MAC", instances=4),
+        )
+
+    def test_storage_energies_positive(self, arch):
+        backend = Accelergy(arch)
+        spec = backend.storage("Buffer")
+        assert spec.read > 0 and spec.write >= spec.read
+
+    def test_action_energy_kinds(self, arch):
+        spec = Accelergy(arch).storage("Buffer")
+        actual = spec.action_energy("read", "actual")
+        gated = spec.action_energy("read", "gated")
+        skipped = spec.action_energy("read", "skipped")
+        assert actual > gated > skipped == 0.0
+        assert math.isclose(gated, actual * spec.gated_fraction)
+
+    def test_compute_energy(self, arch):
+        compute = Accelergy(arch).compute
+        assert compute.action_energy("actual") == compute.op
+        assert compute.action_energy("skipped") == 0.0
+
+    def test_unknown_kind_rejected(self, arch):
+        with pytest.raises(ValueError):
+            Accelergy(arch).storage("Buffer").action_energy("read", "magic")

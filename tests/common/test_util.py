@@ -1,0 +1,129 @@
+"""Unit tests for repro.common.util."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.util import (
+    bits_to_words,
+    ceil_div,
+    clamp,
+    divisors,
+    factorizations,
+    geometric_mean,
+    prod,
+)
+
+
+class TestProd:
+    def test_empty(self):
+        assert prod([]) == 1
+
+    def test_ints(self):
+        assert prod([2, 3, 4]) == 24
+
+    def test_floats(self):
+        assert prod([0.5, 4.0]) == 2.0
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(9, 4) == 3
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 4) == 0
+
+    def test_rejects_bad_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_below(self):
+        assert clamp(-1, 0.0, 1.0) == 0.0
+
+    def test_above(self):
+        assert clamp(2, 0.0, 1.0) == 1.0
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            clamp(0, 1, 0)
+
+
+class TestDivisors:
+    def test_small(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+
+    def test_one(self):
+        assert divisors(1) == [1]
+
+    def test_prime(self):
+        assert divisors(13) == [1, 13]
+
+    def test_square(self):
+        assert divisors(16) == [1, 2, 4, 8, 16]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            divisors(0)
+
+    @given(st.integers(min_value=1, max_value=3000))
+    def test_every_divisor_divides(self, n):
+        for d in divisors(n):
+            assert n % d == 0
+
+
+class TestFactorizations:
+    def test_single_part(self):
+        assert list(factorizations(12, 1)) == [(12,)]
+
+    def test_two_parts_cover_all(self):
+        combos = set(factorizations(12, 2))
+        assert combos == {
+            (1, 12), (2, 6), (3, 4), (4, 3), (6, 2), (12, 1)
+        }
+
+    def test_rejects_zero_parts(self):
+        with pytest.raises(ValueError):
+            list(factorizations(4, 0))
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_products_match(self, n, parts):
+        for combo in factorizations(n, parts):
+            assert prod(combo) == n
+            assert len(combo) == parts
+
+
+class TestBitsToWords:
+    def test_exact(self):
+        assert bits_to_words(32, 16) == 2.0
+
+    def test_fractional(self):
+        assert bits_to_words(8, 16) == 0.5
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            bits_to_words(8, 0)
+
+
+class TestGeometricMean:
+    def test_pair(self):
+        assert math.isclose(geometric_mean([1.0, 4.0]), 2.0)
+
+    def test_identity(self):
+        assert math.isclose(geometric_mean([7.0]), 7.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])

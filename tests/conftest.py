@@ -1,0 +1,58 @@
+"""Shared fixtures: a small two-level architecture and workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Architecture,
+    ComputeLevel,
+    StorageLevel,
+    Workload,
+    matmul,
+)
+from repro.mapping.mapping import LevelMapping, Loop, Mapping
+
+
+@pytest.fixture
+def toy_arch() -> Architecture:
+    """DRAM -> Buffer -> 1 MAC, no bandwidth limits."""
+    return Architecture(
+        "toy",
+        [
+            StorageLevel("DRAM", capacity_words=None, component="dram"),
+            StorageLevel("Buffer", capacity_words=65536, component="sram"),
+        ],
+        ComputeLevel("MAC", instances=1),
+    )
+
+
+@pytest.fixture
+def spatial_arch() -> Architecture:
+    """DRAM -> Buffer(x1) -> 4 MACs for spatial tests."""
+    return Architecture(
+        "toy-spatial",
+        [
+            StorageLevel("DRAM", capacity_words=None, component="dram"),
+            StorageLevel("Buffer", capacity_words=65536, component="sram"),
+        ],
+        ComputeLevel("MAC", instances=4),
+    )
+
+
+@pytest.fixture
+def mm888() -> Workload:
+    return Workload.uniform(matmul(8, 8, 8), {"A": 0.5, "B": 0.5})
+
+
+@pytest.fixture
+def flat_mapping(mm888, toy_arch) -> Mapping:
+    """All loops temporal at the Buffer."""
+    return Mapping(
+        [
+            LevelMapping("DRAM", []),
+            LevelMapping(
+                "Buffer", [Loop("m", 8), Loop("k", 8), Loop("n", 8)]
+            ),
+        ]
+    )

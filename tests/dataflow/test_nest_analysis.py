@@ -1,0 +1,244 @@
+"""Hand-validated tests for the dense dataflow (Timeloop-lite) step.
+
+Every expected number here was derived by hand from the stationarity
+model; these tests pin the core semantics the whole framework rests on.
+"""
+
+import pytest
+
+from repro import Workload, matmul, conv2d
+from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
+from repro.dataflow import analyze_dataflow
+from repro.mapping.mapping import LevelMapping, Loop, Mapping
+
+
+@pytest.fixture
+def arch():
+    return Architecture(
+        "a",
+        [StorageLevel("DRAM", None), StorageLevel("Buffer", 65536)],
+        ComputeLevel("MAC", instances=16),
+    )
+
+
+def _wl():
+    return Workload.uniform(matmul(8, 8, 8), {"A": 0.5, "B": 0.5})
+
+
+def _map(dram, buffer_t, buffer_s=()):
+    return Mapping(
+        [
+            LevelMapping("DRAM", dram),
+            LevelMapping("Buffer", buffer_t, list(buffer_s)),
+        ]
+    )
+
+
+class TestFlatMapping:
+    """All loops at the Buffer: tensors loaded once, full reuse."""
+
+    def _traffic(self, arch):
+        m = _map([], [Loop("m", 8), Loop("k", 8), Loop("n", 8)])
+        return analyze_dataflow(_wl(), arch, m)
+
+    def test_computes(self, arch):
+        assert self._traffic(arch).computes == 512
+
+    def test_operands_loaded_once(self, arch):
+        t = self._traffic(arch)
+        assert t.at("Buffer", "A").fills == 64
+        assert t.at("Buffer", "B").fills == 64
+        assert t.at("DRAM", "A").reads == 64
+
+    def test_compute_feed_reads(self, arch):
+        t = self._traffic(arch)
+        # Innermost loop n is irrelevant to A: the latch holds each A
+        # element for 8 cycles -> 512/8 reads.
+        assert t.at("Buffer", "A").compute_feed_reads == 64
+        # n is relevant to B: a read per compute.
+        assert t.at("Buffer", "B").compute_feed_reads == 512
+
+    def test_output_accumulation(self, arch):
+        t = self._traffic(arch)
+        z = t.at("Buffer", "Z")
+        # Innermost n relevant to Z -> no accumulator latch.
+        assert z.update_writes == 512
+        assert z.rmw_reads == 512 - 64
+        assert z.drains == 64
+        assert t.at("DRAM", "Z").writes == 64
+
+
+class TestKSplit:
+    """Reduction dim split at DRAM: Z stationary, operands refetched."""
+
+    def _traffic(self, arch):
+        m = _map(
+            [Loop("k", 2)],
+            [Loop("m", 8), Loop("k", 4), Loop("n", 8)],
+        )
+        return analyze_dataflow(_wl(), arch, m)
+
+    def test_operands_refetched(self, arch):
+        t = self._traffic(arch)
+        assert t.at("Buffer", "A").episodes == 2
+        assert t.at("Buffer", "A").fills == 64  # 32-word tile x2
+        assert t.at("Buffer", "B").fills == 64
+
+    def test_output_stationary_across_reduction(self, arch):
+        t = self._traffic(arch)
+        z = t.at("Buffer", "Z")
+        # k1 is irrelevant to Z and innermost-outside: no episodes.
+        assert z.episodes == 1
+        assert z.refill_writes == 0
+        assert z.drains == 64
+
+
+class TestRevisit:
+    """k outer, m inner at DRAM: output tiles drained and refilled."""
+
+    def _traffic(self, arch):
+        m = _map(
+            [Loop("k", 2), Loop("m", 2)],
+            [Loop("m", 4), Loop("k", 4), Loop("n", 8)],
+        )
+        return analyze_dataflow(_wl(), arch, m)
+
+    def test_episode_counts(self, arch):
+        z = self._traffic(arch).at("Buffer", "Z")
+        assert z.episodes == 4
+        assert z.distinct == 2
+
+    def test_drain_and_refill_traffic(self, arch):
+        t = self._traffic(arch)
+        z = t.at("Buffer", "Z")
+        assert z.drains == 128  # 32-word tile x 4 episodes
+        assert z.refill_writes == 64  # 2 revisited episodes
+        assert t.at("DRAM", "Z").writes == 128
+        assert t.at("DRAM", "Z").reads == 64  # refill serving
+
+
+class TestSpatial:
+    """Spatial fanout: multicast and spatial reduction semantics."""
+
+    def test_multicast_amortizes_parent_reads(self, arch):
+        # n spatial at Buffer: B partitioned, A multicast to 4 lanes.
+        wl = _wl()
+        m = _map(
+            [],
+            [Loop("m", 8), Loop("k", 8), Loop("n", 2)],
+            [Loop("n", 4, spatial=True)],
+        )
+        t = analyze_dataflow(wl, arch, m)
+        # A irrelevant to the spatial n loop: one read feeds 4 MACs.
+        assert t.at("Buffer", "A").compute_feed_reads == 512 / 2 / 4
+        # B relevant: every MAC gets distinct data.
+        assert t.at("Buffer", "B").compute_feed_reads == 512
+
+    def test_spatial_reduction_merges_updates(self, arch):
+        # k spatial: partial sums from 4 lanes merge in a tree.
+        wl = _wl()
+        m = _map(
+            [],
+            [Loop("m", 8), Loop("k", 2), Loop("n", 8)],
+            [Loop("k", 4, spatial=True)],
+        )
+        t = analyze_dataflow(wl, arch, m)
+        z = t.at("Buffer", "Z")
+        assert z.update_writes == 512 / 4
+
+    def test_utilized_instances(self, arch):
+        m = _map(
+            [],
+            [Loop("m", 8), Loop("k", 8), Loop("n", 2)],
+            [Loop("n", 4, spatial=True)],
+        )
+        t = analyze_dataflow(_wl(), arch, m)
+        assert t.utilized_compute_instances == 4
+
+
+class TestBypass:
+    """Tensors not kept at a level skip it entirely."""
+
+    def test_streamed_tensor_reads_from_dram(self, arch):
+        wl = _wl()
+        m = Mapping(
+            [
+                LevelMapping("DRAM", []),
+                LevelMapping(
+                    "Buffer",
+                    [Loop("m", 8), Loop("k", 8), Loop("n", 8)],
+                    keep={"A", "Z"},
+                ),
+            ]
+        )
+        t = analyze_dataflow(wl, arch, m)
+        assert ("Buffer", "B") not in t.traffic
+        # B feeds compute straight from DRAM.
+        assert t.at("DRAM", "B").compute_feed_reads == 512
+
+
+class TestConvHalo:
+    """Conv input tiles include the halo (P + R - 1)."""
+
+    def test_input_tile_extents(self):
+        arch = Architecture(
+            "c",
+            [StorageLevel("DRAM", None), StorageLevel("Buffer", 65536)],
+            ComputeLevel("MAC"),
+        )
+        spec = conv2d(n=1, k=2, c=2, p=4, q=4, r=3, s=3)
+        wl = Workload.uniform(spec, {})
+        mapping = Mapping(
+            [
+                LevelMapping("DRAM", [Loop("p", 2)]),
+                LevelMapping(
+                    "Buffer",
+                    [
+                        Loop("k", 2),
+                        Loop("c", 2),
+                        Loop("p", 2),
+                        Loop("q", 4),
+                        Loop("r", 3),
+                        Loop("s", 3),
+                    ],
+                ),
+            ]
+        )
+        t = analyze_dataflow(wl, arch, mapping)
+        i = t.at("Buffer", "I")
+        # Buffer holds p-tile of 2 with r=3 -> H extent 4; W extent 6.
+        assert i.tile_rank_extents == (1, 2, 4, 6)
+
+    def test_conv_macs(self):
+        arch = Architecture(
+            "c",
+            [StorageLevel("DRAM", None), StorageLevel("Buffer", 65536)],
+            ComputeLevel("MAC"),
+        )
+        spec = conv2d(n=1, k=2, c=2, p=4, q=4, r=3, s=3)
+        wl = Workload.uniform(spec, {})
+        mapping = Mapping(
+            [
+                LevelMapping("DRAM", []),
+                LevelMapping(
+                    "Buffer",
+                    [Loop(d, b) for d, b in spec.dims.items()],
+                ),
+            ]
+        )
+        t = analyze_dataflow(wl, arch, mapping)
+        assert t.computes == 2 * 2 * 4 * 4 * 3 * 3
+
+
+class TestLatchExtents:
+    def test_fig10_mapping1_no_latch(self, arch):
+        # Innermost k loop pairs A and B pointwise: no latch for B.
+        m = _map([], [Loop("m", 8), Loop("n", 8), Loop("k", 8)])
+        t = analyze_dataflow(_wl(), arch, m)
+        assert t.latch_extents["B"] == {}
+
+    def test_fig10_mapping2_latch_over_m(self, arch):
+        # Innermost m loop: B stays latched across 8 m-iterations.
+        m = _map([], [Loop("k", 8), Loop("n", 8), Loop("m", 8)])
+        t = analyze_dataflow(_wl(), arch, m)
+        assert t.latch_extents["B"] == {"m": 8}

@@ -1,0 +1,173 @@
+"""Integration: the analytical model vs the cycle-level simulator.
+
+This is the repository's equivalent of the paper's validation
+methodology (Sec 6.3): on small workloads with actual data, the
+statistical model's expected counts must track the simulator's exact
+counts, and with hypergeometric (exact-count) density models many
+quantities match exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Workload, matmul
+from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
+from repro.dataflow import analyze_dataflow
+from repro.mapping.mapping import LevelMapping, Loop, Mapping
+from repro.refsim import CycleLevelSimulator
+from repro.sparse.density import ActualDataDensity
+from repro.sparse.formats import (
+    CoordinatePayload,
+    FormatRank,
+    FormatSpec,
+)
+from repro.sparse.postprocess import analyze_sparse
+from repro.sparse.saf import SAFSpec, skip_compute, skip_storage
+from repro.tensor.generator import uniform_random_tensor
+
+
+def _arch():
+    return Architecture(
+        "a",
+        [StorageLevel("DRAM", None), StorageLevel("Buffer", 65536)],
+        ComputeLevel("MAC", instances=1),
+    )
+
+
+def _mapping(spec, order, dram=()):
+    rem = dict(spec.dims)
+    dram_loops = []
+    for dim, bound in dram:
+        dram_loops.append(Loop(dim, bound))
+        rem[dim] //= bound
+    return Mapping(
+        [
+            LevelMapping("DRAM", dram_loops),
+            LevelMapping("Buffer", [Loop(d, rem[d]) for d in order]),
+        ]
+    )
+
+
+def _run_both(spec, mapping, data, safs, densities):
+    arch = _arch()
+    sim = CycleLevelSimulator(spec, arch, mapping, data, safs)
+    sim_counts = sim.run()
+    wl = Workload(spec, densities)
+    dense = analyze_dataflow(wl, arch, mapping)
+    sparse = analyze_sparse(dense, safs)
+    return sim_counts, sparse
+
+
+cp2 = FormatSpec(
+    [FormatRank(CoordinatePayload()), FormatRank(CoordinatePayload())]
+)
+
+
+class TestExactAgreementWithActualData:
+    """With actual-data density models, expectations become exact."""
+
+    def test_compute_classification(self):
+        spec = matmul(8, 8, 8)
+        a = uniform_random_tensor((8, 8), 0.3, seed=5)
+        b = uniform_random_tensor((8, 8), 0.6, seed=6)
+        data = {"A": a, "B": b, "Z": np.zeros((8, 8))}
+        safs = SAFSpec(
+            formats={("Buffer", "A"): cp2, ("DRAM", "A"): cp2},
+            compute_safs=[skip_compute(["A"])],
+        )
+        mapping = _mapping(spec, ("m", "k", "n"))
+        densities = {"A": ActualDataDensity(a), "B": ActualDataDensity(b)}
+        sim, model = _run_both(spec, mapping, data, safs, densities)
+        assert model.compute.actual == pytest.approx(sim.computes.actual)
+        assert model.compute.skipped == pytest.approx(sim.computes.skipped)
+
+    def test_operand_fills(self):
+        spec = matmul(8, 8, 8)
+        a = uniform_random_tensor((8, 8), 0.25, seed=1)
+        b = uniform_random_tensor((8, 8), 0.5, seed=2)
+        data = {"A": a, "B": b, "Z": np.zeros((8, 8))}
+        safs = SAFSpec(formats={("Buffer", "A"): cp2, ("DRAM", "A"): cp2})
+        mapping = _mapping(spec, ("m", "k", "n"), dram=[("m", 2)])
+        densities = {"A": ActualDataDensity(a), "B": ActualDataDensity(b)}
+        sim, model = _run_both(spec, mapping, data, safs, densities)
+        assert model.at("Buffer", "A").data_writes.actual == pytest.approx(
+            sim.writes[("Buffer", "A")].actual
+        )
+        assert model.at("Buffer", "B").data_writes.actual == pytest.approx(
+            sim.writes[("Buffer", "B")].actual
+        )
+
+    def test_output_traffic(self):
+        spec = matmul(8, 8, 8)
+        a = uniform_random_tensor((8, 8), 1.0, seed=1)
+        b = uniform_random_tensor((8, 8), 1.0, seed=2)
+        data = {"A": a, "B": b, "Z": np.zeros((8, 8))}
+        mapping = _mapping(spec, ("m", "k", "n"), dram=[("k", 2), ("m", 2)])
+        sim, model = _run_both(spec, mapping, data, SAFSpec(), {})
+        z_model = model.at("Buffer", "Z")
+        z_sim_w = sim.writes[("Buffer", "Z")].actual
+        z_sim_r = sim.reads[("Buffer", "Z")].actual
+        assert z_model.data_writes.actual == pytest.approx(z_sim_w)
+        assert z_model.data_reads.actual == pytest.approx(z_sim_r)
+
+
+class TestStatisticalAgreement:
+    """Uniform (hypergeometric) models track the simulator within a few
+    percent — the paper's 0.1%-8% validation band."""
+
+    @given(
+        da=st.sampled_from([0.125, 0.25, 0.5, 0.75]),
+        db=st.sampled_from([0.25, 0.5, 1.0]),
+        seed=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_compute_skipping_band(self, da, db, seed):
+        spec = matmul(8, 8, 8)
+        a = uniform_random_tensor((8, 8), da, seed=seed)
+        b = uniform_random_tensor((8, 8), db, seed=seed + 100)
+        data = {"A": a, "B": b, "Z": np.zeros((8, 8))}
+        safs = SAFSpec(
+            formats={("Buffer", "A"): cp2, ("DRAM", "A"): cp2},
+            compute_safs=[skip_compute(["A"])],
+        )
+        mapping = _mapping(spec, ("m", "k", "n"))
+        # Uniform models bound to the true tensor sizes.
+        wl = Workload.uniform(spec, {"A": da, "B": db})
+        arch = _arch()
+        sim = CycleLevelSimulator(spec, arch, mapping, data, safs).run()
+        dense = analyze_dataflow(wl, arch, mapping)
+        model = analyze_sparse(dense, safs)
+        # The nonzero *count* is exact under the hypergeometric model,
+        # so compute classification matches exactly.
+        assert model.compute.actual == pytest.approx(sim.computes.actual)
+
+    def test_leader_follower_band(self):
+        """Skip B <- A with a column leader: statistical vs exact.
+
+        On an 8x8 workload the empirical column-emptiness is noisy
+        (only 8 columns per trial), so the acceptance band is slightly
+        wider than the paper's full-layer 8%.
+        """
+        spec = matmul(8, 8, 8)
+        errors = []
+        for seed in range(24):
+            a = uniform_random_tensor((8, 8), 0.25, seed=seed)
+            b = uniform_random_tensor((8, 8), 0.75, seed=seed + 50)
+            data = {"A": a, "B": b, "Z": np.zeros((8, 8))}
+            safs = SAFSpec(
+                storage_safs=[skip_storage("B", ["A"], "Buffer")]
+            )
+            # Innermost m loop: leader is a column of A (Fig. 10).
+            mapping = _mapping(spec, ("k", "n", "m"))
+            arch = _arch()
+            sim = CycleLevelSimulator(spec, arch, mapping, data, safs).run()
+            wl = Workload.uniform(spec, {"A": 0.25, "B": 0.75})
+            dense = analyze_dataflow(wl, arch, mapping)
+            model = analyze_sparse(dense, safs)
+            sim_reads = sim.reads[("Buffer", "B")].actual
+            model_reads = model.at("Buffer", "B").data_reads.actual
+            errors.append(abs(model_reads - sim_reads) / max(1, sim_reads))
+        # Average error within a small-sample validation band.
+        assert sum(errors) / len(errors) < 0.12

@@ -1,0 +1,33 @@
+"""Tests for the command-line entry point."""
+
+import pytest
+
+from repro.__main__ import main
+from tests.io.test_yaml_spec import FULL_SPEC
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "spec.yaml"
+    path.write_text(FULL_SPEC)
+    return str(path)
+
+
+class TestCLI:
+    def test_evaluate(self, spec_file, capsys):
+        assert main(["evaluate", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "energy" in out
+
+    def test_evaluate_verbose(self, spec_file, capsys):
+        assert main(["evaluate", spec_file, "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "occupancy" in out and "mapping" in out
+
+    def test_evaluate_with_search(self, spec_file, capsys):
+        assert main(["evaluate", spec_file, "--search", "--budget", "8"]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

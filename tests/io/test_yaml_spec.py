@@ -1,0 +1,163 @@
+"""Tests for the YAML specification front-end (Fig. 6 inputs)."""
+
+import pytest
+
+from repro import Evaluator
+from repro.common.errors import SpecError
+from repro.io.yaml_spec import (
+    _parse_format,
+    load_architecture,
+    load_design,
+    load_mapping,
+    load_saf_spec,
+    load_workload,
+)
+from repro.sparse.saf import SAFKind
+
+FULL_SPEC = """
+name: fig6-example
+arch:
+  name: simple
+  storage:
+    - {name: BackingStorage, component: dram}
+    - {name: Buffer, capacity_words: 4096, component: sram,
+       read_bandwidth: 4, write_bandwidth: 4}
+  compute: {name: MAC, instances: 4}
+
+workload:
+  kernel: matmul
+  dims: {m: 16, k: 16, n: 16}
+  densities: {A: 0.25, B: 0.5}
+
+safs:
+  formats:
+    - {level: Buffer, tensor: A, format: CSR}
+    - {level: BackingStorage, tensor: A, format: B-RLE}
+  actions:
+    - {kind: skip, target: B, condition_on: [A], level: Buffer}
+    - {kind: gate, unit: compute}
+
+mapping:
+  - level: BackingStorage
+    temporal: [{dim: m, bound: 4}]
+  - level: Buffer
+    temporal: [{dim: m, bound: 4}, {dim: k, bound: 16},
+               {dim: n, bound: 4}]
+    spatial: [{dim: n, bound: 4}]
+"""
+
+
+class TestArchitecture:
+    def test_round_trip(self):
+        arch = load_architecture(FULL_SPEC)
+        assert arch.level_names == ["BackingStorage", "Buffer"]
+        assert arch.level("Buffer").capacity_words == 4096
+        assert arch.compute.instances == 4
+
+    def test_missing_storage_rejected(self):
+        with pytest.raises(SpecError):
+            load_architecture({"arch": {"name": "x"}})
+
+    def test_missing_level_name_rejected(self):
+        with pytest.raises(SpecError):
+            load_architecture(
+                {"arch": {"storage": [{"capacity_words": 4}]}}
+            )
+
+
+class TestWorkload:
+    def test_round_trip(self):
+        wl = load_workload(FULL_SPEC)
+        assert wl.einsum.dims == {"m": 16, "k": 16, "n": 16}
+        assert wl.density_of("A").density == 0.25
+
+    def test_conv_kernel(self):
+        wl = load_workload(
+            {
+                "workload": {
+                    "kernel": "conv2d",
+                    "dims": {
+                        "n": 1, "k": 4, "c": 4, "p": 8, "q": 8,
+                        "r": 3, "s": 3,
+                    },
+                }
+            }
+        )
+        assert wl.einsum.tensor_shape("I") == (1, 4, 10, 10)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(SpecError):
+            load_workload({"workload": {"kernel": "fft"}})
+
+
+class TestFormats:
+    def test_classic_name(self):
+        assert _parse_format("CSR").describe() == "UOP-CP"
+
+    def test_dash_composed(self):
+        assert _parse_format("B-UOP-RLE").describe() == "B-UOP-RLE(4b)"
+
+    def test_flattened_superscript(self):
+        fmt = _parse_format("CP^2")
+        assert fmt.tensor_rank_count == 2
+
+    def test_structured_rank_list(self):
+        fmt = _parse_format(
+            [
+                {"rank": "U"},
+                {"rank": "CP", "coord_bits": 2},
+            ]
+        )
+        assert fmt.describe() == "U-CP(2b)"
+
+    def test_unknown_rank(self):
+        with pytest.raises(SpecError):
+            _parse_format("B-XYZ")
+
+
+class TestSAFs:
+    def test_round_trip(self):
+        safs = load_saf_spec(FULL_SPEC)
+        assert ("Buffer", "A") in safs.formats
+        assert safs.storage_safs[0].kind is SAFKind.SKIP
+        assert safs.storage_safs[0].target == "B"
+        assert safs.compute_safs[0].kind is SAFKind.GATE
+
+
+class TestMapping:
+    def test_round_trip(self):
+        mapping = load_mapping(FULL_SPEC)
+        assert mapping.levels[0].level == "BackingStorage"
+        assert mapping.levels[1].spatial[0].dim == "n"
+
+    def test_keep_sets(self):
+        mapping = load_mapping(
+            {
+                "mapping": [
+                    {"level": "L1", "keep": ["A", "Z"]},
+                    {"level": "L0"},
+                ]
+            }
+        )
+        assert mapping.levels[0].keep == {"A", "Z"}
+        assert mapping.levels[1].keep is None
+
+    def test_non_list_rejected(self):
+        with pytest.raises(SpecError):
+            load_mapping({"mapping": {"level": "L0"}})
+
+
+class TestEndToEnd:
+    def test_full_spec_evaluates(self):
+        design, workload = load_design(FULL_SPEC)
+        result = Evaluator().evaluate(design, workload)
+        assert result.cycles > 0
+        assert result.energy_pj > 0
+        # Skipping is active: some computes are eliminated.
+        assert result.sparse.compute.skipped > 0
+
+    def test_file_loading(self, tmp_path):
+        path = tmp_path / "spec.yaml"
+        path.write_text(FULL_SPEC)
+        design, workload = load_design(str(path))
+        assert design.name == "fig6-example"

@@ -1,0 +1,159 @@
+"""Unit tests for mappings and their validation."""
+
+import pytest
+
+from repro import matmul
+from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
+from repro.common.errors import MappingError
+from repro.mapping.mapping import (
+    LevelMapping,
+    Loop,
+    Mapping,
+    single_level_mapping,
+)
+
+
+@pytest.fixture
+def arch():
+    return Architecture(
+        "a",
+        [
+            StorageLevel("DRAM", None),
+            StorageLevel("Buffer", 4096),
+        ],
+        ComputeLevel("MAC", instances=4),
+    )
+
+
+@pytest.fixture
+def spec():
+    return matmul(8, 8, 8)
+
+
+class TestLoop:
+    def test_repr_kinds(self):
+        assert "parallel-for" in repr(Loop("m", 2, spatial=True))
+        assert repr(Loop("m", 2)).startswith("for")
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(MappingError):
+            Loop("m", 0)
+
+
+class TestLevelMapping:
+    def test_spatial_flag_normalised(self):
+        lm = LevelMapping("L", [], [Loop("m", 4)])
+        assert lm.spatial[0].spatial
+
+    def test_rejects_spatial_in_temporal(self):
+        with pytest.raises(MappingError):
+            LevelMapping("L", [Loop("m", 4, spatial=True)])
+
+    def test_keeps_default_all(self):
+        assert LevelMapping("L").keeps("anything")
+
+    def test_keep_set(self):
+        lm = LevelMapping("L", keep={"A"})
+        assert lm.keeps("A") and not lm.keeps("B")
+
+    def test_spatial_fanout(self):
+        lm = LevelMapping("L", [], [Loop("m", 4), Loop("n", 2)])
+        assert lm.spatial_fanout == 8
+
+
+class TestMappingValidation:
+    def test_valid_mapping(self, arch, spec):
+        m = Mapping(
+            [
+                LevelMapping("DRAM", [Loop("m", 2)]),
+                LevelMapping(
+                    "Buffer",
+                    [Loop("m", 4), Loop("k", 8), Loop("n", 4)],
+                    [Loop("n", 2)],
+                ),
+            ]
+        )
+        m.validate(spec, arch)  # should not raise
+
+    def test_wrong_level_names(self, arch, spec):
+        m = Mapping([LevelMapping("DRAM", []), LevelMapping("L1", [])])
+        with pytest.raises(MappingError):
+            m.validate(spec, arch)
+
+    def test_wrong_factor_product(self, arch, spec):
+        m = Mapping(
+            [
+                LevelMapping("DRAM", []),
+                LevelMapping(
+                    "Buffer", [Loop("m", 4), Loop("k", 8), Loop("n", 8)]
+                ),
+            ]
+        )
+        with pytest.raises(MappingError):
+            m.validate(spec, arch)
+
+    def test_unknown_dim(self, arch, spec):
+        m = Mapping(
+            [
+                LevelMapping("DRAM", [Loop("x", 1)]),
+                LevelMapping(
+                    "Buffer", [Loop("m", 8), Loop("k", 8), Loop("n", 8)]
+                ),
+            ]
+        )
+        with pytest.raises(MappingError):
+            m.validate(spec, arch)
+
+    def test_excess_spatial_fanout(self, arch, spec):
+        m = Mapping(
+            [
+                LevelMapping("DRAM", []),
+                LevelMapping(
+                    "Buffer",
+                    [Loop("m", 1), Loop("k", 8)],
+                    [Loop("n", 8), Loop("m", 8)],  # fanout 64 > 4 MACs
+                ),
+            ]
+        )
+        with pytest.raises(MappingError):
+            m.validate(spec, arch)
+
+    def test_tensor_kept_nowhere(self, arch, spec):
+        m = Mapping(
+            [
+                LevelMapping("DRAM", [], keep={"A", "Z"}),
+                LevelMapping(
+                    "Buffer",
+                    [Loop("m", 8), Loop("k", 8), Loop("n", 8)],
+                    keep={"A", "Z"},
+                ),
+            ]
+        )
+        with pytest.raises(MappingError):
+            m.validate(spec, arch)
+
+    def test_keep_chain(self, arch, spec):
+        m = Mapping(
+            [
+                LevelMapping("DRAM", []),
+                LevelMapping(
+                    "Buffer",
+                    [Loop("m", 8), Loop("k", 8), Loop("n", 8)],
+                    keep={"A", "Z"},
+                ),
+            ]
+        )
+        assert m.keep_chain("B") == ["DRAM"]
+        assert m.keep_chain("A") == ["DRAM", "Buffer"]
+
+
+class TestSingleLevelMapping:
+    def test_round_trip(self, arch, spec):
+        m = single_level_mapping(arch, spec)
+        m.validate(spec, arch)
+        inner = m.levels[-1]
+        assert [l.dim for l in inner.temporal] == ["m", "k", "n"]
+
+    def test_custom_order(self, arch, spec):
+        m = single_level_mapping(arch, spec, order=["n", "k", "m"])
+        assert [l.dim for l in m.levels[-1].temporal] == ["n", "k", "m"]

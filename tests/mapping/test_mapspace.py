@@ -1,0 +1,106 @@
+"""Unit tests for mapspace enumeration and sampling."""
+
+import pytest
+
+from repro import matmul
+from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
+from repro.common.util import prod
+from repro.mapping.mapspace import Mapper, MapspaceConstraints
+
+
+@pytest.fixture
+def arch():
+    return Architecture(
+        "a",
+        [StorageLevel("DRAM", None), StorageLevel("Buffer", 4096)],
+        ComputeLevel("MAC", instances=4),
+    )
+
+
+def _factors_product(mapping, dim):
+    total = 1
+    for lvl in mapping.levels:
+        for loop in lvl.loops():
+            if loop.dim == dim:
+                total *= loop.bound
+    return total
+
+
+class TestEnumeration:
+    def test_all_candidates_valid(self, arch):
+        spec = matmul(4, 4, 4)
+        mapper = Mapper(spec, arch)
+        mappings = list(mapper.enumerate_mappings())
+        assert mappings
+        for m in mappings:
+            m.validate(spec, arch)
+
+    def test_factorizations_exact(self, arch):
+        spec = matmul(4, 2, 4)
+        for m in Mapper(spec, arch).enumerate_mappings(limit=20):
+            for dim, bound in spec.dims.items():
+                assert _factors_product(m, dim) == bound
+
+    def test_limit_respected(self, arch):
+        mapper = Mapper(matmul(8, 8, 8), arch)
+        assert len(list(mapper.enumerate_mappings(limit=5))) == 5
+
+    def test_spatial_constraint_generates_spatial_loops(self, arch):
+        constraints = MapspaceConstraints(spatial_dims={"Buffer": ["n"]})
+        mapper = Mapper(matmul(4, 4, 4), arch, constraints)
+        found_spatial = False
+        for m in mapper.enumerate_mappings():
+            if m.level("Buffer").spatial:
+                found_spatial = True
+                assert m.level("Buffer").spatial_fanout <= 4
+        assert found_spatial
+
+    def test_fixed_factors_pin_choice(self, arch):
+        constraints = MapspaceConstraints(
+            fixed_factors={"Buffer": {"m": 4}}
+        )
+        mapper = Mapper(matmul(4, 4, 4), arch, constraints)
+        for m in mapper.enumerate_mappings():
+            buffer_m = [
+                l.bound for l in m.level("Buffer").temporal if l.dim == "m"
+            ]
+            assert buffer_m == [4]
+
+    def test_loop_order_constraint(self, arch):
+        constraints = MapspaceConstraints(
+            loop_orders={"Buffer": ["n", "k", "m"]},
+            fixed_factors={"Buffer": {"m": 4, "n": 4, "k": 4}},
+        )
+        mapper = Mapper(matmul(4, 4, 4), arch, constraints)
+        m = next(mapper.enumerate_mappings())
+        dims = [l.dim for l in m.level("Buffer").temporal]
+        assert dims == ["n", "k", "m"]
+
+    def test_keep_constraint_applied(self, arch):
+        constraints = MapspaceConstraints(keep={"Buffer": {"A", "Z"}})
+        mapper = Mapper(matmul(4, 4, 4), arch, constraints)
+        m = next(mapper.enumerate_mappings())
+        assert m.level("Buffer").keep == {"A", "Z"}
+
+
+class TestSampling:
+    def test_samples_are_valid(self, arch):
+        spec = matmul(16, 16, 16)
+        mapper = Mapper(spec, arch)
+        samples = list(mapper.sample_mappings(10, seed=3))
+        assert len(samples) == 10
+        for m in samples:
+            m.validate(spec, arch)
+
+    def test_deterministic_given_seed(self, arch):
+        spec = matmul(8, 8, 8)
+        a = [m.describe() for m in Mapper(spec, arch).sample_mappings(5, seed=7)]
+        b = [m.describe() for m in Mapper(spec, arch).sample_mappings(5, seed=7)]
+        assert a == b
+
+
+class TestSizeEstimate:
+    def test_positive_and_monotone(self, arch):
+        small = Mapper(matmul(2, 2, 2), arch).mapspace_size_estimate()
+        large = Mapper(matmul(8, 8, 8), arch).mapspace_size_estimate()
+        assert 0 < small < large

@@ -1,0 +1,182 @@
+"""Tests for the micro-architecture step: validity, latency, energy."""
+
+import math
+
+import pytest
+
+from repro import Workload, matmul
+from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
+from repro.common.errors import ValidationError
+from repro.dataflow import analyze_dataflow
+from repro.mapping.mapping import LevelMapping, Loop, Mapping
+from repro.micro.energy import compute_energy
+from repro.micro.latency import compute_latency
+from repro.micro.validity import check_validity
+from repro.sparse.postprocess import analyze_sparse
+from repro.sparse.saf import SAFSpec, gate_compute, skip_compute
+
+
+def _pipeline(arch, densities, safs=SAFSpec(), loops=None):
+    wl = Workload.uniform(matmul(8, 8, 8), densities)
+    mapping = Mapping(
+        [
+            LevelMapping("DRAM", []),
+            LevelMapping(
+                "Buffer",
+                loops or [Loop("m", 8), Loop("n", 8), Loop("k", 8)],
+            ),
+        ]
+    )
+    dense = analyze_dataflow(wl, arch, mapping)
+    sparse = analyze_sparse(dense, safs)
+    return dense, sparse
+
+
+def _arch(buffer_words=65536, read_bw=None, write_bw=None, macs=1):
+    return Architecture(
+        "a",
+        [
+            StorageLevel("DRAM", None, component="dram"),
+            StorageLevel(
+                "Buffer",
+                buffer_words,
+                component="sram",
+                read_bandwidth=read_bw,
+                write_bandwidth=write_bw,
+            ),
+        ],
+        ComputeLevel("MAC", instances=macs),
+    )
+
+
+class TestValidity:
+    def test_fits(self):
+        arch = _arch()
+        dense, sparse = _pipeline(arch, {})
+        usage = check_validity(arch, sparse)
+        assert usage["Buffer"].fits
+        # Buffer holds A, B, Z dense: 64 * 3.
+        assert usage["Buffer"].used_words == pytest.approx(192)
+
+    def test_overflow_raises(self):
+        arch = _arch(buffer_words=100)
+        dense, sparse = _pipeline(arch, {})
+        with pytest.raises(ValidationError):
+            check_validity(arch, sparse)
+
+    def test_overflow_reported_when_not_raising(self):
+        arch = _arch(buffer_words=100)
+        dense, sparse = _pipeline(arch, {})
+        usage = check_validity(arch, sparse, raise_on_invalid=False)
+        assert not usage["Buffer"].fits
+        assert usage["Buffer"].utilization > 1.0
+
+    def test_unbounded_level_always_fits(self):
+        arch = _arch()
+        dense, sparse = _pipeline(arch, {})
+        assert check_validity(arch, sparse)["DRAM"].fits
+
+
+class TestLatency:
+    def test_compute_bound(self):
+        arch = _arch(macs=1)
+        dense, sparse = _pipeline(arch, {})
+        latency = compute_latency(arch, dense, sparse)
+        assert latency.bottleneck == "MAC"
+        assert latency.cycles == 512
+
+    def test_parallelism_scales_compute(self):
+        arch4 = Architecture(
+            "a4",
+            [StorageLevel("DRAM", None), StorageLevel("Buffer", 65536)],
+            ComputeLevel("MAC", instances=4),
+        )
+        wl = Workload.uniform(matmul(8, 8, 8), {})
+        mapping = Mapping(
+            [
+                LevelMapping("DRAM", []),
+                LevelMapping(
+                    "Buffer",
+                    [Loop("m", 8), Loop("n", 2), Loop("k", 8)],
+                    [Loop("n", 4)],
+                ),
+            ]
+        )
+        dense = analyze_dataflow(wl, arch4, mapping)
+        sparse = analyze_sparse(dense, SAFSpec())
+        latency = compute_latency(arch4, dense, sparse)
+        assert latency.compute_cycles == 128
+
+    def test_bandwidth_throttling(self):
+        # Buffer must source 2 operand words per compute but has bw 1.
+        arch = _arch(read_bw=1.0)
+        dense, sparse = _pipeline(arch, {})
+        latency = compute_latency(arch, dense, sparse)
+        assert latency.bottleneck == "Buffer"
+        assert latency.cycles > 512
+
+    def test_skipping_reduces_cycles(self):
+        arch = _arch()
+        _d, dense_sparse = _pipeline(arch, {})
+        _d, skip_sparse = _pipeline(
+            arch, {"A": 0.25}, SAFSpec(compute_safs=[skip_compute(["A"])])
+        )
+        base = compute_latency(arch, _d, dense_sparse)
+        skipped = compute_latency(arch, _d, skip_sparse)
+        assert skipped.cycles < base.cycles
+
+    def test_gating_does_not_reduce_cycles(self):
+        arch = _arch()
+        d1, dense_sparse = _pipeline(arch, {})
+        d2, gated_sparse = _pipeline(
+            arch, {"A": 0.25}, SAFSpec(compute_safs=[gate_compute()])
+        )
+        assert (
+            compute_latency(arch, d2, gated_sparse).cycles
+            == compute_latency(arch, d1, dense_sparse).cycles
+        )
+
+    def test_bandwidth_demand_reported(self):
+        arch = _arch(read_bw=100.0)
+        dense, sparse = _pipeline(arch, {})
+        latency = compute_latency(arch, dense, sparse)
+        assert latency.bandwidth_demand["Buffer"] > 0
+
+    def test_utilization(self):
+        arch = _arch(read_bw=1.0)
+        dense, sparse = _pipeline(arch, {})
+        latency = compute_latency(arch, dense, sparse)
+        assert 0 < latency.utilization < 1
+
+
+class TestEnergy:
+    def test_gating_saves_energy(self):
+        arch = _arch()
+        d1, dense_sparse = _pipeline(arch, {})
+        d2, gated_sparse = _pipeline(
+            arch, {"A": 0.25}, SAFSpec(compute_safs=[gate_compute()])
+        )
+        dense_e = compute_energy(arch, dense_sparse)
+        gated_e = compute_energy(arch, gated_sparse)
+        assert gated_e.total_pj < dense_e.total_pj
+
+    def test_per_component_sums_to_total(self):
+        arch = _arch()
+        _d, sparse = _pipeline(arch, {"A": 0.5})
+        energy = compute_energy(arch, sparse)
+        assert math.isclose(
+            energy.total_pj, sum(energy.per_component.values())
+        )
+
+    def test_dram_dominates_for_streaming(self):
+        arch = _arch()
+        _d, sparse = _pipeline(arch, {})
+        energy = compute_energy(arch, sparse)
+        assert energy.component("DRAM") > energy.component("Buffer") * 0.01
+
+    def test_compute_energy_counts_macs(self):
+        arch = _arch()
+        _d, sparse = _pipeline(arch, {})
+        energy = compute_energy(arch, sparse)
+        # 512 MACs at 2.2 pJ.
+        assert energy.component("MAC") == pytest.approx(512 * 2.2)

@@ -1,0 +1,170 @@
+"""Tests for the top-level evaluation engine."""
+
+import pytest
+
+from repro import Design, Evaluator, Workload, matmul
+from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
+from repro.common.errors import SpecError, ValidationError
+from repro.mapping.mapping import LevelMapping, Loop, Mapping
+from repro.mapping.mapspace import MapspaceConstraints
+from repro.sparse.saf import SAFSpec, skip_compute
+from repro.workload.nets import alexnet
+
+
+@pytest.fixture
+def arch():
+    return Architecture(
+        "a",
+        [
+            StorageLevel("DRAM", None, component="dram"),
+            StorageLevel("Buffer", 4096, component="sram"),
+        ],
+        ComputeLevel("MAC", instances=4),
+    )
+
+
+@pytest.fixture
+def mapping():
+    return Mapping(
+        [
+            LevelMapping("DRAM", [Loop("m", 2)]),
+            LevelMapping(
+                "Buffer",
+                [Loop("m", 4), Loop("k", 8), Loop("n", 2)],
+                [Loop("n", 4)],
+            ),
+        ]
+    )
+
+
+@pytest.fixture
+def workload():
+    return Workload.uniform(matmul(8, 8, 8), {"A": 0.5})
+
+
+class TestEvaluate:
+    def test_fixed_mapping(self, arch, mapping, workload):
+        design = Design("d", arch, SAFSpec(), mapping=mapping)
+        result = Evaluator().evaluate(design, workload)
+        assert result.cycles > 0
+        assert result.energy_pj > 0
+        assert result.edp == result.cycles * result.energy_pj
+
+    def test_mapping_factory(self, arch, mapping, workload):
+        calls = []
+
+        def factory(wl, a):
+            calls.append(wl.name)
+            return mapping
+
+        design = Design("d", arch, SAFSpec(), mapping_factory=factory)
+        Evaluator().evaluate(design, workload)
+        assert calls == [workload.name]
+
+    def test_explicit_mapping_overrides(self, arch, mapping, workload):
+        design = Design("d", arch, SAFSpec(), mapping=mapping)
+        other = Mapping(
+            [
+                LevelMapping("DRAM", []),
+                LevelMapping(
+                    "Buffer", [Loop("m", 8), Loop("k", 8), Loop("n", 8)]
+                ),
+            ]
+        )
+        result = Evaluator().evaluate(design, workload, mapping=other)
+        assert result.dense.mapping is other
+
+    def test_no_mapping_source_raises(self, arch, workload):
+        design = Design("d", arch)
+        with pytest.raises(SpecError):
+            Evaluator().evaluate(design, workload)
+
+    def test_capacity_check_enforced(self, workload, mapping):
+        tiny = Architecture(
+            "tiny",
+            [
+                StorageLevel("DRAM", None, component="dram"),
+                StorageLevel("Buffer", 16, component="sram"),
+            ],
+            ComputeLevel("MAC", instances=4),
+        )
+        design = Design("d", tiny, SAFSpec(), mapping=mapping)
+        with pytest.raises(ValidationError):
+            Evaluator().evaluate(design, workload)
+        # And can be disabled.
+        result = Evaluator(check_capacity=False).evaluate(design, workload)
+        assert not result.usage["Buffer"].fits
+
+
+class TestSearch:
+    def test_constraints_search_finds_valid(self, arch, workload):
+        design = Design(
+            "d",
+            arch,
+            SAFSpec(),
+            constraints=MapspaceConstraints(),
+        )
+        result = Evaluator(search_budget=24).evaluate(design, workload)
+        assert result.cycles > 0
+
+    def test_search_optimizes_objective(self, arch, workload):
+        design = Design("d", arch, constraints=MapspaceConstraints())
+        ev = Evaluator(search_budget=24)
+        best_edp = ev.search_mappings(design, workload)
+        best_cycles = ev.search_mappings(
+            design, workload, objective=lambda r: r.cycles
+        )
+        assert best_cycles.cycles <= best_edp.cycles
+
+    def test_explicit_candidates(self, arch, workload, mapping):
+        design = Design("d", arch)
+        result = Evaluator().search_mappings(
+            design, workload, candidates=[mapping]
+        )
+        assert result is not None
+
+
+class TestNetworkEvaluation:
+    def test_per_layer_results(self, arch, mapping):
+        from repro.mapping.mapping import single_level_mapping
+
+        def factory(wl, a):
+            return single_level_mapping(a, wl.einsum)
+
+        design = Design("d", arch, SAFSpec(), mapping_factory=factory)
+        layers = alexnet()[:2]
+        results = Evaluator(check_capacity=False).evaluate_network(
+            design, layers, lambda layer: {"I": 0.5}
+        )
+        assert len(results) == 2
+        assert results[0][0].name == "conv1"
+        assert all(r.cycles > 0 for _l, r in results)
+
+
+class TestResultReporting:
+    def test_summary_contains_key_facts(self, arch, mapping, workload):
+        design = Design(
+            "d",
+            arch,
+            SAFSpec(compute_safs=[skip_compute(["A"])]),
+            mapping=mapping,
+        )
+        result = Evaluator().evaluate(design, workload)
+        text = result.summary()
+        assert "cycles" in text
+        assert "energy" in text
+        assert "skipped" in text
+
+    def test_level_accessors(self, arch, mapping, workload):
+        design = Design("d", arch, SAFSpec(), mapping=mapping)
+        result = Evaluator().evaluate(design, workload)
+        assert result.level_energy("DRAM") > 0
+        assert result.level_cycles("MAC") > 0
+        assert result.compression_rate("Buffer", "A") == 1.0
+
+    def test_energy_per_compute(self, arch, mapping, workload):
+        design = Design("d", arch, SAFSpec(), mapping=mapping)
+        result = Evaluator().evaluate(design, workload)
+        assert result.energy_per_compute == pytest.approx(
+            result.energy_pj / result.actual_computes
+        )

@@ -1,0 +1,179 @@
+"""Tests for the cycle-level reference simulator."""
+
+import numpy as np
+import pytest
+
+from repro import Workload, matmul
+from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
+from repro.common.errors import SpecError
+from repro.mapping.mapping import LevelMapping, Loop, Mapping
+from repro.refsim import CycleLevelSimulator
+from repro.sparse.formats import (
+    CoordinatePayload,
+    FormatRank,
+    FormatSpec,
+)
+from repro.sparse.saf import (
+    SAFSpec,
+    gate_compute,
+    skip_compute,
+    skip_storage,
+)
+from repro.tensor.generator import uniform_random_tensor
+
+
+@pytest.fixture
+def arch():
+    return Architecture(
+        "a",
+        [StorageLevel("DRAM", None), StorageLevel("Buffer", 65536)],
+        ComputeLevel("MAC", instances=1),
+    )
+
+
+def _data(spec, da=0.5, db=0.5, seed=0):
+    return {
+        "A": uniform_random_tensor(spec.tensor_shape("A"), da, seed=seed),
+        "B": uniform_random_tensor(spec.tensor_shape("B"), db, seed=seed + 1),
+        "Z": np.zeros(spec.tensor_shape("Z")),
+    }
+
+
+def _mapping(order=("m", "k", "n"), dram=()):
+    spec = matmul(8, 8, 8)
+    rem = {d: spec.dims[d] for d in spec.dims}
+    dram_loops = []
+    for dim, bound in dram:
+        dram_loops.append(Loop(dim, bound))
+        rem[dim] //= bound
+    return Mapping(
+        [
+            LevelMapping("DRAM", dram_loops),
+            LevelMapping("Buffer", [Loop(d, rem[d]) for d in order]),
+        ]
+    )
+
+
+class TestFunctionalCorrectness:
+    def test_computes_correct_output(self, arch):
+        spec = matmul(8, 8, 8)
+        data = _data(spec)
+        sim = CycleLevelSimulator(spec, arch, _mapping(), data)
+        sim.run()
+        np.testing.assert_allclose(sim.output_data, data["A"] @ data["B"])
+
+    def test_output_correct_with_skipping(self, arch):
+        spec = matmul(8, 8, 8)
+        data = _data(spec, da=0.25)
+        safs = SAFSpec(compute_safs=[skip_compute(["A"])])
+        sim = CycleLevelSimulator(spec, arch, _mapping(), data, safs)
+        sim.run()
+        np.testing.assert_allclose(sim.output_data, data["A"] @ data["B"])
+
+    def test_output_correct_with_revisits(self, arch):
+        spec = matmul(8, 8, 8)
+        data = _data(spec)
+        mapping = _mapping(order=("m", "k", "n"), dram=[("k", 2), ("m", 2)])
+        sim = CycleLevelSimulator(spec, arch, mapping, data)
+        sim.run()
+        np.testing.assert_allclose(sim.output_data, data["A"] @ data["B"])
+
+
+class TestCounting:
+    def test_dense_compute_count(self, arch):
+        spec = matmul(8, 8, 8)
+        sim = CycleLevelSimulator(spec, arch, _mapping(), _data(spec))
+        counts = sim.run()
+        assert counts.computes.actual == 512
+        assert counts.cycles == 512
+
+    def test_skip_compute_counts_exact_nnz(self, arch):
+        spec = matmul(8, 8, 8)
+        data = _data(spec, da=0.25)
+        nnz = int(np.count_nonzero(data["A"]))
+        safs = SAFSpec(compute_safs=[skip_compute(["A"])])
+        sim = CycleLevelSimulator(spec, arch, _mapping(), data, safs)
+        counts = sim.run()
+        assert counts.computes.actual == nnz * 8  # each nnz meets 8 n's
+        assert counts.computes.skipped == 512 - nnz * 8
+        assert counts.cycles < 512
+
+    def test_gate_compute_keeps_cycles(self, arch):
+        spec = matmul(8, 8, 8)
+        data = _data(spec, da=0.25)
+        safs = SAFSpec(compute_safs=[gate_compute()])
+        sim = CycleLevelSimulator(spec, arch, _mapping(), data, safs)
+        counts = sim.run()
+        assert counts.cycles == 512
+        assert counts.computes.gated > 0
+
+    def test_fills_use_compressed_word_counts(self, arch):
+        spec = matmul(8, 8, 8)
+        data = _data(spec, da=0.25)
+        cp2 = FormatSpec(
+            [FormatRank(CoordinatePayload()), FormatRank(CoordinatePayload())]
+        )
+        safs = SAFSpec(formats={("Buffer", "A"): cp2, ("DRAM", "A"): cp2})
+        mapping = _mapping(dram=[("m", 2)])
+        sim = CycleLevelSimulator(spec, arch, mapping, data, safs)
+        counts = sim.run()
+        assert counts.fills[("Buffer", "A")] == np.count_nonzero(data["A"])
+
+    def test_storage_skip_eliminates_follower_fetches(self, arch):
+        spec = matmul(8, 8, 8)
+        data = _data(spec, da=0.25)
+        safs = SAFSpec(storage_safs=[skip_storage("B", ["A"], "Buffer")])
+        sim = CycleLevelSimulator(
+            spec, arch, _mapping(order=("m", "n", "k")), data, safs
+        )
+        counts = sim.run()
+        # With k innermost every (A, B) pairing is distinct (no latch
+        # reuse), so B is fetched once per effectual pair per n.
+        expected = np.count_nonzero(data["A"]) * 8
+        assert counts.reads[("Buffer", "B")].actual == expected
+
+    def test_compute_only_skip_still_fetches_other_operand(self, arch):
+        # STC-style: skipping compute on A does NOT save B's fetches.
+        spec = matmul(8, 8, 8)
+        data = _data(spec, da=0.25)
+        safs = SAFSpec(compute_safs=[skip_compute(["A"])])
+        sim = CycleLevelSimulator(
+            spec, arch, _mapping(order=("m", "n", "k")), data, safs
+        )
+        counts = sim.run()
+        assert counts.reads[("Buffer", "B")].actual == 512
+
+    def test_spatial_fanout_divides_cycles(self):
+        arch4 = Architecture(
+            "a4",
+            [StorageLevel("DRAM", None), StorageLevel("Buffer", 65536)],
+            ComputeLevel("MAC", instances=4),
+        )
+        spec = matmul(8, 8, 8)
+        mapping = Mapping(
+            [
+                LevelMapping("DRAM", []),
+                LevelMapping(
+                    "Buffer",
+                    [Loop("m", 8), Loop("k", 8), Loop("n", 2)],
+                    [Loop("n", 4)],
+                ),
+            ]
+        )
+        sim = CycleLevelSimulator(spec, arch4, mapping, _data(spec))
+        counts = sim.run()
+        assert counts.cycles == 512 / 4
+
+
+class TestValidation:
+    def test_rejects_missing_data(self, arch):
+        spec = matmul(8, 8, 8)
+        with pytest.raises(SpecError):
+            CycleLevelSimulator(spec, arch, _mapping(), {"A": np.zeros((8, 8))})
+
+    def test_rejects_wrong_shape(self, arch):
+        spec = matmul(8, 8, 8)
+        data = _data(spec)
+        data["A"] = np.zeros((4, 4))
+        with pytest.raises(SpecError):
+            CycleLevelSimulator(spec, arch, _mapping(), data)

@@ -1,0 +1,118 @@
+"""Tests for per-rank format models and classic format composition."""
+
+import math
+
+import pytest
+
+from repro.common.errors import SpecError
+from repro.sparse.formats import (
+    Bitmask,
+    CoordinatePayload,
+    FormatRank,
+    FormatSpec,
+    RunLengthEncoding,
+    Uncompressed,
+    UncompressedBitmask,
+    UncompressedOffsetPairs,
+    classic_format,
+    dense_format,
+)
+
+
+class TestPerRankOverheads:
+    """The paper's overhead formulas (Sec 5.3.3)."""
+
+    def test_bitmask_is_shape_bits(self):
+        # Overhead_B = total #elements x 1 bit.
+        assert Bitmask().metadata_bits(64, 2, 10) == 128
+
+    def test_rle_is_nnz_times_runbits(self):
+        # Overhead_RLE = #nonempty x run_length_bitwidth (short runs).
+        fmt = RunLengthEncoding(run_bits=4)
+        bits = fmt.metadata_bits(16, 1, 8)
+        assert bits >= 8 * 4
+        assert bits < 8 * 4 * 1.5  # overflow correction stays small
+
+    def test_rle_overflow_grows_when_sparse(self):
+        fmt = RunLengthEncoding(run_bits=2)
+        dense_case = fmt.metadata_bits(16, 1, 8)
+        sparse_case = fmt.metadata_bits(1024, 1, 8)
+        assert sparse_case > dense_case
+
+    def test_cp_uses_coordinate_width(self):
+        assert CoordinatePayload().metadata_bits(256, 1, 10) == 80
+        assert CoordinatePayload(coord_bits=2).metadata_bits(256, 1, 10) == 20
+
+    def test_uop_pays_per_position(self):
+        # CSR row pointers: (rows + 1) offsets even for empty rows.
+        fmt = UncompressedOffsetPairs(offset_bits=8)
+        assert fmt.metadata_bits(16, 1, 4) == 17 * 8
+
+    def test_uncompressed_is_free(self):
+        assert Uncompressed().metadata_bits(64, 4, 32) == 0
+
+    def test_ub_keeps_payloads(self):
+        assert UncompressedBitmask().compressed is False
+        assert UncompressedBitmask().metadata_bits(8, 2, 3) == 16
+
+    def test_rle_rejects_bad_bits(self):
+        with pytest.raises(SpecError):
+            RunLengthEncoding(run_bits=0)
+
+
+class TestFormatSpec:
+    def test_compressed_flag(self):
+        assert classic_format("CSR").is_compressed
+        assert not dense_format(2).is_compressed
+
+    def test_rank_count_with_flattening(self):
+        assert classic_format("COO").tensor_rank_count == 2
+        assert classic_format("CSR").tensor_rank_count == 2
+        assert classic_format("CSB").tensor_rank_count == 3
+
+    def test_describe(self):
+        assert classic_format("CSR").describe() == "UOP-CP"
+        assert classic_format("COO").describe() == "CP^2"
+
+    def test_group_extents_flattening(self):
+        coo = classic_format("COO")
+        assert coo.group_extents((4, 8)) == [32]
+
+    def test_group_extents_pads_missing_outer_ranks(self):
+        csb = classic_format("CSB")
+        assert csb.group_extents((8,)) == [1, 1, 8]
+
+    def test_group_extents_folds_surplus_ranks(self):
+        csr = classic_format("CSR")
+        # A 4-rank tile under a 2-rank format folds the outer ranks.
+        assert csr.group_extents((2, 3, 4, 5)) == [2 * 3 * 4, 5]
+
+    def test_unknown_classic(self):
+        with pytest.raises(SpecError):
+            classic_format("ELL")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(SpecError):
+            FormatSpec([])
+
+    def test_flattened_ranks_positive(self):
+        with pytest.raises(SpecError):
+            FormatRank(Bitmask(), flattened_ranks=0)
+
+
+class TestTable2Compositions:
+    """Table 2: classic formats as per-dimension format stacks."""
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("CSR", ["UOP", "CP"]),
+            ("COO", ["CP"]),
+            ("CSB", ["UOP", "CP", "CP"]),
+            ("CSF", ["CP", "CP", "CP"]),
+        ],
+    )
+    def test_rank_kinds(self, name, expected):
+        fmt = classic_format(name)
+        kinds = [repr(r.format) for r in fmt.ranks]
+        assert kinds == expected

@@ -1,0 +1,203 @@
+"""Tests for the gating/skipping analyzer, especially the Fig. 10
+mapping-dependent leader-tile semantics."""
+
+import math
+
+import pytest
+
+from repro import Workload, matmul
+from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
+from repro.dataflow import analyze_dataflow
+from repro.mapping.mapping import LevelMapping, Loop, Mapping
+from repro.sparse.gating_skipping import (
+    EliminationSource,
+    FlowClassification,
+    GatingSkippingAnalyzer,
+)
+from repro.sparse.saf import (
+    SAFKind,
+    SAFSpec,
+    gate_compute,
+    gate_storage,
+    skip_compute,
+    skip_storage,
+)
+
+
+@pytest.fixture
+def arch():
+    return Architecture(
+        "a",
+        [StorageLevel("Backing", None), StorageLevel("Buffer", 65536)],
+        ComputeLevel("MAC"),
+    )
+
+
+def _analyzer(arch, mapping_loops, safs, densities=None):
+    wl = Workload.uniform(
+        matmul(4, 4, 4), densities or {"A": 0.25, "B": 0.5}
+    )
+    mapping = Mapping(
+        [
+            LevelMapping("Backing", mapping_loops[0]),
+            LevelMapping("Buffer", mapping_loops[1]),
+        ]
+    )
+    dense = analyze_dataflow(wl, arch, mapping)
+    return GatingSkippingAnalyzer(dense, safs)
+
+
+class TestFlowClassification:
+    def test_no_sources(self):
+        cls = FlowClassification.from_sources([])
+        assert (cls.actual, cls.gated, cls.skipped) == (1.0, 0.0, 0.0)
+
+    def test_single_skip(self):
+        src = EliminationSource(SAFKind.SKIP, "A", keep=0.25)
+        cls = FlowClassification.from_sources([src])
+        assert math.isclose(cls.skipped, 0.75)
+        assert math.isclose(cls.actual, 0.25)
+
+    def test_independent_leaders_multiply(self):
+        srcs = [
+            EliminationSource(SAFKind.SKIP, "A", keep=0.5),
+            EliminationSource(SAFKind.SKIP, "B", keep=0.5),
+        ]
+        cls = FlowClassification.from_sources(srcs)
+        assert math.isclose(cls.actual, 0.25)
+
+    def test_same_leader_nested_takes_min(self):
+        srcs = [
+            EliminationSource(SAFKind.SKIP, "A", keep=0.5),
+            EliminationSource(SAFKind.SKIP, "A", keep=0.3),
+        ]
+        cls = FlowClassification.from_sources(srcs)
+        assert math.isclose(cls.actual, 0.3)
+
+    def test_gate_applies_to_skip_remainder(self):
+        srcs = [
+            EliminationSource(SAFKind.SKIP, "A", keep=0.5),
+            EliminationSource(SAFKind.GATE, "B", keep=0.6),
+        ]
+        cls = FlowClassification.from_sources(srcs)
+        assert math.isclose(cls.skipped, 0.5)
+        assert math.isclose(cls.gated, 0.5 * 0.4)
+        assert math.isclose(cls.actual, 0.5 * 0.6)
+
+    def test_gate_nested_in_skip_same_leader(self):
+        srcs = [
+            EliminationSource(SAFKind.SKIP, "A", keep=0.5),
+            EliminationSource(SAFKind.GATE, "A", keep=0.5),
+        ]
+        cls = FlowClassification.from_sources(srcs)
+        # The gate cannot remove what the skip already removed.
+        assert math.isclose(cls.gated, 0.0)
+
+    def test_fractions_sum_to_one(self):
+        srcs = [
+            EliminationSource(SAFKind.SKIP, "A", keep=0.3),
+            EliminationSource(SAFKind.GATE, "B", keep=0.7),
+            EliminationSource(SAFKind.SKIP, "C", keep=0.9),
+        ]
+        cls = FlowClassification.from_sources(srcs)
+        assert math.isclose(cls.actual + cls.gated + cls.skipped, 1.0)
+
+
+class TestLeaderTiles:
+    """Fig. 10: the same SAF has different impact under two mappings."""
+
+    def test_mapping1_pointwise_leader(self, arch):
+        # Innermost k loop: B pairs with a single A value.
+        safs = SAFSpec(storage_safs=[skip_storage("B", ["A"], "Buffer")])
+        analyzer = _analyzer(
+            arch,
+            ([], [[Loop("m", 4), Loop("n", 4), Loop("k", 4)][i] for i in range(3)]),
+            safs,
+        )
+        b = analyzer.einsum.tensor("B")
+        extents = analyzer.compute_feed_extents(b)
+        assert extents == {}
+        cls = analyzer.classify_flow(b, "Buffer")
+        # keep = P(single A element nonzero) = density.
+        assert math.isclose(cls.skipped, 0.75)
+
+    def test_mapping2_column_leader(self, arch):
+        # Innermost m loop: B reused across a column of A.
+        safs = SAFSpec(storage_safs=[skip_storage("B", ["A"], "Buffer")])
+        analyzer = _analyzer(
+            arch,
+            ([], [Loop("k", 4), Loop("n", 4), Loop("m", 4)]),
+            safs,
+        )
+        b = analyzer.einsum.tensor("B")
+        assert analyzer.compute_feed_extents(b) == {"m": 4}
+        cls = analyzer.classify_flow(b, "Buffer")
+        # Eliminated only when the whole 4-element column is empty.
+        a_model = analyzer.workload.density_of("A")
+        expected = a_model.prob_empty((4, 1))
+        assert math.isclose(cls.skipped, expected)
+        # Column-empty is rarer than element-empty: fewer savings.
+        assert cls.skipped < 0.75
+
+    def test_transfer_granularity_coarser_than_feed(self, arch):
+        # SAF at the Backing store sees tile-sized leaders.
+        safs = SAFSpec(storage_safs=[skip_storage("B", ["A"], "Backing")])
+        analyzer = _analyzer(
+            arch,
+            ([Loop("n", 2)], [Loop("m", 4), Loop("n", 2), Loop("k", 4)]),
+            safs,
+        )
+        b = analyzer.einsum.tensor("B")
+        extents = analyzer.transfer_extents(b, "Buffer")
+        # The buffer's B tile is reused across the whole m range.
+        assert extents["m"] == 4
+        cls_transfer = analyzer.classify_flow(b, "Backing")
+        assert cls_transfer.skipped < 0.75
+
+
+class TestComputeClassification:
+    def test_gate_compute_all_operands(self, arch):
+        safs = SAFSpec(compute_safs=[gate_compute()])
+        analyzer = _analyzer(
+            arch, ([], [Loop("m", 4), Loop("n", 4), Loop("k", 4)]), safs
+        )
+        cls = analyzer.classify_compute()
+        assert math.isclose(cls.actual, 0.25 * 0.5)
+        assert math.isclose(cls.gated, 1 - 0.125)
+        assert cls.skipped == 0.0
+
+    def test_skip_compute_single_operand(self, arch):
+        safs = SAFSpec(compute_safs=[skip_compute(["A"])])
+        analyzer = _analyzer(
+            arch, ([], [Loop("m", 4), Loop("n", 4), Loop("k", 4)]), safs
+        )
+        cls = analyzer.classify_compute()
+        assert math.isclose(cls.skipped, 0.75)
+        assert math.isclose(cls.actual, 0.25)
+
+    def test_storage_skip_implies_compute_skip(self, arch):
+        safs = SAFSpec(storage_safs=[skip_storage("B", ["A"], "Buffer")])
+        analyzer = _analyzer(
+            arch, ([], [Loop("m", 4), Loop("n", 4), Loop("k", 4)]), safs
+        )
+        cls = analyzer.classify_compute()
+        # B's reads skipped when A zero -> those computes skip too.
+        assert math.isclose(cls.skipped, 0.75)
+
+    def test_storage_gate_implies_compute_gate(self, arch):
+        safs = SAFSpec(storage_safs=[gate_storage("B", ["A"], "Buffer")])
+        analyzer = _analyzer(
+            arch, ([], [Loop("m", 4), Loop("n", 4), Loop("k", 4)]), safs
+        )
+        cls = analyzer.classify_compute()
+        assert math.isclose(cls.gated, 0.75)
+        assert cls.skipped == 0.0
+
+    def test_dense_design_all_actual(self, arch):
+        analyzer = _analyzer(
+            arch,
+            ([], [Loop("m", 4), Loop("n", 4), Loop("k", 4)]),
+            SAFSpec(),
+        )
+        cls = analyzer.classify_compute()
+        assert cls.actual == 1.0

@@ -1,0 +1,212 @@
+"""Tests for traffic post-processing (sparse traffic assembly)."""
+
+import math
+
+import pytest
+
+from repro import Workload, matmul
+from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
+from repro.dataflow import analyze_dataflow
+from repro.mapping.mapping import LevelMapping, Loop, Mapping
+from repro.sparse.density import UniformDensity
+from repro.sparse.formats import (
+    Bitmask,
+    CoordinatePayload,
+    FormatRank,
+    FormatSpec,
+)
+from repro.sparse.postprocess import analyze_sparse, ensure_output_density
+from repro.sparse.saf import (
+    SAFSpec,
+    gate_compute,
+    gate_storage,
+    skip_compute,
+    skip_storage,
+)
+
+
+@pytest.fixture
+def arch():
+    return Architecture(
+        "a",
+        [StorageLevel("DRAM", None), StorageLevel("Buffer", 65536)],
+        ComputeLevel("MAC"),
+    )
+
+
+def _sparse(arch, safs, densities=None, loops=None):
+    wl = Workload.uniform(matmul(8, 8, 8), densities or {"A": 0.25})
+    mapping = Mapping(
+        [
+            LevelMapping("DRAM", []),
+            LevelMapping(
+                "Buffer",
+                loops or [Loop("m", 8), Loop("n", 8), Loop("k", 8)],
+            ),
+        ]
+    )
+    dense = analyze_dataflow(wl, arch, mapping)
+    return dense, analyze_sparse(dense, safs)
+
+
+cp2 = FormatSpec(
+    [FormatRank(CoordinatePayload()), FormatRank(CoordinatePayload())]
+)
+b2 = FormatSpec([FormatRank(Bitmask()), FormatRank(Bitmask())])
+
+
+class TestOutputDensity:
+    def test_derived_from_operands(self):
+        wl = Workload.uniform(matmul(4, 16, 4), {"A": 0.25, "B": 0.25})
+        ensure_output_density(wl)
+        d_eff = 0.25 * 0.25
+        expected = 1 - (1 - d_eff) ** 16
+        assert math.isclose(wl.density_of("Z").density, expected)
+
+    def test_user_override_respected(self):
+        wl = Workload(
+            matmul(4, 4, 4),
+            {"Z": UniformDensity(0.123, 16)},
+        )
+        ensure_output_density(wl)
+        assert wl.density_of("Z").density == 0.123
+
+
+class TestDenseDesign:
+    def test_everything_actual(self, arch):
+        dense, sparse = _sparse(arch, SAFSpec(), densities={})
+        a = sparse.at("Buffer", "A")
+        assert a.data_reads.gated == 0
+        assert a.data_reads.skipped == 0
+        assert a.data_reads.actual == dense.at("Buffer", "A").reads
+
+    def test_compute_all_actual(self, arch):
+        _dense, sparse = _sparse(arch, SAFSpec(), densities={})
+        assert sparse.compute.actual == 512
+
+
+class TestCompressionOnly:
+    """Compressed format without skipping: transfers shrink, feeds gate."""
+
+    def test_transfer_data_scales_with_density(self, arch):
+        safs = SAFSpec(formats={("Buffer", "A"): b2, ("DRAM", "A"): b2})
+        dense, sparse = _sparse(arch, safs)
+        fills_dense = dense.at("Buffer", "A").fills
+        writes = sparse.at("Buffer", "A").data_writes
+        assert math.isclose(writes.actual, fills_dense * 0.25)
+        assert math.isclose(writes.skipped, fills_dense * 0.75)
+
+    def test_feed_zeros_gated_without_skipping(self, arch):
+        safs = SAFSpec(formats={("Buffer", "A"): b2, ("DRAM", "A"): b2})
+        dense, sparse = _sparse(arch, safs)
+        feed = dense.at("Buffer", "A").compute_feed_reads
+        reads = sparse.at("Buffer", "A").data_reads
+        assert math.isclose(reads.actual, feed * 0.25)
+        assert math.isclose(reads.gated, feed * 0.75)
+
+    def test_feed_zeros_skipped_with_skipping(self, arch):
+        safs = SAFSpec(
+            formats={("Buffer", "A"): cp2, ("DRAM", "A"): cp2},
+            compute_safs=[skip_compute(["A"])],
+        )
+        dense, sparse = _sparse(arch, safs)
+        reads = sparse.at("Buffer", "A").data_reads
+        assert reads.gated == 0
+        assert reads.skipped > 0
+
+    def test_metadata_traffic_present(self, arch):
+        safs = SAFSpec(formats={("Buffer", "A"): b2, ("DRAM", "A"): b2})
+        _dense, sparse = _sparse(arch, safs)
+        assert sparse.at("Buffer", "A").metadata_reads.actual > 0
+        assert sparse.at("Buffer", "A").metadata_writes.actual > 0
+
+    def test_occupancy_reflects_compression(self, arch):
+        safs = SAFSpec(formats={("Buffer", "A"): b2, ("DRAM", "A"): b2})
+        _dense, sparse = _sparse(arch, safs)
+        a = sparse.at("Buffer", "A")
+        assert a.compression_rate > 1.0
+        assert a.occupancy_words < 64
+
+
+class TestSkippingSAFs:
+    def test_follower_reads_eliminated(self, arch):
+        safs = SAFSpec(storage_safs=[skip_storage("B", ["A"], "Buffer")])
+        dense, sparse = _sparse(arch, safs)
+        feed = dense.at("Buffer", "B").compute_feed_reads
+        reads = sparse.at("Buffer", "B").data_reads
+        assert math.isclose(reads.actual, feed * 0.25)
+        assert math.isclose(reads.skipped, feed * 0.75)
+
+    def test_gating_keeps_cycles(self, arch):
+        safs = SAFSpec(storage_safs=[gate_storage("B", ["A"], "Buffer")])
+        dense, sparse = _sparse(arch, safs)
+        feed = dense.at("Buffer", "B").compute_feed_reads
+        reads = sparse.at("Buffer", "B").data_reads
+        assert math.isclose(reads.gated, feed * 0.75)
+        assert reads.skipped == 0
+
+    def test_output_updates_at_group_granularity(self, arch):
+        """Accumulator flushes survive if any compute in their latch
+        group did: with k innermost (latch 8), the flush skips only
+        when the whole 8-element A row chunk is empty."""
+        safs = SAFSpec(compute_safs=[skip_compute(["A"])])
+        dense, sparse = _sparse(arch, safs)
+        updates = dense.at("Buffer", "Z").update_writes
+        assert updates == 512 / 8  # latched across the k loop
+        writes = sparse.at("Buffer", "Z").data_writes
+        wl_a = UniformDensity(0.25, 64)
+        keep = wl_a.prob_nonempty((1, 8))  # 8-wide A row chunk
+        assert math.isclose(writes.actual, updates * keep, rel_tol=1e-6)
+        assert math.isclose(
+            writes.skipped, updates * (1 - keep), rel_tol=1e-6
+        )
+
+    def test_output_updates_pointwise_without_latch(self, arch):
+        """With an output-relevant innermost loop there is no latch
+        group, so updates classify exactly like computes."""
+        safs = SAFSpec(compute_safs=[skip_compute(["A"])])
+        dense, sparse = _sparse(
+            arch, safs, loops=[Loop("k", 8), Loop("m", 8), Loop("n", 8)]
+        )
+        updates = dense.at("Buffer", "Z").update_writes
+        writes = sparse.at("Buffer", "Z").data_writes
+        assert math.isclose(writes.actual, updates * 0.25)
+
+    def test_rmw_reads_subtract_first_writes(self, arch):
+        safs = SAFSpec(compute_safs=[skip_compute(["A"])])
+        dense, sparse = _sparse(arch, safs)
+        z = dense.at("Buffer", "Z")
+        expected_rmw = max(
+            0.0, z.update_writes * 0.25 - (z.update_writes - z.rmw_reads)
+        )
+        # Drain reads are unaffected by the compute SAF (no output SAF).
+        reads = sparse.at("Buffer", "Z").data_reads
+        assert math.isclose(reads.actual, expected_rmw + z.drains)
+
+
+class TestConservation:
+    """Fine-grained actions always partition the dense counts."""
+
+    @pytest.mark.parametrize(
+        "safs",
+        [
+            SAFSpec(),
+            SAFSpec(compute_safs=[gate_compute()]),
+            SAFSpec(
+                formats={("Buffer", "A"): cp2, ("DRAM", "A"): cp2},
+                storage_safs=[skip_storage("B", ["A"], "Buffer")],
+                compute_safs=[skip_compute(["A"])],
+            ),
+        ],
+    )
+    def test_totals_preserved(self, arch, safs):
+        dense, sparse = _sparse(arch, safs, densities={"A": 0.3, "B": 0.7})
+        for (level, tensor), record in dense.traffic.items():
+            actions = sparse.at(level, tensor)
+            assert actions.data_reads.total == pytest.approx(
+                record.reads, rel=1e-9
+            )
+            assert actions.data_writes.total == pytest.approx(
+                record.writes, rel=1e-9
+            )
+        assert sparse.compute.total == pytest.approx(dense.computes)

@@ -1,0 +1,56 @@
+"""Tests for the fine-grained action data model."""
+
+import pytest
+
+from repro.sparse.traffic import (
+    ActionBreakdown,
+    LevelTensorActions,
+    SparseTraffic,
+)
+
+
+class TestActionBreakdown:
+    def test_total_and_cycled(self):
+        b = ActionBreakdown(actual=2, gated=3, skipped=5)
+        assert b.total == 10
+        assert b.cycled == 5
+
+    def test_add(self):
+        b = ActionBreakdown(1, 1, 1)
+        b.add(ActionBreakdown(2, 3, 4))
+        assert (b.actual, b.gated, b.skipped) == (3, 4, 5)
+
+    def test_scaled(self):
+        b = ActionBreakdown(2, 4, 6).scaled(0.5)
+        assert (b.actual, b.gated, b.skipped) == (1, 2, 3)
+
+    def test_split_remainder_is_skipped(self):
+        b = ActionBreakdown.split(100, 0.25, 0.25)
+        assert (b.actual, b.gated, b.skipped) == (25, 25, 50)
+
+    def test_split_never_negative(self):
+        b = ActionBreakdown.split(100, 0.9, 0.2)
+        assert b.skipped == 0.0
+
+
+class TestLevelTensorActions:
+    def test_total_cycled(self):
+        a = LevelTensorActions("A", "L")
+        a.data_reads.add(ActionBreakdown(1, 2, 3))
+        a.metadata_reads.add(ActionBreakdown(4, 0, 0))
+        assert a.total_cycled_accesses == 7
+
+
+class TestSparseTraffic:
+    def test_at_creates_lazily(self):
+        t = SparseTraffic()
+        a = t.at("L", "A")
+        assert a.tensor == "A"
+        assert t.at("L", "A") is a
+
+    def test_level_actions_filters(self):
+        t = SparseTraffic()
+        t.at("L0", "A")
+        t.at("L0", "B")
+        t.at("L1", "A")
+        assert len(t.level_actions("L0")) == 2

@@ -1,0 +1,97 @@
+"""Unit tests for the fibertree abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SpecError
+from repro.tensor.fibertree import Fiber, FiberTree, _tile_origins
+
+
+@pytest.fixture
+def small_tree():
+    # Matches Fig. 7b's structure: one all-zero row.
+    dense = np.array(
+        [
+            [1.0, 0.0, 2.0, 0.0],
+            [0.0, 3.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 0.0],
+            [4.0, 0.0, 0.0, 5.0],
+        ]
+    )
+    return FiberTree(dense, ["M", "K"])
+
+
+class TestFiber:
+    def test_length(self):
+        f = Fiber([0, 2], [1.0, 2.0])
+        assert len(f) == 2
+
+    def test_empty(self):
+        assert Fiber().is_empty
+
+    def test_payload_lookup(self):
+        f = Fiber([0, 2], [1.0, 2.0])
+        assert f.payload_at(2) == 2.0
+        assert f.payload_at(1) is None
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SpecError):
+            Fiber([0, 1], [1.0])
+
+
+class TestFiberTree:
+    def test_basic_stats(self, small_tree):
+        assert small_tree.shape == (4, 4)
+        assert small_tree.nnz == 5
+        assert small_tree.density == 5 / 16
+
+    def test_root_omits_empty_rows(self, small_tree):
+        # Row 2 is all-zero: coordinate 2 absent from the root fiber.
+        assert small_tree.root.coords == [0, 1, 3]
+
+    def test_leaf_values(self, small_tree):
+        row0 = small_tree.root.payload_at(0)
+        assert row0.coords == [0, 2]
+        assert row0.payloads == [1.0, 2.0]
+
+    def test_fibers_at_rank(self, small_tree):
+        assert len(small_tree.fibers_at_rank(0)) == 1
+        assert len(small_tree.fibers_at_rank(1)) == 3  # nonempty rows
+
+    def test_fibers_at_bad_rank(self, small_tree):
+        with pytest.raises(SpecError):
+            small_tree.fibers_at_rank(5)
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(SpecError):
+            FiberTree(np.zeros((2, 2)), ["M"])
+
+    def test_tile_extraction(self, small_tree):
+        tile = small_tree.tile((0, 0), (2, 2))
+        np.testing.assert_array_equal(tile, [[1.0, 0.0], [0.0, 3.0]])
+
+    def test_tile_truncates_at_edge(self, small_tree):
+        tile = small_tree.tile((3, 3), (2, 2))
+        assert tile.shape == (1, 1)
+
+    def test_tile_occupancies(self, small_tree):
+        occ = small_tree.tile_occupancies((2, 2))
+        assert sorted(occ) == [1, 1, 1, 2]
+        assert sum(occ) == small_tree.nnz
+
+    def test_tile_occupancy_full(self, small_tree):
+        assert small_tree.tile_occupancies((4, 4)) == [5]
+
+
+class TestTileOrigins:
+    def test_grid(self):
+        origins = list(_tile_origins((4, 4), (2, 2)))
+        assert origins == [(0, 0), (0, 2), (2, 0), (2, 2)]
+
+    def test_ragged(self):
+        origins = list(_tile_origins((5,), (2,)))
+        assert origins == [(0,), (2,), (4,)]
+
+    def test_rejects_zero_tile(self):
+        with pytest.raises(SpecError):
+            list(_tile_origins((4,), (0,)))

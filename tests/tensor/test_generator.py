@@ -1,0 +1,82 @@
+"""Unit tests for synthetic sparse tensor generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SpecError
+from repro.tensor.generator import (
+    banded_matrix,
+    structured_sparse_matrix,
+    uniform_random_tensor,
+)
+
+
+class TestUniformRandom:
+    def test_exact_nnz(self):
+        t = uniform_random_tensor((10, 10), 0.3, seed=0)
+        assert np.count_nonzero(t) == 30
+
+    def test_zero_density(self):
+        t = uniform_random_tensor((4, 4), 0.0, seed=0)
+        assert np.count_nonzero(t) == 0
+
+    def test_full_density(self):
+        t = uniform_random_tensor((4, 4), 1.0, seed=0)
+        assert np.count_nonzero(t) == 16
+
+    def test_reproducible(self):
+        a = uniform_random_tensor((8, 8), 0.5, seed=42)
+        b = uniform_random_tensor((8, 8), 0.5, seed=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_bad_density(self):
+        with pytest.raises(SpecError):
+            uniform_random_tensor((4,), 1.5)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=25)
+    def test_nnz_matches_rounding(self, density):
+        t = uniform_random_tensor((8, 8), density, seed=1)
+        assert np.count_nonzero(t) == round(64 * density)
+
+
+class TestBanded:
+    def test_band_respected(self):
+        t = banded_matrix(8, 8, band_width=1, seed=0)
+        i, j = np.nonzero(t)
+        assert np.all(np.abs(i - j) <= 1)
+
+    def test_full_fill_band_dense(self):
+        t = banded_matrix(6, 6, band_width=0, fill_density=1.0)
+        assert np.count_nonzero(t) == 6  # the diagonal
+
+    def test_fill_density_thins(self):
+        full = banded_matrix(64, 64, 2, fill_density=1.0, seed=0)
+        thin = banded_matrix(64, 64, 2, fill_density=0.5, seed=0)
+        assert np.count_nonzero(thin) < np.count_nonzero(full)
+
+    def test_rejects_negative_band(self):
+        with pytest.raises(SpecError):
+            banded_matrix(4, 4, -1)
+
+
+class TestStructured:
+    def test_exact_block_counts(self):
+        t = structured_sparse_matrix(8, 16, 2, 4, seed=0)
+        blocks = t.reshape(8, 4, 4)
+        counts = np.count_nonzero(blocks, axis=2)
+        assert np.all(counts == 2)
+
+    def test_density(self):
+        t = structured_sparse_matrix(4, 8, 2, 8, seed=0)
+        assert np.count_nonzero(t) / t.size == 0.25
+
+    def test_rejects_infeasible_structure(self):
+        with pytest.raises(SpecError):
+            structured_sparse_matrix(4, 8, 5, 4)
+
+    def test_rejects_misaligned_cols(self):
+        with pytest.raises(SpecError):
+            structured_sparse_matrix(4, 10, 2, 4)

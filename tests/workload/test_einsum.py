@@ -1,0 +1,137 @@
+"""Unit tests for the extended-Einsum workload algebra."""
+
+import pytest
+
+from repro.common.errors import SpecError
+from repro.workload.einsum import (
+    EinsumSpec,
+    ProjectionTerm,
+    RankProjection,
+    TensorRef,
+    conv2d,
+    depthwise_conv2d,
+    matmul,
+)
+
+
+class TestMatmul:
+    def test_dims(self):
+        spec = matmul(4, 8, 16)
+        assert spec.dims == {"m": 4, "k": 8, "n": 16}
+
+    def test_total_operations(self):
+        assert matmul(4, 8, 16).total_operations == 512
+
+    def test_tensor_shapes(self):
+        spec = matmul(4, 8, 16)
+        assert spec.tensor_shape("A") == (4, 8)
+        assert spec.tensor_shape("B") == (8, 16)
+        assert spec.tensor_shape("Z") == (4, 16)
+
+    def test_tensor_sizes(self):
+        spec = matmul(4, 8, 16)
+        assert spec.tensor_size("A") == 32
+        assert spec.tensor_size("Z") == 64
+
+    def test_output_identity(self):
+        spec = matmul(2, 2, 2)
+        assert spec.output.name == "Z"
+        assert [t.name for t in spec.inputs] == ["A", "B"]
+
+    def test_reduction_dims(self):
+        assert matmul(2, 2, 2).reduction_dims == {"k"}
+
+    def test_unknown_tensor(self):
+        with pytest.raises(SpecError):
+            matmul(2, 2, 2).tensor("Q")
+
+
+class TestConv2d:
+    def test_input_halo(self):
+        spec = conv2d(n=1, k=4, c=3, p=8, q=8, r=3, s=3)
+        # Input spatial extents are P + R - 1 by Q + S - 1.
+        assert spec.tensor_shape("I") == (1, 3, 10, 10)
+
+    def test_strided_input_extent(self):
+        spec = conv2d(n=1, k=1, c=1, p=4, q=4, r=3, s=3, stride=2)
+        # stride*(P-1) + R = 2*3 + 3 = 9.
+        assert spec.tensor_shape("I") == (1, 1, 9, 9)
+
+    def test_weight_shape(self):
+        spec = conv2d(n=1, k=4, c=3, p=8, q=8, r=3, s=3)
+        assert spec.tensor_shape("W") == (4, 3, 3, 3)
+
+    def test_macs(self):
+        spec = conv2d(n=1, k=2, c=3, p=4, q=4, r=3, s=3)
+        assert spec.total_operations == 2 * 3 * 4 * 4 * 3 * 3
+
+    def test_reduction_dims(self):
+        spec = conv2d(n=1, k=2, c=3, p=4, q=4, r=3, s=3)
+        assert spec.reduction_dims == {"c", "r", "s"}
+
+
+class TestDepthwise:
+    def test_no_k_dim(self):
+        spec = depthwise_conv2d(n=1, c=8, p=4, q=4, r=3, s=3)
+        assert "k" not in spec.dims
+        assert spec.reduction_dims == {"r", "s"}
+
+    def test_output_keeps_channels(self):
+        spec = depthwise_conv2d(n=1, c=8, p=4, q=4, r=3, s=3)
+        assert spec.tensor_shape("O") == (1, 8, 4, 4)
+
+
+class TestRankProjection:
+    def test_simple_extent(self):
+        r = RankProjection("M", (ProjectionTerm("m"),))
+        assert r.extent({"m": 7}) == 7
+
+    def test_affine_extent(self):
+        r = RankProjection(
+            "H", (ProjectionTerm("p", 2), ProjectionTerm("r"))
+        )
+        assert r.extent({"p": 4, "r": 3}) == 2 * 3 + 2 + 1
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(SpecError):
+            ProjectionTerm("p", 0)
+
+
+class TestSpecValidation:
+    def _tensor(self, name, dims, output=False):
+        ranks = tuple(
+            RankProjection(d.upper(), (ProjectionTerm(d),)) for d in dims
+        )
+        return TensorRef(name, ranks, is_output=output)
+
+    def test_needs_exactly_one_output(self):
+        with pytest.raises(SpecError):
+            EinsumSpec(
+                "bad", {"m": 2}, [self._tensor("A", ["m"])]
+            )
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(SpecError):
+            EinsumSpec(
+                "bad",
+                {"m": 2},
+                [
+                    self._tensor("A", ["m"]),
+                    self._tensor("A", ["m"], output=True),
+                ],
+            )
+
+    def test_rejects_unknown_projection_dim(self):
+        with pytest.raises(SpecError):
+            EinsumSpec(
+                "bad",
+                {"m": 2},
+                [
+                    self._tensor("A", ["x"]),
+                    self._tensor("Z", ["m"], output=True),
+                ],
+            )
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(SpecError):
+            matmul(0, 2, 2)

@@ -1,0 +1,91 @@
+"""Unit tests for the DNN layer tables."""
+
+import pytest
+
+from repro.workload.nets import (
+    NetLayer,
+    alexnet,
+    bert_base,
+    mobilenet_v1,
+    network,
+    resnet50,
+    vgg16,
+)
+
+
+class TestAlexNet:
+    def test_layer_count(self):
+        assert len(alexnet()) == 8  # 5 conv + 3 fc
+
+    def test_conv1_shape(self):
+        conv1 = alexnet()[0].spec
+        assert conv1.dims["k"] == 96
+        assert conv1.dims["c"] == 3
+        assert conv1.dims["r"] == 11
+
+    def test_conv2_grouped_channels(self):
+        conv2 = alexnet()[1].spec
+        assert conv2.dims["c"] == 48  # per-group channels
+
+    def test_total_macs_magnitude(self):
+        # AlexNet conv layers are ~666M MACs (for the grouped model).
+        conv_macs = sum(l.total_operations for l in alexnet()[:5])
+        assert 5e8 < conv_macs < 9e8
+
+
+class TestVGG16:
+    def test_layer_count(self):
+        assert len(vgg16()) == 16
+
+    def test_total_macs_magnitude(self):
+        # VGG16 is ~15.5G MACs.
+        macs = sum(l.total_operations for l in vgg16())
+        assert 1.4e10 < macs < 1.7e10
+
+
+class TestResNet50:
+    def test_total_macs_magnitude(self):
+        # ResNet50 is ~3.8-4.1G MACs.
+        macs = sum(l.total_operations for l in resnet50())
+        assert 3.3e9 < macs < 4.5e9
+
+    def test_repeats_present(self):
+        assert any(l.repeat > 1 for l in resnet50())
+
+
+class TestMobileNet:
+    def test_has_depthwise_layers(self):
+        layers = mobilenet_v1()
+        dw = [l for l in layers if l.name.startswith("dw")]
+        assert len(dw) == 13
+        for layer in dw:
+            assert "k" not in layer.spec.dims
+
+    def test_total_macs_magnitude(self):
+        # MobileNetV1 is ~569M MACs.
+        macs = sum(l.total_operations for l in mobilenet_v1())
+        assert 4.5e8 < macs < 7e8
+
+
+class TestBert:
+    def test_all_matmuls(self):
+        for layer in bert_base():
+            assert set(layer.spec.dims) == {"m", "k", "n"}
+
+    def test_total_macs_magnitude(self):
+        # BERT-base at seq 512 is ~49G MACs (2 ops per MAC in FLOPs).
+        macs = sum(l.total_operations for l in bert_base())
+        assert 3e10 < macs < 7e10
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert network("alexnet")[0].name == "conv1"
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            network("lenet")
+
+    def test_layer_total_ops_scales_with_repeat(self):
+        layer = NetLayer("x", alexnet()[0].spec, repeat=3)
+        assert layer.total_operations == 3 * alexnet()[0].total_operations

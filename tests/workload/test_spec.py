@@ -1,0 +1,43 @@
+"""Unit tests for Workload (einsum + densities)."""
+
+import pytest
+
+from repro.common.errors import SpecError
+from repro.sparse.density import BandedDensity, UniformDensity
+from repro.workload.einsum import matmul
+from repro.workload.spec import Workload
+
+
+class TestWorkload:
+    def test_uniform_builder_binds_tensor_size(self):
+        wl = Workload.uniform(matmul(4, 4, 4), {"A": 0.5})
+        model = wl.density_of("A")
+        assert isinstance(model, UniformDensity)
+        assert model.tensor_size == 16
+        assert model.density == 0.5
+
+    def test_unlisted_tensor_is_dense(self):
+        wl = Workload.uniform(matmul(4, 4, 4), {"A": 0.5})
+        assert wl.density_of("B").density == 1.0
+
+    def test_rejects_unknown_tensor(self):
+        with pytest.raises(SpecError):
+            Workload.uniform(matmul(2, 2, 2), {"Q": 0.5})
+
+    def test_custom_density_model(self):
+        banded = BandedDensity(8, 8, band_width=1)
+        wl = Workload(matmul(8, 8, 8), {"A": banded})
+        assert wl.density_of("A") is banded
+
+    def test_effectual_operations(self):
+        wl = Workload.uniform(matmul(4, 4, 4), {"A": 0.5, "B": 0.5})
+        assert wl.effectual_operations == 64 * 0.25
+
+    def test_name_defaults_to_einsum(self):
+        wl = Workload.uniform(matmul(2, 2, 2, name="mm"), {})
+        assert wl.name == "mm"
+
+    def test_describe_mentions_tensors(self):
+        wl = Workload.uniform(matmul(2, 2, 2), {"A": 0.25})
+        text = wl.describe()
+        assert "A" in text and "0.25" in text
