@@ -1,0 +1,142 @@
+"""Perf smoke for the fast-path evaluation engine.
+
+Measures two throughput numbers that the fast path is responsible for —
+fixed-mapping evaluations/sec under a SAF x density sweep (the Fig. 17
+co-design traffic pattern) and mapspace-search candidates/sec (the DSE
+traffic pattern) — plus the dense-analysis cache hit rate. The numbers
+are written to ``BENCH_perf_engine.json`` next to this file and checked
+against the committed ``baseline_perf_engine.json``: the test fails if
+either throughput regresses more than 30% below the baseline.
+
+The committed baseline is deliberately conservative (roughly half of
+the throughput measured on the reference machine) so that CI noise does
+not trip it while order-of-magnitude regressions — e.g. reintroducing
+scalar scipy pmf calls in the hot loop — still fail loudly.
+
+Run:  pytest benchmarks/bench_perf_engine.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import Design, Evaluator, SAFSpec, Workload, matmul
+from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
+from repro.designs import codesign
+from repro.mapping.mapspace import MapspaceConstraints
+from repro.sparse.formats import CoordinatePayload, FormatRank, FormatSpec
+from repro.sparse.saf import SAFKind, double_sided, gate_compute, skip_compute
+
+BASELINE_PATH = Path(__file__).parent / "baseline_perf_engine.json"
+SUMMARY_PATH = Path(__file__).parent / "BENCH_perf_engine.json"
+
+#: Fail when throughput drops below this fraction of the baseline.
+REGRESSION_FLOOR = 0.7
+
+SWEEP_DENSITIES = [1e-4, 1e-3, 1e-2, 0.06, 0.3]
+SWEEP_ROUNDS = 3
+SEARCH_BUDGET = 40
+
+
+def _codesign_sweep(evaluator: Evaluator) -> int:
+    """One Fig.17-style SAF x density sweep; returns evaluation count."""
+    count = 0
+    for density in SWEEP_DENSITIES:
+        workload = Workload.uniform(
+            matmul(1024, 1024, 1024), {"A": density, "B": density}
+        )
+        for dataflow, saf in codesign.ALL_COMBINATIONS:
+            design = codesign.build_design(dataflow, saf)
+            evaluator.evaluate(design, workload)
+            count += 1
+    return count
+
+
+def _dse_search(evaluator: Evaluator) -> int:
+    """One DSE-style mapspace search over three SAF variants; returns
+    the nominal candidate count."""
+    arch = Architecture(
+        "perf-dse",
+        [
+            StorageLevel("DRAM", None, component="dram",
+                         read_bandwidth=8, write_bandwidth=8),
+            StorageLevel("Buffer", 16 * 1024, component="sram",
+                         read_bandwidth=8, write_bandwidth=8),
+        ],
+        ComputeLevel("MAC", instances=16),
+    )
+    workload = Workload.uniform(matmul(128, 128, 128), {"A": 0.2, "B": 0.2})
+    cp2 = FormatSpec(
+        [FormatRank(CoordinatePayload()), FormatRank(CoordinatePayload())]
+    )
+    saf_choices = [
+        SAFSpec(),
+        SAFSpec(
+            formats={("Buffer", "A"): cp2, ("DRAM", "A"): cp2},
+            compute_safs=[gate_compute()],
+        ),
+        SAFSpec(
+            formats={("Buffer", "A"): cp2, ("DRAM", "A"): cp2},
+            storage_safs=double_sided(SAFKind.SKIP, "A", "B", "Buffer"),
+            compute_safs=[skip_compute()],
+        ),
+    ]
+    constraints = MapspaceConstraints(spatial_dims={"Buffer": ["n", "m"]})
+    candidates = 0
+    for index, safs in enumerate(saf_choices):
+        design = Design(f"dse-{index}", arch, safs, constraints=constraints)
+        result = evaluator.search_mappings(design, workload)
+        assert result is not None
+        candidates += SEARCH_BUDGET
+    return candidates
+
+
+@pytest.mark.perf
+def test_perf_engine_smoke():
+    # --- fixed-mapping evaluation throughput (SAF x density sweep) ---
+    evaluator = Evaluator()
+    _codesign_sweep(evaluator)  # warm caches (kernel + dense-analysis)
+    t0 = time.perf_counter()
+    evals = sum(_codesign_sweep(evaluator) for _ in range(SWEEP_ROUNDS))
+    sweep_seconds = time.perf_counter() - t0
+    evals_per_sec = evals / sweep_seconds
+    cache_stats = evaluator.dense_cache.stats()
+
+    # --- mapspace-search throughput (DSE pattern) ---
+    search_evaluator = Evaluator(search_budget=SEARCH_BUDGET)
+    t0 = time.perf_counter()
+    candidates = _dse_search(search_evaluator)
+    search_seconds = time.perf_counter() - t0
+    search_candidates_per_sec = candidates / search_seconds
+
+    summary = {
+        "bench": "perf_engine",
+        "evals_per_sec": round(evals_per_sec, 1),
+        "sweep_evaluations": evals,
+        "sweep_seconds": round(sweep_seconds, 4),
+        "dense_cache_hit_rate": round(cache_stats["hit_rate"], 4),
+        "dense_cache_hits": cache_stats["hits"],
+        "dense_cache_misses": cache_stats["misses"],
+        "search_candidates_per_sec": round(search_candidates_per_sec, 1),
+        "search_candidates": candidates,
+        "search_seconds": round(search_seconds, 4),
+    }
+    SUMMARY_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"\n=== perf_engine ===\n{json.dumps(summary, indent=2)}")
+
+    # The codesign sweep re-evaluates the same (einsum, arch, mapping)
+    # per density/SAF variant; a healthy dense cache serves most of it.
+    assert cache_stats["hit_rate"] > 0.5, cache_stats
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    for metric in ("evals_per_sec", "search_candidates_per_sec"):
+        floor = baseline[metric] * REGRESSION_FLOOR
+        assert summary[metric] >= floor, (
+            f"{metric} regressed: {summary[metric]:.1f}/s is below "
+            f"{REGRESSION_FLOOR:.0%} of the committed baseline "
+            f"{baseline[metric]:.1f}/s"
+        )

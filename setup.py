@@ -1,16 +1,9 @@
-"""Legacy setup shim for offline editable installs (no wheel available)."""
+"""Legacy setup shim for offline editable installs (no wheel available).
 
-from setuptools import find_packages, setup
+All project metadata — including dependencies — lives in
+``pyproject.toml``; setuptools>=61 reads it from there.
+"""
 
-setup(
-    name="repro",
-    version="1.0.0",
-    description=(
-        "Sparseloop reproduction: analytical modeling of sparse tensor "
-        "accelerators (MICRO 2022)"
-    ),
-    package_dir={"": "src"},
-    packages=find_packages(where="src"),
-    python_requires=">=3.10",
-    install_requires=["numpy", "scipy", "PyYAML"],
-)
+from setuptools import setup
+
+setup()

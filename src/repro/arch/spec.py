@@ -104,6 +104,39 @@ class Architecture:
     def level_names(self) -> list[str]:
         return [level.name for level in self.levels]
 
+    def cache_key(self) -> tuple:
+        """Canonical hashable content key over every model-relevant
+        attribute; architectures with equal keys evaluate identically.
+        Used by the engine's dense-analysis cache."""
+
+        def attrs_key(attrs: dict) -> tuple:
+            return tuple(sorted((k, repr(v)) for k, v in attrs.items()))
+
+        levels = tuple(
+            (
+                lvl.name,
+                lvl.capacity_words,
+                lvl.word_bits,
+                lvl.read_bandwidth,
+                lvl.write_bandwidth,
+                lvl.instances,
+                lvl.component,
+                attrs_key(lvl.component_attrs),
+                lvl.metadata_word_bits,
+                lvl.metadata_on_data_port,
+                lvl.multicast,
+                lvl.spatial_reduction,
+            )
+            for lvl in self.levels
+        )
+        compute = (
+            self.compute.name,
+            self.compute.instances,
+            self.compute.component,
+            attrs_key(self.compute.component_attrs),
+        )
+        return (levels, compute)
+
     def level(self, name: str) -> StorageLevel:
         for lvl in self.levels:
             if lvl.name == name:

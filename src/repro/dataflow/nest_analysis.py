@@ -114,6 +114,25 @@ class DenseTraffic:
         return self.computes / self.utilized_compute_instances
 
 
+def dense_analysis_key(
+    workload: Workload, arch: Architecture, mapping: Mapping
+) -> tuple:
+    """Content address of one dense dataflow analysis.
+
+    Dense traffic depends only on the einsum's iteration space, the
+    architecture, and the mapping — *not* on tensor densities — so the
+    key deliberately omits the workload's density models. Two calls with
+    equal keys produce numerically identical :class:`DenseTraffic`
+    (modulo the ``workload`` back-reference), which is what lets the
+    engine reuse one analysis across SAF variants of the same mapping.
+    """
+    return (
+        workload.einsum.cache_key(),
+        arch.cache_key(),
+        mapping.cache_key(),
+    )
+
+
 class _NestView:
     """Precomputed per-level loop structure shared by all tensors."""
 

@@ -158,6 +158,23 @@ class Mapping:
         """Names of levels keeping ``tensor``, outermost first."""
         return [lvl.level for lvl in self.levels if lvl.keeps(tensor)]
 
+    def cache_key(self) -> tuple:
+        """Canonical hashable content key.
+
+        Two mappings with equal keys schedule identically: same levels,
+        same ordered temporal loops, same spatial loops, same keep sets.
+        Used by the engine's dense-analysis cache.
+        """
+        return tuple(
+            (
+                lvl.level,
+                tuple(lvl.temporal),
+                tuple(lvl.spatial),
+                None if lvl.keep is None else frozenset(lvl.keep),
+            )
+            for lvl in self.levels
+        )
+
     def describe(self) -> str:
         lines = []
         indent = 0

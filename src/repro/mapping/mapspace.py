@@ -18,7 +18,12 @@ from dataclasses import dataclass, field
 
 from repro.arch.spec import Architecture
 from repro.common.errors import MappingError
-from repro.common.util import divisors, factorizations, prod
+from repro.common.util import (
+    cached_divisors,
+    factorization_count,
+    factorizations,
+    prod,
+)
 from repro.mapping.mapping import LevelMapping, Loop, Mapping
 from repro.workload.einsum import EinsumSpec
 
@@ -113,7 +118,7 @@ class Mapper:
         remaining = bound
         combo = []
         for _ in range(len(slots) - 1):
-            f = rng.choice(divisors(remaining))
+            f = rng.choice(cached_divisors(remaining))
             combo.append(f)
             remaining //= f
         combo.append(remaining)
@@ -207,10 +212,15 @@ class Mapper:
         return True
 
     def mapspace_size_estimate(self) -> int:
-        """Upper bound on the factorization space (permutations excluded)."""
+        """Upper bound on the factorization space (permutations excluded).
+
+        Computed in closed form per dimension (stars-and-bars over the
+        prime exponents) — no enumeration, so it is cheap even for huge
+        mapspaces.
+        """
         total = 1
         for dim in self.einsum.dims:
             slots = len(self._dim_slot_names(dim))
             bound = self.einsum.dims[dim]
-            total *= sum(1 for _ in factorizations(bound, slots))
+            total *= factorization_count(bound, slots)
         return total

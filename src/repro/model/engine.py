@@ -9,24 +9,54 @@
 A :class:`Design` bundles the architecture, the SAF specification, and
 how mappings are obtained (fixed, per-workload factory, or a mapspace
 search through :class:`~repro.mapping.mapspace.Mapper`).
+
+Fast-path machinery
+-------------------
+
+The engine is built for design-space-exploration traffic, where the
+same dense analysis and the same candidate mappings are evaluated over
+and over with different SAF configurations:
+
+* :class:`DenseAnalysisCache` — step 1 is independent of tensor
+  densities and SAFs, so its results are content-addressed by
+  ``(einsum, architecture, mapping)`` and reused across SAF variants
+  and repeated evaluations. Every :class:`Evaluator` owns one by
+  default; pass ``dense_cache=None`` to disable or share one instance
+  across evaluators to pool hits.
+* capacity pre-filter — ``search_mappings`` rejects candidates whose
+  *lower-bound* tile footprint already overflows a storage level
+  before running the full dense→sparse→micro pipeline. The bound is
+  strictly optimistic (payload-only, statistical occupancy), so no
+  mapping the full validity check would accept is ever dropped.
+* batch/parallel APIs — :meth:`Evaluator.evaluate_many` and
+  ``search_mappings(..., parallel=N)`` fan work out over a process
+  pool in deterministic contiguous chunks; results (including search
+  tie-breaking) are identical to the serial order. Parallel mode
+  requires picklable designs/workloads/objectives (module-level
+  functions, not lambdas).
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field, replace
 
 from repro.accelergy.backend import Accelergy
 from repro.arch.spec import Architecture
 from repro.common.errors import MappingError, SpecError, ValidationError
-from repro.dataflow.nest_analysis import analyze_dataflow
+from repro.dataflow.nest_analysis import (
+    DenseTraffic,
+    analyze_dataflow,
+    dense_analysis_key,
+)
 from repro.mapping.mapping import Mapping
 from repro.mapping.mapspace import Mapper, MapspaceConstraints
 from repro.micro.energy import compute_energy
 from repro.micro.latency import compute_latency
 from repro.micro.validity import check_validity
 from repro.model.result import EvaluationResult
-from repro.sparse.postprocess import analyze_sparse
+from repro.sparse.postprocess import analyze_sparse, ensure_output_density
 from repro.sparse.saf import SAFSpec
 from repro.workload.spec import Workload
 
@@ -62,18 +92,106 @@ class Design:
         return None
 
 
+class DenseAnalysisCache:
+    """Content-addressed LRU cache of dense dataflow analyses.
+
+    Keys are :func:`~repro.dataflow.nest_analysis.dense_analysis_key`
+    triples — (einsum, architecture, mapping) content keys — which
+    deliberately exclude tensor densities: the dense step never reads
+    them, so one analysis serves every SAF/density variant of a
+    mapping. On a hit for a *different* workload object the cached
+    :class:`DenseTraffic` is rebound to the new workload (a shallow
+    copy sharing the immutable traffic records).
+    """
+
+    def __init__(self, maxsize: int = 1024):
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple, DenseTraffic] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "entries": len(self._entries),
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_compute(
+        self, workload: Workload, arch: Architecture, mapping: Mapping
+    ) -> DenseTraffic:
+        key = dense_analysis_key(workload, arch, mapping)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return replace(cached, workload=workload)
+        self.misses += 1
+        dense = analyze_dataflow(workload, arch, mapping)
+        # Store with the workload stripped: the key ignores densities,
+        # so keeping the first-seen workload would pin its density
+        # models (potentially whole ActualDataDensity tensors) far
+        # beyond their lifetime. Hits always rebind the caller's.
+        self._entries[key] = replace(dense, workload=None)
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return dense
+
+
+def _edp_objective(result: EvaluationResult) -> float:
+    """Default search objective (module-level so it pickles)."""
+    return result.edp
+
+
 @dataclass
 class Evaluator:
     """Runs the three-step Sparseloop model.
 
+    Knobs:
+
     ``check_capacity``: raise when worst-case tiles overflow a level.
     ``search_budget``: mappings sampled when a design only provides
     mapspace constraints.
+    ``search_seed``: RNG seed for mapspace sampling.
+    ``dense_cache``: the :class:`DenseAnalysisCache` reusing dataflow
+    analyses across evaluations (``None`` disables caching; a shared
+    instance pools hits across evaluators). Each evaluator gets its own
+    cache by default.
+    ``prefilter_capacity``: in ``search_mappings``, cheaply reject
+    candidates whose optimistic tile footprint already overflows a
+    finite storage level, skipping the full pipeline. Never changes the
+    search result (the bound is a strict lower bound of the validity
+    check's occupancy); only applies when ``check_capacity`` is True.
+
+    Batch evaluation: :meth:`evaluate_many` evaluates a list of jobs,
+    and it, :meth:`search_mappings`, and :meth:`evaluate_network`
+    accept ``parallel=N`` to fan out over ``N`` worker processes in
+    deterministic contiguous chunks (results identical to serial).
     """
 
     check_capacity: bool = True
     search_budget: int = 64
     search_seed: int = 0
+    dense_cache: DenseAnalysisCache | None = field(
+        default_factory=DenseAnalysisCache, repr=False
+    )
+    prefilter_capacity: bool = True
 
     def evaluate(
         self,
@@ -103,10 +221,17 @@ class Evaluator:
             return result
         return self._evaluate_mapping(design, workload, mapping)
 
+    def _dense_analysis(
+        self, design: Design, workload: Workload, mapping: Mapping
+    ) -> DenseTraffic:
+        if self.dense_cache is None:
+            return analyze_dataflow(workload, design.arch, mapping)
+        return self.dense_cache.get_or_compute(workload, design.arch, mapping)
+
     def _evaluate_mapping(
         self, design: Design, workload: Workload, mapping: Mapping
     ) -> EvaluationResult:
-        dense = analyze_dataflow(workload, design.arch, mapping)
+        dense = self._dense_analysis(design, workload, mapping)
         sparse = analyze_sparse(dense, design.safs)
         usage = check_validity(
             design.arch, sparse, raise_on_invalid=self.check_capacity
@@ -123,20 +248,67 @@ class Evaluator:
             usage=usage,
         )
 
+    # ------------------------------------------------------------------
+    # Capacity pre-filter
+
+    def _passes_capacity_prefilter(
+        self, design: Design, workload: Workload, mapping: Mapping
+    ) -> bool:
+        """Cheap reject of candidates that cannot possibly fit.
+
+        Computes, per finite-capacity level, a *lower bound* on the
+        worst-case occupancy the validity check will derive: the dense
+        tile size for uncompressed tensors, the statistical-largest
+        nonzero count (payload only, metadata ignored) for compressed
+        ones. Because the bound never exceeds the real occupancy, a
+        rejected candidate is guaranteed to fail ``check_validity``.
+        """
+        # The output density model participates in the bound; derive it
+        # exactly as the sparse step would (idempotent).
+        ensure_output_density(workload)
+        einsum = workload.einsum
+        extents = {dim: 1 for dim in einsum.dims}
+        for level_map in reversed(mapping.levels):  # innermost first
+            for loop in level_map.temporal + level_map.spatial:
+                extents[loop.dim] *= loop.bound
+            capacity = design.arch.level(level_map.level).capacity_words
+            if capacity is None:
+                continue
+            used = 0.0
+            for tensor in einsum.tensors:
+                if not level_map.keeps(tensor.name):
+                    continue
+                tile = tensor.tile_size(extents)
+                fmt = design.safs.format_for(level_map.level, tensor.name)
+                if fmt is not None and fmt.is_compressed:
+                    model = workload.densities.get(tensor.name)
+                    if model is not None:
+                        tile = min(tile, model.quantile_occupancy(tile))
+                used += tile
+                if used > capacity:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Mapspace search
+
     def search_mappings(
         self,
         design: Design,
         workload: Workload,
         objective: Callable[[EvaluationResult], float] | None = None,
         candidates: Iterable[Mapping] | None = None,
+        parallel: int = 1,
     ) -> EvaluationResult | None:
         """Find the best valid mapping by the objective (default EDP).
 
         Uses the design's constraints with the built-in mapper unless
         explicit ``candidates`` are supplied. Returns None when no
-        candidate is valid.
+        candidate is valid. ``parallel=N`` distributes the candidate
+        list over ``N`` worker processes (deterministic: the winner —
+        including tie-breaks — matches the serial scan; requires
+        picklable design/workload/objective).
         """
-        objective = objective or (lambda r: r.edp)
         if candidates is None:
             mapper = Mapper(workload.einsum, design.arch, design.constraints)
             space = mapper.mapspace_size_estimate()
@@ -146,35 +318,150 @@ class Evaluator:
                 candidates = mapper.sample_mappings(
                     self.search_budget, seed=self.search_seed
                 )
-        best: EvaluationResult | None = None
-        best_score = float("inf")
-        for mapping in candidates:
+        if parallel > 1:
+            return self._search_parallel(
+                design, workload, list(candidates), objective, parallel
+            )
+        best = self._search_candidates(design, workload, candidates, objective)
+        return best[2] if best is not None else None
+
+    def _search_candidates(
+        self,
+        design: Design,
+        workload: Workload,
+        candidates: Iterable[Mapping],
+        objective: Callable[[EvaluationResult], float] | None,
+        offset: int = 0,
+    ) -> tuple[float, int, EvaluationResult] | None:
+        """Serial scan returning ``(score, global_index, result)`` of the
+        winner; ``offset`` re-bases indices for chunked fan-out."""
+        objective = objective or _edp_objective
+        prefilter = self.prefilter_capacity and self.check_capacity
+        best: tuple[float, int, EvaluationResult] | None = None
+        for index, mapping in enumerate(candidates):
+            if prefilter and not self._passes_capacity_prefilter(
+                design, workload, mapping
+            ):
+                continue
             try:
                 result = self._evaluate_mapping(design, workload, mapping)
             except (ValidationError, MappingError):
                 continue
             score = objective(result)
-            if score < best_score:
-                best, best_score = result, score
+            if best is None or score < best[0]:
+                best = (score, offset + index, result)
         return best
+
+    def _search_parallel(
+        self,
+        design: Design,
+        workload: Workload,
+        candidates: list[Mapping],
+        objective: Callable[[EvaluationResult], float] | None,
+        parallel: int,
+    ) -> EvaluationResult | None:
+        if len(candidates) <= 1:
+            best = self._search_candidates(
+                design, workload, candidates, objective
+            )
+            return best[2] if best is not None else None
+        from concurrent.futures import ProcessPoolExecutor
+
+        chunks = _contiguous_chunks(candidates, parallel)
+        worker = replace(self, dense_cache=DenseAnalysisCache())
+        payloads = []
+        offset = 0
+        for chunk in chunks:
+            payloads.append(
+                (worker, design, workload, chunk, objective, offset)
+            )
+            offset += len(chunk)
+        with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+            partials = list(pool.map(_search_chunk_worker, payloads))
+        best: tuple[float, int, EvaluationResult] | None = None
+        for partial in partials:
+            if partial is None:
+                continue
+            # Lexicographic (score, index) min reproduces the serial
+            # first-strictly-better tie-breaking exactly.
+            if best is None or (partial[0], partial[1]) < (best[0], best[1]):
+                best = partial
+        return best[2] if best is not None else None
+
+    # ------------------------------------------------------------------
+    # Batch evaluation
+
+    def evaluate_many(
+        self,
+        jobs: Sequence[tuple],
+        parallel: int = 1,
+    ) -> list[EvaluationResult]:
+        """Evaluate a batch of jobs, preserving order.
+
+        Each job is ``(design, workload)`` or ``(design, workload,
+        mapping)`` — the same signature as :meth:`evaluate`.
+        ``parallel=N`` splits the batch into ``N`` deterministic
+        contiguous chunks evaluated in worker processes; results are
+        reassembled in job order and match the serial run exactly.
+        """
+        jobs = list(jobs)
+        if parallel <= 1 or len(jobs) <= 1:
+            return [self.evaluate(*job) for job in jobs]
+        from concurrent.futures import ProcessPoolExecutor
+
+        chunks = _contiguous_chunks(jobs, parallel)
+        worker = replace(self, dense_cache=DenseAnalysisCache())
+        payloads = [(worker, chunk) for chunk in chunks]
+        with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+            partials = list(pool.map(_evaluate_chunk_worker, payloads))
+        return [result for chunk in partials for result in chunk]
 
     def evaluate_network(
         self,
         design: Design,
         layers,
         densities_for: Callable[[object], dict[str, float]],
+        parallel: int = 1,
     ) -> list[tuple[object, EvaluationResult]]:
         """Per-layer evaluation of a full network (Sec 6.1 methodology).
 
         ``layers`` is a list of :class:`~repro.workload.nets.NetLayer`;
         ``densities_for(layer)`` supplies per-tensor densities. Results
         aggregate per layer; total latency/energy multiply by layer
-        repeat counts.
+        repeat counts. ``parallel=N`` fans the layers out over worker
+        processes via :meth:`evaluate_many`.
         """
-        results = []
+        jobs = []
         for layer in layers:
             workload = Workload.uniform(
                 layer.spec, densities_for(layer), name=layer.name
             )
-            results.append((layer, self.evaluate(design, workload)))
-        return results
+            jobs.append((design, workload))
+        results = self.evaluate_many(jobs, parallel=parallel)
+        return list(zip(layers, results))
+
+
+def _contiguous_chunks(items: list, parts: int) -> list[list]:
+    """Split ``items`` into at most ``parts`` contiguous, near-equal,
+    non-empty chunks (deterministic)."""
+    parts = max(1, min(parts, len(items)))
+    size, extra = divmod(len(items), parts)
+    chunks = []
+    start = 0
+    for i in range(parts):
+        end = start + size + (1 if i < extra else 0)
+        chunks.append(items[start:end])
+        start = end
+    return chunks
+
+
+def _search_chunk_worker(payload):
+    evaluator, design, workload, chunk, objective, offset = payload
+    return evaluator._search_candidates(
+        design, workload, chunk, objective, offset=offset
+    )
+
+
+def _evaluate_chunk_worker(payload):
+    evaluator, jobs = payload
+    return [evaluator.evaluate(*job) for job in jobs]

@@ -15,6 +15,14 @@ analyzers ask:
 only need the size) or a per-rank extent tuple (coordinate-dependent
 models such as :class:`BandedDensity` and :class:`ActualDataDensity`
 exploit the geometry).
+
+The hypergeometric/binomial statistics are computed with closed-form
+log-gamma kernels (below) rather than ``scipy.stats``: the scalar
+``hypergeom.pmf`` machinery dominated the evaluation hot loop, and the
+same ``(tensor_size, nnz, tile_size)`` queries repeat across mappings
+and SAF variants, so the kernels are memoised module-wide. numpy is
+imported lazily — only :class:`ActualDataDensity` needs it — which
+keeps ``import repro`` free of the numpy/scipy cold-start tax.
 """
 
 from __future__ import annotations
@@ -22,14 +30,120 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
-
-import numpy as np
-from scipy.stats import hypergeom
+from functools import lru_cache
+from typing import TYPE_CHECKING
 
 from repro.common.errors import SpecError
 from repro.common.util import prod
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
 TileShape = int | Sequence[int]
+
+#: Probabilities below this are dropped from occupancy distributions,
+#: matching the old scipy-backed behaviour.
+_PMF_EPSILON = 1e-15
+
+
+# ----------------------------------------------------------------------
+# Closed-form distribution kernels.
+#
+# The models below only ever ask for hypergeometric/binomial pmfs at
+# integer parameters, and the engine asks for the same parameters over
+# and over (every mapping of a workload shares its tensor sizes and nnz
+# counts), so every kernel is wrapped in an LRU cache.
+
+
+@lru_cache(maxsize=1 << 16)
+def _log_comb(n: int, k: int) -> float:
+    """``log C(n, k)``; ``-inf`` outside the support."""
+    if k < 0 or k > n or n < 0:
+        return -math.inf
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    )
+
+
+@lru_cache(maxsize=1 << 16)
+def hypergeom_pmf(k: int, total: int, nnz: int, draws: int) -> float:
+    """P(occupancy == k) drawing ``draws`` of ``total`` positions with
+    ``nnz`` nonzeros: ``C(nnz, k) C(total-nnz, draws-k) / C(total, draws)``."""
+    if k < max(0, draws - (total - nnz)) or k > min(nnz, draws):
+        return 0.0
+    log_p = (
+        _log_comb(nnz, k)
+        + _log_comb(total - nnz, draws - k)
+        - _log_comb(total, draws)
+    )
+    return math.exp(log_p)
+
+
+@lru_cache(maxsize=1 << 16)
+def hypergeom_prob_empty(total: int, nnz: int, draws: int) -> float:
+    """P(occupancy == 0) = ``C(total-nnz, draws) / C(total, draws)``.
+
+    Evaluated as the falling-factorial product over the shorter of
+    ``draws`` and ``nnz`` when that is small (numerically exact), with
+    the log-gamma form as the large-parameter fallback.
+    """
+    if nnz <= 0:
+        return 1.0
+    if draws <= 0:
+        return 1.0
+    if draws > total - nnz:
+        return 0.0
+    span = min(draws, nnz)
+    if span <= 4096:
+        # P(empty) = prod_{i<span} (total - long - i) / (total - i) where
+        # long is the longer of (draws, nnz); both orderings are exact.
+        longer = max(draws, nnz)
+        p = 1.0
+        for i in range(span):
+            p *= (total - longer - i) / (total - i)
+        return p
+    return hypergeom_pmf(0, total, nnz, draws)
+
+
+@lru_cache(maxsize=1 << 16)
+def binom_pmf(k: int, n: int, p: float) -> float:
+    """Binomial pmf ``C(n, k) p^k (1-p)^(n-k)``."""
+    if k < 0 or k > n:
+        return 0.0
+    if p <= 0.0:
+        return 1.0 if k == 0 else 0.0
+    if p >= 1.0:
+        return 1.0 if k == n else 0.0
+    log_p = _log_comb(n, k) + k * math.log(p) + (n - k) * math.log1p(-p)
+    return math.exp(log_p)
+
+
+@lru_cache(maxsize=4096)
+def hypergeom_distribution(
+    total: int, nnz: int, draws: int
+) -> tuple[tuple[int, float], ...]:
+    """Full ``(occupancy, probability)`` support of the hypergeometric."""
+    lo = max(0, draws - (total - nnz))
+    hi = min(nnz, draws)
+    pairs = []
+    for k in range(lo, hi + 1):
+        p = hypergeom_pmf(k, total, nnz, draws)
+        if p > _PMF_EPSILON:
+            pairs.append((k, p))
+    return tuple(pairs)
+
+
+@lru_cache(maxsize=4096)
+def binom_distribution(
+    size: int, density: float
+) -> tuple[tuple[int, float], ...]:
+    """Full ``(occupancy, probability)`` support of the binomial."""
+    pairs = []
+    for k in range(size + 1):
+        p = binom_pmf(k, size, density)
+        if p > _PMF_EPSILON:
+            pairs.append((k, p))
+    return tuple(pairs)
 
 
 def _tile_size(shape: TileShape) -> int:
@@ -54,6 +168,15 @@ class DensityModel(ABC):
     @abstractmethod
     def prob_empty(self, shape: TileShape) -> float:
         """Probability that a tile of ``shape`` contains only zeros."""
+
+    def cache_key(self) -> tuple | None:
+        """Hashable content key for memoising derived analyses.
+
+        Two models with equal keys must answer every query identically.
+        ``None`` (the default) marks the model as uncacheable; analyses
+        then fall back to recomputing.
+        """
+        return None
 
     def prob_nonempty(self, shape: TileShape) -> float:
         return 1.0 - self.prob_empty(shape)
@@ -119,6 +242,9 @@ class UniformDensity(DensityModel):
     def density(self) -> float:
         return self._density
 
+    def cache_key(self) -> tuple:
+        return ("uniform", self._density, self.tensor_size)
+
     @property
     def _nnz(self) -> int | None:
         if self.tensor_size is None:
@@ -131,9 +257,8 @@ class UniformDensity(DensityModel):
             return 1.0
         if self.tensor_size is None:
             return (1.0 - self._density) ** size
-        n, k = self.tensor_size, self._nnz
-        size = min(size, n)
-        return float(hypergeom.pmf(0, n, k, size))
+        n = self.tensor_size
+        return hypergeom_prob_empty(n, self._nnz, min(size, n))
 
     def expected_occupancy(self, shape: TileShape) -> float:
         return _tile_size(shape) * self._density
@@ -163,17 +288,9 @@ class UniformDensity(DensityModel):
         if self._density == 0.0:
             return [(0, 1.0)]
         if self.tensor_size is None:
-            # Binomial pmf over the full support.
-            from scipy.stats import binom
-
-            ks = np.arange(size + 1)
-            ps = binom.pmf(ks, size, self._density)
-        else:
-            n, nnz = self.tensor_size, self._nnz
-            size = min(size, n)
-            ks = np.arange(size + 1)
-            ps = hypergeom.pmf(ks, n, nnz, size)
-        return [(int(k), float(p)) for k, p in zip(ks, ps) if p > 1e-15]
+            return list(binom_distribution(size, self._density))
+        n = self.tensor_size
+        return list(hypergeom_distribution(n, self._nnz, min(size, n)))
 
     def __repr__(self) -> str:
         return (
@@ -208,6 +325,9 @@ class FixedStructuredDensity(DensityModel):
     def density(self) -> float:
         return self.nonzeros_per_block / self.block_size
 
+    def cache_key(self) -> tuple:
+        return ("structured", self.nonzeros_per_block, self.block_size)
+
     def _split(self, shape: TileShape) -> tuple[int, int]:
         """Full blocks and remainder elements covered by the tile."""
         size = _tile_size(shape)
@@ -219,8 +339,8 @@ class FixedStructuredDensity(DensityModel):
         full, rem = self._split(shape)
         if full > 0:
             return 0.0
-        return float(
-            hypergeom.pmf(0, self.block_size, self.nonzeros_per_block, rem)
+        return hypergeom_prob_empty(
+            self.block_size, self.nonzeros_per_block, rem
         )
 
     def expected_occupancy(self, shape: TileShape) -> float:
@@ -235,11 +355,10 @@ class FixedStructuredDensity(DensityModel):
         base = full * self.nonzeros_per_block
         if rem == 0:
             return [(base, 1.0)]
-        ks = np.arange(min(rem, self.nonzeros_per_block) + 1)
-        ps = hypergeom.pmf(ks, self.block_size, self.nonzeros_per_block, rem)
-        return [
-            (base + int(k), float(p)) for k, p in zip(ks, ps) if p > 1e-15
-        ]
+        pairs = hypergeom_distribution(
+            self.block_size, self.nonzeros_per_block, rem
+        )
+        return [(base + k, p) for k, p in pairs]
 
     def __repr__(self) -> str:
         return (
@@ -290,6 +409,15 @@ class BandedDensity(DensityModel):
     @property
     def density(self) -> float:
         return self._band_elems * self.fill_density / (self.rows * self.cols)
+
+    def cache_key(self) -> tuple:
+        return (
+            "banded",
+            self.rows,
+            self.cols,
+            self.band_width,
+            self.fill_density,
+        )
 
     def _band_overlap(self, r0: int, c0: int, th: int, tw: int) -> int:
         """Number of in-band elements inside tile [r0, r0+th) x [c0, c0+tw)."""
@@ -363,14 +491,18 @@ class ActualDataDensity(DensityModel):
     Eyeriss V2 layers where statistical approximation shows error.
     """
 
-    def __init__(self, data: np.ndarray):
+    def __init__(self, data: "np.ndarray"):
+        import numpy as np
+
         self.data = np.asarray(data)
         if self.data.size == 0:
             raise SpecError("ActualDataDensity requires a non-empty tensor")
-        self._cache: dict[tuple[int, ...], np.ndarray] = {}
+        self._cache: dict[tuple[int, ...], "np.ndarray"] = {}
 
     @property
     def density(self) -> float:
+        import numpy as np
+
         return float(np.count_nonzero(self.data)) / self.data.size
 
     def _normalize_shape(self, shape: TileShape) -> tuple[int, ...]:
@@ -391,7 +523,9 @@ class ActualDataDensity(DensityModel):
             shape = rest
         return tuple(min(s, d) for s, d in zip(shape, self.data.shape))
 
-    def _occupancies(self, shape: tuple[int, ...]) -> np.ndarray:
+    def _occupancies(self, shape: tuple[int, ...]) -> "np.ndarray":
+        import numpy as np
+
         if shape not in self._cache:
             counts = []
             ranges = [
@@ -408,18 +542,26 @@ class ActualDataDensity(DensityModel):
         return self._cache[shape]
 
     def prob_empty(self, shape: TileShape) -> float:
+        import numpy as np
+
         occ = self._occupancies(self._normalize_shape(shape))
         return float(np.mean(occ == 0))
 
     def expected_occupancy(self, shape: TileShape) -> float:
+        import numpy as np
+
         occ = self._occupancies(self._normalize_shape(shape))
         return float(np.mean(occ))
 
     def max_occupancy(self, shape: TileShape) -> int:
+        import numpy as np
+
         occ = self._occupancies(self._normalize_shape(shape))
         return int(np.max(occ))
 
     def occupancy_distribution(self, shape: TileShape) -> list[tuple[int, float]]:
+        import numpy as np
+
         occ = self._occupancies(self._normalize_shape(shape))
         values, counts = np.unique(occ, return_counts=True)
         total = counts.sum()

@@ -9,6 +9,7 @@ the density model.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.common.util import prod
@@ -72,12 +73,29 @@ class TileOccupancy:
         return self.metadata_bits / self.dense_words
 
 
+#: Memo for :func:`analyze_tile_format`, keyed by
+#: ``(format key, rank extents, density key)``. The same (format, tile
+#: shape, density) triple recurs for every mapping sharing a tile size
+#: and for every SAF variant of a mapspace sweep. Bounded LRU.
+_TILE_CACHE: OrderedDict[tuple, TileOccupancy] = OrderedDict()
+_TILE_CACHE_MAX = 16384
+
+
+def clear_tile_format_cache() -> None:
+    """Drop all memoised tile-format analyses (mainly for tests)."""
+    _TILE_CACHE.clear()
+
+
 def analyze_tile_format(
     fmt: FormatSpec,
     rank_extents: tuple[int, ...],
     density: DensityModel,
 ) -> TileOccupancy:
     """Statistically characterise one tile's encoded occupancy.
+
+    Results are memoised module-wide when both the format and the
+    density model expose content keys (``cache_key()``); callers must
+    treat the returned :class:`TileOccupancy` as read-only.
 
     Walks format ranks outer to inner. At each rank, the expected count
     of nonempty coordinates equals the number of coordinate positions
@@ -86,6 +104,27 @@ def analyze_tile_format(
     every position of every stored fiber; compressed ranks keep only
     nonempty ones.
     """
+    density_key = density.cache_key()
+    key = None
+    if density_key is not None:
+        key = (fmt.cache_key(), tuple(rank_extents), density_key)
+        hit = _TILE_CACHE.get(key)
+        if hit is not None:
+            _TILE_CACHE.move_to_end(key)
+            return hit
+    result = _analyze_tile_format(fmt, rank_extents, density)
+    if key is not None:
+        _TILE_CACHE[key] = result
+        if len(_TILE_CACHE) > _TILE_CACHE_MAX:
+            _TILE_CACHE.popitem(last=False)
+    return result
+
+
+def _analyze_tile_format(
+    fmt: FormatSpec,
+    rank_extents: tuple[int, ...],
+    density: DensityModel,
+) -> TileOccupancy:
     extents = fmt.group_extents(rank_extents)
     dense_words = int(prod(extents))
     # Statistically-largest occupancy (Sec 5.4): capacity is sized for

@@ -228,6 +228,16 @@ class FormatSpec:
         """True if any rank prunes payloads to nonzeros."""
         return any(r.format.compressed for r in self.ranks)
 
+    def cache_key(self) -> tuple:
+        """Hashable content key; format specs with equal keys produce
+        identical occupancy analyses (used to memoise the format
+        analyzer). Per-rank formats are identified by type and repr,
+        which encodes their bit-width parameters."""
+        return tuple(
+            (type(r.format).__name__, repr(r.format), r.flattened_ranks)
+            for r in self.ranks
+        )
+
     def group_extents(self, rank_extents: tuple[int, ...]) -> list[int]:
         """Collapse per-tensor-rank extents into per-format-rank extents.
 

@@ -125,6 +125,12 @@ class EinsumSpec:
                             f"{rank.name!r} onto unknown dim {term.dim!r}"
                         )
 
+    def cache_key(self) -> tuple:
+        """Canonical hashable content key (dims in declaration order
+        plus the frozen tensor refs). Einsums with equal keys have
+        identical iteration spaces and projections."""
+        return (tuple(self.dims.items()), tuple(self.tensors))
+
     @property
     def output(self) -> TensorRef:
         return next(t for t in self.tensors if t.is_output)

@@ -8,9 +8,11 @@ from hypothesis import strategies as st
 
 from repro.common.util import (
     bits_to_words,
+    cached_divisors,
     ceil_div,
     clamp,
     divisors,
+    factorization_count,
     factorizations,
     geometric_mean,
     prod,
@@ -80,6 +82,15 @@ class TestDivisors:
         for d in divisors(n):
             assert n % d == 0
 
+    def test_cached_variant_matches(self):
+        for n in (1, 2, 12, 97, 360):
+            assert list(cached_divisors(n)) == divisors(n)
+
+    def test_returns_fresh_list(self):
+        first = divisors(24)
+        first.append(999)
+        assert 999 not in divisors(24)
+
 
 class TestFactorizations:
     def test_single_part(self):
@@ -103,6 +114,27 @@ class TestFactorizations:
         for combo in factorizations(n, parts):
             assert prod(combo) == n
             assert len(combo) == parts
+
+
+class TestFactorizationCount:
+    @given(
+        st.integers(min_value=1, max_value=128),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_closed_form_matches_enumeration(self, n, parts):
+        assert factorization_count(n, parts) == sum(
+            1 for _ in factorizations(n, parts)
+        )
+
+    def test_large_input_is_cheap(self):
+        # 2^20 over 8 slots: C(27, 7) ordered splits, no enumeration.
+        assert factorization_count(2**20, 8) == math.comb(27, 7)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            factorization_count(0, 2)
+        with pytest.raises(ValueError):
+            factorization_count(4, 0)
 
 
 class TestBitsToWords:
