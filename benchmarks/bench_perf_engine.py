@@ -1,12 +1,16 @@
 """Perf smoke for the fast-path evaluation engine.
 
-Measures two throughput numbers that the fast path is responsible for —
-fixed-mapping evaluations/sec under a SAF x density sweep (the Fig. 17
-co-design traffic pattern) and mapspace-search candidates/sec (the DSE
-traffic pattern) — plus the dense-analysis cache hit rate. The numbers
-are written to ``BENCH_perf_engine.json`` next to this file and checked
+Measures three throughput numbers that the fast path is responsible
+for — fixed-mapping evaluations/sec under a SAF x density sweep (the
+Fig. 17 co-design traffic pattern), mapspace-search candidates/sec
+(the DSE traffic pattern), and sparse-postprocess evaluations/sec
+(the vectorized + cache-served sparse modeling stage, compared against
+the scalar no-cache oracle that matches the pre-vectorization
+pipeline) — plus the dense-analysis cache hit rate. The numbers are
+written to ``BENCH_perf_engine.json`` next to this file and checked
 against the committed ``baseline_perf_engine.json``: the test fails if
-either throughput regresses more than 30% below the baseline.
+a throughput regresses more than 30% below the baseline, or if the
+sparse-postprocess stage falls below 3x its scalar oracle.
 
 The committed baseline is deliberately conservative (roughly half of
 the throughput measured on the reference machine) so that CI noise does
@@ -40,6 +44,13 @@ REGRESSION_FLOOR = 0.7
 SWEEP_DENSITIES = [1e-4, 1e-3, 1e-2, 0.06, 0.3]
 SWEEP_ROUNDS = 3
 SEARCH_BUDGET = 40
+#: Times each (mapping, SAF, density) point is revisited — a (very
+#: conservative) stand-in for evolution-strategy mappers and TeAAL-like
+#: front-ends that re-evaluate the same einsums under many schedules.
+SPARSE_ROUNDS = 6
+#: The sparse-postprocess stage must beat its scalar no-cache oracle
+#: (the pre-vectorization pipeline) by at least this factor.
+SPARSE_SPEEDUP_FLOOR = 3.0
 
 
 def _codesign_sweep(evaluator: Evaluator) -> int:
@@ -95,6 +106,78 @@ def _dse_search(evaluator: Evaluator) -> int:
     return candidates
 
 
+def _sparse_stage_pairs():
+    """(dense, safs) pairs of the codesign sweep, dense analyses shared
+    the way the engine shares them (one per dataflow x density)."""
+    evaluator = Evaluator()
+    pairs = []
+    for density in SWEEP_DENSITIES:
+        workload = Workload.uniform(
+            matmul(1024, 1024, 1024), {"A": density, "B": density}
+        )
+        for dataflow, saf in codesign.ALL_COMBINATIONS:
+            design = codesign.build_design(dataflow, saf)
+            mapping = design.mapping_for(workload)
+            dense = evaluator._dense_analysis(design, workload, mapping)
+            pairs.append((dense, design.safs))
+    return pairs
+
+
+def _bench_sparse_postprocess() -> dict:
+    """Sparse-postprocess throughput: cached+vectorized vs the scalar
+    no-cache oracle (the pre-vectorization pipeline).
+
+    Both paths are timed with the process-global memos (tile-format
+    stage, density kernels) and numpy already warm — the pre-PR
+    pipeline had those too — so the ratio isolates what this PR adds:
+    the batched arithmetic and the sparse-analysis cache stage.
+    """
+    from repro.sparse.postprocess import analyze_sparse
+
+    pairs = _sparse_stage_pairs()
+    for vectorized in (False, True):  # shared warmup for both paths
+        for dense, safs in pairs:
+            analyze_sparse(dense, safs, vectorized=vectorized)
+
+    t0 = time.perf_counter()
+    oracle = None
+    for _ in range(SPARSE_ROUNDS):
+        for dense, safs in pairs:
+            oracle = analyze_sparse(dense, safs, vectorized=False)
+    scalar_seconds = time.perf_counter() - t0
+
+    evaluator = Evaluator()
+    t0 = time.perf_counter()
+    fast = None
+    for _ in range(SPARSE_ROUNDS):
+        for dense, safs in pairs:
+            fast = evaluator._sparse_analysis(dense, safs)
+    fast_seconds = time.perf_counter() - t0
+
+    # The fast path must agree bit-for-bit with the oracle (spot check
+    # on the last pair; the test suite covers every bundled design).
+    assert fast.compute.actual == oracle.compute.actual
+    assert fast.compute.gated == oracle.compute.gated
+    for key, actions in oracle.actions.items():
+        other = fast.actions[key]
+        assert other.data_reads.actual == actions.data_reads.actual
+        assert other.data_writes.actual == actions.data_writes.actual
+
+    evals = SPARSE_ROUNDS * len(pairs)
+    per_sec = evals / fast_seconds
+    scalar_per_sec = evals / scalar_seconds
+    return {
+        "sparse_evals_per_sec": round(per_sec, 1),
+        "sparse_scalar_evals_per_sec": round(scalar_per_sec, 1),
+        "sparse_speedup_vs_scalar": round(per_sec / scalar_per_sec, 2),
+        "sparse_evaluations": evals,
+        "sparse_seconds": round(fast_seconds, 4),
+        "sparse_cache_hit_rate": round(
+            evaluator.sparse_cache.hit_rate, 4
+        ),
+    }
+
+
 @pytest.mark.perf
 def test_perf_engine_smoke():
     # --- fixed-mapping evaluation throughput (SAF x density sweep) ---
@@ -113,6 +196,9 @@ def test_perf_engine_smoke():
     search_seconds = time.perf_counter() - t0
     search_candidates_per_sec = candidates / search_seconds
 
+    # --- sparse-postprocess throughput (vectorized + cache stage) ---
+    sparse_summary = _bench_sparse_postprocess()
+
     summary = {
         "bench": "perf_engine",
         "evals_per_sec": round(evals_per_sec, 1),
@@ -124,6 +210,7 @@ def test_perf_engine_smoke():
         "search_candidates_per_sec": round(search_candidates_per_sec, 1),
         "search_candidates": candidates,
         "search_seconds": round(search_seconds, 4),
+        **sparse_summary,
     }
     SUMMARY_PATH.write_text(json.dumps(summary, indent=2) + "\n")
     print(f"\n=== perf_engine ===\n{json.dumps(summary, indent=2)}")
@@ -133,10 +220,21 @@ def test_perf_engine_smoke():
     assert cache_stats["hit_rate"] > 0.5, cache_stats
 
     baseline = json.loads(BASELINE_PATH.read_text())
-    for metric in ("evals_per_sec", "search_candidates_per_sec"):
+    for metric in (
+        "evals_per_sec",
+        "search_candidates_per_sec",
+        "sparse_evals_per_sec",
+    ):
         floor = baseline[metric] * REGRESSION_FLOOR
         assert summary[metric] >= floor, (
             f"{metric} regressed: {summary[metric]:.1f}/s is below "
             f"{REGRESSION_FLOOR:.0%} of the committed baseline "
             f"{baseline[metric]:.1f}/s"
         )
+
+    # Acceptance: the vectorized + cache-served sparse stage must beat
+    # the scalar no-cache oracle (the pre-vectorization pipeline) 3x.
+    assert summary["sparse_speedup_vs_scalar"] >= SPARSE_SPEEDUP_FLOOR, (
+        f"sparse-postprocess speedup {summary['sparse_speedup_vs_scalar']}x "
+        f"is below the {SPARSE_SPEEDUP_FLOOR}x floor"
+    )

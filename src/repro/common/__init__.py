@@ -1,5 +1,11 @@
-"""Shared utilities: errors, math helpers, and spec loading."""
+"""Shared utilities: errors, math helpers, caching, and spec loading."""
 
+from repro.common.cache import (
+    AnalysisCache,
+    DenseAnalysisCache,
+    StageCache,
+    global_cache,
+)
 from repro.common.errors import (
     MappingError,
     ReproError,
@@ -18,6 +24,10 @@ __all__ = [
     "SpecError",
     "MappingError",
     "ValidationError",
+    "AnalysisCache",
+    "DenseAnalysisCache",
+    "StageCache",
+    "global_cache",
     "ceil_div",
     "clamp",
     "prod",

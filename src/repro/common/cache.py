@@ -1,0 +1,296 @@
+"""Unified content-addressed analysis cache (the memo service).
+
+Every stage of the evaluation pipeline — dense dataflow analysis,
+sparse post-processing, tile-format characterisation — is a pure
+function of *content*: einsum iteration spaces, architecture
+parameters, mapping schedules, SAF specifications, and density-model
+parameters. Each of those objects exposes a ``cache_key()`` canonical
+content key, so any stage result can be memoised under a tuple of the
+keys it depends on and shared across evaluations, SAF sweeps, and even
+worker processes.
+
+This module provides that memo service as one subsystem instead of the
+ad-hoc per-module caches it grew out of:
+
+* :class:`StageCache` — one bounded, content-addressed LRU map with
+  hit/miss accounting. Values are treated as **read-only** by
+  convention: a hit returns the stored object itself.
+* :class:`DenseAnalysisCache` — the dense-stage specialisation
+  (formerly in :mod:`repro.model.engine`): keys exclude tensor
+  densities, and hits rebind the caller's workload.
+* :class:`AnalysisCache` — a registry of named stages. The evaluation
+  engine owns one (stages ``"dense"`` and ``"sparse"``); the
+  process-global instance from :func:`global_cache` hosts stages whose
+  results are safely shared by every evaluator in the process (stage
+  ``"tile-format"``).
+
+Adding a new stage (e.g. micro energy/latency memoisation) takes three
+steps: derive a content key from the stage's *actual* inputs, pick a
+stage name and default size in :data:`DEFAULT_STAGE_SIZES`, and wrap
+the computation in ``cache.stage(name).get_or_compute(key, fn)``. See
+``docs/caching.md`` for the key-composition rules and invalidation
+story.
+
+Warm workers: :meth:`AnalysisCache.export_state` snapshots the
+most-recently-used entries of every stage into a picklable payload and
+:meth:`AnalysisCache.import_state` restores them — the engine ships the
+parent's entries through the process-pool initializer so ``parallel=N``
+workers start warm instead of re-deriving shared analyses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable, Iterable
+from typing import Any
+
+#: Default LRU capacities per well-known stage name. Stages not listed
+#: here fall back to ``DEFAULT_STAGE_SIZE``.
+DEFAULT_STAGE_SIZES = {
+    "dense": 1024,
+    "sparse": 4096,
+    "tile-format": 16384,
+}
+
+DEFAULT_STAGE_SIZE = 1024
+
+#: Default cap on entries exported *per stage* when shipping cache
+#: state to worker processes; bounds the pickle payload.
+DEFAULT_EXPORT_LIMIT = 512
+
+
+class StageCache:
+    """One content-addressed LRU memo table with hit/miss accounting.
+
+    Keys must be hashable content keys (tuples of primitives); values
+    are arbitrary analysis results treated as read-only by callers.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_STAGE_SIZE, name: str = ""):
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.name = name
+        self.maxsize = maxsize
+        self._entries: OrderedDict[Any, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "entries": len(self._entries),
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Any) -> Any | None:
+        """Return the cached value (refreshing LRU order) or ``None``.
+
+        Counts a hit or a miss; use ``key in cache`` to peek without
+        touching the accounting.
+        """
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def get_or_compute(self, key: Any, compute: Callable[[], Any]) -> Any:
+        value = self.get(key)
+        if value is None:
+            value = compute()
+            self.put(key, value)
+        return value
+
+    # ------------------------------------------------------------------
+    # Warm-worker state shipping
+
+    def export_entries(
+        self, limit: int | None = DEFAULT_EXPORT_LIMIT
+    ) -> list[tuple[Any, Any]]:
+        """Most-recently-used ``(key, value)`` pairs, oldest first.
+
+        The pairs are ordered so that importing them in sequence leaves
+        the receiving cache with the same LRU ordering.
+        """
+        pairs = list(self._entries.items())
+        if limit is not None and len(pairs) > limit:
+            pairs = pairs[-limit:]
+        return pairs
+
+    def import_entries(self, pairs: Iterable[tuple[Any, Any]]) -> int:
+        """Install exported pairs; returns the number imported."""
+        count = 0
+        for key, value in pairs:
+            self.put(key, value)
+            count += 1
+        return count
+
+
+class DenseAnalysisCache(StageCache):
+    """Content-addressed LRU cache of dense dataflow analyses.
+
+    Keys are :func:`~repro.dataflow.nest_analysis.dense_analysis_key`
+    triples — (einsum, architecture, mapping) content keys — which
+    deliberately exclude tensor densities: the dense step never reads
+    them, so one analysis serves every SAF/density variant of a
+    mapping. On a hit for a *different* workload object the cached
+    :class:`~repro.dataflow.nest_analysis.DenseTraffic` is rebound to
+    the new workload (a shallow copy sharing the immutable traffic
+    records).
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_STAGE_SIZES["dense"]):
+        super().__init__(maxsize=maxsize, name="dense")
+
+    def get_or_compute(self, workload, arch, mapping):  # type: ignore[override]
+        return self.get_or_compute_keyed(workload, arch, mapping)[0]
+
+    def get_or_compute_keyed(self, workload, arch, mapping):
+        """Like :meth:`get_or_compute` but returns ``(dense, key)`` so
+        callers can derive downstream stage keys without recomputing
+        the (einsum, arch, mapping) content hashes."""
+        from dataclasses import replace
+
+        from repro.dataflow.nest_analysis import (
+            analyze_dataflow,
+            dense_analysis_key,
+        )
+
+        key = dense_analysis_key(workload, arch, mapping)
+        cached = self.get(key)
+        if cached is not None:
+            return replace(cached, workload=workload), key
+        dense = analyze_dataflow(workload, arch, mapping)
+        # Store with the workload stripped: the key ignores densities,
+        # so keeping the first-seen workload would pin its density
+        # models (potentially whole ActualDataDensity tensors) far
+        # beyond their lifetime. Hits always rebind the caller's.
+        self.put(key, replace(dense, workload=None))
+        return dense, key
+
+
+#: Stage names whose entries the dense-specific machinery builds.
+_STAGE_CLASSES: dict[str, type[StageCache]] = {
+    "dense": DenseAnalysisCache,
+}
+
+
+class AnalysisCache:
+    """A registry of named :class:`StageCache` stages.
+
+    Stages are created lazily on first access, sized by
+    :data:`DEFAULT_STAGE_SIZES` unless overridden via ``stage_sizes``.
+    The ``"dense"`` stage instantiates :class:`DenseAnalysisCache`; all
+    other stages are plain :class:`StageCache` tables.
+    """
+
+    def __init__(self, stage_sizes: dict[str, int] | None = None):
+        self._stage_sizes = dict(stage_sizes or {})
+        self._stages: dict[str, StageCache] = {}
+
+    def stage(self, name: str, maxsize: int | None = None) -> StageCache:
+        """The stage named ``name``, created on first use.
+
+        ``maxsize`` only applies at creation; asking for a different
+        size once the stage exists is a programming error and raises.
+        """
+        existing = self._stages.get(name)
+        if existing is not None:
+            if maxsize is not None and maxsize != existing.maxsize:
+                raise ValueError(
+                    f"stage {name!r} already exists with maxsize "
+                    f"{existing.maxsize}, cannot resize to {maxsize}"
+                )
+            return existing
+        size = maxsize
+        if size is None:
+            size = self._stage_sizes.get(name)
+        if size is None:
+            size = DEFAULT_STAGE_SIZES.get(name, DEFAULT_STAGE_SIZE)
+        cls = _STAGE_CLASSES.get(name)
+        stage = cls(maxsize=size) if cls else StageCache(size, name=name)
+        self._stages[name] = stage
+        return stage
+
+    @property
+    def dense(self) -> DenseAnalysisCache:
+        stage = self.stage("dense")
+        assert isinstance(stage, DenseAnalysisCache)
+        return stage
+
+    @property
+    def sparse(self) -> StageCache:
+        return self.stage("sparse")
+
+    def stage_names(self) -> list[str]:
+        return sorted(self._stages)
+
+    def stats(self) -> dict[str, dict[str, float]]:
+        return {name: stage.stats() for name, stage in self._stages.items()}
+
+    def clear(self) -> None:
+        for stage in self._stages.values():
+            stage.clear()
+
+    # ------------------------------------------------------------------
+    # Warm-worker state shipping
+
+    def export_state(
+        self, per_stage_limit: int | None = DEFAULT_EXPORT_LIMIT
+    ) -> dict[str, list[tuple[Any, Any]]]:
+        """Picklable snapshot of every stage's hottest entries."""
+        return {
+            name: stage.export_entries(per_stage_limit)
+            for name, stage in self._stages.items()
+            if len(stage)
+        }
+
+    def import_state(self, state: dict[str, list[tuple[Any, Any]]]) -> int:
+        """Install a snapshot from :meth:`export_state`; returns the
+        total number of entries imported."""
+        total = 0
+        for name, pairs in state.items():
+            total += self.stage(name).import_entries(pairs)
+        return total
+
+
+_GLOBAL_CACHE: AnalysisCache | None = None
+
+
+def global_cache() -> AnalysisCache:
+    """The process-wide :class:`AnalysisCache`.
+
+    Hosts stages whose results are independent of any evaluator's
+    configuration and therefore safe to share process-wide — currently
+    the ``"tile-format"`` stage used by
+    :mod:`repro.sparse.format_analyzer`.
+    """
+    global _GLOBAL_CACHE
+    if _GLOBAL_CACHE is None:
+        _GLOBAL_CACHE = AnalysisCache()
+    return _GLOBAL_CACHE

@@ -11,7 +11,6 @@ best candidate by model feedback lives in
 
 from __future__ import annotations
 
-import itertools
 import random
 from collections.abc import Iterator
 from dataclasses import dataclass, field
@@ -81,6 +80,19 @@ class Mapper:
                         f"{level!r}"
                     )
                 self._spatial_slots.append((level, dim))
+        self._slot_levels_cache: dict[str, list[int]] = {}
+        self._level_order = {name: i for i, name in enumerate(self.level_names)}
+        # Capacity-overflow feedback (engine prefilter -> mapper): per
+        # level, monotone infeasibility witnesses. A witness ``w`` means
+        # any candidate whose per-dim tile extents at that level
+        # dominate ``w`` (>= in every dim) is guaranteed to overflow,
+        # so enumeration/sampling drops it — and whole factorization
+        # subtrees when a chosen prefix already seals the dominance.
+        self._overflow_witnesses: dict[str, list[dict[str, int]]] = {}
+        #: Candidates dropped by witness dominance (observability).
+        self.pruned_candidates = 0
+        #: Factorization subtrees cut before enumeration reached them.
+        self.pruned_subtrees = 0
 
     # ------------------------------------------------------------------
     # Factor enumeration
@@ -124,6 +136,122 @@ class Mapper:
         combo.append(remaining)
         rng.shuffle(combo)
         return tuple(combo)
+
+    # ------------------------------------------------------------------
+    # Capacity-overflow feedback (monotone dominance pruning)
+
+    def register_overflow(self, level: str, dim_extents: dict[str, int]) -> None:
+        """Record a monotone infeasibility witness for ``level``.
+
+        The engine's capacity prefilter calls this when a candidate's
+        tile at ``level`` overflows even under a *monotone* occupancy
+        bound (dense tile sizes, expected occupancy for compressed
+        tensors). Because that bound grows with every per-dim tile
+        extent, any other candidate whose extents at ``level`` dominate
+        the witness (>= in every dimension) must overflow too, so
+        enumeration and sampling drop it — whole factorization subtrees
+        at once when a chosen prefix already seals the dominance. The
+        search result never changes: every pruned candidate is one the
+        prefilter, and therefore the full validity check, would reject.
+
+        The witness set is kept minimal: new witnesses dominated by an
+        existing one are discarded, and existing witnesses dominated by
+        a new one are replaced.
+        """
+        if level not in self.level_names:
+            raise MappingError(
+                f"overflow registered for unknown level {level!r}; "
+                f"architecture has {self.level_names}"
+            )
+        witness = {d: int(e) for d, e in dim_extents.items() if int(e) > 1}
+        witnesses = self._overflow_witnesses.setdefault(level, [])
+        for existing in witnesses:
+            if all(witness.get(d, 1) >= v for d, v in existing.items()):
+                return  # an existing witness already prunes a superset
+        witnesses[:] = [
+            w
+            for w in witnesses
+            if not all(w.get(d, 1) >= v for d, v in witness.items())
+        ]
+        witnesses.append(witness)
+
+    @property
+    def overflow_witness_count(self) -> int:
+        return sum(len(w) for w in self._overflow_witnesses.values())
+
+    def _slot_levels(self, dim: str) -> list[int]:
+        """Per slot of ``dim``, the outermost-first index of its level."""
+        cached = self._slot_levels_cache.get(dim)
+        if cached is None:
+            cached = [
+                self._level_order[level]
+                for (_kind, level) in self._dim_slot_names(dim)
+            ]
+            self._slot_levels_cache[dim] = cached
+        return cached
+
+    def _dim_extent_at(
+        self, dim: str, combo: tuple[int, ...], level_index: int
+    ) -> int:
+        """Tile extent of ``dim`` at a level: the product of factors in
+        slots at or inside that level (temporal and spatial)."""
+        extent = 1
+        for slot_index, factor in zip(self._slot_levels(dim), combo):
+            if slot_index >= level_index:
+                extent *= factor
+        return extent
+
+    def _combo_sort_key(self, dim: str, combo: tuple[int, ...]) -> tuple:
+        """Ascending tile extents, innermost level most significant."""
+        last = len(self.level_names) - 1
+        return tuple(
+            self._dim_extent_at(dim, combo, index)
+            for index in range(last, -1, -1)
+        )
+
+    def _witness_dominated(
+        self, dims: list[str], combos: list[tuple[int, ...]]
+    ) -> bool:
+        """True when a full candidate dominates a registered witness."""
+        if not self._overflow_witnesses:
+            return False
+        for level, witnesses in self._overflow_witnesses.items():
+            level_index = self._level_order[level]
+            for witness in witnesses:
+                dominated = True
+                for j, dim in enumerate(dims):
+                    need = witness.get(dim, 1)
+                    if need <= 1:
+                        continue
+                    if self._dim_extent_at(dim, combos[j], level_index) < need:
+                        dominated = False
+                        break
+                if dominated:
+                    return True
+        return False
+
+    def _subtree_dominated(
+        self, dims: list[str], chosen: list[tuple[int, ...]]
+    ) -> bool:
+        """True when every completion of the chosen prefix dominates a
+        witness: the chosen dims already meet the witness extents and
+        the witness asks nothing (> 1) of the unchosen dims, whose
+        extents are always >= 1."""
+        if not self._overflow_witnesses:
+            return False
+        k = len(chosen)
+        for level, witnesses in self._overflow_witnesses.items():
+            level_index = self._level_order[level]
+            for witness in witnesses:
+                if any(witness.get(d, 1) > 1 for d in dims[k:]):
+                    continue
+                if all(
+                    self._dim_extent_at(d, chosen[j], level_index)
+                    >= witness.get(d, 1)
+                    for j, d in enumerate(dims[:k])
+                ):
+                    return True
+        return False
 
     # ------------------------------------------------------------------
     # Mapping construction
@@ -171,15 +299,53 @@ class Mapper:
         """Exhaustively yield structurally-valid mappings.
 
         Candidates violating hardware fanout limits are silently
-        dropped. ``limit`` caps the number of yielded mappings.
+        dropped, as are candidates dominated by a registered overflow
+        witness (:meth:`register_overflow`). When no ``limit`` is set —
+        the engine's exhaustive-search path — whole factorization
+        subtrees are cut as soon as a chosen prefix seals a dominance.
+        Witnesses may be registered *while* this generator is being
+        consumed; later candidates observe them immediately.
+
+        Candidates are visited inner-tiles-first (ascending tile
+        extents at the innermost levels): capacity overflow grows with
+        the inner tile, so a model-driven consumer that registers
+        witnesses as it scans sees the infeasibility frontier early and
+        prunes everything beyond it.
         """
         dims = list(self.einsum.dims)
+        spaces = [
+            sorted(
+                self._dim_factorizations(d),
+                key=lambda combo, d=d: self._combo_sort_key(d, combo),
+            )
+            for d in dims
+        ]
+        prune_subtrees = limit is None
+
+        def walk(k: int, chosen: list[tuple[int, ...]]) -> Iterator[Mapping]:
+            if k == len(dims):
+                mapping = self._build_mapping(dict(zip(dims, chosen)))
+                if not self._structurally_valid(mapping):
+                    return
+                if self._witness_dominated(dims, chosen):
+                    self.pruned_candidates += 1
+                    return
+                yield mapping
+                return
+            for combo in spaces[k]:
+                chosen.append(combo)
+                if (
+                    prune_subtrees
+                    and k + 1 < len(dims)
+                    and self._subtree_dominated(dims, chosen)
+                ):
+                    self.pruned_subtrees += 1
+                else:
+                    yield from walk(k + 1, chosen)
+                chosen.pop()
+
         produced = 0
-        spaces = [list(self._dim_factorizations(d)) for d in dims]
-        for combos in itertools.product(*spaces):
-            mapping = self._build_mapping(dict(zip(dims, combos)))
-            if not self._structurally_valid(mapping):
-                continue
+        for mapping in walk(0, []):
             yield mapping
             produced += 1
             if limit is not None and produced >= limit:
@@ -188,7 +354,14 @@ class Mapper:
     def sample_mappings(
         self, count: int, seed: int | None = None, max_tries: int | None = None
     ) -> Iterator[Mapping]:
-        """Yield up to ``count`` random valid mappings."""
+        """Yield up to ``count`` random valid mappings.
+
+        Structurally-valid candidates dominated by an overflow witness
+        still count toward ``count`` but are not yielded: a pruned run
+        draws exactly the same random candidates as an unpruned one and
+        merely withholds the doomed ones, so a model-driven search over
+        the samples finds the same winner either way.
+        """
         rng = random.Random(seed)
         dims = list(self.einsum.dims)
         tries = 0
@@ -200,9 +373,13 @@ class Mapper:
                 d: self._random_dim_factorization(d, rng) for d in dims
             }
             mapping = self._build_mapping(combos)
-            if self._structurally_valid(mapping):
-                produced += 1
-                yield mapping
+            if not self._structurally_valid(mapping):
+                continue
+            produced += 1
+            if self._witness_dominated(dims, [combos[d] for d in dims]):
+                self.pruned_candidates += 1
+                continue
+            yield mapping
 
     def _structurally_valid(self, mapping: Mapping) -> bool:
         try:

@@ -17,48 +17,70 @@ The engine is built for design-space-exploration traffic, where the
 same dense analysis and the same candidate mappings are evaluated over
 and over with different SAF configurations:
 
-* :class:`DenseAnalysisCache` — step 1 is independent of tensor
-  densities and SAFs, so its results are content-addressed by
-  ``(einsum, architecture, mapping)`` and reused across SAF variants
-  and repeated evaluations. Every :class:`Evaluator` owns one by
-  default; pass ``dense_cache=None`` to disable or share one instance
-  across evaluators to pool hits.
+* unified analysis cache — every :class:`Evaluator` owns an
+  :class:`~repro.common.cache.AnalysisCache` whose named stages memoise
+  whole pipeline steps by content key: the ``"dense"`` stage
+  (:class:`~repro.common.cache.DenseAnalysisCache`) reuses dataflow
+  analyses across SAF/density variants of a mapping, and the
+  ``"sparse"`` stage reuses entire
+  :class:`~repro.sparse.traffic.SparseTraffic` results across repeated
+  evaluations of one (mapping, SAF, density) point — e.g. SAF sweeps
+  that revisit density levels, or network layers sharing shapes. Pass
+  ``cache=None`` to disable, or share one instance across evaluators
+  to pool hits. Cached results are read-only by convention.
 * capacity pre-filter — ``search_mappings`` rejects candidates whose
   *lower-bound* tile footprint already overflows a storage level
   before running the full dense→sparse→micro pipeline. The bound is
   strictly optimistic (payload-only, statistical occupancy), so no
-  mapping the full validity check would accept is ever dropped.
+  mapping the full validity check would accept is ever dropped. When
+  the overflow also holds under a *monotone* bound, the reason is fed
+  back to the :class:`~repro.mapping.mapspace.Mapper`
+  (``register_overflow``) so whole factorization subtrees dominated by
+  the failing tile shape are pruned instead of being rejected one by
+  one.
 * batch/parallel APIs — :meth:`Evaluator.evaluate_many` and
   ``search_mappings(..., parallel=N)`` fan work out over a process
   pool in deterministic contiguous chunks; results (including search
-  tie-breaking) are identical to the serial order. Parallel mode
-  requires picklable designs/workloads/objectives (module-level
-  functions, not lambdas).
+  tie-breaking) are identical to the serial order. Worker processes
+  start *warm*: the parent ships its hottest cache entries (dense,
+  sparse, and the process-global tile-format stage) through the pool
+  initializer. Parallel mode requires picklable designs/workloads/
+  objectives (module-level functions, not lambdas).
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field, replace
 
 from repro.accelergy.backend import Accelergy
 from repro.arch.spec import Architecture
+from repro.common.cache import AnalysisCache, DenseAnalysisCache, global_cache
 from repro.common.errors import MappingError, SpecError, ValidationError
-from repro.dataflow.nest_analysis import (
-    DenseTraffic,
-    analyze_dataflow,
-    dense_analysis_key,
-)
+from repro.dataflow.nest_analysis import DenseTraffic, analyze_dataflow
 from repro.mapping.mapping import Mapping
 from repro.mapping.mapspace import Mapper, MapspaceConstraints
 from repro.micro.energy import compute_energy
 from repro.micro.latency import compute_latency
 from repro.micro.validity import check_validity
 from repro.model.result import EvaluationResult
-from repro.sparse.postprocess import analyze_sparse, ensure_output_density
+from repro.sparse.format_analyzer import TILE_FORMAT_STAGE
+from repro.sparse.postprocess import (
+    VECTORIZED_DEFAULT,
+    analyze_sparse,
+    ensure_output_density,
+    sparse_analysis_key,
+)
 from repro.sparse.saf import SAFSpec
+from repro.sparse.traffic import SparseTraffic
 from repro.workload.spec import Workload
+
+__all__ = [
+    "Design",
+    "DenseAnalysisCache",
+    "Evaluator",
+    "OverflowReason",
+]
 
 MappingFactory = Callable[[Workload, Architecture], Mapping]
 
@@ -92,66 +114,22 @@ class Design:
         return None
 
 
-class DenseAnalysisCache:
-    """Content-addressed LRU cache of dense dataflow analyses.
+@dataclass(frozen=True)
+class OverflowReason:
+    """Why the capacity pre-filter rejected a candidate mapping.
 
-    Keys are :func:`~repro.dataflow.nest_analysis.dense_analysis_key`
-    triples — (einsum, architecture, mapping) content keys — which
-    deliberately exclude tensor densities: the dense step never reads
-    them, so one analysis serves every SAF/density variant of a
-    mapping. On a hit for a *different* workload object the cached
-    :class:`DenseTraffic` is rebound to the new workload (a shallow
-    copy sharing the immutable traffic records).
+    ``dim_extents`` are the candidate's per-dimension tile extents at
+    the overflowing ``level``. ``monotone`` is True when the overflow
+    also holds under a monotone occupancy bound; the extents are then
+    a sound witness for :meth:`~repro.mapping.mapspace.Mapper.
+    register_overflow` subtree pruning.
     """
 
-    def __init__(self, maxsize: int = 1024):
-        if maxsize <= 0:
-            raise ValueError(f"maxsize must be positive, got {maxsize}")
-        self.maxsize = maxsize
-        self._entries: OrderedDict[tuple, DenseTraffic] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    @property
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-    def stats(self) -> dict[str, float]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": self.hit_rate,
-            "entries": len(self._entries),
-        }
-
-    def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-
-    def get_or_compute(
-        self, workload: Workload, arch: Architecture, mapping: Mapping
-    ) -> DenseTraffic:
-        key = dense_analysis_key(workload, arch, mapping)
-        cached = self._entries.get(key)
-        if cached is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return replace(cached, workload=workload)
-        self.misses += 1
-        dense = analyze_dataflow(workload, arch, mapping)
-        # Store with the workload stripped: the key ignores densities,
-        # so keeping the first-seen workload would pin its density
-        # models (potentially whole ActualDataDensity tensors) far
-        # beyond their lifetime. Hits always rebind the caller's.
-        self._entries[key] = replace(dense, workload=None)
-        if len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-        return dense
+    level: str
+    dim_extents: dict[str, int]
+    used_words: float
+    capacity_words: float
+    monotone: bool = False
 
 
 def _edp_objective(result: EvaluationResult) -> float:
@@ -169,29 +147,54 @@ class Evaluator:
     ``search_budget``: mappings sampled when a design only provides
     mapspace constraints.
     ``search_seed``: RNG seed for mapspace sampling.
-    ``dense_cache``: the :class:`DenseAnalysisCache` reusing dataflow
-    analyses across evaluations (``None`` disables caching; a shared
-    instance pools hits across evaluators). Each evaluator gets its own
-    cache by default.
+    ``cache``: the :class:`~repro.common.cache.AnalysisCache` memoising
+    pipeline stages across evaluations (``None`` disables caching; a
+    shared instance pools hits across evaluators). Each evaluator gets
+    its own cache by default. Breaking change from the PR 1 API: the
+    ``dense_cache=`` constructor argument is gone — pass ``cache=``
+    (``Evaluator(cache=None)`` to disable, a shared ``AnalysisCache``
+    to pool) — while the ``dense_cache`` *accessor* remains for
+    stats/inspection of the dense stage.
     ``prefilter_capacity``: in ``search_mappings``, cheaply reject
     candidates whose optimistic tile footprint already overflows a
-    finite storage level, skipping the full pipeline. Never changes the
-    search result (the bound is a strict lower bound of the validity
-    check's occupancy); only applies when ``check_capacity`` is True.
+    finite storage level, skipping the full pipeline — and feed the
+    overflow reason back to the mapper to prune dominated factorization
+    subtrees. Never changes the search result (the bound is a strict
+    lower bound of the validity check's occupancy); only applies when
+    ``check_capacity`` is True.
+    ``sparse_vectorized``: run the sparse post-processing stage with
+    batched numpy arithmetic (the default, unless the
+    ``REPRO_SCALAR_SPARSE`` environment variable forced the scalar
+    oracle process-wide) or the scalar oracle path; both are
+    bit-identical (see :mod:`repro.sparse.postprocess`).
 
     Batch evaluation: :meth:`evaluate_many` evaluates a list of jobs,
     and it, :meth:`search_mappings`, and :meth:`evaluate_network`
     accept ``parallel=N`` to fan out over ``N`` worker processes in
     deterministic contiguous chunks (results identical to serial).
+    Workers are pre-warmed with the parent's cache entries.
     """
 
     check_capacity: bool = True
     search_budget: int = 64
     search_seed: int = 0
-    dense_cache: DenseAnalysisCache | None = field(
-        default_factory=DenseAnalysisCache, repr=False
+    cache: AnalysisCache | None = field(
+        default_factory=AnalysisCache, repr=False
     )
     prefilter_capacity: bool = True
+    sparse_vectorized: bool = field(
+        default_factory=lambda: VECTORIZED_DEFAULT
+    )
+
+    @property
+    def dense_cache(self) -> DenseAnalysisCache | None:
+        """The dense analysis stage (legacy accessor)."""
+        return self.cache.dense if self.cache is not None else None
+
+    @property
+    def sparse_cache(self):
+        """The sparse analysis stage, or ``None`` when disabled."""
+        return self.cache.sparse if self.cache is not None else None
 
     def evaluate(
         self,
@@ -224,15 +227,51 @@ class Evaluator:
     def _dense_analysis(
         self, design: Design, workload: Workload, mapping: Mapping
     ) -> DenseTraffic:
-        if self.dense_cache is None:
-            return analyze_dataflow(workload, design.arch, mapping)
-        return self.dense_cache.get_or_compute(workload, design.arch, mapping)
+        return self._dense_analysis_keyed(design, workload, mapping)[0]
+
+    def _dense_analysis_keyed(
+        self, design: Design, workload: Workload, mapping: Mapping
+    ) -> tuple[DenseTraffic, tuple | None]:
+        if self.cache is None:
+            return analyze_dataflow(workload, design.arch, mapping), None
+        return self.cache.dense.get_or_compute_keyed(
+            workload, design.arch, mapping
+        )
+
+    def _sparse_analysis(
+        self,
+        dense: DenseTraffic,
+        safs: SAFSpec,
+        dense_key: tuple | None = None,
+    ) -> SparseTraffic:
+        """Sparse post-processing through the ``"sparse"`` cache stage.
+
+        The whole :class:`SparseTraffic` is memoised by
+        :func:`~repro.sparse.postprocess.sparse_analysis_key`; hits
+        return the stored (read-only) object. Uncacheable density
+        models (no content key) fall back to recomputing.
+        """
+        if self.cache is None:
+            return analyze_sparse(
+                dense, safs, vectorized=self.sparse_vectorized
+            )
+        key = sparse_analysis_key(dense, safs, dense_key)
+        if key is None:
+            return analyze_sparse(
+                dense, safs, vectorized=self.sparse_vectorized
+            )
+        return self.cache.sparse.get_or_compute(
+            key,
+            lambda: analyze_sparse(
+                dense, safs, vectorized=self.sparse_vectorized
+            ),
+        )
 
     def _evaluate_mapping(
         self, design: Design, workload: Workload, mapping: Mapping
     ) -> EvaluationResult:
-        dense = self._dense_analysis(design, workload, mapping)
-        sparse = analyze_sparse(dense, design.safs)
+        dense, dense_key = self._dense_analysis_keyed(design, workload, mapping)
+        sparse = self._sparse_analysis(dense, design.safs, dense_key)
         usage = check_validity(
             design.arch, sparse, raise_on_invalid=self.check_capacity
         )
@@ -251,10 +290,10 @@ class Evaluator:
     # ------------------------------------------------------------------
     # Capacity pre-filter
 
-    def _passes_capacity_prefilter(
+    def _capacity_overflow(
         self, design: Design, workload: Workload, mapping: Mapping
-    ) -> bool:
-        """Cheap reject of candidates that cannot possibly fit.
+    ) -> OverflowReason | None:
+        """Cheap detection of candidates that cannot possibly fit.
 
         Computes, per finite-capacity level, a *lower bound* on the
         worst-case occupancy the validity check will derive: the dense
@@ -262,6 +301,17 @@ class Evaluator:
         nonzero count (payload only, metadata ignored) for compressed
         ones. Because the bound never exceeds the real occupancy, a
         rejected candidate is guaranteed to fail ``check_validity``.
+
+        Alongside it, a second, *monotone* bound is accumulated (dense
+        tile sizes; ``DensityModel.monotone_occupancy_bound`` for
+        compressed tensors — expected occupancy for uniform/structured
+        models, which provably lower-bounds the statistical quantile;
+        models without a monotone bound contribute zero, which only
+        under-prunes). When the monotone bound alone
+        overflows, the returned reason is flagged ``monotone``: any
+        candidate whose tile extents at that level dominate these must
+        overflow too, which is what lets the mapper prune whole
+        factorization subtrees.
         """
         # The output density model participates in the bound; derive it
         # exactly as the sparse step would (idempotent).
@@ -275,6 +325,7 @@ class Evaluator:
             if capacity is None:
                 continue
             used = 0.0
+            monotone_used = 0.0
             for tensor in einsum.tensors:
                 if not level_map.keeps(tensor.name):
                     continue
@@ -283,11 +334,28 @@ class Evaluator:
                 if fmt is not None and fmt.is_compressed:
                     model = workload.densities.get(tensor.name)
                     if model is not None:
-                        tile = min(tile, model.quantile_occupancy(tile))
+                        used += min(tile, model.quantile_occupancy(tile))
+                        monotone = model.monotone_occupancy_bound(tile)
+                        if monotone is not None:
+                            monotone_used += monotone
+                        continue
                 used += tile
-                if used > capacity:
-                    return False
-        return True
+                monotone_used += tile
+            if used > capacity:
+                return OverflowReason(
+                    level=level_map.level,
+                    dim_extents=dict(extents),
+                    used_words=used,
+                    capacity_words=capacity,
+                    monotone=monotone_used > capacity,
+                )
+        return None
+
+    def _passes_capacity_prefilter(
+        self, design: Design, workload: Workload, mapping: Mapping
+    ) -> bool:
+        """Boolean view of :meth:`_capacity_overflow`."""
+        return self._capacity_overflow(design, workload, mapping) is None
 
     # ------------------------------------------------------------------
     # Mapspace search
@@ -308,7 +376,14 @@ class Evaluator:
         list over ``N`` worker processes (deterministic: the winner —
         including tie-breaks — matches the serial scan; requires
         picklable design/workload/objective).
+
+        In the serial mapper-driven path, capacity-prefilter overflows
+        are fed back to the mapper as dominance witnesses, pruning
+        factorization subtrees while the candidate stream is being
+        generated. (The parallel path materialises candidates up front,
+        so feedback does not apply there.)
         """
+        mapper: Mapper | None = None
         if candidates is None:
             mapper = Mapper(workload.einsum, design.arch, design.constraints)
             space = mapper.mapspace_size_estimate()
@@ -322,7 +397,9 @@ class Evaluator:
             return self._search_parallel(
                 design, workload, list(candidates), objective, parallel
             )
-        best = self._search_candidates(design, workload, candidates, objective)
+        best = self._search_candidates(
+            design, workload, candidates, objective, mapper=mapper
+        )
         return best[2] if best is not None else None
 
     def _search_candidates(
@@ -332,17 +409,24 @@ class Evaluator:
         candidates: Iterable[Mapping],
         objective: Callable[[EvaluationResult], float] | None,
         offset: int = 0,
+        mapper: Mapper | None = None,
     ) -> tuple[float, int, EvaluationResult] | None:
         """Serial scan returning ``(score, global_index, result)`` of the
-        winner; ``offset`` re-bases indices for chunked fan-out."""
+        winner; ``offset`` re-bases indices for chunked fan-out. When
+        ``mapper`` produced the candidates, prefilter overflows are fed
+        back to it for subtree pruning."""
         objective = objective or _edp_objective
         prefilter = self.prefilter_capacity and self.check_capacity
         best: tuple[float, int, EvaluationResult] | None = None
         for index, mapping in enumerate(candidates):
-            if prefilter and not self._passes_capacity_prefilter(
-                design, workload, mapping
-            ):
-                continue
+            if prefilter:
+                overflow = self._capacity_overflow(design, workload, mapping)
+                if overflow is not None:
+                    if mapper is not None and overflow.monotone:
+                        mapper.register_overflow(
+                            overflow.level, overflow.dim_extents
+                        )
+                    continue
             try:
                 result = self._evaluate_mapping(design, workload, mapping)
             except (ValidationError, MappingError):
@@ -368,7 +452,7 @@ class Evaluator:
         from concurrent.futures import ProcessPoolExecutor
 
         chunks = _contiguous_chunks(candidates, parallel)
-        worker = replace(self, dense_cache=DenseAnalysisCache())
+        worker = replace(self, cache=None)
         payloads = []
         offset = 0
         for chunk in chunks:
@@ -376,7 +460,11 @@ class Evaluator:
                 (worker, design, workload, chunk, objective, offset)
             )
             offset += len(chunk)
-        with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+        with ProcessPoolExecutor(
+            max_workers=len(payloads),
+            initializer=_warm_worker_initializer,
+            initargs=(self._export_cache_state(),),
+        ) as pool:
             partials = list(pool.map(_search_chunk_worker, payloads))
         best: tuple[float, int, EvaluationResult] | None = None
         for partial in partials:
@@ -403,6 +491,7 @@ class Evaluator:
         ``parallel=N`` splits the batch into ``N`` deterministic
         contiguous chunks evaluated in worker processes; results are
         reassembled in job order and match the serial run exactly.
+        Workers start with the parent's hottest cache entries.
         """
         jobs = list(jobs)
         if parallel <= 1 or len(jobs) <= 1:
@@ -410,9 +499,13 @@ class Evaluator:
         from concurrent.futures import ProcessPoolExecutor
 
         chunks = _contiguous_chunks(jobs, parallel)
-        worker = replace(self, dense_cache=DenseAnalysisCache())
+        worker = replace(self, cache=None)
         payloads = [(worker, chunk) for chunk in chunks]
-        with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+        with ProcessPoolExecutor(
+            max_workers=len(payloads),
+            initializer=_warm_worker_initializer,
+            initargs=(self._export_cache_state(),),
+        ) as pool:
             partials = list(pool.map(_evaluate_chunk_worker, payloads))
         return [result for chunk in partials for result in chunk]
 
@@ -440,6 +533,56 @@ class Evaluator:
         results = self.evaluate_many(jobs, parallel=parallel)
         return list(zip(layers, results))
 
+    # ------------------------------------------------------------------
+    # Warm-worker cache shipping
+
+    def _export_cache_state(self) -> dict | None:
+        """Picklable snapshot of this evaluator's cache stages plus the
+        process-global tile-format stage, for pool initializers.
+
+        Returns ``None`` when caching is disabled (``cache=None``), so
+        workers honour the parent's setting instead of silently
+        re-enabling their own caches.
+        """
+        if self.cache is None:
+            return None
+        state = dict(self.cache.export_state())
+        tile = global_cache().stage(TILE_FORMAT_STAGE).export_entries()
+        if tile:
+            state[TILE_FORMAT_STAGE] = tile
+        return state
+
+
+#: Cache installed by the pool initializer; worker chunk functions bind
+#: it so every chunk in the process shares the parent-warmed entries.
+#: Stays ``None`` when the parent evaluator has caching disabled.
+_WORKER_CACHE: AnalysisCache | None = None
+
+
+def _warm_worker_initializer(state: dict | None) -> None:
+    """Runs once per worker process: seed the process-global tile
+    stage and build the shared per-process analysis cache. A ``None``
+    state means the parent runs uncached; workers then do too."""
+    global _WORKER_CACHE
+    if state is None:
+        _WORKER_CACHE = None
+        return
+    state = dict(state)
+    tile = state.pop(TILE_FORMAT_STAGE, None)
+    if tile:
+        global_cache().stage(TILE_FORMAT_STAGE).import_entries(tile)
+    cache = AnalysisCache()
+    cache.import_state(state)
+    _WORKER_CACHE = cache
+
+
+def _bind_worker_cache(evaluator: Evaluator) -> Evaluator:
+    """Give a shipped (cache-stripped) evaluator its in-process cache
+    (or none at all, mirroring the parent's ``cache=None``)."""
+    if _WORKER_CACHE is None:
+        return evaluator
+    return replace(evaluator, cache=_WORKER_CACHE)
+
 
 def _contiguous_chunks(items: list, parts: int) -> list[list]:
     """Split ``items`` into at most ``parts`` contiguous, near-equal,
@@ -457,6 +600,7 @@ def _contiguous_chunks(items: list, parts: int) -> list[list]:
 
 def _search_chunk_worker(payload):
     evaluator, design, workload, chunk, objective, offset = payload
+    evaluator = _bind_worker_cache(evaluator)
     return evaluator._search_candidates(
         design, workload, chunk, objective, offset=offset
     )
@@ -464,4 +608,5 @@ def _search_chunk_worker(payload):
 
 def _evaluate_chunk_worker(payload):
     evaluator, jobs = payload
+    evaluator = _bind_worker_cache(evaluator)
     return [evaluator.evaluate(*job) for job in jobs]

@@ -199,6 +199,20 @@ class DensityModel(ABC):
         """
         return float(self.max_occupancy(shape))
 
+    def monotone_occupancy_bound(self, shape: TileShape) -> float | None:
+        """A lower bound of :meth:`quantile_occupancy` that is
+        *monotone* in the tile extents, or ``None`` when the model
+        cannot provide one.
+
+        Used by the engine's capacity prefilter to derive dominance
+        witnesses for mapspace pruning: a witness is only sound when
+        growing the tile can never shrink the bound. Models whose
+        expected occupancy is provably ``size * density`` (uniform,
+        structured) opt in; coordinate-dependent models default to
+        ``None`` and simply forgo subtree pruning.
+        """
+        return None
+
     def occupancy_distribution(self, shape: TileShape) -> list[tuple[int, float]]:
         """``(occupancy, probability)`` pairs for a tile of ``shape``.
 
@@ -283,6 +297,11 @@ class UniformDensity(DensityModel):
         estimate = size * d + sigmas * math.sqrt(max(0.0, variance))
         return float(min(self.max_occupancy(size), estimate))
 
+    def monotone_occupancy_bound(self, shape: TileShape) -> float:
+        # Expected occupancy: monotone in the tile size and never
+        # above the mean + 3 sigma quantile.
+        return _tile_size(shape) * self._density
+
     def occupancy_distribution(self, shape: TileShape) -> list[tuple[int, float]]:
         size = _tile_size(shape)
         if self._density == 0.0:
@@ -344,6 +363,11 @@ class FixedStructuredDensity(DensityModel):
         )
 
     def expected_occupancy(self, shape: TileShape) -> float:
+        return _tile_size(shape) * self.density
+
+    def monotone_occupancy_bound(self, shape: TileShape) -> float:
+        # Expected occupancy: monotone, and structured sparsity keeps
+        # the per-block occupancy at or above it deterministically.
         return _tile_size(shape) * self.density
 
     def max_occupancy(self, shape: TileShape) -> int:
@@ -498,6 +522,35 @@ class ActualDataDensity(DensityModel):
         if self.data.size == 0:
             raise SpecError("ActualDataDensity requires a non-empty tensor")
         self._cache: dict[tuple[int, ...], "np.ndarray"] = {}
+        self._content_key: tuple | None = None
+
+    def cache_key(self) -> tuple:
+        """Content key: a bytes digest of the tensor.
+
+        Two models over bit-identical arrays answer every query
+        identically, so hashing the raw buffer (plus shape and dtype,
+        which the buffer alone does not encode) lets real-data
+        workloads share the tile-format and sparse-analysis memos
+        instead of being keyed by array identity. The digest is
+        computed once, on first request, and reused for the lifetime
+        of the model; callers must not mutate ``data`` afterwards.
+        """
+        if self._content_key is None:
+            import hashlib
+
+            import numpy as np
+
+            buffer = np.ascontiguousarray(self.data)
+            digest = hashlib.blake2b(
+                buffer.tobytes(), digest_size=16
+            ).hexdigest()
+            self._content_key = (
+                "actual-data",
+                self.data.shape,
+                str(self.data.dtype),
+                digest,
+            )
+        return self._content_key
 
     @property
     def density(self) -> float:

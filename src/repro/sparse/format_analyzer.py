@@ -9,9 +9,9 @@ the density model.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.common.cache import global_cache
 from repro.common.util import prod
 from repro.sparse.density import DensityModel
 from repro.sparse.formats import FormatSpec
@@ -76,14 +76,20 @@ class TileOccupancy:
 #: Memo for :func:`analyze_tile_format`, keyed by
 #: ``(format key, rank extents, density key)``. The same (format, tile
 #: shape, density) triple recurs for every mapping sharing a tile size
-#: and for every SAF variant of a mapspace sweep. Bounded LRU.
-_TILE_CACHE: OrderedDict[tuple, TileOccupancy] = OrderedDict()
-_TILE_CACHE_MAX = 16384
+#: and for every SAF variant of a mapspace sweep. Hosted as the
+#: ``"tile-format"`` stage of the process-global
+#: :class:`~repro.common.cache.AnalysisCache` so the engine can ship
+#: its entries to parallel workers alongside the other stages.
+TILE_FORMAT_STAGE = "tile-format"
+
+
+def _tile_stage():
+    return global_cache().stage(TILE_FORMAT_STAGE)
 
 
 def clear_tile_format_cache() -> None:
     """Drop all memoised tile-format analyses (mainly for tests)."""
-    _TILE_CACHE.clear()
+    _tile_stage().clear()
 
 
 def analyze_tile_format(
@@ -105,19 +111,12 @@ def analyze_tile_format(
     nonempty ones.
     """
     density_key = density.cache_key()
-    key = None
-    if density_key is not None:
-        key = (fmt.cache_key(), tuple(rank_extents), density_key)
-        hit = _TILE_CACHE.get(key)
-        if hit is not None:
-            _TILE_CACHE.move_to_end(key)
-            return hit
-    result = _analyze_tile_format(fmt, rank_extents, density)
-    if key is not None:
-        _TILE_CACHE[key] = result
-        if len(_TILE_CACHE) > _TILE_CACHE_MAX:
-            _TILE_CACHE.popitem(last=False)
-    return result
+    if density_key is None:
+        return _analyze_tile_format(fmt, rank_extents, density)
+    key = (fmt.cache_key(), tuple(rank_extents), density_key)
+    return _tile_stage().get_or_compute(
+        key, lambda: _analyze_tile_format(fmt, rank_extents, density)
+    )
 
 
 def _analyze_tile_format(

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 from repro.common.errors import SpecError
 from repro.dataflow.nest_analysis import DenseTraffic
-from repro.sparse.saf import ComputeSAF, SAFKind, SAFSpec, StorageSAF
+from repro.sparse.saf import SAFKind, SAFSpec, StorageSAF
 from repro.workload.einsum import TensorRef
 
 
@@ -98,6 +98,14 @@ class GatingSkippingAnalyzer:
         self.einsum = dense.workload.einsum
         self.workload = dense.workload
         self.nest = dense.nest
+        # Per-analysis memos: many flows of one loop nest re-derive the
+        # same leader keep probability (same leader, same pairing
+        # extents) and the output-update classification re-collects the
+        # compute sources. Memoising inside the analyzer keeps the
+        # scalar and vectorized post-processing paths on the exact same
+        # floats while removing the repeated dict/projection work.
+        self._keep_memo: dict[tuple, float] = {}
+        self._compute_sources: list[EliminationSource] | None = None
 
     # ------------------------------------------------------------------
     # Leader tile computation
@@ -106,11 +114,17 @@ class GatingSkippingAnalyzer:
         self, leader_name: str, pair_extents: dict[str, int]
     ) -> float:
         """P(leader tile nonempty) for the given pairing extents."""
+        memo_key = (leader_name, tuple(sorted(pair_extents.items())))
+        cached = self._keep_memo.get(memo_key)
+        if cached is not None:
+            return cached
         leader = self.einsum.tensor(leader_name)
         extents = {d: pair_extents.get(d, 1) for d in self.einsum.dims}
         shape = leader.tile_rank_extents(extents)
         model = self.workload.density_of(leader_name)
-        return model.prob_nonempty(shape)
+        keep = model.prob_nonempty(shape)
+        self._keep_memo[memo_key] = keep
+        return keep
 
     def compute_feed_extents(self, follower: TensorRef) -> dict[str, int]:
         """Pairing extents for a compute-feed access of ``follower``."""
@@ -242,6 +256,8 @@ class GatingSkippingAnalyzer:
         formats. All act at single-element granularity (keep = operand
         density).
         """
+        if self._compute_sources is not None:
+            return self._compute_sources
         inputs = {t.name: t for t in self.einsum.inputs}
         sources: list[EliminationSource] = []
         for saf in self.safs.compute_safs:
@@ -278,6 +294,7 @@ class GatingSkippingAnalyzer:
             own = self._own_format_source(tensor, chain[-1])
             if own is not None:
                 sources.append(own)
+        self._compute_sources = sources
         return sources
 
     def classify_compute(self) -> FlowClassification:

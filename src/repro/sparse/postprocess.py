@@ -5,12 +5,39 @@ analyzer, and the dense dataflow traffic — into per-(level, tensor)
 fine-grained action counts. Per-tile effects are evaluated locally and
 scaled by the number of tiles moved, and SAF interactions are resolved
 here (e.g. format metadata skipped along with skipped data transfers).
+
+Vectorized pipeline
+-------------------
+
+The walk over (level, tensor) flows is *descriptive*: it only decides
+which dense totals split under which classification, format scaling,
+and residue rule. The arithmetic itself is delegated to an emitter:
+
+* :class:`_ScalarEmitter` computes each split immediately with the
+  original scalar helpers (:func:`_data_split`,
+  :func:`_metadata_split`) — this is the equivalence oracle, selected
+  with ``analyze_sparse(..., vectorized=False)``.
+* :class:`_BatchEmitter` records every flow of the whole loop nest and
+  evaluates all of them in one set of elementwise numpy operations at
+  flush time, then scatters the results back in emission order.
+
+Both paths are bit-identical: the batched expressions mirror the
+scalar formulas operation for operation (IEEE-754 elementwise), and
+the scatter preserves per-accumulator addition order. The default is
+the vectorized path; set the ``REPRO_SCALAR_SPARSE`` environment
+variable (or pass ``vectorized=False``) to force the oracle.
+
+:func:`sparse_analysis_key` derives the content key under which a whole
+:class:`~repro.sparse.traffic.SparseTraffic` is memoised by the
+engine's ``"sparse"`` cache stage (see :mod:`repro.common.cache`).
 """
 
 from __future__ import annotations
 
+import os
+
 from repro.common.util import prod
-from repro.dataflow.nest_analysis import DenseTraffic, TensorTraffic
+from repro.dataflow.nest_analysis import DenseTraffic, dense_analysis_key
 from repro.sparse.density import UniformDensity
 from repro.sparse.format_analyzer import TileOccupancy, analyze_tile_format
 from repro.sparse.formats import FormatSpec, dense_format
@@ -20,9 +47,16 @@ from repro.sparse.gating_skipping import (
     GatingSkippingAnalyzer,
 )
 from repro.sparse.saf import SAFSpec
-from repro.sparse.traffic import ActionBreakdown, LevelTensorActions, SparseTraffic
+from repro.sparse.traffic import ActionBreakdown, SparseTraffic
 from repro.workload.einsum import TensorRef
 from repro.workload.spec import Workload
+
+#: Default backend for :func:`analyze_sparse`. The scalar oracle can be
+#: forced process-wide by setting ``REPRO_SCALAR_SPARSE`` to anything
+#: but an explicit falsy value ("", "0", "false", "no", "off").
+VECTORIZED_DEFAULT = os.environ.get("REPRO_SCALAR_SPARSE", "").lower() in (
+    "", "0", "false", "no", "off",
+)
 
 
 def ensure_output_density(workload: Workload) -> None:
@@ -50,6 +84,33 @@ def ensure_output_density(workload: Workload) -> None:
     )
 
 
+def sparse_analysis_key(
+    dense: DenseTraffic, safs: SAFSpec, dense_key: tuple | None = None
+) -> tuple | None:
+    """Content key of one whole sparse analysis, or ``None``.
+
+    A :class:`SparseTraffic` is fully determined by the dense analysis
+    content (einsum, architecture, mapping), the SAF specification, and
+    every tensor's density model, so the key is the triple of their
+    content keys. Returns ``None`` — uncacheable — when any density
+    model does not expose a content key. Derives the output density
+    first (idempotent) so it participates in the key. Callers that
+    already hold the dense content key (the engine's dense stage
+    returns it) pass it as ``dense_key`` to skip recomputing it.
+    """
+    workload = dense.workload
+    ensure_output_density(workload)
+    density_keys = []
+    for tensor in workload.einsum.tensors:
+        key = workload.density_of(tensor.name).cache_key()
+        if key is None:
+            return None
+        density_keys.append((tensor.name, key))
+    if dense_key is None:
+        dense_key = dense_analysis_key(workload, dense.arch, dense.mapping)
+    return (dense_key, safs.cache_key(), tuple(density_keys))
+
+
 class _LevelFormatInfo:
     """Cached per-(level, tensor) format scaling factors."""
 
@@ -70,63 +131,8 @@ class _LevelFormatInfo:
         self.compression_rate = occupancy.compression_rate(word_bits)
 
 
-def analyze_sparse(dense: DenseTraffic, safs: SAFSpec) -> SparseTraffic:
-    """Run the sparse modeling step on top of dense traffic."""
-    workload = dense.workload
-    ensure_output_density(workload)
-    analyzer = GatingSkippingAnalyzer(dense, safs)
-    sparse = SparseTraffic()
-
-    compute_cls = analyzer.classify_compute()
-    sparse.compute = ActionBreakdown.split(
-        dense.computes, compute_cls.actual, compute_cls.gated
-    )
-    sparse.compute_fractions = (
-        compute_cls.actual,
-        compute_cls.gated,
-        compute_cls.skipped,
-    )
-
-    fmt_cache: dict[tuple[str, str], _LevelFormatInfo] = {}
-
-    def fmt_info(level: str, tensor: str) -> _LevelFormatInfo:
-        key = (level, tensor)
-        if key not in fmt_cache:
-            record = dense.at(level, tensor)
-            spec = safs.format_for(level, tensor)
-            compressed = spec is not None and spec.is_compressed
-            fmt: FormatSpec = spec or dense_format(len(record.tile_rank_extents))
-            occ = analyze_tile_format(
-                fmt,
-                record.tile_rank_extents,
-                workload.density_of(tensor),
-            )
-            arch_level = dense.arch.level(level)
-            fmt_cache[key] = _LevelFormatInfo(
-                occ,
-                arch_level.word_bits,
-                arch_level.metadata_word_bits,
-                compressed,
-            )
-        return fmt_cache[key]
-
-    for tensor in workload.einsum.tensors:
-        chain = dense.mapping.keep_chain(tensor.name)
-        if tensor.is_output:
-            _process_output(
-                dense, analyzer, sparse, tensor, chain, fmt_info, compute_cls
-            )
-        else:
-            _process_operand(dense, analyzer, sparse, tensor, chain, fmt_info)
-
-    # Record occupancy for every (level, tensor) pair.
-    for (level, name), record in dense.traffic.items():
-        info = fmt_info(level, name)
-        actions = sparse.at(level, name)
-        actions.occupancy_words = info.occupancy_words
-        actions.worst_occupancy_words = info.worst_occupancy_words
-        actions.compression_rate = info.compression_rate
-    return sparse
+# ----------------------------------------------------------------------
+# Split arithmetic: scalar oracle helpers and the two emitters.
 
 
 def _data_split(
@@ -177,6 +183,239 @@ def _metadata_split(
     )
 
 
+class _ScalarEmitter:
+    """Immediate per-flow arithmetic — the equivalence oracle."""
+
+    def data(self, breakdown, total, cls, payload_fraction, residue="skip"):
+        breakdown.add(_data_split(total, cls, payload_fraction, residue))
+
+    def metadata(self, breakdown, total_dense, cls, info, positional=False):
+        breakdown.add(_metadata_split(total_dense, cls, info, positional))
+
+    def split(self, breakdown, total, actual_frac, gated_frac):
+        breakdown.add(ActionBreakdown.split(total, actual_frac, gated_frac))
+
+    def raw(self, breakdown, actual, gated, skipped):
+        breakdown.add(
+            ActionBreakdown(actual=actual, gated=gated, skipped=skipped)
+        )
+
+    def flush(self):
+        pass
+
+
+#: Sub-batch tags of the batch emitter. Rows are grouped by formula at
+#: emission time so the flush runs each formula once over a dense
+#: column block — no masks, no branches.
+_DATA_SKIP = 0  # data split, skip residue (also plain splits, p = 1)
+_DATA_GATE = 1  # data split, gate residue
+_META_BULK = 2  # metadata accompanying bulk transfers
+_META_POS = 3  # positional metadata (full stream charged actual)
+_RAW = 4  # precomputed components pass straight through
+
+
+class _BatchEmitter:
+    """Deferred arithmetic: one numpy evaluation for the whole nest.
+
+    Rows are stored column-wise in per-formula sub-batches; ``flush``
+    evaluates each formula with elementwise float64 operations that
+    mirror the scalar helpers operation for operation, then scatters
+    results back in emission order so per-accumulator addition order
+    matches the scalar path exactly (bit-identical results).
+    """
+
+    __slots__ = ("order", "batches")
+
+    def __init__(self):
+        #: (tag, row index within sub-batch, target breakdown), in
+        #: emission order — the scatter replays this sequence.
+        self.order: list[tuple[int, int, ActionBreakdown]] = []
+        self.batches = (
+            ([], [], [], []),  # _DATA_SKIP: t, fa, fg, payload
+            ([], [], [], []),  # _DATA_GATE: t, fa, fg, payload
+            ([], [], [], [], []),  # _META_BULK: t, fa, fg, fs, words/elem
+            ([], []),  # _META_POS: t, words/elem
+            ([], [], []),  # _RAW: actual, gated, skipped
+        )
+
+    def data(self, breakdown, total, cls, payload_fraction, residue="skip"):
+        tag = _DATA_GATE if residue == "gate" else _DATA_SKIP
+        t, fa, fg, p = self.batches[tag]
+        self.order.append((tag, len(t), breakdown))
+        t.append(total)
+        fa.append(cls.actual)
+        fg.append(cls.gated)
+        p.append(payload_fraction)
+
+    def metadata(self, breakdown, total_dense, cls, info, positional=False):
+        if positional:
+            t, w = self.batches[_META_POS]
+            self.order.append((_META_POS, len(t), breakdown))
+            t.append(total_dense)
+            w.append(info.metadata_words_per_element)
+            return
+        t, fa, fg, fs, w = self.batches[_META_BULK]
+        self.order.append((_META_BULK, len(t), breakdown))
+        t.append(total_dense)
+        fa.append(cls.actual)
+        fg.append(cls.gated)
+        fs.append(cls.skipped)
+        w.append(info.metadata_words_per_element)
+
+    def split(self, breakdown, total, actual_frac, gated_frac):
+        # total * f * 1.0 is IEEE-identical to total * f, so a plain
+        # fraction split is a data split with unit payload.
+        t, fa, fg, p = self.batches[_DATA_SKIP]
+        self.order.append((_DATA_SKIP, len(t), breakdown))
+        t.append(total)
+        fa.append(actual_frac)
+        fg.append(gated_frac)
+        p.append(1.0)
+
+    def raw(self, breakdown, actual, gated, skipped):
+        a, g, s = self.batches[_RAW]
+        self.order.append((_RAW, len(a), breakdown))
+        a.append(actual)
+        g.append(gated)
+        s.append(skipped)
+
+    def flush(self):
+        if not self.order:
+            return
+        import numpy as np
+
+        asarray = np.asarray
+        results: list[tuple[list, list | float, list | float]] = [
+            ([], 0.0, 0.0)
+        ] * 5
+
+        t, fa, fg, p = self.batches[_DATA_SKIP]
+        if t:
+            ta, faa, fga, pa = (
+                asarray(t), asarray(fa), asarray(fg), asarray(p)
+            )
+            a = ta * faa * pa
+            g = ta * fga * pa
+            s = np.maximum(0.0, ta - a - g)
+            results[_DATA_SKIP] = (a.tolist(), g.tolist(), s.tolist())
+
+        t, fa, fg, p = self.batches[_DATA_GATE]
+        if t:
+            ta, faa, fga, pa = (
+                asarray(t), asarray(fa), asarray(fg), asarray(p)
+            )
+            a = ta * faa * pa
+            g = ta * (fga + faa * (1.0 - pa))
+            s = np.maximum(0.0, ta - a - g)
+            results[_DATA_GATE] = (a.tolist(), g.tolist(), s.tolist())
+
+        t, fa, fg, fs, w = self.batches[_META_BULK]
+        if t:
+            tm = asarray(t) * asarray(w)
+            a = tm * (asarray(fa) + asarray(fg))
+            s = tm * asarray(fs)
+            # gated metadata does not exist: a gated access still moves
+            # its encoding with the tile.
+            results[_META_BULK] = (a.tolist(), 0.0, s.tolist())
+
+        t, w = self.batches[_META_POS]
+        if t:
+            a = asarray(t) * asarray(w)
+            results[_META_POS] = (a.tolist(), 0.0, 0.0)
+
+        results[_RAW] = self.batches[_RAW]
+
+        # tolist() round-trips float64 -> Python float exactly; the
+        # replay preserves per-accumulator addition order.
+        for tag, row, breakdown in self.order:
+            a, g, s = results[tag]
+            breakdown.add_components(
+                a[row],
+                g if isinstance(g, float) else g[row],
+                s if isinstance(s, float) else s[row],
+            )
+
+
+# ----------------------------------------------------------------------
+# The analysis walk.
+
+
+def analyze_sparse(
+    dense: DenseTraffic,
+    safs: SAFSpec,
+    *,
+    vectorized: bool | None = None,
+) -> SparseTraffic:
+    """Run the sparse modeling step on top of dense traffic.
+
+    ``vectorized`` selects the batched numpy arithmetic (default) or
+    the scalar oracle path; both produce bit-identical results. The
+    module default follows :data:`VECTORIZED_DEFAULT`.
+    """
+    if vectorized is None:
+        vectorized = VECTORIZED_DEFAULT
+    workload = dense.workload
+    ensure_output_density(workload)
+    analyzer = GatingSkippingAnalyzer(dense, safs)
+    sparse = SparseTraffic()
+
+    compute_cls = analyzer.classify_compute()
+    sparse.compute = ActionBreakdown.split(
+        dense.computes, compute_cls.actual, compute_cls.gated
+    )
+    sparse.compute_fractions = (
+        compute_cls.actual,
+        compute_cls.gated,
+        compute_cls.skipped,
+    )
+
+    fmt_cache: dict[tuple[str, str], _LevelFormatInfo] = {}
+
+    def fmt_info(level: str, tensor: str) -> _LevelFormatInfo:
+        key = (level, tensor)
+        if key not in fmt_cache:
+            record = dense.at(level, tensor)
+            spec = safs.format_for(level, tensor)
+            compressed = spec is not None and spec.is_compressed
+            fmt: FormatSpec = spec or dense_format(len(record.tile_rank_extents))
+            occ = analyze_tile_format(
+                fmt,
+                record.tile_rank_extents,
+                workload.density_of(tensor),
+            )
+            arch_level = dense.arch.level(level)
+            fmt_cache[key] = _LevelFormatInfo(
+                occ,
+                arch_level.word_bits,
+                arch_level.metadata_word_bits,
+                compressed,
+            )
+        return fmt_cache[key]
+
+    emitter = _BatchEmitter() if vectorized else _ScalarEmitter()
+    for tensor in workload.einsum.tensors:
+        chain = dense.mapping.keep_chain(tensor.name)
+        if tensor.is_output:
+            _process_output(
+                dense, analyzer, sparse, tensor, chain, fmt_info,
+                compute_cls, emitter,
+            )
+        else:
+            _process_operand(
+                dense, analyzer, sparse, tensor, chain, fmt_info, emitter
+            )
+    emitter.flush()
+
+    # Record occupancy for every (level, tensor) pair.
+    for (level, name), record in dense.traffic.items():
+        info = fmt_info(level, name)
+        actions = sparse.at(level, name)
+        actions.occupancy_words = info.occupancy_words
+        actions.worst_occupancy_words = info.worst_occupancy_words
+        actions.compression_rate = info.compression_rate
+    return sparse
+
+
 def _process_operand(
     dense: DenseTraffic,
     analyzer: GatingSkippingAnalyzer,
@@ -184,6 +423,7 @@ def _process_operand(
     tensor: TensorRef,
     chain: list[str],
     fmt_info,
+    emitter,
 ) -> None:
     name = tensor.name
     innermost = chain[-1]
@@ -212,12 +452,8 @@ def _process_operand(
     residue = (
         "skip" if analyzer.tensor_drives_skipping(name) else "gate"
     ) if info.compressed else "skip"
-    actions.data_reads.add(
-        _data_split(feed, cls, info.payload_fraction, residue)
-    )
-    actions.metadata_reads.add(
-        _metadata_split(feed, cls, info, positional=True)
-    )
+    emitter.data(actions.data_reads, feed, cls, info.payload_fraction, residue)
+    emitter.metadata(actions.metadata_reads, feed, cls, info, positional=True)
 
     # Transfers along the keep chain (parent reads + child fills).
     for parent, child in zip(chain, chain[1:]):
@@ -235,19 +471,20 @@ def _process_operand(
             1 for s in t_sources if s.is_intersection
         )
         parent_reads = parent_record.transfer_reads
-        parent_actions.data_reads.add(
-            _data_split(parent_reads, cls_t, p_info.payload_fraction)
+        emitter.data(
+            parent_actions.data_reads, parent_reads, cls_t,
+            p_info.payload_fraction,
         )
-        parent_actions.metadata_reads.add(
-            _metadata_split(parent_reads, cls_t, p_info)
+        emitter.metadata(
+            parent_actions.metadata_reads, parent_reads, cls_t, p_info
         )
 
         child_actions = sparse.at(child, name)
         fills = child_record.fills
-        child_actions.data_writes.add(
-            _data_split(fills, cls_t, c_info.payload_fraction)
+        emitter.data(
+            child_actions.data_writes, fills, cls_t, c_info.payload_fraction
         )
-        child_actions.metadata_writes.add(_metadata_split(fills, cls_t, c_info))
+        emitter.metadata(child_actions.metadata_writes, fills, cls_t, c_info)
 
 
 def _process_output(
@@ -258,6 +495,7 @@ def _process_output(
     chain: list[str],
     fmt_info,
     compute_cls: FlowClassification,
+    emitter,
 ) -> None:
     name = tensor.name
     innermost = chain[-1]
@@ -271,8 +509,8 @@ def _process_output(
     actions = sparse.at(innermost, name)
     updates = record.update_writes
     update_cls = analyzer.classify_output_updates()
-    actions.data_writes.add(
-        ActionBreakdown.split(updates, update_cls.actual, update_cls.gated)
+    emitter.split(
+        actions.data_writes, updates, update_cls.actual, update_cls.gated
     )
     # Accumulation (read-modify-write) reads: every surviving update
     # beyond each element's first write per episode reads the partial.
@@ -281,12 +519,8 @@ def _process_output(
     rmw = record.rmw_reads
     first_writes = updates - rmw
     rmw_actual = max(0.0, updates * update_cls.actual - first_writes)
-    actions.data_reads.add(
-        ActionBreakdown(
-            actual=rmw_actual,
-            gated=0.0,
-            skipped=max(0.0, rmw - rmw_actual),
-        )
+    emitter.raw(
+        actions.data_reads, rmw_actual, 0.0, max(0.0, rmw - rmw_actual)
     )
 
     # Drains and refills along the chain.
@@ -300,27 +534,30 @@ def _process_output(
 
         child_actions = sparse.at(child, name)
         drains = child_record.drains
-        child_actions.data_reads.add(
-            _data_split(drains, cls_d, c_info.payload_fraction)
+        emitter.data(
+            child_actions.data_reads, drains, cls_d, c_info.payload_fraction
         )
-        child_actions.metadata_reads.add(_metadata_split(drains, cls_d, c_info))
+        emitter.metadata(child_actions.metadata_reads, drains, cls_d, c_info)
 
         parent_actions = sparse.at(parent, name)
         arriving = drains / reduction
-        parent_actions.data_writes.add(
-            _data_split(arriving, cls_d, p_info.payload_fraction)
+        emitter.data(
+            parent_actions.data_writes, arriving, cls_d,
+            p_info.payload_fraction,
         )
-        parent_actions.metadata_writes.add(
-            _metadata_split(arriving, cls_d, p_info)
+        emitter.metadata(
+            parent_actions.metadata_writes, arriving, cls_d, p_info
         )
 
         refills = child_record.refill_writes
         if refills > 0:
-            child_actions.data_writes.add(
-                _data_split(refills, cls_d, c_info.payload_fraction)
+            emitter.data(
+                child_actions.data_writes, refills, cls_d,
+                c_info.payload_fraction,
             )
-            parent_actions.data_reads.add(
-                _data_split(refills / reduction, cls_d, p_info.payload_fraction)
+            emitter.data(
+                parent_actions.data_reads, refills / reduction, cls_d,
+                p_info.payload_fraction,
             )
 
 

@@ -33,6 +33,15 @@ class ActionBreakdown:
         self.gated += other.gated
         self.skipped += other.skipped
 
+    def add_components(
+        self, actual: float, gated: float, skipped: float
+    ) -> None:
+        """Accumulate raw components without building an intermediate
+        :class:`ActionBreakdown` (the vectorized scatter path)."""
+        self.actual += actual
+        self.gated += gated
+        self.skipped += skipped
+
     def scaled(self, factor: float) -> "ActionBreakdown":
         return ActionBreakdown(
             self.actual * factor, self.gated * factor, self.skipped * factor

@@ -1,0 +1,150 @@
+"""Unit tests for the unified content-addressed cache subsystem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.cache import (
+    DEFAULT_STAGE_SIZES,
+    AnalysisCache,
+    DenseAnalysisCache,
+    StageCache,
+    global_cache,
+)
+
+
+class TestStageCache:
+    def test_get_put_and_stats(self):
+        cache = StageCache(maxsize=4, name="t")
+        assert cache.get(("a",)) is None
+        cache.put(("a",), 1)
+        assert cache.get(("a",)) == 1
+        assert cache.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "hit_rate": 0.5,
+            "entries": 1,
+        }
+
+    def test_get_or_compute_runs_once(self):
+        cache = StageCache(maxsize=4)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "value"
+
+        assert cache.get_or_compute("k", compute) == "value"
+        assert cache.get_or_compute("k", compute) == "value"
+        assert len(calls) == 1
+
+    def test_lru_eviction(self):
+        cache = StageCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh 'a'
+        cache.put("c", 3)  # evicts 'b'
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+
+    def test_rejects_bad_maxsize(self):
+        with pytest.raises(ValueError):
+            StageCache(maxsize=0)
+
+    def test_export_import_preserves_order_and_values(self):
+        cache = StageCache(maxsize=8)
+        for i in range(5):
+            cache.put(("k", i), i * 10)
+        pairs = cache.export_entries(limit=3)
+        assert [k for k, _ in pairs] == [("k", 2), ("k", 3), ("k", 4)]
+        other = StageCache(maxsize=8)
+        assert other.import_entries(pairs) == 3
+        assert other.get(("k", 4)) == 40
+        # No limit exports everything.
+        assert len(cache.export_entries(limit=None)) == 5
+
+    def test_clear_resets_accounting(self):
+        cache = StageCache(maxsize=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 0
+        assert cache.stats()["misses"] == 0
+
+
+class TestAnalysisCache:
+    def test_stage_creation_and_defaults(self):
+        cache = AnalysisCache()
+        sparse = cache.stage("sparse")
+        assert sparse.maxsize == DEFAULT_STAGE_SIZES["sparse"]
+        assert cache.stage("sparse") is sparse  # same instance
+        assert cache.stage("custom").maxsize > 0
+
+    def test_dense_stage_is_specialised(self):
+        cache = AnalysisCache()
+        assert isinstance(cache.dense, DenseAnalysisCache)
+        assert cache.dense is cache.stage("dense")
+
+    def test_stage_size_overrides(self):
+        cache = AnalysisCache(stage_sizes={"dense": 2, "sparse": 3})
+        assert cache.dense.maxsize == 2
+        assert cache.sparse.maxsize == 3
+
+    def test_stats_and_clear_cover_all_stages(self):
+        cache = AnalysisCache()
+        cache.stage("sparse").put("k", "v")
+        cache.stage("sparse").get("k")
+        stats = cache.stats()
+        assert stats["sparse"]["hits"] == 1
+        cache.clear()
+        assert cache.stats()["sparse"]["entries"] == 0
+
+    def test_export_import_round_trip(self):
+        parent = AnalysisCache()
+        parent.stage("sparse").put(("s",), "sparse-value")
+        parent.stage("dense").put(("d",), "dense-value")
+        state = parent.export_state()
+        assert set(state) == {"sparse", "dense"}
+
+        child = AnalysisCache()
+        assert child.import_state(state) == 2
+        assert child.stage("sparse").get(("s",)) == "sparse-value"
+        assert child.stage("dense").get(("d",)) == "dense-value"
+
+    def test_export_skips_empty_stages(self):
+        cache = AnalysisCache()
+        cache.stage("sparse")  # created but empty
+        assert cache.export_state() == {}
+
+
+class TestGlobalCache:
+    def test_singleton_hosts_tile_format_stage(self):
+        a = global_cache()
+        b = global_cache()
+        assert a is b
+        stage = a.stage("tile-format")
+        assert stage.maxsize == DEFAULT_STAGE_SIZES["tile-format"]
+
+    def test_tile_format_analyses_land_in_global_stage(self):
+        from repro.sparse.density import UniformDensity
+        from repro.sparse.format_analyzer import (
+            analyze_tile_format,
+            clear_tile_format_cache,
+        )
+        from repro.sparse.formats import (
+            CoordinatePayload,
+            FormatRank,
+            FormatSpec,
+        )
+
+        clear_tile_format_cache()
+        fmt = FormatSpec([FormatRank(CoordinatePayload())])
+        model = UniformDensity(0.25, 64)
+        first = analyze_tile_format(fmt, (8,), model)
+        second = analyze_tile_format(fmt, (8,), model)
+        assert first is second  # memoised, not recomputed
+        stage = global_cache().stage("tile-format")
+        assert len(stage) >= 1
+        assert stage.hits >= 1

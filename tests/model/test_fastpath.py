@@ -13,6 +13,7 @@ import pytest
 
 from repro import Design, Evaluator, SAFSpec, Workload, matmul
 from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
+from repro.common.cache import AnalysisCache
 from repro.common.errors import ValidationError
 from repro.dataflow.nest_analysis import dense_analysis_key
 from repro.designs import codesign
@@ -74,8 +75,8 @@ def assert_results_equal(a, b) -> None:
 
 class TestDenseAnalysisCache:
     def test_hit_reuses_analysis_across_saf_variants(self):
-        cache = DenseAnalysisCache()
-        evaluator = Evaluator(dense_cache=cache, search_budget=12)
+        evaluator = Evaluator(search_budget=12)
+        cache = evaluator.dense_cache
         workload = dse_workload()
         arch = dse_arch()
         mapping = None
@@ -95,7 +96,7 @@ class TestDenseAnalysisCache:
         arch = dse_arch()
         for index, safs in enumerate(dse_saf_variants()):
             design = Design(f"d{index}", arch, safs, constraints=CONSTRAINTS)
-            cold = Evaluator(dense_cache=None, search_budget=12)
+            cold = Evaluator(cache=None, search_budget=12)
             warm = Evaluator(search_budget=12)
             # Evaluate twice with the warm evaluator so the second pass
             # is served from the cache, then compare all three.
@@ -122,14 +123,15 @@ class TestDenseAnalysisCache:
         first = evaluator.evaluate(design, sparse_wl)
         second = evaluator.evaluate(design, dense_wl)
         assert evaluator.dense_cache.hits >= 1
-        cold = Evaluator(dense_cache=None)
+        cold = Evaluator(cache=None)
         assert_results_equal(second, cold.evaluate(design, dense_wl))
         # Sparser workload must do strictly less effectual compute.
         assert first.sparse.compute.actual < second.sparse.compute.actual
 
     def test_eviction_respects_maxsize(self):
-        cache = DenseAnalysisCache(maxsize=2)
-        evaluator = Evaluator(dense_cache=cache)
+        analysis_cache = AnalysisCache(stage_sizes={"dense": 2})
+        evaluator = Evaluator(cache=analysis_cache)
+        cache = analysis_cache.dense
         design = codesign.build_design("ReuseABZ", "InnermostSkip")
         for m in (64, 128, 256):
             wl = Workload.uniform(matmul(m, 64, 64), {"A": 0.1, "B": 0.1})
@@ -221,7 +223,7 @@ class TestEvaluateMany:
     def test_matches_individual_evaluate(self):
         jobs = self.jobs()
         batch = Evaluator().evaluate_many(jobs)
-        reference = Evaluator(dense_cache=None)
+        reference = Evaluator(cache=None)
         for job, result in zip(jobs, batch):
             assert_results_equal(result, reference.evaluate(*job))
 

@@ -195,6 +195,51 @@ class TestActualData:
         with pytest.raises(SpecError):
             ActualDataDensity(np.zeros((0,)))
 
+    def test_cache_key_is_content_addressed(self):
+        data = uniform_random_tensor((8, 8), 0.25, seed=0)
+        a = ActualDataDensity(data)
+        b = ActualDataDensity(data.copy())  # same content, new array
+        assert a.cache_key() is not None
+        assert a.cache_key() == b.cache_key()
+        # Repeated calls reuse the computed digest.
+        assert a.cache_key() is a.cache_key()
+
+    def test_cache_key_distinguishes_content_shape_dtype(self):
+        base = uniform_random_tensor((8, 8), 0.25, seed=0)
+        key = ActualDataDensity(base).cache_key()
+        changed = base.copy()
+        changed[0, 0] = 0.0 if changed[0, 0] else 1.0
+        assert ActualDataDensity(changed).cache_key() != key
+        assert (
+            ActualDataDensity(base.reshape(4, 16)).cache_key() != key
+        )
+        assert (
+            ActualDataDensity(base.astype(np.float32)).cache_key() != key
+        )
+
+    def test_participates_in_tile_format_memo(self):
+        from repro.sparse.format_analyzer import (
+            analyze_tile_format,
+            clear_tile_format_cache,
+        )
+        from repro.sparse.formats import (
+            CoordinatePayload,
+            FormatRank,
+            FormatSpec,
+        )
+
+        clear_tile_format_cache()
+        data = uniform_random_tensor((8, 8), 0.25, seed=1)
+        fmt = FormatSpec(
+            [FormatRank(CoordinatePayload()), FormatRank(CoordinatePayload())]
+        )
+        first = analyze_tile_format(fmt, (4, 4), ActualDataDensity(data))
+        second = analyze_tile_format(
+            fmt, (4, 4), ActualDataDensity(data.copy())
+        )
+        # Two distinct model objects over the same content hit the memo.
+        assert first is second
+
 
 class TestCombinators:
     def test_intersection_probability(self):
