@@ -9,16 +9,31 @@ The spec file combines arch / workload / safs / mapping sections (see
 :mod:`repro.io.yaml_spec` for the schema). With ``--search`` the
 mapping section may be omitted and the built-in mapper explores the
 mapspace instead.
+
+Repeated runs start warm: analysis-cache snapshots are spilled to a
+persistent on-disk store (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``)
+keyed by the spec's content, so re-evaluating the same design — a
+tweaked mapping, a different SAF flag, a CI job — skips everything the
+previous run already derived. Disable with ``--cold`` or the
+``REPRO_NO_PERSISTENT_CACHE`` environment variable.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from repro.common.cache import PersistentCache
 from repro.io.yaml_spec import load_design
 from repro.mapping.mapspace import MapspaceConstraints
-from repro.model.engine import Evaluator
+from repro.model.engine import Evaluator, persistent_state_key
+
+
+def _persistent_store(args: argparse.Namespace) -> PersistentCache | None:
+    if args.cold or os.environ.get("REPRO_NO_PERSISTENT_CACHE"):
+        return None
+    return PersistentCache(root=args.cache_dir)
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -26,13 +41,26 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     evaluator = Evaluator(
         check_capacity=not args.no_capacity_check,
         search_budget=args.budget,
+        persistent=_persistent_store(args),
     )
     if args.search:
         design.mapping = None
         design.constraints = design.constraints or MapspaceConstraints()
+    loaded = 0
+    if evaluator.persistent is not None:
+        key = persistent_state_key(design, [workload])
+        if key is not None:
+            loaded = evaluator.warm_start(key)
     result = evaluator.evaluate(design, workload)
+    spilled = evaluator.spill_cache()
     print(result.summary())
     if args.verbose:
+        print()
+        if evaluator.persistent is not None:
+            print(
+                f"persistent cache: {loaded} entries warm, snapshot "
+                f"{spilled if spilled else '(nothing to spill)'}"
+            )
         print()
         print("mapping:")
         print(result.dense.mapping.describe())
@@ -71,6 +99,18 @@ def main(argv: list[str] | None = None) -> int:
         "--no-capacity-check",
         action="store_true",
         help="allow mappings whose tiles overflow storage",
+    )
+    ev.add_argument(
+        "--cold",
+        action="store_true",
+        help="skip the persistent cache tier (start cold, spill nothing)",
+    )
+    ev.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent cache location (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro)",
     )
     ev.add_argument("-v", "--verbose", action="store_true")
     ev.set_defaults(func=_cmd_evaluate)

@@ -107,7 +107,12 @@ class Architecture:
     def cache_key(self) -> tuple:
         """Canonical hashable content key over every model-relevant
         attribute; architectures with equal keys evaluate identically.
-        Used by the engine's dense-analysis cache."""
+        Used by the engine's dense-analysis cache. Memoised on first
+        use — like every keyed spec, an architecture is frozen by
+        contract once it has been through the engine."""
+        memo = getattr(self, "_cache_key", None)
+        if memo is not None:
+            return memo
 
         def attrs_key(attrs: dict) -> tuple:
             return tuple(sorted((k, repr(v)) for k, v in attrs.items()))
@@ -135,7 +140,8 @@ class Architecture:
             self.compute.component,
             attrs_key(self.compute.component_attrs),
         )
-        return (levels, compute)
+        self._cache_key = (levels, compute)
+        return self._cache_key
 
     def level(self, name: str) -> StorageLevel:
         for lvl in self.levels:

@@ -3,6 +3,7 @@
 from repro.common.cache import (
     AnalysisCache,
     DenseAnalysisCache,
+    PersistentCache,
     StageCache,
     global_cache,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "ValidationError",
     "AnalysisCache",
     "DenseAnalysisCache",
+    "PersistentCache",
     "StageCache",
     "global_cache",
     "ceil_div",

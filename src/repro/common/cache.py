@@ -19,10 +19,15 @@ ad-hoc per-module caches it grew out of:
   (formerly in :mod:`repro.model.engine`): keys exclude tensor
   densities, and hits rebind the caller's workload.
 * :class:`AnalysisCache` — a registry of named stages. The evaluation
-  engine owns one (stages ``"dense"`` and ``"sparse"``); the
+  engine owns one (stages ``"dense"``, ``"sparse"``, and the
+  micro-model stages ``"validity"``/``"latency"``/``"energy"``); the
   process-global instance from :func:`global_cache` hosts stages whose
   results are safely shared by every evaluator in the process (stage
   ``"tile-format"``).
+* :class:`PersistentCache` — an on-disk tier that spills
+  :meth:`AnalysisCache.export_state` snapshots to a versioned store
+  (default ``~/.cache/repro/``) so repeated CLI runs, network
+  fan-outs, and CI jobs start warm instead of cold.
 
 Adding a new stage (e.g. micro energy/latency memoisation) takes three
 steps: derive a content key from the stage's *actual* inputs, pick a
@@ -40,8 +45,15 @@ workers start warm instead of re-deriving shared analyses.
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
+import shutil
+import sys
+import tempfile
 from collections import OrderedDict
 from collections.abc import Callable, Iterable
+from pathlib import Path
 from typing import Any
 
 #: Default LRU capacities per well-known stage name. Stages not listed
@@ -50,6 +62,11 @@ DEFAULT_STAGE_SIZES = {
     "dense": 1024,
     "sparse": 4096,
     "tile-format": 16384,
+    # Micro-model stages: one entry per distinct sparse analysis, so
+    # they are sized to track the sparse stage.
+    "validity": 4096,
+    "latency": 4096,
+    "energy": 4096,
 }
 
 DEFAULT_STAGE_SIZE = 1024
@@ -57,6 +74,42 @@ DEFAULT_STAGE_SIZE = 1024
 #: Default cap on entries exported *per stage* when shipping cache
 #: state to worker processes; bounds the pickle payload.
 DEFAULT_EXPORT_LIMIT = 512
+
+
+class CachedHashKey:
+    """A content-key wrapper that memoises its hash.
+
+    Stage keys are deep tuples (einsum + architecture + mapping + SAF
+    + density content); hashing one is not free, and an evaluation
+    consults several stages with the same key (sparse, validity,
+    latency, energy — each a get and possibly a put). Wrapping the
+    tuple once caches the hash across all of those dict operations.
+
+    Pickling ships only the underlying tuple — never the cached hash,
+    which is salted per process for strings — so exported entries stay
+    valid across workers and persistent-store reloads.
+    """
+
+    __slots__ = ("key", "_hash")
+
+    def __init__(self, key: tuple):
+        self.key = key
+        self._hash: int | None = None
+
+    def __hash__(self) -> int:
+        value = self._hash
+        if value is None:
+            value = self._hash = hash(self.key)
+        return value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CachedHashKey) and self.key == other.key
+
+    def __repr__(self) -> str:
+        return f"CachedHashKey({self.key!r})"
+
+    def __reduce__(self):
+        return (CachedHashKey, (self.key,))
 
 
 class StageCache:
@@ -74,6 +127,13 @@ class StageCache:
         self._entries: OrderedDict[Any, Any] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: True when the stage holds content not yet captured by a
+        #: snapshot: set by :meth:`put` (fresh computation or
+        #: absorption), left alone by :meth:`import_entries` (restored
+        #: state is, by definition, already persisted somewhere).
+        #: Cleared by persistent spills so fully-warm runs skip
+        #: rewriting identical snapshots.
+        self.dirty = False
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -98,6 +158,7 @@ class StageCache:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.dirty = False
 
     def get(self, key: Any) -> Any | None:
         """Return the cached value (refreshing LRU order) or ``None``.
@@ -114,6 +175,10 @@ class StageCache:
         return value
 
     def put(self, key: Any, value: Any) -> None:
+        self.dirty = True
+        self._install(key, value)
+
+    def _install(self, key: Any, value: Any) -> None:
         self._entries[key] = value
         self._entries.move_to_end(key)
         if len(self._entries) > self.maxsize:
@@ -143,10 +208,14 @@ class StageCache:
         return pairs
 
     def import_entries(self, pairs: Iterable[tuple[Any, Any]]) -> int:
-        """Install exported pairs; returns the number imported."""
+        """Install exported pairs; returns the number imported.
+
+        Restored entries do not mark the stage dirty — they came from
+        a snapshot, so they are already persisted somewhere.
+        """
         count = 0
         for key, value in pairs:
-            self.put(key, value)
+            self._install(key, value)
             count += 1
         return count
 
@@ -250,6 +319,15 @@ class AnalysisCache:
     def stage_names(self) -> list[str]:
         return sorted(self._stages)
 
+    def is_dirty(self) -> bool:
+        """True when any stage holds content no snapshot has captured."""
+        return any(stage.dirty for stage in self._stages.values())
+
+    def mark_clean(self) -> None:
+        """Record that the current contents have been spilled."""
+        for stage in self._stages.values():
+            stage.dirty = False
+
     def stats(self) -> dict[str, dict[str, float]]:
         return {name: stage.stats() for name, stage in self._stages.items()}
 
@@ -277,6 +355,185 @@ class AnalysisCache:
         for name, pairs in state.items():
             total += self.stage(name).import_entries(pairs)
         return total
+
+
+# ----------------------------------------------------------------------
+# Persistent on-disk tier
+
+#: Bump when the snapshot payload layout (not the cached *content*)
+#: changes incompatibly; older ``v<N>`` directories are then ignored
+#: and can be swept with :meth:`PersistentCache.prune_stale_versions`.
+PERSISTENT_SCHEMA_VERSION = 1
+
+_CODE_HASH: str | None = None
+
+
+def repro_code_hash() -> str:
+    """Content hash of the installed ``repro`` package sources.
+
+    blake2b over every ``*.py`` file (path + bytes) under the package
+    root, memoised per process. Any source change — which could change
+    what a content key means or what a stage computes — lands snapshots
+    in a fresh namespace, which is the persistent tier's invalidation
+    story: conservative, automatic, and never wrong.
+    """
+    global _CODE_HASH
+    if _CODE_HASH is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.blake2b(digest_size=16)
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_HASH = digest.hexdigest()
+    return _CODE_HASH
+
+
+class PersistentCache:
+    """Corruption-safe on-disk store for analysis-cache snapshots.
+
+    Layout::
+
+        <root>/v<schema>/<namespace>/<blake2b(key)>.pkl
+
+    ``root`` defaults to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
+    ``namespace`` defaults to ``py<maj><min>-<repro_code_hash()>`` so
+    snapshots never outlive the code (or pickle format) that wrote
+    them. ``key`` is a free-form string naming one snapshot — callers
+    derive it from workload/design content (see
+    :func:`repro.model.engine.persistent_state_key`).
+
+    Writes are atomic (temp file + ``os.replace``) so a crashed or
+    concurrent run can never leave a half-written snapshot in place;
+    loads that hit an unreadable or mismatched file discard it and
+    report a miss. Instances are picklable (plain path + strings) so a
+    process-pool initializer can reopen the same store in workers.
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        namespace: str | None = None,
+        version: int = PERSISTENT_SCHEMA_VERSION,
+    ):
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or (
+                Path.home() / ".cache" / "repro"
+            )
+        self.root = Path(root)
+        if namespace is None:
+            namespace = (
+                f"py{sys.version_info[0]}{sys.version_info[1]}"
+                f"-{repro_code_hash()}"
+            )
+        self.namespace = namespace
+        self.version = version
+
+    @property
+    def store_dir(self) -> Path:
+        return self.root / f"v{self.version}" / self.namespace
+
+    def path_for(self, key: str) -> Path:
+        digest = hashlib.blake2b(key.encode(), digest_size=16).hexdigest()
+        return self.store_dir / f"{digest}.pkl"
+
+    def load(self, key: str) -> dict[str, list[tuple[Any, Any]]] | None:
+        """The stage-state snapshot stored under ``key``, or ``None``.
+
+        Any failure — missing file, truncated/corrupt pickle, or a
+        payload whose schema/namespace/key does not match — is a miss;
+        unreadable files are removed so they cannot fail again.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            # Missing file or a transient read failure (EIO, EACCES,
+            # sharing violation): a miss, but never destroy the file —
+            # it may be perfectly good on the next attempt.
+            return None
+        try:
+            payload = pickle.loads(data)
+        except Exception:
+            # The bytes themselves are bad (truncated/corrupt pickle):
+            # discard so the store recovers on the next spill.
+            self._discard(path)
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != self.version
+            or payload.get("namespace") != self.namespace
+            or payload.get("key") != key
+            or not isinstance(payload.get("stages"), dict)
+        ):
+            self._discard(path)
+            return None
+        return payload["stages"]
+
+    def store(
+        self, key: str, stages: dict[str, list[tuple[Any, Any]]]
+    ) -> Path:
+        """Atomically write ``stages`` (an ``export_state()`` snapshot)
+        under ``key``; returns the snapshot path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": self.version,
+            "namespace": self.namespace,
+            "key": key,
+            "stages": dict(stages),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            self._discard(Path(tmp))
+            raise
+        return path
+
+    def invalidate(self, key: str | None = None) -> None:
+        """Drop one snapshot (``key``) or the whole namespace."""
+        if key is not None:
+            self._discard(self.path_for(key))
+        else:
+            shutil.rmtree(self.store_dir, ignore_errors=True)
+
+    def prune_stale_versions(self) -> int:
+        """Remove snapshot directories of other schema versions;
+        returns how many were swept."""
+        current = f"v{self.version}"
+        swept = 0
+        try:
+            entries = list(self.root.iterdir())
+        except OSError:
+            return 0
+        for entry in entries:
+            if (
+                entry.is_dir()
+                and entry.name.startswith("v")
+                and entry.name != current
+                and entry.name[1:].isdigit()
+            ):
+                shutil.rmtree(entry, ignore_errors=True)
+                swept += 1
+        return swept
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
 
 _GLOBAL_CACHE: AnalysisCache | None = None

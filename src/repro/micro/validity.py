@@ -13,6 +13,14 @@ from repro.arch.spec import Architecture
 from repro.common.errors import ValidationError
 from repro.sparse.traffic import SparseTraffic
 
+#: Name of the validity stage in the engine's
+#: :class:`~repro.common.cache.AnalysisCache`. Usage reports are a pure
+#: function of the sparse analysis and the architecture (both embedded
+#: in the sparse content key), so the engine memoises them — computed
+#: with ``raise_on_invalid=False`` so hits can serve the raising and
+#: non-raising callers alike (see :func:`overflow_error`).
+VALIDITY_STAGE = "validity"
+
 
 @dataclass
 class LevelUsage:
@@ -30,6 +38,17 @@ class LevelUsage:
     @property
     def fits(self) -> bool:
         return self.capacity_words is None or self.used_words <= self.capacity_words
+
+
+def overflow_error(report: LevelUsage) -> ValidationError:
+    """The :class:`ValidationError` for one overflowing level —
+    identical to what :func:`check_validity` raises, so callers
+    replaying a cached usage report reproduce the uncached error."""
+    return ValidationError(
+        f"level {report.level!r} overflows: needs "
+        f"{report.used_words:.1f} words of {report.capacity_words:g} "
+        f"({', '.join(f'{t}={w:.1f}' for t, w in report.per_tensor.items())})"
+    )
 
 
 def check_validity(
@@ -55,9 +74,5 @@ def check_validity(
             report.used_words += actions.worst_occupancy_words
         usage[level.name] = report
         if raise_on_invalid and not report.fits:
-            raise ValidationError(
-                f"level {level.name!r} overflows: needs "
-                f"{report.used_words:.1f} words of {level.capacity_words:g} "
-                f"({', '.join(f'{t}={w:.1f}' for t, w in report.per_tensor.items())})"
-            )
+            raise overflow_error(report)
     return usage

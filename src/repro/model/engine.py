@@ -21,13 +21,23 @@ and over with different SAF configurations:
   :class:`~repro.common.cache.AnalysisCache` whose named stages memoise
   whole pipeline steps by content key: the ``"dense"`` stage
   (:class:`~repro.common.cache.DenseAnalysisCache`) reuses dataflow
-  analyses across SAF/density variants of a mapping, and the
-  ``"sparse"`` stage reuses entire
-  :class:`~repro.sparse.traffic.SparseTraffic` results across repeated
-  evaluations of one (mapping, SAF, density) point — e.g. SAF sweeps
-  that revisit density levels, or network layers sharing shapes. Pass
-  ``cache=None`` to disable, or share one instance across evaluators
-  to pool hits. Cached results are read-only by convention.
+  analyses across SAF/density variants of a mapping, the ``"sparse"``
+  stage reuses entire :class:`~repro.sparse.traffic.SparseTraffic`
+  results across repeated evaluations of one (mapping, SAF, density)
+  point — e.g. SAF sweeps that revisit density levels, or network
+  layers sharing shapes — and the micro-model stages (``"validity"``,
+  ``"latency"``, ``"energy"``) memoise the model's tail under the same
+  sparse content key, so a sparse-stage hit short-circuits the entire
+  evaluation. Pass ``cache=None`` to disable, or share one instance
+  across evaluators to pool hits. Cached results are read-only by
+  convention.
+* persistent tier — pass ``persistent=PersistentCache(...)`` (and call
+  :meth:`Evaluator.warm_start` / :meth:`Evaluator.spill_cache`, or let
+  :meth:`Evaluator.evaluate_network` do both around its fan-out) to
+  spill cache snapshots to a versioned on-disk store so repeated CLI
+  runs, sweeps, and CI jobs start warm. Snapshot identity comes from
+  :func:`persistent_state_key`; worker initializers reopen the same
+  store so even first-touch parallel runs warm from disk.
 * capacity pre-filter — ``search_mappings`` rejects candidates whose
   *lower-bound* tile footprint already overflows a storage level
   before running the full dense→sparse→micro pipeline. The bound is
@@ -50,19 +60,33 @@ and over with different SAF configurations:
 
 from __future__ import annotations
 
+import hashlib
+import os
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 from repro.accelergy.backend import Accelergy
 from repro.arch.spec import Architecture
-from repro.common.cache import AnalysisCache, DenseAnalysisCache, global_cache
+from repro.common.cache import (
+    DEFAULT_EXPORT_LIMIT,
+    AnalysisCache,
+    CachedHashKey,
+    DenseAnalysisCache,
+    PersistentCache,
+    global_cache,
+)
 from repro.common.errors import MappingError, SpecError, ValidationError
 from repro.dataflow.nest_analysis import DenseTraffic, analyze_dataflow
 from repro.mapping.mapping import Mapping
 from repro.mapping.mapspace import Mapper, MapspaceConstraints
-from repro.micro.energy import compute_energy
-from repro.micro.latency import compute_latency
-from repro.micro.validity import check_validity
+from repro.micro.energy import ENERGY_STAGE, compute_energy
+from repro.micro.latency import LATENCY_STAGE, compute_latency
+from repro.micro.validity import (
+    VALIDITY_STAGE,
+    check_validity,
+    overflow_error,
+)
 from repro.model.result import EvaluationResult
 from repro.sparse.format_analyzer import TILE_FORMAT_STAGE
 from repro.sparse.postprocess import (
@@ -80,6 +104,8 @@ __all__ = [
     "DenseAnalysisCache",
     "Evaluator",
     "OverflowReason",
+    "PersistentCache",
+    "persistent_state_key",
 ]
 
 MappingFactory = Callable[[Workload, Architecture], Mapping]
@@ -167,6 +193,15 @@ class Evaluator:
     ``REPRO_SCALAR_SPARSE`` environment variable forced the scalar
     oracle process-wide) or the scalar oracle path; both are
     bit-identical (see :mod:`repro.sparse.postprocess`).
+    ``persistent``: an optional
+    :class:`~repro.common.cache.PersistentCache` on-disk tier.
+    :meth:`warm_start` loads a snapshot into the in-memory cache and
+    :meth:`spill_cache` writes one back; :meth:`evaluate_network` does
+    both automatically, and parallel fan-outs hand the store to worker
+    initializers so workers can warm from disk.
+    ``persistent_key``: the snapshot identity used when
+    :meth:`warm_start`/:meth:`spill_cache` are called without an
+    explicit key (set automatically by the first keyed call).
 
     Batch evaluation: :meth:`evaluate_many` evaluates a list of jobs,
     and it, :meth:`search_mappings`, and :meth:`evaluate_network`
@@ -185,6 +220,8 @@ class Evaluator:
     sparse_vectorized: bool = field(
         default_factory=lambda: VECTORIZED_DEFAULT
     )
+    persistent: PersistentCache | None = field(default=None, repr=False)
+    persistent_key: str | None = field(default=None, repr=False)
 
     @property
     def dense_cache(self) -> DenseAnalysisCache | None:
@@ -244,26 +281,106 @@ class Evaluator:
         safs: SAFSpec,
         dense_key: tuple | None = None,
     ) -> SparseTraffic:
-        """Sparse post-processing through the ``"sparse"`` cache stage.
+        """Sparse post-processing through the ``"sparse"`` cache stage."""
+        return self._sparse_analysis_keyed(dense, safs, dense_key)[0]
+
+    def _sparse_analysis_keyed(
+        self,
+        dense: DenseTraffic,
+        safs: SAFSpec,
+        dense_key: tuple | None = None,
+    ) -> tuple[SparseTraffic, CachedHashKey | None]:
+        """Sparse post-processing, returning ``(sparse, key)``.
 
         The whole :class:`SparseTraffic` is memoised by
         :func:`~repro.sparse.postprocess.sparse_analysis_key`; hits
         return the stored (read-only) object. Uncacheable density
-        models (no content key) fall back to recomputing.
+        models (no content key) fall back to recomputing and return a
+        ``None`` key, which also opts the micro-model stages out. The
+        key is handed back so the micro stages can reuse it: a sparse
+        analysis fully determines validity, latency, and energy (the
+        architecture key rides inside it via the dense key).
         """
         if self.cache is None:
-            return analyze_sparse(
-                dense, safs, vectorized=self.sparse_vectorized
+            return (
+                analyze_sparse(dense, safs, vectorized=self.sparse_vectorized),
+                None,
             )
         key = sparse_analysis_key(dense, safs, dense_key)
         if key is None:
-            return analyze_sparse(
-                dense, safs, vectorized=self.sparse_vectorized
+            return (
+                analyze_sparse(dense, safs, vectorized=self.sparse_vectorized),
+                None,
             )
-        return self.cache.sparse.get_or_compute(
+        # One hash-memoising wrapper serves the sparse stage and all
+        # three micro-model stages (several dict operations each).
+        key = CachedHashKey(key)
+        sparse = self.cache.sparse.get_or_compute(
             key,
             lambda: analyze_sparse(
                 dense, safs, vectorized=self.sparse_vectorized
+            ),
+        )
+        return sparse, key
+
+    # ------------------------------------------------------------------
+    # Micro-model stages (validity / latency / energy)
+
+    def _staged_validity(
+        self, design: Design, sparse: SparseTraffic, sparse_key: CachedHashKey | None
+    ):
+        """:func:`check_validity` through the ``"validity"`` stage.
+
+        The usage report is cached with ``raise_on_invalid=False`` so
+        one entry serves both capacity-checking and permissive
+        evaluators; when this evaluator checks capacity, the first
+        overflowing level (in architecture order, matching the uncached
+        scan) re-raises the identical :class:`ValidationError`.
+        """
+        if self.cache is None or sparse_key is None:
+            return check_validity(
+                design.arch, sparse, raise_on_invalid=self.check_capacity
+            )
+        usage = self.cache.stage(VALIDITY_STAGE).get_or_compute(
+            sparse_key,
+            lambda: check_validity(
+                design.arch, sparse, raise_on_invalid=False
+            ),
+        )
+        if self.check_capacity:
+            for level in design.arch.levels:
+                report = usage[level.name]
+                if not report.fits:
+                    raise overflow_error(report)
+        return usage
+
+    def _staged_latency(
+        self,
+        design: Design,
+        dense: DenseTraffic,
+        sparse: SparseTraffic,
+        sparse_key: CachedHashKey | None,
+    ):
+        """:func:`compute_latency` through the ``"latency"`` stage."""
+        if self.cache is None or sparse_key is None:
+            return compute_latency(design.arch, dense, sparse)
+        return self.cache.stage(LATENCY_STAGE).get_or_compute(
+            sparse_key, lambda: compute_latency(design.arch, dense, sparse)
+        )
+
+    def _staged_energy(
+        self, design: Design, sparse: SparseTraffic, sparse_key: CachedHashKey | None
+    ):
+        """:func:`compute_energy` through the ``"energy"`` stage; a hit
+        also skips constructing the Accelergy backend."""
+        if self.cache is None or sparse_key is None:
+            return compute_energy(
+                design.arch, sparse, Accelergy(design.arch)
+            )
+        return self.cache.stage(ENERGY_STAGE).get_or_compute(
+            sparse_key,
+            lambda: compute_energy(
+                design.arch, sparse, Accelergy(design.arch)
             ),
         )
 
@@ -271,12 +388,12 @@ class Evaluator:
         self, design: Design, workload: Workload, mapping: Mapping
     ) -> EvaluationResult:
         dense, dense_key = self._dense_analysis_keyed(design, workload, mapping)
-        sparse = self._sparse_analysis(dense, design.safs, dense_key)
-        usage = check_validity(
-            design.arch, sparse, raise_on_invalid=self.check_capacity
+        sparse, sparse_key = self._sparse_analysis_keyed(
+            dense, design.safs, dense_key
         )
-        latency = compute_latency(design.arch, dense, sparse)
-        energy = compute_energy(design.arch, sparse, Accelergy(design.arch))
+        usage = self._staged_validity(design, sparse, sparse_key)
+        latency = self._staged_latency(design, dense, sparse, sparse_key)
+        energy = self._staged_energy(design, sparse, sparse_key)
         return EvaluationResult(
             design_name=design.name,
             workload_name=workload.name or workload.einsum.name,
@@ -449,8 +566,6 @@ class Evaluator:
                 design, workload, candidates, objective
             )
             return best[2] if best is not None else None
-        from concurrent.futures import ProcessPoolExecutor
-
         chunks = _contiguous_chunks(candidates, parallel)
         worker = replace(self, cache=None)
         payloads = []
@@ -460,12 +575,7 @@ class Evaluator:
                 (worker, design, workload, chunk, objective, offset)
             )
             offset += len(chunk)
-        with ProcessPoolExecutor(
-            max_workers=len(payloads),
-            initializer=_warm_worker_initializer,
-            initargs=(self._export_cache_state(),),
-        ) as pool:
-            partials = list(pool.map(_search_chunk_worker, payloads))
+        partials = self._run_pool(_search_chunk_worker, payloads)
         best: tuple[float, int, EvaluationResult] | None = None
         for partial in partials:
             if partial is None:
@@ -474,7 +584,10 @@ class Evaluator:
             # first-strictly-better tie-breaking exactly.
             if best is None or (partial[0], partial[1]) < (best[0], best[1]):
                 best = partial
-        return best[2] if best is not None else None
+        if best is None:
+            return None
+        self._absorb_result(design, workload, best[2])
+        return best[2]
 
     # ------------------------------------------------------------------
     # Batch evaluation
@@ -496,18 +609,17 @@ class Evaluator:
         jobs = list(jobs)
         if parallel <= 1 or len(jobs) <= 1:
             return [self.evaluate(*job) for job in jobs]
-        from concurrent.futures import ProcessPoolExecutor
-
         chunks = _contiguous_chunks(jobs, parallel)
         worker = replace(self, cache=None)
         payloads = [(worker, chunk) for chunk in chunks]
-        with ProcessPoolExecutor(
-            max_workers=len(payloads),
-            initializer=_warm_worker_initializer,
-            initargs=(self._export_cache_state(),),
-        ) as pool:
-            partials = list(pool.map(_evaluate_chunk_worker, payloads))
-        return [result for chunk in partials for result in chunk]
+        partials = self._run_pool(_evaluate_chunk_worker, payloads)
+        results = [result for chunk in partials for result in chunk]
+        # Results were computed in workers; fold them back into the
+        # parent cache so follow-up serial evaluations hit and
+        # persistent spills capture what the fan-out derived.
+        for job, result in zip(jobs, results):
+            self._absorb_result(job[0], job[1], result)
+        return results
 
     def evaluate_network(
         self,
@@ -523,70 +635,323 @@ class Evaluator:
         aggregate per layer; total latency/energy multiply by layer
         repeat counts. ``parallel=N`` fans the layers out over worker
         processes via :meth:`evaluate_many`.
+
+        Layers with identical content — same einsum, same densities,
+        and the same mapping the design resolves for them — are
+        evaluated once and the result shared (rebound to each layer's
+        workload name), since evaluation is a pure function of that
+        content; per-layer result order is preserved. The design's
+        ``mapping_factory`` is still consulted once per layer (exactly
+        as the undeduped path would), so factories that key off the
+        workload *name* keep their distinct mappings and are simply not
+        merged. Layers whose density models expose no content key are
+        conservatively treated as unique. When a ``persistent`` store
+        is configured, the fan-out warm-starts from (and afterwards
+        spills to) the snapshot keyed by this network's content.
         """
-        jobs = []
-        for layer in layers:
-            workload = Workload.uniform(
-                layer.spec, densities_for(layer), name=layer.name
+        workloads = [
+            Workload.uniform(layer.spec, densities_for(layer), name=layer.name)
+            for layer in layers
+        ]
+        job_of_layer: list[int] = []
+        unique_jobs: list[tuple] = []
+        seen: dict[tuple, int] = {}
+        for workload in workloads:
+            # The evaluation also depends on the mapping the design
+            # resolves for this workload; factories may legitimately
+            # produce different schedules for identical shapes, so the
+            # resolved mapping joins the dedupe key (and rides in the
+            # job, keeping factories at one call per layer).
+            mapping = design.mapping_for(workload)
+            key = _workload_content_key(workload)
+            if key is not None:
+                key = (key, None if mapping is None else mapping.cache_key())
+            index = seen.get(key) if key is not None else None
+            if index is None:
+                index = len(unique_jobs)
+                if mapping is None:
+                    unique_jobs.append((design, workload))
+                else:
+                    unique_jobs.append((design, workload, mapping))
+                if key is not None:
+                    seen[key] = index
+            job_of_layer.append(index)
+
+        spill_key = None
+        if self.persistent is not None and self.cache is not None:
+            spill_key = persistent_state_key(
+                design, [job[1] for job in unique_jobs]
             )
-            jobs.append((design, workload))
-        results = self.evaluate_many(jobs, parallel=parallel)
-        return list(zip(layers, results))
+            if spill_key is not None:
+                self.warm_start(spill_key)
+        results = self.evaluate_many(unique_jobs, parallel=parallel)
+        if spill_key is not None:
+            self.spill_cache(spill_key)
+
+        paired = []
+        for layer, workload, index in zip(layers, workloads, job_of_layer):
+            result = results[index]
+            if result.workload_name != workload.name:
+                result = replace(result, workload_name=workload.name)
+            paired.append((layer, result))
+        return paired
+
+    def _absorb_result(
+        self, design: Design, workload: Workload, result: EvaluationResult
+    ) -> None:
+        """Install an externally computed result into this evaluator's
+        cache stages.
+
+        Parallel fan-outs evaluate in worker processes, so the parent
+        cache never sees their work; every stage value is sitting in
+        the :class:`EvaluationResult`, though, and the content keys are
+        cheap to re-derive. Entries already present are left alone
+        (first-seen wins, like any other hit).
+        """
+        if self.cache is None:
+            return
+        dense = result.dense
+        if dense is None or dense.mapping is None:
+            return
+        from repro.dataflow.nest_analysis import dense_analysis_key
+
+        dense_key = dense_analysis_key(workload, design.arch, dense.mapping)
+        if dense_key not in self.cache.dense:
+            self.cache.dense.put(dense_key, replace(dense, workload=None))
+        sparse_key = sparse_analysis_key(dense, design.safs, dense_key)
+        if sparse_key is None:
+            return
+        sparse_key = CachedHashKey(sparse_key)
+        stage_values = (
+            ("sparse", result.sparse),
+            (VALIDITY_STAGE, result.usage),
+            (LATENCY_STAGE, result.latency),
+            (ENERGY_STAGE, result.energy),
+        )
+        for name, value in stage_values:
+            stage = self.cache.stage(name)
+            if value is not None and sparse_key not in stage:
+                stage.put(sparse_key, value)
 
     # ------------------------------------------------------------------
-    # Warm-worker cache shipping
+    # Warm-worker cache shipping and the persistent tier
 
-    def _export_cache_state(self) -> dict | None:
+    def _export_cache_state(
+        self, per_stage_limit: int | None = None
+    ) -> dict | None:
         """Picklable snapshot of this evaluator's cache stages plus the
-        process-global tile-format stage, for pool initializers.
+        process-global tile-format stage.
 
-        Returns ``None`` when caching is disabled (``cache=None``), so
-        workers honour the parent's setting instead of silently
-        re-enabling their own caches.
+        ``per_stage_limit`` caps entries per stage (pool initializers
+        pass the default shipping cap; persistent spills pass ``None``
+        for everything). Returns ``None`` when caching is disabled
+        (``cache=None``), so workers honour the parent's setting
+        instead of silently re-enabling their own caches.
         """
         if self.cache is None:
             return None
-        state = dict(self.cache.export_state())
-        tile = global_cache().stage(TILE_FORMAT_STAGE).export_entries()
+        state = dict(self.cache.export_state(per_stage_limit))
+        tile = global_cache().stage(TILE_FORMAT_STAGE).export_entries(
+            per_stage_limit
+        )
         if tile:
             state[TILE_FORMAT_STAGE] = tile
         return state
 
+    def warm_start(self, key: str | None = None) -> int:
+        """Load the persistent snapshot ``key`` (default: the
+        evaluator's ``persistent_key``) into the in-memory cache;
+        returns the number of entries installed (0 when the persistent
+        tier is unconfigured, caching is disabled, or no snapshot
+        exists)."""
+        key = key or self.persistent_key
+        if self.persistent is None or self.cache is None or key is None:
+            return 0
+        self.persistent_key = key
+        state = self.persistent.load(key)
+        if not state:
+            return 0
+        return _install_cache_state(self.cache, state)
+
+    def spill_cache(self, key: str | None = None) -> Path | None:
+        """Spill the full in-memory cache state (all stages, no entry
+        cap, plus the global tile-format stage) to the persistent store
+        under ``key`` (default: ``persistent_key``); returns the
+        snapshot path, or ``None`` when there is nothing to spill.
+
+        A fully warm run — every entry restored from a snapshot,
+        nothing newly computed — leaves the existing snapshot untouched
+        instead of re-pickling identical content on the hot
+        repeat-invocation path.
+        """
+        key = key or self.persistent_key
+        if self.persistent is None or self.cache is None or key is None:
+            return None
+        self.persistent_key = key
+        tile_stage = global_cache().stage(TILE_FORMAT_STAGE)
+        path = self.persistent.path_for(key)
+        if not self.cache.is_dirty() and not tile_stage.dirty and path.exists():
+            return path  # fully warm: skip even the export
+        state = self._export_cache_state(per_stage_limit=None)
+        if not state:
+            return None
+        written = self.persistent.store(key, state)
+        self.cache.mark_clean()
+        tile_stage.dirty = False
+        return written
+
+    def _run_pool(self, worker_fn, payloads: list) -> list:
+        """Map ``worker_fn`` over ``payloads`` in a process pool.
+
+        The pool pins an explicit multiprocessing context —
+        ``REPRO_MP_START_METHOD`` if set, else ``fork`` where available
+        and ``spawn`` otherwise — so spawn-based platforms
+        (macOS/Windows) run the same code path the fork-based tests
+        exercise rather than whatever the platform default happens to
+        be. Workers warm up from the persistent store (when configured)
+        and the parent's shipped entries. Empty payload lists return
+        immediately (``ProcessPoolExecutor`` rejects
+        ``max_workers=0``).
+        """
+        if not payloads:
+            return []
+        import multiprocessing as mp
+        from concurrent.futures import ProcessPoolExecutor
+
+        context = mp.get_context(_pool_start_method())
+        persistent = self.persistent if self.cache is not None else None
+        with ProcessPoolExecutor(
+            max_workers=len(payloads),
+            mp_context=context,
+            initializer=_warm_worker_initializer,
+            initargs=(
+                self._export_cache_state(DEFAULT_EXPORT_LIMIT),
+                persistent,
+                self.persistent_key,
+            ),
+        ) as pool:
+            return list(pool.map(worker_fn, payloads))
+
+
+def _pool_start_method() -> str:
+    """The multiprocessing start method for engine pools: the
+    ``REPRO_MP_START_METHOD`` environment variable when set, else
+    ``fork`` on Linux (cheap and inherits warm module state), else
+    ``spawn``. macOS *offers* fork but CPython made spawn its default
+    in 3.8 because forking there is unsafe (system frameworks may hold
+    locks/threads), so fork is pinned only where it is actually sound —
+    on spawn platforms the initializer-driven warm-up path carries the
+    cache state instead."""
+    import multiprocessing as mp
+    import sys
+
+    env = os.environ.get("REPRO_MP_START_METHOD")
+    if env:
+        return env
+    if sys.platform.startswith("linux") and "fork" in mp.get_all_start_methods():
+        return "fork"
+    return "spawn"
+
+
+def _workload_content_key(workload: Workload) -> tuple | None:
+    """Content key of one workload — einsum plus every tensor's density
+    model — or ``None`` when any density model is uncacheable. Used to
+    dedupe identical network layers before fan-out."""
+    ensure_output_density(workload)
+    density_keys = []
+    for tensor in workload.einsum.tensors:
+        key = workload.density_of(tensor.name).cache_key()
+        if key is None:
+            return None
+        density_keys.append((tensor.name, key))
+    return (workload.einsum.cache_key(), tuple(density_keys))
+
+
+def persistent_state_key(design: Design, workloads: Sequence[Workload]) -> str | None:
+    """Snapshot identity for the persistent tier: a digest of the
+    design's architecture + SAF content keys and every workload's
+    content key. Returns ``None`` when any workload is uncacheable (no
+    snapshot would ever hit). The digest deliberately excludes the
+    mapping/constraints: snapshot entries are content-addressed
+    internally, so a broader key only decides which snapshot file is
+    consulted, never whether a stale entry can be served.
+    """
+    parts: list = [design.arch.cache_key(), design.safs.cache_key()]
+    for workload in workloads:
+        key = _workload_content_key(workload)
+        if key is None:
+            return None
+        parts.append(key)
+    digest = hashlib.blake2b(
+        repr(tuple(parts)).encode(), digest_size=16
+    )
+    return digest.hexdigest()
+
+
+def _install_cache_state(cache: AnalysisCache, state: dict) -> int:
+    """Install an exported snapshot: tile-format entries go to the
+    process-global stage, everything else into ``cache``. Returns the
+    total number of entries installed."""
+    state = dict(state)
+    total = 0
+    tile = state.pop(TILE_FORMAT_STAGE, None)
+    if tile:
+        total += global_cache().stage(TILE_FORMAT_STAGE).import_entries(tile)
+    total += cache.import_state(state)
+    return total
+
 
 #: Cache installed by the pool initializer; worker chunk functions bind
 #: it so every chunk in the process shares the parent-warmed entries.
-#: Stays ``None`` when the parent evaluator has caching disabled.
+#: ``_WORKER_CACHE_INSTALLED`` records that the initializer ran at all:
+#: a ``None`` cache then means the parent runs uncached and workers
+#: must too — :func:`_bind_worker_cache` *forces* ``cache=None`` in
+#: that case rather than leaving whatever (e.g. fork-inherited) cache
+#: the evaluator happened to carry.
 _WORKER_CACHE: AnalysisCache | None = None
+_WORKER_CACHE_INSTALLED = False
 
 
-def _warm_worker_initializer(state: dict | None) -> None:
+def _warm_worker_initializer(
+    state: dict | None,
+    persistent: PersistentCache | None = None,
+    persistent_key: str | None = None,
+) -> None:
     """Runs once per worker process: seed the process-global tile
-    stage and build the shared per-process analysis cache. A ``None``
-    state means the parent runs uncached; workers then do too."""
-    global _WORKER_CACHE
+    stage and build the shared per-process analysis cache, warming it
+    first from the persistent store (when the parent configured one)
+    and then from the parent's shipped entries. A ``None`` state means
+    the parent runs uncached; workers then do too — the persistent
+    tier is skipped as well, so disabling the cache really disables
+    every tier."""
+    global _WORKER_CACHE, _WORKER_CACHE_INSTALLED
+    _WORKER_CACHE_INSTALLED = True
     if state is None:
         _WORKER_CACHE = None
         return
-    state = dict(state)
-    tile = state.pop(TILE_FORMAT_STAGE, None)
-    if tile:
-        global_cache().stage(TILE_FORMAT_STAGE).import_entries(tile)
     cache = AnalysisCache()
-    cache.import_state(state)
+    if persistent is not None and persistent_key is not None:
+        disk_state = persistent.load(persistent_key)
+        if disk_state:
+            _install_cache_state(cache, disk_state)
+    _install_cache_state(cache, state)
     _WORKER_CACHE = cache
 
 
 def _bind_worker_cache(evaluator: Evaluator) -> Evaluator:
-    """Give a shipped (cache-stripped) evaluator its in-process cache
-    (or none at all, mirroring the parent's ``cache=None``)."""
-    if _WORKER_CACHE is None:
+    """Give a shipped (cache-stripped) evaluator its in-process cache —
+    or explicitly none at all, mirroring the parent's ``cache=None``."""
+    if not _WORKER_CACHE_INSTALLED:
         return evaluator
     return replace(evaluator, cache=_WORKER_CACHE)
 
 
 def _contiguous_chunks(items: list, parts: int) -> list[list]:
     """Split ``items`` into at most ``parts`` contiguous, near-equal,
-    non-empty chunks (deterministic)."""
+    non-empty chunks (deterministic); an empty ``items`` yields no
+    chunks at all."""
+    if not items:
+        return []
     parts = max(1, min(parts, len(items)))
     size, extra = divmod(len(items), parts)
     chunks = []

@@ -128,8 +128,13 @@ class EinsumSpec:
     def cache_key(self) -> tuple:
         """Canonical hashable content key (dims in declaration order
         plus the frozen tensor refs). Einsums with equal keys have
-        identical iteration spaces and projections."""
-        return (tuple(self.dims.items()), tuple(self.tensors))
+        identical iteration spaces and projections. Memoised on first
+        use; einsums are frozen by contract once evaluated."""
+        memo = getattr(self, "_cache_key", None)
+        if memo is None:
+            memo = (tuple(self.dims.items()), tuple(self.tensors))
+            self._cache_key = memo
+        return memo
 
     @property
     def output(self) -> TensorRef:

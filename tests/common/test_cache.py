@@ -2,14 +2,19 @@
 
 from __future__ import annotations
 
+import pickle
+
 import pytest
 
 from repro.common.cache import (
     DEFAULT_STAGE_SIZES,
+    PERSISTENT_SCHEMA_VERSION,
     AnalysisCache,
     DenseAnalysisCache,
+    PersistentCache,
     StageCache,
     global_cache,
+    repro_code_hash,
 )
 
 
@@ -117,6 +122,127 @@ class TestAnalysisCache:
         cache = AnalysisCache()
         cache.stage("sparse")  # created but empty
         assert cache.export_state() == {}
+
+
+class TestPersistentCache:
+    STATE = {"sparse": [(("k", 1), "v1"), (("k", 2), "v2")]}
+
+    def _store(self, tmp_path, **kwargs) -> PersistentCache:
+        kwargs.setdefault("namespace", "test-ns")
+        return PersistentCache(root=tmp_path, **kwargs)
+
+    def test_round_trip(self, tmp_path):
+        store = self._store(tmp_path)
+        path = store.store("run-a", self.STATE)
+        assert path.exists()
+        assert store.load("run-a") == self.STATE
+        # A second PersistentCache over the same root sees it too (the
+        # cross-process case).
+        assert self._store(tmp_path).load("run-a") == self.STATE
+
+    def test_missing_key_is_none(self, tmp_path):
+        assert self._store(tmp_path).load("never-stored") is None
+
+    def test_store_layout_is_versioned_and_keyed(self, tmp_path):
+        store = self._store(tmp_path)
+        path = store.path_for("run-a")
+        assert path.parent == (
+            tmp_path / f"v{PERSISTENT_SCHEMA_VERSION}" / "test-ns"
+        )
+        assert path == store.path_for("run-a")  # deterministic
+        assert path != store.path_for("run-b")
+
+    def test_transient_read_error_is_a_miss_not_a_discard(
+        self, tmp_path, monkeypatch
+    ):
+        store = self._store(tmp_path)
+        path = store.store("run-a", self.STATE)
+        real_open = open
+
+        def flaky_open(file, *args, **kwargs):
+            if str(file) == str(path):
+                raise PermissionError(13, "transient denial", str(file))
+            return real_open(file, *args, **kwargs)
+
+        monkeypatch.setattr("builtins.open", flaky_open)
+        assert store.load("run-a") is None  # miss...
+        monkeypatch.undo()
+        assert path.exists()  # ...but the snapshot survives
+        assert store.load("run-a") == self.STATE
+
+    def test_corrupted_file_is_discarded(self, tmp_path):
+        store = self._store(tmp_path)
+        path = store.store("run-a", self.STATE)
+        path.write_bytes(b"\x80garbage not a pickle")
+        assert store.load("run-a") is None
+        assert not path.exists()  # removed so it cannot fail again
+        # The store recovers on the next spill.
+        store.store("run-a", self.STATE)
+        assert store.load("run-a") == self.STATE
+
+    def test_truncated_pickle_is_discarded(self, tmp_path):
+        store = self._store(tmp_path)
+        path = store.store("run-a", self.STATE)
+        path.write_bytes(path.read_bytes()[:-7])
+        assert store.load("run-a") is None
+        assert not path.exists()
+
+    def test_schema_bump_invalidates(self, tmp_path):
+        old = self._store(tmp_path)
+        old.store("run-a", self.STATE)
+        new = self._store(tmp_path, version=PERSISTENT_SCHEMA_VERSION + 1)
+        # New schema reads nothing from the old version directory...
+        assert new.load("run-a") is None
+        # ...and prune sweeps the stale directory away.
+        assert new.prune_stale_versions() == 1
+        assert not old.store_dir.exists()
+
+    def test_payload_header_mismatch_is_a_miss(self, tmp_path):
+        store = self._store(tmp_path)
+        path = store.store("run-a", self.STATE)
+        payload = pickle.loads(path.read_bytes())
+        payload["namespace"] = "someone-else"
+        path.write_bytes(pickle.dumps(payload))
+        assert store.load("run-a") is None
+
+    def test_namespace_separates_code_versions(self, tmp_path):
+        a = self._store(tmp_path, namespace="code-a")
+        b = self._store(tmp_path, namespace="code-b")
+        a.store("run", self.STATE)
+        assert b.load("run") is None
+        assert a.load("run") == self.STATE
+
+    def test_invalidate_one_key_and_whole_namespace(self, tmp_path):
+        store = self._store(tmp_path)
+        store.store("run-a", self.STATE)
+        store.store("run-b", self.STATE)
+        store.invalidate("run-a")
+        assert store.load("run-a") is None
+        assert store.load("run-b") == self.STATE
+        store.invalidate()
+        assert store.load("run-b") is None
+
+    def test_overwrite_is_atomic_and_leaves_no_temp_files(self, tmp_path):
+        store = self._store(tmp_path)
+        store.store("run-a", self.STATE)
+        newer = {"sparse": [(("k", 3), "v3")]}
+        store.store("run-a", newer)
+        assert store.load("run-a") == newer
+        leftovers = [
+            p for p in store.store_dir.iterdir() if p.suffix == ".tmp"
+        ]
+        assert leftovers == []
+
+    def test_default_namespace_tracks_code_hash(self, tmp_path):
+        store = PersistentCache(root=tmp_path)
+        assert repro_code_hash() in store.namespace
+        assert repro_code_hash() == repro_code_hash()  # memoised, stable
+
+    def test_is_picklable_for_worker_initializers(self, tmp_path):
+        store = self._store(tmp_path)
+        store.store("run-a", self.STATE)
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.load("run-a") == self.STATE
 
 
 class TestGlobalCache:

@@ -4,6 +4,23 @@ from __future__ import annotations
 
 import pytest
 
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_persistent_store(tmp_path_factory):
+    """Point the persistent cache tier at a throwaway directory so the
+    suite neither reads from nor pollutes the user's real store."""
+    import os
+
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("persistent-store")
+    )
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+
 from repro import (
     Architecture,
     ComputeLevel,

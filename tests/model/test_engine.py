@@ -141,6 +141,250 @@ class TestNetworkEvaluation:
         assert all(r.cycles > 0 for _l, r in results)
 
 
+def _counting_factory_calls():
+    """A picklable-unfriendly (closure) factory is fine here: the
+    dedupe tests run serially."""
+    calls = []
+
+    def factory(wl, a):
+        from repro.mapping.mapping import single_level_mapping
+
+        calls.append(wl.name)
+        return single_level_mapping(a, wl.einsum)
+
+    return factory, calls
+
+
+class TestNetworkDedupe:
+    def _design(self, arch, factory=None):
+        from repro.mapping.mapping import single_level_mapping
+
+        if factory is None:
+            factory = lambda wl, a: single_level_mapping(a, wl.einsum)  # noqa: E731
+        return Design("d", arch, SAFSpec(), mapping_factory=factory)
+
+    def _repeated_layers(self):
+        # BERT-style repetition: identical shapes appear as separate
+        # NetLayer entries (and resnet50 collapses them via repeat).
+        from repro.workload.nets import NetLayer
+
+        spec = matmul(64, 64, 64, name="block")
+        other = matmul(64, 64, 32, name="tail")
+        return [
+            NetLayer("block_1", spec),
+            NetLayer("block_2", spec),
+            NetLayer("tail", other),
+            NetLayer("block_3", spec, repeat=2),
+        ]
+
+    def test_identical_layers_evaluated_once(self, arch):
+        factory, calls = _counting_factory_calls()
+        design = self._design(arch, factory)
+        layers = self._repeated_layers()
+        evaluator = Evaluator(check_capacity=False)
+        results = evaluator.evaluate_network(
+            design, layers, lambda layer: {"A": 0.5}
+        )
+        assert len(results) == 4
+        # The factory is consulted once per layer (same as the
+        # undeduped path — factories may inspect the workload name)...
+        assert len(calls) == 4
+        # ...but only the two unique (spec, densities, mapping)
+        # contents are actually evaluated.
+        assert evaluator.cache.sparse.stats()["misses"] == 2
+
+    def test_name_dependent_factory_is_not_merged(self, arch):
+        # A factory keyed off the workload *name* legitimately gives
+        # identical shapes different schedules; dedupe must not fuse
+        # them.
+        from repro.mapping.mapping import LevelMapping, Loop, Mapping
+
+        def factory(wl, a):
+            k_outer = 2 if wl.name == "block_1" else 4
+            return Mapping(
+                [
+                    LevelMapping("DRAM", [Loop("k", k_outer)]),
+                    LevelMapping(
+                        "Buffer",
+                        [
+                            Loop("m", 64),
+                            Loop("k", 64 // k_outer),
+                            Loop("n", 64),
+                        ],
+                    ),
+                ]
+            )
+
+        design = Design("d", arch, SAFSpec(), mapping_factory=factory)
+        layers = self._repeated_layers()[:2]  # identical spec + density
+        evaluator = Evaluator(check_capacity=False)
+        results = evaluator.evaluate_network(
+            design, layers, lambda layer: {"A": 0.5}
+        )
+        assert evaluator.cache.sparse.stats()["misses"] == 2
+        by_name = {r.workload_name: r for _l, r in results}
+        oracle = Evaluator(check_capacity=False, cache=None)
+        for layer in layers:
+            workload = Workload.uniform(
+                layer.spec, {"A": 0.5}, name=layer.name
+            )
+            expected = oracle.evaluate(design, workload)
+            assert by_name[layer.name].cycles == expected.cycles
+            assert by_name[layer.name].energy_pj == expected.energy_pj
+
+    def test_deduped_results_are_bit_identical(self, arch):
+        design = self._design(arch)
+        layers = self._repeated_layers()
+        deduped = Evaluator(check_capacity=False).evaluate_network(
+            design, layers, lambda layer: {"A": 0.5}
+        )
+        # The oracle: evaluate every layer independently, no sharing.
+        oracle_ev = Evaluator(check_capacity=False, cache=None)
+        for layer, result in deduped:
+            workload = Workload.uniform(
+                layer.spec, {"A": 0.5}, name=layer.name
+            )
+            expected = oracle_ev.evaluate(design, workload)
+            assert result.workload_name == layer.name
+            assert result.cycles == expected.cycles
+            assert result.energy_pj == expected.energy_pj
+            assert result.energy.per_component == expected.energy.per_component
+            assert result.latency.per_component == (
+                expected.latency.per_component
+            )
+
+    def test_order_and_pairing_preserved(self, arch):
+        design = self._design(arch)
+        layers = self._repeated_layers()
+        results = Evaluator(check_capacity=False).evaluate_network(
+            design, layers, lambda layer: {"A": 0.5}
+        )
+        assert [layer.name for layer, _ in results] == [
+            "block_1",
+            "block_2",
+            "tail",
+            "block_3",
+        ]
+        for layer, result in results:
+            assert result.workload_name == layer.name
+
+    def test_distinct_densities_are_not_merged(self, arch):
+        design = self._design(arch)
+        layers = self._repeated_layers()[:2]  # identical specs...
+        densities = {"block_1": 0.5, "block_2": 0.25}  # ...different density
+        evaluator = Evaluator(check_capacity=False)
+        evaluator.evaluate_network(
+            design, layers, lambda layer: {"A": densities[layer.name]}
+        )
+        assert evaluator.cache.sparse.stats()["misses"] == 2
+
+
+class TestPoolEdgeCases:
+    def test_evaluate_many_empty_parallel(self):
+        assert Evaluator().evaluate_many([], parallel=4) == []
+
+    def test_search_empty_candidates_parallel(self, arch, workload):
+        design = Design("d", arch)
+        assert (
+            Evaluator().search_mappings(
+                design, workload, candidates=[], parallel=3
+            )
+            is None
+        )
+
+    def test_run_pool_rejects_nothing_on_empty_payloads(self):
+        assert Evaluator()._run_pool(print, []) == []
+
+    def test_contiguous_chunks_empty(self):
+        from repro.model.engine import _contiguous_chunks
+
+        assert _contiguous_chunks([], 4) == []
+        assert _contiguous_chunks([1, 2, 3], 2) == [[1, 2], [3]]
+
+    def test_pool_start_method_env_override(self, monkeypatch):
+        from repro.model.engine import _pool_start_method
+
+        monkeypatch.delenv("REPRO_MP_START_METHOD", raising=False)
+        assert _pool_start_method() in ("fork", "spawn")
+        monkeypatch.setenv("REPRO_MP_START_METHOD", "spawn")
+        assert _pool_start_method() == "spawn"
+
+    def test_spawn_context_matches_serial(self, arch, mapping, monkeypatch):
+        # Pin the spawn path Linux would otherwise never exercise; the
+        # pool must produce results identical to the serial run.
+        monkeypatch.setenv("REPRO_MP_START_METHOD", "spawn")
+        design = Design("d", arch, SAFSpec(), mapping=mapping)
+        jobs = [
+            (design, Workload.uniform(matmul(8, 8, 8), {"A": d}))
+            for d in (0.25, 0.5)
+        ]
+        evaluator = Evaluator()
+        expected = [evaluator.evaluate(*job) for job in jobs]
+        results = evaluator.evaluate_many(jobs, parallel=2)
+        for got, want in zip(results, expected):
+            assert got.cycles == want.cycles
+            assert got.energy_pj == want.energy_pj
+
+
+class TestUncachedParentWorkers:
+    """``cache=None`` must propagate to workers: no shipped state, no
+    rebuilt worker cache — not even via the process-global tile-format
+    stage riding along in the snapshot."""
+
+    def test_export_state_is_none_even_with_warm_globals(
+        self, arch, mapping, workload
+    ):
+        # Warm the process-global tile-format stage through a cached
+        # evaluator first.
+        design = Design("d", arch, SAFSpec(), mapping=mapping)
+        Evaluator().evaluate(design, workload)
+        assert Evaluator(cache=None)._export_cache_state() is None
+
+    def test_initializer_none_forces_uncached_workers(self):
+        from repro.model import engine
+
+        # Simulate a worker process that (e.g. under a fork start
+        # method) inherited a warm cache from an enclosing context.
+        old = (engine._WORKER_CACHE, engine._WORKER_CACHE_INSTALLED)
+        try:
+            from repro.common.cache import AnalysisCache
+
+            engine._WORKER_CACHE = AnalysisCache()
+            engine._WORKER_CACHE_INSTALLED = True
+            engine._warm_worker_initializer(None)
+            assert engine._WORKER_CACHE is None
+            assert engine._WORKER_CACHE_INSTALLED
+            bound = engine._bind_worker_cache(Evaluator())
+            assert bound.cache is None
+        finally:
+            engine._WORKER_CACHE, engine._WORKER_CACHE_INSTALLED = old
+
+    def test_bind_without_initializer_leaves_evaluator_alone(self):
+        from repro.model import engine
+
+        old = (engine._WORKER_CACHE, engine._WORKER_CACHE_INSTALLED)
+        try:
+            engine._WORKER_CACHE = None
+            engine._WORKER_CACHE_INSTALLED = False
+            evaluator = Evaluator()
+            assert engine._bind_worker_cache(evaluator) is evaluator
+        finally:
+            engine._WORKER_CACHE, engine._WORKER_CACHE_INSTALLED = old
+
+    def test_uncached_parallel_matches_uncached_serial(self, arch, mapping):
+        design = Design("d", arch, SAFSpec(), mapping=mapping)
+        jobs = [
+            (design, Workload.uniform(matmul(8, 8, 8), {"A": d}))
+            for d in (0.25, 0.5, 0.75)
+        ]
+        serial = Evaluator(cache=None)
+        expected = [serial.evaluate(*job) for job in jobs]
+        results = Evaluator(cache=None).evaluate_many(jobs, parallel=2)
+        for got, want in zip(results, expected):
+            assert got.cycles == want.cycles
+            assert got.energy_pj == want.energy_pj
+
+
 class TestResultReporting:
     def test_summary_contains_key_facts(self, arch, mapping, workload):
         design = Design(

@@ -260,9 +260,14 @@ class TestCacheKeys:
     def test_arch_key_changes_with_capacity(self):
         a = dse_arch()
         b = dse_arch()
-        assert a.cache_key() == b.cache_key()
+        # Mutation happens *before* first keying: architectures are
+        # frozen by contract once keyed (the key is memoised, like
+        # SAFSpec's), so content changes must be fresh objects.
         b.levels[1].capacity_words = 999
+        assert a.cache_key() == dse_arch().cache_key()
         assert a.cache_key() != b.cache_key()
+        # The memo returns the identical tuple on repeat calls.
+        assert a.cache_key() is a.cache_key()
 
     def test_einsum_key_changes_with_bounds(self):
         assert (

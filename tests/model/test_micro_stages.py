@@ -1,0 +1,351 @@
+"""Micro-model cache stages and the persistent tier, through the engine.
+
+The ``validity``/``latency``/``energy`` stages memoise the model's
+tail under the sparse content key, so a sparse-stage hit
+short-circuits the entire evaluation. These tests prove the staged
+path is bit-identical to the uncached pipeline across every bundled
+design, that hit/miss accounting behaves, that capacity errors replay
+exactly from cached usage reports, and that snapshots survive a
+spill/reload round trip through :class:`PersistentCache` (including
+the corrupted-file fallback).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Design, Evaluator, Workload, matmul
+from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
+from repro.common.cache import PersistentCache
+from repro.common.errors import ValidationError
+from repro.mapping.mapping import LevelMapping, Loop, Mapping
+from repro.micro.energy import ENERGY_STAGE
+from repro.micro.latency import LATENCY_STAGE
+from repro.micro.validity import VALIDITY_STAGE
+from repro.model.engine import persistent_state_key
+from repro.sparse.density import UniformDensity
+from repro.sparse.saf import SAFSpec
+from tests.sparse.test_vectorized_equivalence import CASE_IDS, CASES
+
+MICRO_STAGES = (VALIDITY_STAGE, LATENCY_STAGE, ENERGY_STAGE)
+
+
+def _matmul_point():
+    arch = Architecture(
+        "micro-stage",
+        [
+            StorageLevel("DRAM", None, component="dram",
+                         read_bandwidth=8, write_bandwidth=8),
+            StorageLevel("Buffer", 16 * 1024, component="sram",
+                         read_bandwidth=8, write_bandwidth=8),
+        ],
+        ComputeLevel("MAC", instances=16),
+    )
+    mapping = Mapping(
+        [
+            LevelMapping("DRAM", [Loop("m", 8), Loop("k", 4), Loop("n", 4)]),
+            LevelMapping(
+                "Buffer",
+                [Loop("m", 16), Loop("k", 32), Loop("n", 8)],
+                [Loop("n", 4)],
+            ),
+        ]
+    )
+    design = Design("d", arch, SAFSpec(), mapping=mapping)
+    workload = Workload.uniform(matmul(128, 128, 128), {"A": 0.2, "B": 0.2})
+    return design, workload
+
+
+def assert_results_identical(a, b):
+    assert a.cycles == b.cycles
+    assert a.latency.bottleneck == b.latency.bottleneck
+    assert a.latency.per_component == b.latency.per_component
+    assert a.latency.bandwidth_demand == b.latency.bandwidth_demand
+    assert a.energy_pj == b.energy_pj
+    assert a.energy.per_component == b.energy.per_component
+    assert a.energy.per_component_breakdown == b.energy.per_component_breakdown
+    assert set(a.usage) == set(b.usage)
+    for level in a.usage:
+        assert a.usage[level].used_words == b.usage[level].used_words
+        assert a.usage[level].per_tensor == b.usage[level].per_tensor
+
+
+class TestMicroStageAccounting:
+    def test_second_evaluation_hits_all_micro_stages(self):
+        design, workload = _matmul_point()
+        evaluator = Evaluator()
+        first = evaluator.evaluate(design, workload)
+        second = evaluator.evaluate(design, workload)
+        for name in MICRO_STAGES:
+            stats = evaluator.cache.stage(name).stats()
+            assert stats["misses"] == 1, (name, stats)
+            assert stats["hits"] == 1, (name, stats)
+        # Hits return the stored objects themselves (read-only reuse).
+        assert first.latency is second.latency
+        assert first.energy is second.energy
+        assert first.usage is second.usage
+
+    def test_stage_results_keyed_by_sparse_content(self):
+        design, workload = _matmul_point()
+        evaluator = Evaluator()
+        evaluator.evaluate(design, workload)
+        other = Workload.uniform(matmul(128, 128, 128), {"A": 0.3, "B": 0.2})
+        evaluator.evaluate(design, other)
+        for name in MICRO_STAGES:
+            stats = evaluator.cache.stage(name).stats()
+            assert stats["misses"] == 2, (name, stats)
+            assert stats["hits"] == 0, (name, stats)
+
+    def test_cache_none_bypasses_micro_stages(self):
+        design, workload = _matmul_point()
+        evaluator = Evaluator(cache=None)
+        evaluator.evaluate(design, workload)
+        evaluator.evaluate(design, workload)  # recomputes; nothing cached
+        assert evaluator.cache is None
+
+    def test_uncacheable_density_opts_micro_stages_out(self):
+        class OpaqueDensity(UniformDensity):
+            def cache_key(self):
+                return None
+
+        design, workload = _matmul_point()
+        workload.densities["A"] = OpaqueDensity(
+            0.2, workload.einsum.tensor_size("A")
+        )
+        evaluator = Evaluator()
+        evaluator.evaluate(design, workload)
+        evaluator.evaluate(design, workload)
+        for name in MICRO_STAGES:
+            assert len(evaluator.cache.stage(name)) == 0, name
+
+
+class TestBitIdenticalAcrossDesigns:
+    @pytest.mark.parametrize("name,design,workload", CASES, ids=CASE_IDS)
+    def test_staged_equals_uncached(self, name, design, workload):
+        staged = Evaluator(check_capacity=False)
+        uncached = Evaluator(check_capacity=False, cache=None)
+        cold = staged.evaluate(design, workload)
+        warm = staged.evaluate(design, workload)  # micro stages hit
+        plain = uncached.evaluate(design, workload)
+        assert_results_identical(cold, plain)
+        assert_results_identical(warm, plain)
+        for stage in MICRO_STAGES:
+            assert staged.cache.stage(stage).hits >= 1, (name, stage)
+
+
+class TestValidityErrorReplay:
+    def _overflowing_point(self):
+        tiny = Architecture(
+            "tiny",
+            [
+                StorageLevel("DRAM", None, component="dram"),
+                StorageLevel("Buffer", 16, component="sram"),
+            ],
+            ComputeLevel("MAC", instances=4),
+        )
+        mapping = Mapping(
+            [
+                LevelMapping("DRAM", [Loop("m", 2)]),
+                LevelMapping(
+                    "Buffer",
+                    [Loop("m", 4), Loop("k", 8), Loop("n", 2)],
+                    [Loop("n", 4)],
+                ),
+            ]
+        )
+        design = Design("d", tiny, SAFSpec(), mapping=mapping)
+        workload = Workload.uniform(matmul(8, 8, 8), {"A": 0.5})
+        return design, workload
+
+    def test_cached_usage_replays_identical_error(self):
+        design, workload = self._overflowing_point()
+        evaluator = Evaluator()
+        with pytest.raises(ValidationError) as cold:
+            evaluator.evaluate(design, workload)
+        with pytest.raises(ValidationError) as warm:
+            evaluator.evaluate(design, workload)
+        assert str(warm.value) == str(cold.value)
+        assert evaluator.cache.stage(VALIDITY_STAGE).hits == 1
+        # The uncached pipeline raises the same message too.
+        with pytest.raises(ValidationError) as plain:
+            Evaluator(cache=None).evaluate(design, workload)
+        assert str(plain.value) == str(cold.value)
+
+    def test_cached_usage_serves_permissive_evaluator(self):
+        design, workload = self._overflowing_point()
+        cache_owner = Evaluator(check_capacity=False)
+        result = cache_owner.evaluate(design, workload)
+        assert not result.usage["Buffer"].fits
+        # A capacity-checking evaluator sharing the cache still raises.
+        strict = Evaluator(cache=cache_owner.cache)
+        with pytest.raises(ValidationError):
+            strict.evaluate(design, workload)
+
+
+class TestPersistentRoundTrip:
+    def _key(self, design, workload):
+        key = persistent_state_key(design, [workload])
+        assert key is not None
+        return key
+
+    def test_spill_reload_starts_fully_warm(self, tmp_path):
+        design, workload = _matmul_point()
+        store = PersistentCache(root=tmp_path)
+        key = self._key(design, workload)
+
+        first = Evaluator(persistent=store)
+        assert first.warm_start(key) == 0  # nothing stored yet
+        cold = first.evaluate(design, workload)
+        assert first.spill_cache() is not None
+
+        second = Evaluator(persistent=store)
+        assert second.warm_start(key) > 0
+        warm = second.evaluate(design, workload)
+        assert_results_identical(cold, warm)
+        # Every stage of the reloaded evaluation is a pure hit.
+        for name in ("dense", "sparse", *MICRO_STAGES):
+            stats = second.cache.stage(name).stats()
+            assert stats["hits"] >= 1, (name, stats)
+            assert stats["misses"] == 0, (name, stats)
+
+    def test_keys_are_stable_across_equal_content(self, tmp_path):
+        design, workload = _matmul_point()
+        rebuilt_design, rebuilt_workload = _matmul_point()
+        assert persistent_state_key(
+            design, [workload]
+        ) == persistent_state_key(rebuilt_design, [rebuilt_workload])
+        other = Workload.uniform(matmul(128, 128, 128), {"A": 0.5})
+        assert persistent_state_key(
+            design, [workload]
+        ) != persistent_state_key(design, [other])
+
+    def test_corrupted_snapshot_falls_back_to_cold(self, tmp_path):
+        design, workload = _matmul_point()
+        store = PersistentCache(root=tmp_path)
+        key = self._key(design, workload)
+        first = Evaluator(persistent=store)
+        expected = first.evaluate(design, workload)
+        first.spill_cache(key)
+        store.path_for(key).write_bytes(b"not a pickle at all")
+
+        second = Evaluator(persistent=store)
+        assert second.warm_start(key) == 0  # corrupt snapshot discarded
+        result = second.evaluate(design, workload)
+        assert_results_identical(expected, result)
+        # ...and the evaluator can spill a fresh snapshot afterwards.
+        assert second.spill_cache(key) is not None
+        third = Evaluator(persistent=store)
+        assert third.warm_start(key) > 0
+
+    def test_workers_warm_from_disk_matches_serial(self, tmp_path):
+        """Parallel fan-out with a configured store: the pool
+        initializer reopens the store in each worker (even though the
+        parent's own in-memory cache is cold) and results stay
+        identical to the cold serial run."""
+        design, workload = _matmul_point()
+        store = PersistentCache(root=tmp_path)
+        key = self._key(design, workload)
+        warmer = Evaluator(persistent=store)
+        warmer.evaluate(design, workload)
+        warmer.spill_cache(key)
+
+        jobs = [(design, workload)] * 3
+        parent = Evaluator(persistent=store, persistent_key=key)
+        results = parent.evaluate_many(jobs, parallel=2)
+        expected = Evaluator(cache=None).evaluate(design, workload)
+        for result in results:
+            assert_results_identical(result, expected)
+
+    def test_parallel_results_absorbed_into_parent_cache(self):
+        """Fan-out work happens in workers, but the parent cache must
+        still capture it (else persistent spills after a parallel run
+        would be empty) — and absorbed entries must serve later serial
+        evaluations bit-identically."""
+        design, workload = _matmul_point()
+        parent = Evaluator()
+        results = parent.evaluate_many([(design, workload)] * 3, parallel=2)
+        assert len(parent.cache.sparse) == 1
+        for name in MICRO_STAGES:
+            assert len(parent.cache.stage(name)) == 1, name
+        serial = parent.evaluate(design, workload)  # pure hits now
+        assert parent.cache.sparse.hits >= 1
+        assert_results_identical(serial, results[0])
+        assert_results_identical(
+            serial, Evaluator(cache=None).evaluate(design, workload)
+        )
+
+    def test_evaluate_network_spills_under_its_own_content_key(
+        self, tmp_path
+    ):
+        """A stale ``persistent_key`` from an earlier, unrelated
+        warm start must not hijack the snapshot identity of a network
+        fan-out: a fresh process deriving the network's content key
+        has to find the spill."""
+        from repro.workload.nets import NetLayer
+        from repro.mapping.mapping import single_level_mapping
+
+        design, workload = _matmul_point()
+        arch = design.arch
+        net_design = Design(
+            "net",
+            arch,
+            SAFSpec(),
+            mapping_factory=lambda wl, a: single_level_mapping(a, wl.einsum),
+        )
+        layers = [NetLayer("l0", matmul(64, 64, 64, name="l0"))]
+        store = PersistentCache(root=tmp_path)
+
+        first = Evaluator(check_capacity=False, persistent=store)
+        first.warm_start("unrelated-earlier-key")  # poisons persistent_key
+        first.evaluate_network(net_design, layers, lambda l: {"A": 0.5})
+
+        expected_key = persistent_state_key(
+            net_design,
+            [Workload.uniform(layers[0].spec, {"A": 0.5}, name="l0")],
+        )
+        assert expected_key is not None
+        second = Evaluator(check_capacity=False, persistent=store)
+        assert second.warm_start(expected_key) > 0
+
+    def test_fully_warm_run_does_not_rewrite_the_snapshot(self, tmp_path):
+        """A run that computed nothing new must leave the snapshot
+        untouched (no redundant pickling/fsync on the hot repeat path),
+        while runs that derive fresh content still spill."""
+        import os as _os
+
+        design, workload = _matmul_point()
+        store = PersistentCache(root=tmp_path)
+        key = self._key(design, workload)
+        first = Evaluator(persistent=store)
+        first.evaluate(design, workload)
+        path = first.spill_cache(key)
+        stamp = _os.stat(path).st_mtime_ns
+
+        warm = Evaluator(persistent=store)
+        warm.warm_start(key)
+        warm.evaluate(design, workload)  # pure hits
+        assert warm.spill_cache(key) == path
+        assert _os.stat(path).st_mtime_ns == stamp  # untouched
+
+        other = Workload.uniform(matmul(128, 128, 128), {"A": 0.4, "B": 0.2})
+        warm.evaluate(design, other)  # fresh content
+        assert warm.spill_cache(key) == path
+        assert _os.stat(path).st_mtime_ns != stamp  # rewritten
+
+    def test_unconfigured_persistent_tier_is_inert(self):
+        design, workload = _matmul_point()
+        evaluator = Evaluator()  # no persistent store
+        assert evaluator.warm_start("anything") == 0
+        evaluator.evaluate(design, workload)
+        assert evaluator.spill_cache("anything") is None
+
+    def test_cache_none_disables_persistent_warm_start(self, tmp_path):
+        design, workload = _matmul_point()
+        store = PersistentCache(root=tmp_path)
+        key = self._key(design, workload)
+        warmer = Evaluator(persistent=store)
+        warmer.evaluate(design, workload)
+        warmer.spill_cache(key)
+        disabled = Evaluator(cache=None, persistent=store)
+        assert disabled.warm_start(key) == 0
+        assert disabled.cache is None
