@@ -15,7 +15,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 from _support import print_table
 
-from repro import Evaluator, Workload, matmul
+from repro import Session, Workload, matmul
 from repro.designs import toy
 
 DENSITIES = [0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0]
@@ -23,7 +23,7 @@ SHAPE = (256, 256, 256)
 
 
 def run_fig01():
-    ev = Evaluator()
+    ev = Session()
     designs = {
         "dense": toy.dense_design(),
         "bitmask": toy.bitmask_design(),

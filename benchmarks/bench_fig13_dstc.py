@@ -16,7 +16,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 from _support import print_table
 
-from repro import Evaluator, Workload, matmul
+from repro import Session, Workload, matmul
 from repro.designs import dstc
 
 DENSITIES = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1]
@@ -24,7 +24,7 @@ SHAPE = (1024, 1024, 1024)
 
 
 def run_fig13():
-    ev = Evaluator()
+    ev = Session()
     design = dstc.dstc_design()
     dense_design = dstc.dense_tensor_core_design()
     dense_wl = Workload.uniform(matmul(*SHAPE), {})

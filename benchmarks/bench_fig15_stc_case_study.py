@@ -21,7 +21,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 from _support import print_table
 
-from repro import Evaluator, Workload
+from repro import Session, Workload
 from repro.designs import dstc, stc
 from repro.designs.common import conv_as_gemm
 from repro.sparse.density import FixedStructuredDensity, UniformDensity
@@ -58,7 +58,7 @@ def _weight_model(design_name, regime, size):
 
 
 def run_fig15():
-    ev = Evaluator()
+    ev = Session()
     layer = resnet50()[10]  # representative res3 3x3 layer
     gemm = conv_as_gemm(layer)
     table = {}

@@ -15,7 +15,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 from _support import print_table
 
-from repro import Evaluator, Workload
+from repro import Session, Workload
 from repro.designs import stc
 from repro.designs.common import conv_as_gemm
 from repro.sparse.density import FixedStructuredDensity, UniformDensity
@@ -38,7 +38,7 @@ def _per_cycle_traffic(result, level, tensor):
 
 
 def run_fig16():
-    ev = Evaluator(check_capacity=False)
+    ev = Session(check_capacity=False)
     layer = resnet50()[10]
     gemm = conv_as_gemm(layer)
     rows = []

@@ -20,7 +20,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 from _support import print_table
 
-from repro import Evaluator, Workload, matmul
+from repro import Session, Workload, matmul
 from repro.designs import codesign
 
 DENSITIES = [1e-5, 1e-4, 1e-3, 1e-2, 0.06, 0.15, 0.3]
@@ -28,7 +28,7 @@ SHAPE = (1024, 1024, 1024)
 
 
 def run_fig17():
-    ev = Evaluator()
+    ev = Session()
     rows = []
     winners = {}
     for density in DENSITIES:

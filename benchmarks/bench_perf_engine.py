@@ -67,7 +67,7 @@ def _codesign_sweep(evaluator: Evaluator) -> int:
         )
         for dataflow, saf in codesign.ALL_COMBINATIONS:
             design = codesign.build_design(dataflow, saf)
-            evaluator.evaluate(design, workload)
+            evaluator._evaluate(design, workload)
             count += 1
     return count
 
@@ -115,7 +115,7 @@ def _dse_search(evaluator: Evaluator) -> int:
     designs, workload = _dse_designs()
     candidates = 0
     for design in designs:
-        result = evaluator.search_mappings(design, workload)
+        result = evaluator._search_mappings(design, workload)
         assert result is not None
         candidates += SEARCH_BUDGET
     return candidates

@@ -22,7 +22,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 from _support import HOST_HZ, dnn_densities, print_table, shrink_dims
 
-from repro import Evaluator, Workload
+from repro import Session, Workload
 from repro.designs import eyeriss, eyeriss_v2, scnn
 from repro.refsim import CycleLevelSimulator
 from repro.tensor.generator import uniform_random_tensor
@@ -39,7 +39,7 @@ DESIGNS = {
 def _cphc_analytical(design_factory, net_name):
     design = design_factory()
     layers = network(net_name)
-    ev = Evaluator(check_capacity=False)
+    ev = Session(check_capacity=False)
     start = time.perf_counter()
     total_computes = 0
     for layer in layers:

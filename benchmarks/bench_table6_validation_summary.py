@@ -17,7 +17,7 @@ from bench_fig11_scnn_validation import run_fig11
 from bench_fig12_eyeriss_v2 import run_fig12
 from bench_table7_eyeriss_compression import run_table7
 
-from repro import Evaluator, Workload
+from repro import Session, Workload
 from repro.designs import dstc, stc
 from repro.designs.common import conv_as_gemm
 from repro.sparse.density import FixedStructuredDensity, UniformDensity
@@ -26,7 +26,7 @@ from repro.workload.nets import resnet50
 
 def _stc_error():
     """STC validation: structured 2:4 must give exactly 2x (Sec 6.3.5)."""
-    ev = Evaluator()
+    ev = Session()
     layer = resnet50()[10]
     gemm = conv_as_gemm(layer)
     wl = Workload(
@@ -46,7 +46,7 @@ def _stc_error():
 def _dstc_error():
     """DSTC: normalized latency vs the ideal in the compute-bound
     region (the paper's avg error is 7.6% vs a cycle-level baseline)."""
-    ev = Evaluator()
+    ev = Session()
     design = dstc.dstc_design()
     dense_design = dstc.dense_tensor_core_design()
     from repro import matmul

@@ -14,7 +14,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 from _support import ALEXNET_ACT_DENSITY, geomean_error, print_table
 
-from repro import Evaluator, Workload
+from repro import Session, Workload
 from repro.designs import eyeriss
 from repro.workload.nets import alexnet
 
@@ -28,7 +28,7 @@ PAPER_RATES = {
 
 
 def run_table7():
-    ev = Evaluator()
+    ev = Session()
     design = eyeriss.eyeriss_design()
     rows = []
     pairs = []

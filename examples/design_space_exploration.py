@@ -10,7 +10,7 @@ Run:  python examples/design_space_exploration.py
 
 import time
 
-from repro import Design, Evaluator, SAFSpec, Workload, matmul
+from repro import Design, SAFSpec, Session, Workload, matmul
 from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
 from repro.mapping.mapspace import Mapper, MapspaceConstraints
 from repro.sparse.formats import CoordinatePayload, FormatRank, FormatSpec
@@ -46,29 +46,28 @@ saf_choices = {
 }
 
 constraints = MapspaceConstraints(spatial_dims={"Buffer": ["n", "m"]})
-evaluator = Evaluator(search_budget=80)
 
 print(f"mapspace size estimate: "
       f"{Mapper(workload.einsum, arch, constraints).mapspace_size_estimate():,}")
 print()
 start = time.perf_counter()
-for name, safs in saf_choices.items():
-    design = Design(name, arch, safs, constraints=constraints)
-    best = evaluator.search_mappings(design, workload)
-    print(f"=== best mapping for {name} (EDP {best.edp:.3g}) ===")
-    print(f"cycles {best.cycles:.4g}, energy {best.energy_pj:.4g} pJ, "
-          f"utilization {best.latency.utilization:.0%}")
-    print(best.dense.mapping.describe())
-    print()
-elapsed = time.perf_counter() - start
-cache = evaluator.dense_cache.stats()
+with Session(search_budget=80) as session:
+    for name, safs in saf_choices.items():
+        design = Design(name, arch, safs, constraints=constraints)
+        best = session.search(design, workload).best
+        print(f"=== best mapping for {name} (EDP {best.edp:.3g}) ===")
+        print(f"cycles {best.cycles:.4g}, energy {best.energy_pj:.4g} pJ, "
+              f"utilization {best.latency.utilization:.0%}")
+        print(best.dense.mapping.describe())
+        print()
+    elapsed = time.perf_counter() - start
+    cache = session.cache_stats()["dense"]
 print(f"searched 3 SAF variants in {elapsed:.3f}s; the dense-analysis "
       f"cache served {cache['hit_rate']:.0%} of dataflow analyses "
       f"({cache['hits']} hits / {cache['misses']} misses), since every "
       f"variant re-walks the same candidate mappings.")
-print("(Use evaluator.search_mappings(..., parallel=N) or "
-      "evaluator.evaluate_many(jobs, parallel=N) to fan larger sweeps "
-      "out over worker processes.)")
+print("(Use Session(parallel=N) to fan larger sweeps and searches out "
+      "over worker processes.)")
 print()
 print("The best schedule changes with the SAFs: skipping designs favor")
 print("mappings whose leader tiles are small (Fig. 10's insight).")

@@ -8,7 +8,7 @@ SAF choices translate into cycles and energy.
 Run:  python examples/dnn_accelerator_comparison.py
 """
 
-from repro import Evaluator, Workload
+from repro import EvaluateJob, Session, Workload
 from repro.designs import eyeriss, eyeriss_v2, scnn
 from repro.workload.nets import alexnet
 
@@ -22,7 +22,21 @@ DESIGNS = [
     scnn.scnn_design(),
 ]
 
-evaluator = Evaluator(check_capacity=False)
+session = Session(check_capacity=False)
+
+# Submit the whole (layer x design) sweep up front; handles resolve in
+# one batched pass on the first .result() read.
+handles = {}
+for layer in alexnet()[:5]:
+    for design in DESIGNS:
+        wl = Workload.uniform(
+            layer.spec,
+            {"I": ACT_DENSITY[layer.name], "W": WEIGHT_DENSITY},
+            name=layer.name,
+        )
+        handles[(layer.name, design.name)] = session.submit(
+            EvaluateJob(design, wl)
+        )
 
 header = f"{'layer':8s}" + "".join(f"{d.name:>22s}" for d in DESIGNS)
 print("cycles (energy pJ/MAC) per layer")
@@ -30,12 +44,7 @@ print(header)
 for layer in alexnet()[:5]:
     cells = [f"{layer.name:8s}"]
     for design in DESIGNS:
-        wl = Workload.uniform(
-            layer.spec,
-            {"I": ACT_DENSITY[layer.name], "W": WEIGHT_DENSITY},
-            name=layer.name,
-        )
-        result = evaluator.evaluate(design, wl)
+        result = handles[(layer.name, design.name)].result()
         cells.append(
             f"{result.cycles:12.3g} ({result.energy_per_compute:5.2f})"
         )
@@ -48,13 +57,14 @@ for design in DESIGNS:
     wl = Workload.uniform(
         layer.spec, {"I": 0.47, "W": WEIGHT_DENSITY}, name=layer.name
     )
-    r = evaluator.evaluate(design, wl)
+    r = session.evaluate(design, wl)
     c = r.sparse.compute
     print(
         f"  {design.name:16s} computes: {c.actual:.3g} actual / "
         f"{c.gated:.3g} gated / {c.skipped:.3g} skipped "
         f"(bottleneck: {r.latency.bottleneck})"
     )
+session.close()
 print()
 print("Gating (Eyeriss) keeps all cycles but idles units; skipping")
 print("(Eyeriss V2, SCNN) removes the cycles themselves (Sec 3).")

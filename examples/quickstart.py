@@ -11,11 +11,11 @@ from repro import (
     Architecture,
     ComputeLevel,
     Design,
-    Evaluator,
     LevelMapping,
     Loop,
     Mapping,
     SAFSpec,
+    Session,
     StorageLevel,
     Workload,
     matmul,
@@ -62,9 +62,9 @@ safs = SAFSpec(
 design = Design("quickstart-sparse", arch, safs, mapping=mapping)
 dense_design = Design("quickstart-dense", arch, SAFSpec(), mapping=mapping)
 
-evaluator = Evaluator()
-sparse_result = evaluator.evaluate(design, workload)
-dense_result = evaluator.evaluate(dense_design, workload)
+with Session() as session:
+    sparse_result = session.evaluate(design, workload)
+    dense_result = session.evaluate(dense_design, workload)
 
 print(sparse_result.summary())
 print()

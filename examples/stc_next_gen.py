@@ -10,7 +10,7 @@ Walks the paper's case study end to end:
 Run:  python examples/stc_next_gen.py
 """
 
-from repro import Evaluator, Workload
+from repro import Session, Workload
 from repro.designs import dstc, stc
 from repro.designs.common import conv_as_gemm
 from repro.sparse.density import FixedStructuredDensity, UniformDensity
@@ -18,7 +18,7 @@ from repro.workload.nets import resnet50
 
 layer = resnet50()[10]
 gemm = conv_as_gemm(layer)
-evaluator = Evaluator()
+session = Session()
 
 
 def evaluate(design, weight_model, label):
@@ -27,7 +27,7 @@ def evaluate(design, weight_model, label):
         {"A": weight_model, "B": UniformDensity(0.65, gemm.tensor_size("B"))},
         name=label,
     )
-    return evaluator.evaluate(design, wl)
+    return session.evaluate(design, wl)
 
 
 dense = evaluate(dstc.dense_tensor_core_design(), UniformDensity(1.0, 1), "dense")
@@ -74,3 +74,4 @@ print(f"  dstc reference:                "
       f"energy {dstc_r.energy_pj:.3g} pJ")
 print("\nExploiting more sparsity does not guarantee speedup; dataflow")
 print("and SAF overhead must be co-designed (the paper's conclusion).")
+session.close()

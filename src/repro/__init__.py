@@ -3,19 +3,45 @@
 Sparseloop is an analytical modeling framework for sparse tensor
 accelerators. The public API mirrors the paper's structure:
 
+* :mod:`repro.api` — the :class:`Session`/job evaluation façade (the
+  primary entry point; see ``docs/api.md``)
 * :mod:`repro.workload` — extended-Einsum workloads and DNN layer tables
 * :mod:`repro.arch` — architecture specifications
 * :mod:`repro.mapping` — mappings and mapspace search
 * :mod:`repro.sparse` — density models, formats, and SAF specifications
-* :mod:`repro.model` — the three-step evaluation engine
+* :mod:`repro.model` — the three-step evaluation engine and the
+  versioned, serializable result schema
 * :mod:`repro.designs` — prebuilt accelerator models from the paper
 * :mod:`repro.refsim` — cycle-level reference simulator (validation)
+
+Quick start::
+
+    from repro import Session
+
+    with Session() as session:
+        result = session.evaluate("design.yaml")
+        print(result.summary())
 """
 
+from repro.api import (
+    EvaluateJob,
+    JobHandle,
+    NetworkJob,
+    SearchJob,
+    Session,
+    evaluate_network,
+)
 from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
+from repro.io.yaml_spec import load_design
 from repro.mapping.mapping import LevelMapping, Loop, Mapping
+from repro.mapping.mapspace import MapspaceConstraints
 from repro.model.engine import Design, Evaluator
-from repro.model.result import EvaluationResult
+from repro.model.result import (
+    RESULT_SCHEMA_VERSION,
+    EvaluationResult,
+    NetworkResult,
+    SearchResult,
+)
 from repro.sparse.density import (
     ActualDataDensity,
     BandedDensity,
@@ -26,15 +52,24 @@ from repro.sparse.saf import SAFSpec
 from repro.workload.einsum import conv2d, matmul
 from repro.workload.spec import Workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # Evaluation façade
+    "Session",
+    "EvaluateJob",
+    "SearchJob",
+    "NetworkJob",
+    "JobHandle",
+    "evaluate_network",
+    # Specs and building blocks
     "Architecture",
     "StorageLevel",
     "ComputeLevel",
     "Loop",
     "LevelMapping",
     "Mapping",
+    "MapspaceConstraints",
     "Workload",
     "matmul",
     "conv2d",
@@ -44,7 +79,12 @@ __all__ = [
     "ActualDataDensity",
     "SAFSpec",
     "Design",
+    "load_design",
+    # Engine (legacy entry points) and results
     "Evaluator",
     "EvaluationResult",
+    "SearchResult",
+    "NetworkResult",
+    "RESULT_SCHEMA_VERSION",
     "__version__",
 ]

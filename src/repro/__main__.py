@@ -1,21 +1,32 @@
-"""Command-line entry point: evaluate a YAML design specification.
+"""Command-line entry point, built on the :mod:`repro.api` façade.
 
 Usage::
 
     python -m repro evaluate spec.yaml
-    python -m repro evaluate spec.yaml --search --budget 64
+    python -m repro evaluate spec.yaml --json
+    python -m repro search spec.yaml --budget 64 --parallel 4
+    python -m repro --version
 
-The spec file combines arch / workload / safs / mapping sections (see
-:mod:`repro.io.yaml_spec` for the schema). With ``--search`` the
-mapping section may be omitted and the built-in mapper explores the
-mapspace instead.
+The spec file combines arch / workload / safs / mapping / constraints
+sections (see :mod:`repro.io.yaml_spec` for the schema). ``evaluate``
+runs the spec's mapping (or searches when the spec only carries
+constraints, or with ``--search``); ``search`` always explores the
+mapspace and reports the winner.
 
-Repeated runs start warm: analysis-cache snapshots are spilled to a
-persistent on-disk store (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``)
-keyed by the spec's content, so re-evaluating the same design — a
-tweaked mapping, a different SAF flag, a CI job — skips everything the
-previous run already derived. Disable with ``--cold`` or the
+``--json`` emits the versioned result schema (``schema: 1``, see
+:mod:`repro.model.result`) on stdout — machine-readable, diffable, and
+round-trippable via ``EvaluationResult.from_json`` /
+``SearchResult.from_json``.
+
+Repeated runs start warm: the Session spills analysis-cache snapshots
+to a persistent on-disk store (``$REPRO_CACHE_DIR`` or
+``~/.cache/repro``) keyed by the spec's content and warm-starts from it
+on first use. Disable with ``--cold`` or the
 ``REPRO_NO_PERSISTENT_CACHE`` environment variable.
+
+Exit codes: 0 on success, 2 on an input/modeling error (malformed
+spec, invalid mapping, capacity overflow, no valid mapping found) —
+reported as one ``error:`` line on stderr, never a traceback.
 """
 
 from __future__ import annotations
@@ -24,10 +35,11 @@ import argparse
 import os
 import sys
 
+from repro import __version__
+from repro.api import Session
 from repro.common.cache import PersistentCache
-from repro.io.yaml_spec import load_design
-from repro.mapping.mapspace import MapspaceConstraints
-from repro.model.engine import Evaluator, persistent_state_key
+from repro.common.errors import ReproError
+from repro.model.result import SearchResult
 
 
 def _persistent_store(args: argparse.Namespace) -> PersistentCache | None:
@@ -36,46 +48,121 @@ def _persistent_store(args: argparse.Namespace) -> PersistentCache | None:
     return PersistentCache(root=args.cache_dir)
 
 
-def _cmd_evaluate(args: argparse.Namespace) -> int:
-    design, workload = load_design(args.spec)
-    evaluator = Evaluator(
+def _session(args: argparse.Namespace) -> Session:
+    return Session(
         check_capacity=not args.no_capacity_check,
         search_budget=args.budget,
+        search_seed=args.seed,
+        parallel=args.parallel,
         persistent=_persistent_store(args),
     )
-    if args.search:
-        design.mapping = None
-        design.constraints = design.constraints or MapspaceConstraints()
-    loaded = 0
-    if evaluator.persistent is not None:
-        key = persistent_state_key(design, [workload])
-        if key is not None:
-            loaded = evaluator.warm_start(key)
-    result = evaluator.evaluate(design, workload)
-    spilled = evaluator.spill_cache()
-    print(result.summary())
-    if args.verbose:
-        print()
-        if evaluator.persistent is not None:
+
+
+def _print_verbose(session: Session, result) -> None:
+    print()
+    if session.evaluator.persistent is not None:
+        print(
+            f"persistent cache: {session.warm_loaded} entries warm "
+            "(snapshot spills when the session closes)"
+        )
+    stats = session.cache_stats()
+    if stats:
+        print("cache stages:")
+        for name in sorted(stats):
+            stage = stats[name]
             print(
-                f"persistent cache: {loaded} entries warm, snapshot "
-                f"{spilled if spilled else '(nothing to spill)'}"
+                f"  {name}: {stage['hits']} hits / {stage['misses']} misses "
+                f"({stage['hit_rate']:.0%}), {stage['entries']} entries"
             )
-        print()
-        print("mapping:")
-        print(result.dense.mapping.describe())
-        print()
-        for level, usage in result.usage.items():
-            capacity = (
-                "unbounded"
-                if usage.capacity_words is None
-                else f"{usage.capacity_words:g}"
-            )
-            print(
-                f"occupancy {level}: {usage.used_words:.1f} / {capacity} "
-                f"words ({usage.utilization:.1%})"
-            )
+    print()
+    print("mapping:")
+    print(result.dense.mapping.describe())
+    print()
+    for level, usage in result.usage.items():
+        capacity = (
+            "unbounded"
+            if usage.capacity_words is None
+            else f"{usage.capacity_words:g}"
+        )
+        print(
+            f"occupancy {level}: {usage.used_words:.1f} / {capacity} "
+            f"words ({usage.utilization:.1%})"
+        )
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    with _session(args) as session:
+        outcome = session.submit(args.spec, search=args.search).result()
+        if isinstance(outcome, SearchResult):
+            result = outcome.best_or_raise()
+        else:
+            result = outcome
+        if args.json:
+            print(result.to_json(indent=2))
+        else:
+            print(result.summary())
+            if args.verbose:
+                _print_verbose(session, result)
     return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    with _session(args) as session:
+        search = session.search(args.spec)
+        best = search.best_or_raise()
+        if args.json:
+            print(search.to_json(indent=2))
+        else:
+            print(
+                f"best mapping ({search.budget} budget, "
+                f"seed {search.seed}, EDP {best.edp:.6g}):"
+            )
+            print(best.dense.mapping.describe())
+            print()
+            print(best.summary())
+            if args.verbose:
+                _print_verbose(session, best)
+    return 0
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("spec", help="path to the YAML specification")
+    parser.add_argument(
+        "--budget", type=int, default=64, help="mappings sampled per search"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="mapspace sampling seed"
+    )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan batched work and searches out over N worker processes",
+    )
+    parser.add_argument(
+        "--no-capacity-check",
+        action="store_true",
+        help="allow mappings whose tiles overflow storage",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the versioned result schema as JSON on stdout",
+    )
+    parser.add_argument(
+        "--cold",
+        action="store_true",
+        help="skip the persistent cache tier (start cold, spill nothing)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent cache location (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro)",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -84,39 +171,32 @@ def main(argv: list[str] | None = None) -> int:
         description="Sparseloop reproduction: analytical sparse tensor "
         "accelerator modeling",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
     ev = sub.add_parser("evaluate", help="evaluate a YAML design spec")
-    ev.add_argument("spec", help="path to the YAML specification")
+    _add_common_arguments(ev)
     ev.add_argument(
         "--search",
         action="store_true",
         help="search the mapspace instead of using the spec's mapping",
     )
-    ev.add_argument(
-        "--budget", type=int, default=64, help="mappings sampled per search"
-    )
-    ev.add_argument(
-        "--no-capacity-check",
-        action="store_true",
-        help="allow mappings whose tiles overflow storage",
-    )
-    ev.add_argument(
-        "--cold",
-        action="store_true",
-        help="skip the persistent cache tier (start cold, spill nothing)",
-    )
-    ev.add_argument(
-        "--cache-dir",
-        default=None,
-        metavar="DIR",
-        help="persistent cache location (default: $REPRO_CACHE_DIR or "
-        "~/.cache/repro)",
-    )
-    ev.add_argument("-v", "--verbose", action="store_true")
     ev.set_defaults(func=_cmd_evaluate)
 
+    se = sub.add_parser(
+        "search", help="search the mapspace for the best mapping"
+    )
+    _add_common_arguments(se)
+    se.set_defaults(func=_cmd_search)
+
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,0 +1,43 @@
+"""repro.api: the unified evaluation façade.
+
+One entry point for everything the model can do::
+
+    from repro.api import Session, EvaluateJob
+
+    with Session(parallel=4) as session:
+        result = session.evaluate("design.yaml")        # spec in, result out
+        sweep = [session.submit(EvaluateJob(d, w)) for d, w in points]
+        best = session.search(design, workload)          # mapspace search
+        net = session.evaluate_network(design, layers, densities_for)
+
+The Session owns the analysis cache, the persistent on-disk tier
+(auto warm-start on first use, spill on close), and the worker-pool
+fan-out; jobs are plain data (:class:`EvaluateJob`, :class:`SearchJob`,
+:class:`NetworkJob`) resolved through futures-like
+:class:`JobHandle`\\ s. Results are versioned serializable data — see
+:mod:`repro.model.result` and ``docs/api.md``.
+"""
+
+from repro.api.jobs import EvaluateJob, JobHandle, NetworkJob, SearchJob
+from repro.api.session import Session, evaluate_network
+from repro.model.result import (
+    RESULT_SCHEMA_VERSION,
+    EvaluationResult,
+    NetworkLayerResult,
+    NetworkResult,
+    SearchResult,
+)
+
+__all__ = [
+    "Session",
+    "EvaluateJob",
+    "SearchJob",
+    "NetworkJob",
+    "JobHandle",
+    "evaluate_network",
+    "EvaluationResult",
+    "SearchResult",
+    "NetworkResult",
+    "NetworkLayerResult",
+    "RESULT_SCHEMA_VERSION",
+]

@@ -1,0 +1,139 @@
+"""Job types and handles for the :class:`repro.api.Session` façade.
+
+A *job* is one unit of evaluation work, expressed as plain data:
+
+* :class:`EvaluateJob` — one (design, workload[, mapping]) point,
+* :class:`SearchJob` — a mapspace search for one (design, workload),
+* :class:`NetworkJob` — a per-layer full-network evaluation.
+
+Jobs are constructed directly from Python objects, or by
+:meth:`Session.submit` from dicts / YAML strings / YAML paths. They
+carry no execution state; submitting one returns a :class:`JobHandle`,
+a futures-like ticket the Session resolves — batched, so many pending
+evaluate jobs share one process-pool fan-out.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.mapping.mapping import Mapping
+from repro.model.engine import Design
+from repro.model.result import EvaluationResult
+from repro.workload.spec import Workload
+
+__all__ = ["EvaluateJob", "SearchJob", "NetworkJob", "JobHandle"]
+
+
+@dataclass
+class EvaluateJob:
+    """Evaluate one design on one workload.
+
+    ``mapping`` overrides the design's own mapping policy (fixed
+    mapping, factory, or constraints-driven search — exactly the rules
+    of the evaluation engine).
+    """
+
+    design: Design
+    workload: Workload
+    mapping: Mapping | None = None
+
+    def engine_args(self) -> tuple:
+        """The positional job tuple the engine's batch API consumes."""
+        if self.mapping is None:
+            return (self.design, self.workload)
+        return (self.design, self.workload, self.mapping)
+
+
+@dataclass
+class SearchJob:
+    """Search the design's mapspace for the best valid mapping.
+
+    ``objective`` scores an :class:`EvaluationResult` (lower is better;
+    default EDP; must be picklable — a module-level function — when the
+    search fans out over worker processes). Explicit ``candidates``
+    bypass the design's constraints. ``parallel`` overrides the
+    Session's default worker count for this job.
+    """
+
+    design: Design
+    workload: Workload
+    objective: Callable[[EvaluationResult], float] | None = None
+    candidates: list[Mapping] | None = None
+    parallel: int | None = None
+
+
+@dataclass
+class NetworkJob:
+    """Evaluate a full network layer by layer (Sec 6.1 methodology).
+
+    ``layers`` is a list of :class:`~repro.workload.nets.NetLayer`;
+    ``densities_for(layer)`` supplies per-tensor densities for each.
+    Identical layers are deduped and the fan-out brackets itself with
+    the persistent tier exactly like the engine's network path.
+    """
+
+    design: Design
+    layers: list = field(default_factory=list)
+    densities_for: Callable[[object], dict[str, float]] | None = None
+    parallel: int | None = None
+
+
+class JobHandle:
+    """A futures-like ticket for one submitted job.
+
+    Handles resolve lazily and in bulk: the first :meth:`result` /
+    :meth:`exception` call on any pending handle makes its Session run
+    *all* pending jobs (evaluate jobs in one batched — optionally
+    process-pool — pass), so callers can submit a whole sweep and only
+    then start reading results. Expected modeling failures
+    (:class:`~repro.common.errors.ReproError` subclasses: malformed
+    specs, invalid mappings, capacity overflows) are captured per job;
+    :meth:`result` re-raises them, :meth:`exception` returns them.
+    """
+
+    __slots__ = ("job", "_session", "_done", "_result", "_exception")
+
+    def __init__(self, session, job):
+        self.job = job
+        self._session = session
+        self._done = False
+        self._result = None
+        self._exception: BaseException | None = None
+
+    def done(self) -> bool:
+        """True once the job has run (successfully or not)."""
+        return self._done
+
+    def result(self):
+        """The job's result, running all pending session jobs first.
+
+        Returns an :class:`EvaluationResult` (evaluate jobs), a
+        :class:`~repro.model.result.SearchResult` (search jobs), or a
+        :class:`~repro.model.result.NetworkResult` (network jobs).
+        Re-raises the job's captured error, if it failed.
+        """
+        if not self._done:
+            self._session.run()
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def exception(self) -> BaseException | None:
+        """The job's captured failure (``None`` on success), running
+        all pending session jobs first."""
+        if not self._done:
+            self._session.run()
+        return self._exception
+
+    def _resolve(self, result=None, exception: BaseException | None = None):
+        self._done = True
+        self._result = result
+        self._exception = exception
+
+    def __repr__(self) -> str:
+        state = "pending"
+        if self._done:
+            state = "failed" if self._exception is not None else "done"
+        return f"JobHandle({type(self.job).__name__}, {state})"

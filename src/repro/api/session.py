@@ -1,0 +1,546 @@
+"""The :class:`Session` façade: one owner for evaluation state.
+
+A Session wraps the three-step Sparseloop model behind a single entry
+point and owns everything the scattered legacy surface made callers
+wire by hand:
+
+* the in-memory :class:`~repro.common.cache.AnalysisCache` (one per
+  Session by default; pass a shared instance to pool hits, or ``None``
+  to disable caching outright),
+* the :class:`~repro.common.cache.PersistentCache` on-disk tier —
+  warm-started automatically the first time a job touches a given
+  (design, workload) content key, spilled on :meth:`close` (the
+  context-manager exit),
+* the process-pool fan-out — ``parallel=N`` makes batched submissions
+  and searches use the engine's deterministic chunked worker pool
+  without callers ever seeing chunking or initializers.
+
+Work is described by :mod:`~repro.api.jobs` job objects, or by specs:
+:meth:`Session.submit` accepts an ``EvaluateJob`` / ``SearchJob`` /
+``NetworkJob``, a ``(design, workload[, mapping])`` tuple, a dict, a
+YAML string, or a YAML file path — all five spell the same evaluation
+and return bit-identical results. Submission returns a
+:class:`~repro.api.jobs.JobHandle`; handles resolve lazily and in
+bulk, so a sweep submitted up front runs as one batch::
+
+    from repro.api import Session
+
+    with Session(parallel=4) as session:
+        handles = [session.submit(job) for job in jobs]
+        results = [h.result() for h in handles]   # one pooled batch
+
+Results are versioned, serializable data — see
+:mod:`repro.model.result` (``schema: 1``).
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections.abc import Callable, Iterable
+from dataclasses import replace
+from pathlib import Path
+
+from repro.api.jobs import EvaluateJob, JobHandle, NetworkJob, SearchJob
+from repro.common.cache import AnalysisCache, PersistentCache
+from repro.common.errors import ReproError, SpecError
+from repro.io.yaml_spec import load_design
+from repro.mapping.mapping import Mapping
+from repro.mapping.mapspace import MapspaceConstraints
+from repro.model.engine import Design, Evaluator, persistent_state_key
+from repro.model.result import (
+    EvaluationResult,
+    NetworkLayerResult,
+    NetworkResult,
+    SearchResult,
+)
+from repro.workload.spec import Workload
+
+__all__ = ["Session", "evaluate_network"]
+
+_UNSET = object()
+
+
+class Session:
+    """Owns evaluation state and runs jobs; the primary public API.
+
+    Parameters mirror the engine's knobs:
+
+    ``check_capacity``: reject mappings whose worst-case tiles overflow
+    a storage level (the failure is captured on the job's handle).
+    ``search_budget`` / ``search_seed``: mapspace sampling parameters
+    for constraint-driven designs and :class:`SearchJob`\\ s.
+    ``parallel``: default worker-process count for batched submission,
+    searches, and network fan-outs (jobs can override; ``1`` = serial).
+    ``cache``: the in-memory analysis cache — defaults to a fresh
+    :class:`AnalysisCache`; pass a shared instance to pool hits across
+    sessions, or ``None`` to disable caching.
+    ``persistent``: an optional :class:`PersistentCache` on-disk tier.
+    The Session warm-starts from it automatically the first time it
+    runs a job with a new (design, workload) content key, and spills
+    the in-memory cache back on :meth:`close`.
+    ``prefilter_capacity`` / ``sparse_vectorized``: engine fast-path
+    flags, passed through unchanged (``sparse_vectorized=None`` keeps
+    the engine default).
+
+    Sessions are context managers; :meth:`close` runs any still-pending
+    jobs, then spills to the persistent tier. A closed Session rejects
+    new submissions.
+    """
+
+    def __init__(
+        self,
+        *,
+        check_capacity: bool = True,
+        search_budget: int = 64,
+        search_seed: int = 0,
+        parallel: int = 1,
+        cache: AnalysisCache | None = _UNSET,
+        persistent: PersistentCache | None = None,
+        prefilter_capacity: bool = True,
+        sparse_vectorized: bool | None = None,
+    ):
+        if parallel < 1:
+            raise SpecError(f"parallel must be >= 1, got {parallel}")
+        if cache is _UNSET:
+            cache = AnalysisCache()
+        engine_kwargs = dict(
+            check_capacity=check_capacity,
+            search_budget=search_budget,
+            search_seed=search_seed,
+            cache=cache,
+            prefilter_capacity=prefilter_capacity,
+            persistent=persistent,
+        )
+        if sparse_vectorized is not None:
+            engine_kwargs["sparse_vectorized"] = sparse_vectorized
+        self._evaluator = Evaluator(**engine_kwargs)
+        self.parallel = parallel
+        self._pending: list[JobHandle] = []
+        self._warmed: set[str] = set()
+        self._spill_keys: list[str] = []
+        self._closed = False
+        #: Total persistent-tier entries loaded by auto warm-starts.
+        self.warm_loaded = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Leaving on an exception (including KeyboardInterrupt) must
+        # not run the remaining sweep during unwind; pending jobs are
+        # cancelled and only completed work is spilled.
+        self.close(run_pending=exc_type is None)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, run_pending: bool = True) -> None:
+        """Run pending jobs, spill to the persistent tier, and seal the
+        Session. Idempotent.
+
+        ``run_pending=False`` cancels still-pending jobs instead of
+        running them (their handles resolve with a
+        :class:`~repro.common.errors.ReproError`); the context manager
+        uses it when the ``with`` block exits on an exception.
+
+        Every content key the session touched gets a snapshot of the
+        full in-memory cache (one export, written under each key).
+        Snapshots of a multi-design session therefore share entries —
+        deliberate: entries are content-addressed, so a warm-start can
+        only ever load valid-if-unneeded extras, and any one key
+        restores everything the session derived.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if run_pending:
+                self._drain()
+            else:
+                cancelled = ReproError(
+                    "job cancelled: Session closed before it ran"
+                )
+                for handle in self._pending:
+                    handle._resolve(exception=cancelled)
+                self._pending = []
+        finally:
+            self._evaluator.spill_cache_all(self._spill_keys)
+
+    # ------------------------------------------------------------------
+    # Submission
+
+    def submit(self, spec, *, search: bool = False) -> JobHandle:
+        """Queue one job and return its :class:`JobHandle`.
+
+        ``spec`` may be a job object (:class:`EvaluateJob`,
+        :class:`SearchJob`, :class:`NetworkJob`), a ``(design,
+        workload[, mapping])`` tuple of Python objects, or a design
+        spec as a dict, YAML string, or YAML file path (see
+        :mod:`repro.io.yaml_spec` for the schema). Spec-described
+        designs with a ``mapping`` section become evaluate jobs; pass
+        ``search=True`` (or provide a ``constraints`` section and no
+        mapping) to search the mapspace instead.
+
+        All equivalent forms of the same design produce bit-identical
+        results. Jobs run lazily, in bulk, on the first
+        ``handle.result()`` call (or at :meth:`close`).
+        """
+        if self._closed:
+            raise SpecError("cannot submit to a closed Session")
+        job = self._coerce_job(spec, search=search)
+        if isinstance(job, (EvaluateJob, SearchJob)) and job.workload is None:
+            raise SpecError(
+                f"{type(job).__name__} needs a workload (a spec string/"
+                "dict/path carries its own; Python-object jobs take it "
+                "explicitly)"
+            )
+        handle = JobHandle(self, job)
+        self._pending.append(handle)
+        return handle
+
+    def submit_many(self, specs: Iterable, *, search: bool = False) -> list[JobHandle]:
+        """Queue a batch of jobs; the whole batch resolves in one
+        (optionally process-pooled) pass."""
+        return [self.submit(spec, search=search) for spec in specs]
+
+    def _coerce_job(self, spec, *, search: bool):
+        if isinstance(spec, (EvaluateJob, SearchJob, NetworkJob)):
+            if search and not isinstance(spec, SearchJob):
+                raise SpecError(
+                    f"search=True cannot convert a {type(spec).__name__}; "
+                    "submit a SearchJob instead"
+                )
+            return spec
+        if isinstance(spec, JobHandle):
+            raise SpecError("a JobHandle is a ticket, not a submittable job")
+        if isinstance(spec, tuple):
+            if not 2 <= len(spec) <= 3:
+                raise SpecError(
+                    "tuple jobs must be (design, workload[, mapping]), "
+                    f"got {len(spec)} elements"
+                )
+            if search:
+                if len(spec) == 3:
+                    raise SpecError(
+                        "search jobs take (design, workload); a fixed "
+                        "mapping cannot seed a mapspace search"
+                    )
+                return SearchJob(spec[0], spec[1])
+            return EvaluateJob(*spec)
+        if isinstance(spec, (dict, str, Path)):
+            design, workload = load_design(spec)
+            if search:
+                design.mapping = None
+                design.constraints = design.constraints or MapspaceConstraints()
+                return SearchJob(design, workload)
+            if design.mapping is None and design.constraints is not None:
+                return SearchJob(design, workload)
+            return EvaluateJob(design, workload)
+        raise SpecError(
+            f"cannot build a job from {type(spec).__name__}; expected a "
+            "job object, a (design, workload[, mapping]) tuple, or a "
+            "dict / YAML string / YAML path spec"
+        )
+
+    # ------------------------------------------------------------------
+    # Direct (submit + resolve) conveniences
+
+    def evaluate(
+        self,
+        design,
+        workload: Workload | None = None,
+        mapping: Mapping | None = None,
+    ) -> EvaluationResult:
+        """Evaluate one point and return its result.
+
+        ``design`` may be a :class:`Design` (with ``workload``), or any
+        spec form :meth:`submit` accepts. A constraints-only spec is
+        searched; the winning evaluation is returned (or
+        :class:`MappingError` raised when nothing valid was found).
+        """
+        if workload is None and not isinstance(design, Design):
+            if mapping is None:
+                handle = self.submit(design)
+            elif isinstance(design, (dict, str, Path)):
+                # A mapping override on a spec form must not be lost:
+                # load the spec and evaluate it under the override.
+                spec_design, spec_workload = load_design(design)
+                handle = self.submit(
+                    EvaluateJob(spec_design, spec_workload, mapping)
+                )
+            else:
+                raise SpecError(
+                    "a mapping override needs a Design + workload or a "
+                    "dict / YAML string / YAML path spec"
+                )
+        else:
+            handle = self.submit(EvaluateJob(design, workload, mapping))
+        result = handle.result()
+        if isinstance(result, SearchResult):
+            return result.best_or_raise()
+        return result
+
+    def search(
+        self,
+        design,
+        workload: Workload | None = None,
+        objective: Callable[[EvaluationResult], float] | None = None,
+        candidates: list[Mapping] | None = None,
+        parallel: int | None = None,
+    ) -> SearchResult:
+        """Search the mapspace and return a :class:`SearchResult`.
+
+        ``design`` may be a :class:`SearchJob`, a :class:`Design` (with
+        ``workload``), or any spec form :meth:`submit` accepts (a
+        spec's mapping section, if any, is ignored in favour of the
+        search). ``objective``/``candidates``/``parallel`` override the
+        corresponding job fields when given.
+        """
+        if isinstance(design, SearchJob):
+            job = design
+        elif isinstance(design, (EvaluateJob, NetworkJob)):
+            raise SpecError(
+                f"search() cannot run a {type(design).__name__}; pass a "
+                "SearchJob, a Design + workload, or a design spec"
+            )
+        elif workload is None and not isinstance(design, Design):
+            job = self._coerce_job(design, search=True)
+        else:
+            job = SearchJob(design, workload)
+        overrides = {
+            name: value
+            for name, value in (
+                ("objective", objective),
+                ("candidates", candidates),
+                ("parallel", parallel),
+            )
+            if value is not None
+        }
+        if overrides:
+            # Never mutate a caller's job object; override on a copy.
+            job = replace(job, **overrides)
+        return self.submit(job).result()
+
+    def evaluate_network(
+        self,
+        design: Design,
+        layers,
+        densities_for: Callable[[object], dict[str, float]],
+        parallel: int | None = None,
+    ) -> NetworkResult:
+        """Evaluate a full network and return a :class:`NetworkResult`."""
+        handle = self.submit(
+            NetworkJob(design, list(layers), densities_for, parallel)
+        )
+        return handle.result()
+
+    # ------------------------------------------------------------------
+    # Execution
+
+    def run(self) -> None:
+        """Run every pending job now (handles become ``done()``).
+
+        Called implicitly by the first ``result()`` / ``exception()``
+        read on a pending handle and by :meth:`close`; calling it
+        directly is only needed to front-load the work.
+        """
+        self._drain()
+
+    def _drain(self) -> None:
+        while self._pending:
+            batch = self._pending
+            self._pending = []
+            try:
+                self._run_batch(batch)
+            except BaseException as exc:
+                # An unexpected (non-ReproError) failure aborts the
+                # batch; resolve every orphaned handle with it so later
+                # result()/exception() reads surface the error instead
+                # of silently returning None.
+                for handle in batch:
+                    if not handle.done():
+                        handle._resolve(exception=exc)
+                raise
+
+    def _run_batch(self, handles: list[JobHandle]) -> None:
+        evaluate_handles = [
+            h for h in handles if isinstance(h.job, EvaluateJob)
+        ]
+        for handle in handles:
+            self._warm_for(handle.job)
+        self._run_evaluates(evaluate_handles)
+        for handle in handles:
+            if isinstance(handle.job, SearchJob):
+                self._run_search(handle)
+            elif isinstance(handle.job, NetworkJob):
+                self._run_network(handle)
+
+    def _run_evaluates(self, handles: list[JobHandle]) -> None:
+        if not handles:
+            return
+        if self.parallel > 1 and len(handles) > 1:
+            jobs = [h.job.engine_args() for h in handles]
+            try:
+                results = self._evaluator._evaluate_many(
+                    jobs, parallel=self.parallel
+                )
+            except ReproError:
+                # An expected per-job failure (e.g. one capacity
+                # overflow) aborts a pooled batch as a unit; re-run
+                # serially so the error is captured on the one handle
+                # that caused it. Expected path — no warning.
+                pass
+            except Exception as exc:
+                # Infra failures (pickling, broken pool) also fall back
+                # serially — but say so, since they'd otherwise cost
+                # the whole fan-out invisibly.
+                warnings.warn(
+                    f"parallel batch of {len(jobs)} jobs failed "
+                    f"({type(exc).__name__}: {exc}); re-running serially",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            else:
+                for handle, result in zip(handles, results):
+                    handle._resolve(result=result)
+                return
+        for handle in handles:
+            try:
+                result = self._evaluator._evaluate(*handle.job.engine_args())
+            except ReproError as exc:
+                handle._resolve(exception=exc)
+            else:
+                handle._resolve(result=result)
+
+    def _run_search(self, handle: JobHandle) -> None:
+        job: SearchJob = handle.job
+        try:
+            best = self._evaluator._search_mappings(
+                job.design,
+                job.workload,
+                objective=job.objective,
+                candidates=job.candidates,
+                parallel=job.parallel or self.parallel,
+            )
+        except ReproError as exc:
+            handle._resolve(exception=exc)
+            return
+        # Explicit candidates bypass mapspace sampling entirely; the
+        # result then records no budget/seed rather than misstating
+        # parameters that never influenced the search.
+        sampled = job.candidates is None
+        handle._resolve(
+            result=SearchResult(
+                design_name=job.design.name,
+                workload_name=job.workload.name or job.workload.einsum.name,
+                budget=self._evaluator.search_budget if sampled else None,
+                seed=self._evaluator.search_seed if sampled else None,
+                best=best,
+            )
+        )
+
+    def _run_network(self, handle: JobHandle) -> None:
+        job: NetworkJob = handle.job
+        if job.densities_for is None:
+            handle._resolve(
+                exception=SpecError("NetworkJob needs a densities_for callable")
+            )
+            return
+        try:
+            pairs = self._evaluator._evaluate_network(
+                job.design,
+                job.layers,
+                job.densities_for,
+                parallel=job.parallel or self.parallel,
+            )
+        except ReproError as exc:
+            handle._resolve(exception=exc)
+            return
+        handle._resolve(
+            result=NetworkResult(
+                design_name=job.design.name,
+                layers=[
+                    NetworkLayerResult(
+                        layer_name=getattr(layer, "name", str(layer)),
+                        repeat=getattr(layer, "repeat", 1),
+                        result=result,
+                    )
+                    for layer, result in pairs
+                ],
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Persistent tier (auto warm-start / spill bookkeeping)
+
+    def _warm_for(self, job) -> None:
+        """First-use warm-start: load the persistent snapshot for this
+        job's content key, once per distinct key per Session.
+
+        Network jobs are skipped — the engine's network path brackets
+        its own fan-out with warm-start/spill under the network's key.
+        """
+        if (
+            self._evaluator.persistent is None
+            or self._evaluator.cache is None
+            or isinstance(job, NetworkJob)
+        ):
+            return
+        key = persistent_state_key(job.design, [job.workload])
+        if key is None or key in self._warmed:
+            return
+        self._warmed.add(key)
+        self._spill_keys.append(key)
+        self.warm_loaded += self._evaluator.warm_start(key)
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def evaluator(self) -> Evaluator:
+        """The underlying engine (read-mostly; prefer the Session API)."""
+        return self._evaluator
+
+    @property
+    def cache(self) -> AnalysisCache | None:
+        return self._evaluator.cache
+
+    def cache_stats(self) -> dict[str, dict[str, float]]:
+        """Per-stage hit/miss statistics of the in-memory cache
+        (empty when caching is disabled)."""
+        if self._evaluator.cache is None:
+            return {}
+        return self._evaluator.cache.stats()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"{len(self._pending)} pending"
+        return f"Session(parallel={self.parallel}, {state})"
+
+
+def evaluate_network(
+    design: Design,
+    layers,
+    densities_for: Callable[[object], dict[str, float]],
+    *,
+    parallel: int | None = None,
+    session: Session | None = None,
+    **session_kwargs,
+) -> NetworkResult:
+    """Evaluate a full network through a Session in one call.
+
+    Uses ``session`` when given (leaving it open; ``parallel=None``
+    defers to its configured worker count); otherwise opens a
+    throwaway Session built from ``session_kwargs`` (e.g.
+    ``check_capacity=False``, ``persistent=PersistentCache()``) and
+    closes it — spilling any configured persistent tier — afterwards.
+    """
+    if session is not None:
+        return session.evaluate_network(
+            design, layers, densities_for, parallel=parallel
+        )
+    with Session(parallel=parallel or 1, **session_kwargs) as owned:
+        return owned.evaluate_network(design, layers, densities_for)

@@ -43,8 +43,9 @@ from pathlib import Path
 import yaml
 
 from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
-from repro.common.errors import SpecError
-from repro.mapping.mapping import LevelMapping, Loop, Mapping
+from repro.common.errors import MappingError, SpecError
+from repro.mapping.mapping import Mapping
+from repro.mapping.mapspace import MapspaceConstraints
 from repro.model.engine import Design
 from repro.sparse.formats import (
     Bitmask,
@@ -86,11 +87,26 @@ def _as_dict(source) -> dict:
         and "\n" not in source
         and source.endswith((".yaml", ".yml"))
     ):
-        with open(source) as handle:
-            return yaml.safe_load(handle)
-    if isinstance(source, str):
-        return yaml.safe_load(source)
-    raise SpecError(f"cannot load a spec from {type(source).__name__}")
+        try:
+            with open(source) as handle:
+                parsed = yaml.safe_load(handle)
+        except OSError as exc:
+            raise SpecError(f"cannot read spec file {source}: {exc}") from exc
+        except yaml.YAMLError as exc:
+            raise SpecError(f"malformed YAML in {source}: {exc}") from exc
+    elif isinstance(source, str):
+        try:
+            parsed = yaml.safe_load(source)
+        except yaml.YAMLError as exc:
+            raise SpecError(f"malformed YAML spec: {exc}") from exc
+    else:
+        raise SpecError(f"cannot load a spec from {type(source).__name__}")
+    if not isinstance(parsed, dict):
+        raise SpecError(
+            "spec must parse to a mapping of sections, got "
+            f"{type(parsed).__name__}"
+        )
+    return parsed
 
 
 def load_architecture(source) -> Architecture:
@@ -193,44 +209,89 @@ def load_mapping(source) -> Mapping:
     """Build a :class:`Mapping` from its YAML description."""
     spec = _as_dict(source)
     spec = spec.get("mapping", spec)
-    if not isinstance(spec, list):
-        raise SpecError("mapping spec must be a list of level entries")
-    levels = []
-    for entry in spec:
-        temporal = [
-            Loop(l["dim"], int(l["bound"])) for l in entry.get("temporal", [])
-        ]
-        spatial = [
-            Loop(l["dim"], int(l["bound"]), spatial=True)
-            for l in entry.get("spatial", [])
-        ]
-        keep = entry.get("keep")
-        levels.append(
-            LevelMapping(
-                entry["level"],
-                temporal,
-                spatial,
-                keep=set(keep) if keep is not None else None,
-            )
+    try:
+        return Mapping.from_spec(spec)
+    except MappingError as exc:
+        # from_spec owns the structural validation; at this boundary a
+        # bad mapping section is a malformed *spec*.
+        raise SpecError(str(exc)) from exc
+
+
+def load_constraints(source) -> MapspaceConstraints:
+    """Build :class:`MapspaceConstraints` from a ``constraints`` section.
+
+    Example::
+
+        constraints:
+          loop_orders: {Buffer: [m, k, n]}
+          spatial_dims: {Buffer: [n, m]}
+          keep: {Buffer: [A, Z]}
+          fixed_factors: {DRAM: {m: 4}}
+          max_permutations: 8
+    """
+    spec = _as_dict(source)
+    spec = spec.get("constraints", spec)
+    if not isinstance(spec, dict):
+        raise SpecError("constraints spec must be a mapping of options")
+    known = {
+        "loop_orders",
+        "spatial_dims",
+        "keep",
+        "fixed_factors",
+        "max_permutations",
+    }
+    unknown = set(spec) - known
+    if unknown:
+        raise SpecError(
+            f"unknown constraints options {sorted(unknown)}; "
+            f"supported: {sorted(known)}"
         )
-    return Mapping(levels)
+    try:
+        return MapspaceConstraints(
+            loop_orders={
+                level: list(dims)
+                for level, dims in (spec.get("loop_orders") or {}).items()
+            },
+            spatial_dims={
+                level: list(dims)
+                for level, dims in (spec.get("spatial_dims") or {}).items()
+            },
+            keep={
+                level: None if tensors is None else set(tensors)
+                for level, tensors in (spec.get("keep") or {}).items()
+            },
+            fixed_factors={
+                level: {dim: int(factor) for dim, factor in factors.items()}
+                for level, factors in (spec.get("fixed_factors") or {}).items()
+            },
+            max_permutations=int(spec.get("max_permutations", 8)),
+        )
+    except (TypeError, ValueError, AttributeError) as exc:
+        raise SpecError(f"malformed constraints section: {exc}") from exc
 
 
 def load_design(source) -> tuple[Design, Workload]:
-    """Load a full evaluation input: arch + workload + safs + mapping.
+    """Load a full evaluation input: arch + workload + safs + mapping
+    (and/or mapspace constraints).
 
     Returns the (design, workload) pair ready for
-    :meth:`repro.model.engine.Evaluator.evaluate`.
+    :meth:`repro.api.Session.evaluate` — designs with a ``mapping``
+    section evaluate it directly; designs with only a ``constraints``
+    section search the mapspace.
     """
     spec = _as_dict(source)
     arch = load_architecture(spec)
     workload = load_workload(spec)
     safs = load_saf_spec(spec) if "safs" in spec else SAFSpec()
     mapping = load_mapping(spec) if "mapping" in spec else None
+    constraints = (
+        load_constraints(spec) if "constraints" in spec else None
+    )
     design = Design(
         name=spec.get("name", arch.name),
         arch=arch,
         safs=safs,
         mapping=mapping,
+        constraints=constraints,
     )
     return design, workload

@@ -158,6 +158,59 @@ class Mapping:
         """Names of levels keeping ``tensor``, outermost first."""
         return [lvl.level for lvl in self.levels if lvl.keeps(tensor)]
 
+    def to_spec(self) -> list[dict]:
+        """Serializable spec form: the same list-of-level-entries shape
+        the YAML ``mapping:`` section uses (and
+        :func:`repro.io.yaml_spec.load_mapping` parses). Keep sets are
+        emitted sorted so equal mappings serialize identically."""
+        spec: list[dict] = []
+        for lvl in self.levels:
+            entry: dict = {"level": lvl.level}
+            if lvl.temporal:
+                entry["temporal"] = [
+                    {"dim": l.dim, "bound": l.bound} for l in lvl.temporal
+                ]
+            if lvl.spatial:
+                entry["spatial"] = [
+                    {"dim": l.dim, "bound": l.bound} for l in lvl.spatial
+                ]
+            if lvl.keep is not None:
+                entry["keep"] = sorted(lvl.keep)
+            spec.append(entry)
+        return spec
+
+    @classmethod
+    def from_spec(cls, spec: list[dict]) -> "Mapping":
+        """Rebuild a mapping from :meth:`to_spec` output (also the
+        parsed YAML ``mapping:`` section)."""
+        if not isinstance(spec, list):
+            raise MappingError("mapping spec must be a list of level entries")
+        levels = []
+        for entry in spec:
+            try:
+                temporal = [
+                    Loop(l["dim"], int(l["bound"]))
+                    for l in entry.get("temporal", [])
+                ]
+                spatial = [
+                    Loop(l["dim"], int(l["bound"]), spatial=True)
+                    for l in entry.get("spatial", [])
+                ]
+                keep = entry.get("keep")
+                levels.append(
+                    LevelMapping(
+                        entry["level"],
+                        temporal,
+                        spatial,
+                        keep=set(keep) if keep is not None else None,
+                    )
+                )
+            except (KeyError, TypeError, ValueError, AttributeError) as exc:
+                raise MappingError(
+                    f"malformed mapping level entry {entry!r}: {exc!r}"
+                ) from exc
+        return cls(levels)
+
     def cache_key(self) -> tuple:
         """Canonical hashable content key.
 

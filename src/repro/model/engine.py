@@ -62,6 +62,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import warnings
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -109,6 +110,25 @@ __all__ = [
 ]
 
 MappingFactory = Callable[[Workload, Architecture], Mapping]
+
+#: Entry points that already emitted their deprecation warning this
+#: process (so heavy sweeps through legacy call sites warn once, not
+#: once per evaluation). Tests reset this to re-assert the warning.
+_DEPRECATION_WARNED: set[str] = set()
+
+
+def _warn_deprecated(name: str, replacement: str) -> None:
+    """Emit the once-per-process deprecation warning for a legacy
+    :class:`Evaluator` entry point."""
+    if name in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(name)
+    warnings.warn(
+        f"Evaluator.{name}() is deprecated; use {replacement} from "
+        "repro.api instead (see docs/api.md for the migration table)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
@@ -239,6 +259,21 @@ class Evaluator:
         workload: Workload,
         mapping: Mapping | None = None,
     ) -> EvaluationResult:
+        """Deprecated entry point; use :class:`repro.api.Session`.
+
+        Delegates to the same implementation the Session submits to, so
+        results are identical; warns (once per process) to steer new
+        code at the façade.
+        """
+        _warn_deprecated("evaluate", "Session.evaluate / Session.submit")
+        return self._evaluate(design, workload, mapping)
+
+    def _evaluate(
+        self,
+        design: Design,
+        workload: Workload,
+        mapping: Mapping | None = None,
+    ) -> EvaluationResult:
         """Evaluate one design on one workload.
 
         ``mapping`` overrides the design's own mapping policy. If the
@@ -252,7 +287,7 @@ class Evaluator:
                     f"design {design.name!r} has no mapping, factory, or "
                     "constraints"
                 )
-            result = self.search_mappings(design, workload)
+            result = self._search_mappings(design, workload)
             if result is None:
                 raise MappingError(
                     f"no valid mapping found for {design.name!r} on "
@@ -485,6 +520,20 @@ class Evaluator:
         candidates: Iterable[Mapping] | None = None,
         parallel: int = 1,
     ) -> EvaluationResult | None:
+        """Deprecated entry point; use :meth:`repro.api.Session.search`."""
+        _warn_deprecated("search_mappings", "Session.search / SearchJob")
+        return self._search_mappings(
+            design, workload, objective, candidates, parallel
+        )
+
+    def _search_mappings(
+        self,
+        design: Design,
+        workload: Workload,
+        objective: Callable[[EvaluationResult], float] | None = None,
+        candidates: Iterable[Mapping] | None = None,
+        parallel: int = 1,
+    ) -> EvaluationResult | None:
         """Find the best valid mapping by the objective (default EDP).
 
         Uses the design's constraints with the built-in mapper unless
@@ -597,6 +646,16 @@ class Evaluator:
         jobs: Sequence[tuple],
         parallel: int = 1,
     ) -> list[EvaluationResult]:
+        """Deprecated entry point; use
+        :meth:`repro.api.Session.submit_many`."""
+        _warn_deprecated("evaluate_many", "Session.submit_many")
+        return self._evaluate_many(jobs, parallel)
+
+    def _evaluate_many(
+        self,
+        jobs: Sequence[tuple],
+        parallel: int = 1,
+    ) -> list[EvaluationResult]:
         """Evaluate a batch of jobs, preserving order.
 
         Each job is ``(design, workload)`` or ``(design, workload,
@@ -608,7 +667,7 @@ class Evaluator:
         """
         jobs = list(jobs)
         if parallel <= 1 or len(jobs) <= 1:
-            return [self.evaluate(*job) for job in jobs]
+            return [self._evaluate(*job) for job in jobs]
         chunks = _contiguous_chunks(jobs, parallel)
         worker = replace(self, cache=None)
         payloads = [(worker, chunk) for chunk in chunks]
@@ -622,6 +681,19 @@ class Evaluator:
         return results
 
     def evaluate_network(
+        self,
+        design: Design,
+        layers,
+        densities_for: Callable[[object], dict[str, float]],
+        parallel: int = 1,
+    ) -> list[tuple[object, EvaluationResult]]:
+        """Deprecated entry point; use
+        :meth:`repro.api.Session.evaluate_network` (which returns a
+        serializable :class:`~repro.model.result.NetworkResult`)."""
+        _warn_deprecated("evaluate_network", "Session.evaluate_network")
+        return self._evaluate_network(design, layers, densities_for, parallel)
+
+    def _evaluate_network(
         self,
         design: Design,
         layers,
@@ -684,7 +756,7 @@ class Evaluator:
             )
             if spill_key is not None:
                 self.warm_start(spill_key)
-        results = self.evaluate_many(unique_jobs, parallel=parallel)
+        results = self._evaluate_many(unique_jobs, parallel=parallel)
         if spill_key is not None:
             self.spill_cache(spill_key)
 
@@ -796,6 +868,36 @@ class Evaluator:
         if not state:
             return None
         written = self.persistent.store(key, state)
+        self.cache.mark_clean()
+        tile_stage.dirty = False
+        return written
+
+    def spill_cache_all(self, keys: Sequence[str]) -> list[Path]:
+        """Spill the current cache state under every key in ``keys``
+        (one export serves them all); returns the snapshot paths.
+
+        Unlike calling :meth:`spill_cache` in a loop, the dirty flag is
+        cleared once at the end — a dirty cache is written under
+        *every* key, so no key's snapshot is left stale just because an
+        earlier spill in the same pass marked the cache clean. Keys
+        whose snapshot already exists are skipped only when the cache
+        holds nothing new.
+        """
+        if self.persistent is None or self.cache is None or not keys:
+            return []
+        tile_stage = global_cache().stage(TILE_FORMAT_STAGE)
+        dirty = self.cache.is_dirty() or tile_stage.dirty
+        stale = [
+            key
+            for key in keys
+            if dirty or not self.persistent.path_for(key).exists()
+        ]
+        if not stale:
+            return [self.persistent.path_for(key) for key in keys]
+        state = self._export_cache_state(per_stage_limit=None)
+        if not state:
+            return []
+        written = [self.persistent.store(key, state) for key in stale]
         self.cache.mark_clean()
         tile_stage.dirty = False
         return written
@@ -974,4 +1076,4 @@ def _search_chunk_worker(payload):
 def _evaluate_chunk_worker(payload):
     evaluator, jobs = payload
     evaluator = _bind_worker_cache(evaluator)
-    return [evaluator.evaluate(*job) for job in jobs]
+    return [evaluator._evaluate(*job) for job in jobs]

@@ -1,18 +1,296 @@
-"""Evaluation results: the model's outputs for one (design, workload)."""
+"""Evaluation results: the model's outputs for one (design, workload).
+
+Results are first-class *data*: every result type carries a versioned,
+stable serialization (``to_dict`` / ``from_dict`` / ``to_json`` /
+``from_json``, ``schema: 1``) so results can be logged, diffed in CI,
+stored next to experiments, or served over a wire. Round-trips are
+bit-exact for every numeric field — ``from_dict(r.to_dict()).to_dict()
+== r.to_dict()`` — across all bundled designs.
+
+What the schema covers: the evaluated mapping (in the YAML ``mapping:``
+spec shape) and every derived number — dense traffic records, sparse
+action breakdowns, latency, energy, and capacity-usage reports (whether
+or not the tiles fit). What it deliberately omits: the input
+*objects* — the workload's density models (which may embed whole
+tensors) and the architecture — which belong to the job spec, not the
+result. A deserialized result therefore has ``dense.workload`` /
+``dense.arch`` set to ``None``; every metric, property, and summary
+still works.
+"""
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
-from repro.dataflow.nest_analysis import DenseTraffic
+from repro.common.errors import MappingError, SpecError
+from repro.dataflow.nest_analysis import DenseTraffic, TensorTraffic
+from repro.mapping.mapping import Mapping
 from repro.micro.energy import EnergyResult
 from repro.micro.latency import LatencyResult
 from repro.micro.validity import LevelUsage
-from repro.sparse.traffic import SparseTraffic
+from repro.sparse.traffic import (
+    ActionBreakdown,
+    LevelTensorActions,
+    SparseTraffic,
+)
+
+#: Version of the serialized result schema. Bump only on incompatible
+#: key/layout changes; consumers should reject versions they don't
+#: know (``from_dict`` does).
+RESULT_SCHEMA_VERSION = 1
+
+#: Scalar fields of one dense traffic record, serialized in this order.
+_TRAFFIC_FIELDS = (
+    "tile_size",
+    "instances",
+    "episodes",
+    "distinct",
+    "reads",
+    "writes",
+    "fills",
+    "drains",
+    "rmw_reads",
+    "refill_writes",
+    "compute_feed_reads",
+    "update_writes",
+)
+
+#: The four action-breakdown channels of one (level, tensor) flow.
+_ACTION_CHANNELS = (
+    "data_reads",
+    "data_writes",
+    "metadata_reads",
+    "metadata_writes",
+)
+
+#: Scalar fields of one sparse (level, tensor) record.
+_SPARSE_SCALARS = (
+    "occupancy_words",
+    "worst_occupancy_words",
+    "compression_rate",
+    "intersection_checks",
+)
+
+
+class SerializableResult:
+    """Shared JSON-text round-trip for every result kind; subclasses
+    provide the ``to_dict``/``from_dict`` pair."""
+
+    def to_dict(self) -> dict:  # pragma: no cover - subclasses override
+        raise NotImplementedError
+
+    @classmethod
+    def from_dict(cls, data: dict):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str):
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def _rebuild(cls, data: dict, kind: str, build):
+        """Validate the envelope, then run ``build()`` with body-level
+        failures (missing keys, wrong value shapes) normalised to
+        :class:`SpecError` — callers get one exception type for any
+        malformed serialized input, never a raw ``KeyError``."""
+        _require_schema(data, kind)
+        try:
+            return build()
+        except SpecError:
+            raise
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise SpecError(
+                f"malformed serialized {kind} result: {exc!r}"
+            ) from exc
+
+
+def _require_schema(data: dict, kind: str) -> None:
+    """Validate the envelope of a serialized result."""
+    if not isinstance(data, dict):
+        raise SpecError(
+            f"serialized {kind} result must be a dict, got "
+            f"{type(data).__name__}"
+        )
+    version = data.get("schema")
+    if version != RESULT_SCHEMA_VERSION:
+        raise SpecError(
+            f"unsupported result schema version {version!r} "
+            f"(this build reads version {RESULT_SCHEMA_VERSION})"
+        )
+    found = data.get("kind")
+    if found != kind:
+        raise SpecError(f"expected a {kind!r} result, got kind {found!r}")
+
+
+def _breakdown_to_dict(b: ActionBreakdown) -> dict:
+    return {"actual": b.actual, "gated": b.gated, "skipped": b.skipped}
+
+
+def _breakdown_from_dict(data: dict) -> ActionBreakdown:
+    return ActionBreakdown(
+        actual=data["actual"], gated=data["gated"], skipped=data["skipped"]
+    )
+
+
+def _dense_to_dict(dense: DenseTraffic) -> dict:
+    records = []
+    for (level, tensor), rec in dense.traffic.items():
+        entry = {
+            "level": level,
+            "tensor": tensor,
+            "level_index": rec.level_index,
+            "tile_dim_extents": dict(rec.tile_dim_extents),
+            "tile_rank_extents": list(rec.tile_rank_extents),
+        }
+        for name in _TRAFFIC_FIELDS:
+            entry[name] = getattr(rec, name)
+        records.append(entry)
+    return {
+        "computes": dense.computes,
+        "utilized_compute_instances": dense.utilized_compute_instances,
+        "latch_extents": {
+            tensor: dict(extents)
+            for tensor, extents in dense.latch_extents.items()
+        },
+        "traffic": records,
+    }
+
+
+def _dense_from_dict(data: dict, mapping: Mapping | None) -> DenseTraffic:
+    traffic = {}
+    for entry in data["traffic"]:
+        rec = TensorTraffic(
+            tensor=entry["tensor"],
+            level=entry["level"],
+            level_index=entry["level_index"],
+            tile_size=entry["tile_size"],
+            tile_dim_extents=dict(entry["tile_dim_extents"]),
+            tile_rank_extents=tuple(entry["tile_rank_extents"]),
+            instances=entry["instances"],
+            episodes=entry["episodes"],
+            distinct=entry["distinct"],
+        )
+        for name in _TRAFFIC_FIELDS[4:]:
+            setattr(rec, name, entry[name])
+        traffic[(entry["level"], entry["tensor"])] = rec
+    return DenseTraffic(
+        workload=None,
+        arch=None,
+        mapping=mapping,
+        traffic=traffic,
+        computes=data["computes"],
+        utilized_compute_instances=data["utilized_compute_instances"],
+        latch_extents={
+            tensor: dict(extents)
+            for tensor, extents in data["latch_extents"].items()
+        },
+    )
+
+
+def _sparse_to_dict(sparse: SparseTraffic) -> dict:
+    records = []
+    for (level, tensor), actions in sparse.actions.items():
+        entry = {"level": level, "tensor": tensor}
+        for channel in _ACTION_CHANNELS:
+            entry[channel] = _breakdown_to_dict(getattr(actions, channel))
+        for name in _SPARSE_SCALARS:
+            entry[name] = getattr(actions, name)
+        records.append(entry)
+    return {
+        "compute": _breakdown_to_dict(sparse.compute),
+        "compute_fractions": list(sparse.compute_fractions),
+        "actions": records,
+    }
+
+
+def _sparse_from_dict(data: dict) -> SparseTraffic:
+    actions = {}
+    for entry in data["actions"]:
+        rec = LevelTensorActions(tensor=entry["tensor"], level=entry["level"])
+        for channel in _ACTION_CHANNELS:
+            setattr(rec, channel, _breakdown_from_dict(entry[channel]))
+        for name in _SPARSE_SCALARS:
+            setattr(rec, name, entry[name])
+        actions[(entry["level"], entry["tensor"])] = rec
+    return SparseTraffic(
+        actions=actions,
+        compute=_breakdown_from_dict(data["compute"]),
+        compute_fractions=tuple(data["compute_fractions"]),
+    )
+
+
+def _latency_to_dict(latency: LatencyResult) -> dict:
+    return {
+        "cycles": latency.cycles,
+        "bottleneck": latency.bottleneck,
+        "per_component": dict(latency.per_component),
+        "bandwidth_demand": dict(latency.bandwidth_demand),
+        "compute_cycles": latency.compute_cycles,
+    }
+
+
+def _latency_from_dict(data: dict) -> LatencyResult:
+    return LatencyResult(
+        cycles=data["cycles"],
+        bottleneck=data["bottleneck"],
+        per_component=dict(data["per_component"]),
+        bandwidth_demand=dict(data["bandwidth_demand"]),
+        compute_cycles=data["compute_cycles"],
+    )
+
+
+def _energy_to_dict(energy: EnergyResult) -> dict:
+    return {
+        "total_pj": energy.total_pj,
+        "per_component": dict(energy.per_component),
+        "per_component_breakdown": {
+            name: dict(parts)
+            for name, parts in energy.per_component_breakdown.items()
+        },
+    }
+
+
+def _energy_from_dict(data: dict) -> EnergyResult:
+    return EnergyResult(
+        total_pj=data["total_pj"],
+        per_component=dict(data["per_component"]),
+        per_component_breakdown={
+            name: dict(parts)
+            for name, parts in data["per_component_breakdown"].items()
+        },
+    )
+
+
+def _usage_to_list(usage: dict[str, LevelUsage]) -> list[dict]:
+    return [
+        {
+            "level": report.level,
+            "capacity_words": report.capacity_words,
+            "used_words": report.used_words,
+            "per_tensor": dict(report.per_tensor),
+        }
+        for report in usage.values()
+    ]
+
+
+def _usage_from_list(entries: list[dict]) -> dict[str, LevelUsage]:
+    return {
+        entry["level"]: LevelUsage(
+            level=entry["level"],
+            capacity_words=entry["capacity_words"],
+            used_words=entry["used_words"],
+            per_tensor=dict(entry["per_tensor"]),
+        )
+        for entry in entries
+    }
 
 
 @dataclass
-class EvaluationResult:
+class EvaluationResult(SerializableResult):
     """Processing speed, energy, and traffic for one evaluation."""
 
     design_name: str
@@ -70,3 +348,178 @@ class EvaluationResult:
         ):
             lines.append(f"    {name}: {energy:.6g} pJ")
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Serialization (schema v1)
+
+    def to_dict(self) -> dict:
+        """Serialize to the versioned, JSON-compatible schema."""
+        mapping = self.dense.mapping
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "kind": "evaluation",
+            "design": self.design_name,
+            "workload": self.workload_name,
+            "mapping": None if mapping is None else mapping.to_spec(),
+            "dense": _dense_to_dict(self.dense),
+            "sparse": _sparse_to_dict(self.sparse),
+            "latency": _latency_to_dict(self.latency),
+            "energy": _energy_to_dict(self.energy),
+            "usage": _usage_to_list(self.usage),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EvaluationResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        The reconstructed result reproduces every serialized number
+        bit-exactly; the ``dense.workload`` / ``dense.arch`` input
+        back-references (not part of the schema) come back ``None``.
+        """
+        def build() -> "EvaluationResult":
+            mapping = (
+                None
+                if data["mapping"] is None
+                else Mapping.from_spec(data["mapping"])
+            )
+            return cls(
+                design_name=data["design"],
+                workload_name=data["workload"],
+                dense=_dense_from_dict(data["dense"], mapping),
+                sparse=_sparse_from_dict(data["sparse"]),
+                latency=_latency_from_dict(data["latency"]),
+                energy=_energy_from_dict(data["energy"]),
+                usage=_usage_from_list(data["usage"]),
+            )
+
+        return cls._rebuild(data, "evaluation", build)
+
+
+
+@dataclass
+class SearchResult(SerializableResult):
+    """Outcome of one mapspace search: the winning evaluation (or
+    ``None`` when no candidate within budget was valid) plus the search
+    parameters that produced it. ``budget``/``seed`` are ``None`` when
+    the search scanned explicit candidates, which bypass sampling."""
+
+    design_name: str
+    workload_name: str
+    budget: int | None
+    seed: int | None
+    best: EvaluationResult | None
+
+    @property
+    def found(self) -> bool:
+        return self.best is not None
+
+    def best_or_raise(self) -> EvaluationResult:
+        """The winning evaluation, or :class:`MappingError` when the
+        search found no valid mapping."""
+        if self.best is None:
+            scope = (
+                "among the explicit candidates"
+                if self.budget is None
+                else f"within budget {self.budget}"
+            )
+            raise MappingError(
+                f"no valid mapping found for {self.design_name!r} on "
+                f"{self.workload_name!r} {scope}"
+            )
+        return self.best
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "kind": "search",
+            "design": self.design_name,
+            "workload": self.workload_name,
+            "budget": self.budget,
+            "seed": self.seed,
+            "best": None if self.best is None else self.best.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SearchResult":
+        def build() -> "SearchResult":
+            best = data["best"]
+            return cls(
+                design_name=data["design"],
+                workload_name=data["workload"],
+                budget=data["budget"],
+                seed=data["seed"],
+                best=(
+                    None if best is None else EvaluationResult.from_dict(best)
+                ),
+            )
+
+        return cls._rebuild(data, "search", build)
+
+
+
+@dataclass
+class NetworkLayerResult:
+    """One network layer's evaluation, with its repeat count."""
+
+    layer_name: str
+    repeat: int
+    result: EvaluationResult
+
+
+@dataclass
+class NetworkResult(SerializableResult):
+    """Per-layer results of a full-network evaluation (Sec 6.1).
+
+    Totals weight each layer by its repeat count, matching the paper's
+    whole-network methodology.
+    """
+
+    design_name: str
+    layers: list[NetworkLayerResult]
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(l.repeat * l.result.cycles for l in self.layers)
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(l.repeat * l.result.energy_pj for l in self.layers)
+
+    def layer(self, name: str) -> NetworkLayerResult:
+        for entry in self.layers:
+            if entry.layer_name == name:
+                return entry
+        raise KeyError(f"no layer {name!r} in this network result")
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "kind": "network",
+            "design": self.design_name,
+            "layers": [
+                {
+                    "name": entry.layer_name,
+                    "repeat": entry.repeat,
+                    "result": entry.result.to_dict(),
+                }
+                for entry in self.layers
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NetworkResult":
+        def build() -> "NetworkResult":
+            return cls(
+                design_name=data["design"],
+                layers=[
+                    NetworkLayerResult(
+                        layer_name=entry["name"],
+                        repeat=entry["repeat"],
+                        result=EvaluationResult.from_dict(entry["result"]),
+                    )
+                    for entry in data["layers"]
+                ],
+            )
+
+        return cls._rebuild(data, "network", build)
+

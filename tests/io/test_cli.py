@@ -1,8 +1,18 @@
-"""Tests for the command-line entry point."""
+"""Tests for the command-line entry point (built on the repro.api
+façade: JSON schema output, search subcommand, error exit codes)."""
+
+import json
 
 import pytest
+import yaml
 
+from repro import __version__
 from repro.__main__ import main
+from repro.model.result import (
+    RESULT_SCHEMA_VERSION,
+    EvaluationResult,
+    SearchResult,
+)
 from tests.io.test_yaml_spec import FULL_SPEC
 
 
@@ -10,6 +20,15 @@ from tests.io.test_yaml_spec import FULL_SPEC
 def spec_file(tmp_path):
     path = tmp_path / "spec.yaml"
     path.write_text(FULL_SPEC)
+    return str(path)
+
+
+@pytest.fixture
+def overflow_spec_file(tmp_path):
+    spec = yaml.safe_load(FULL_SPEC)
+    spec["arch"]["storage"][1]["capacity_words"] = 4
+    path = tmp_path / "overflow.yaml"
+    path.write_text(yaml.safe_dump(spec))
     return str(path)
 
 
@@ -23,6 +42,7 @@ class TestCLI:
         assert main(["evaluate", spec_file, "-v"]) == 0
         out = capsys.readouterr().out
         assert "occupancy" in out and "mapping" in out
+        assert "cache stages" in out
 
     def test_evaluate_with_search(self, spec_file, capsys):
         assert main(["evaluate", spec_file, "--search", "--budget", "8"]) == 0
@@ -31,3 +51,78 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_evaluate_json_round_trips(self, spec_file, capsys):
+        assert main(["evaluate", spec_file, "--json", "--cold"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["schema"] == RESULT_SCHEMA_VERSION
+        assert data["kind"] == "evaluation"
+        assert EvaluationResult.from_dict(data).to_dict() == data
+
+    def test_search_json_round_trips(self, spec_file, capsys):
+        assert main(
+            ["search", spec_file, "--json", "--budget", "8", "--cold"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kind"] == "search"
+        assert SearchResult.from_dict(data).to_dict() == data
+        assert data["best"]["schema"] == RESULT_SCHEMA_VERSION
+
+
+class TestSearchCommand:
+    def test_search_prints_winner(self, spec_file, capsys):
+        assert main(["search", spec_file, "--budget", "8", "--cold"]) == 0
+        out = capsys.readouterr().out
+        assert "best mapping" in out and "cycles" in out
+
+    def test_search_seed_changes_sampling(self, spec_file):
+        # Just proving the flag is wired through; both must succeed.
+        assert main(
+            ["search", spec_file, "--budget", "8", "--seed", "7", "--cold"]
+        ) == 0
+
+    def test_flag_parity_across_subcommands(self, spec_file):
+        # Both subcommands accept the full shared flag set.
+        assert main(
+            ["search", spec_file, "--budget", "8", "--no-capacity-check",
+             "--parallel", "2", "--cold"]
+        ) == 0
+        assert main(
+            ["evaluate", spec_file, "--search", "--budget", "8",
+             "--seed", "3", "--parallel", "2", "--cold"]
+        ) == 0
+
+
+class TestErrorExitCodes:
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        code = main(["evaluate", str(tmp_path / "nope.yaml"), "--cold"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_spec_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.yaml"
+        path.write_text("- just\n- a\n- list\n")
+        assert main(["evaluate", str(path), "--cold"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_capacity_overflow_exits_2(self, overflow_spec_file, capsys):
+        assert main(["evaluate", overflow_spec_file, "--cold"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "overflow" in err
+
+    def test_overflow_allowed_with_flag(self, overflow_spec_file, capsys):
+        code = main(
+            ["evaluate", overflow_spec_file, "--no-capacity-check", "--cold"]
+        )
+        assert code == 0
+        assert "cycles" in capsys.readouterr().out

@@ -161,3 +161,73 @@ class TestEndToEnd:
         path.write_text(FULL_SPEC)
         design, workload = load_design(str(path))
         assert design.name == "fig6-example"
+
+
+class TestConstraints:
+    CONSTRAINED_SPEC = {
+        "constraints": {
+            "loop_orders": {"Buffer": ["m", "k", "n"]},
+            "spatial_dims": {"Buffer": ["n"]},
+            "keep": {"Buffer": ["A", "Z"], "BackingStorage": None},
+            "fixed_factors": {"BackingStorage": {"m": 4}},
+            "max_permutations": 4,
+        }
+    }
+
+    def test_round_trip(self):
+        from repro.io.yaml_spec import load_constraints
+
+        constraints = load_constraints(self.CONSTRAINED_SPEC)
+        assert constraints.loop_orders == {"Buffer": ["m", "k", "n"]}
+        assert constraints.spatial_dims == {"Buffer": ["n"]}
+        assert constraints.keep == {
+            "Buffer": {"A", "Z"},
+            "BackingStorage": None,
+        }
+        assert constraints.fixed_factors == {"BackingStorage": {"m": 4}}
+        assert constraints.max_permutations == 4
+
+    def test_unknown_option_rejected(self):
+        from repro.io.yaml_spec import load_constraints
+
+        with pytest.raises(SpecError):
+            load_constraints({"constraints": {"spacial_dims": {}}})
+
+    @pytest.mark.parametrize(
+        "section",
+        [
+            {"fixed_factors": {"DRAM": None}},
+            {"max_permutations": None},
+            {"loop_orders": {"Buffer": 5}},
+            {"keep": {"Buffer": 3}},
+        ],
+    )
+    def test_malformed_values_raise_spec_error(self, section):
+        from repro.io.yaml_spec import load_constraints
+
+        with pytest.raises(SpecError):
+            load_constraints({"constraints": section})
+
+    def test_design_with_constraints_section(self):
+        import yaml as _yaml
+
+        from repro import Session
+
+        spec = _yaml.safe_load(FULL_SPEC)
+        del spec["mapping"]
+        spec["constraints"] = {"spatial_dims": {"Buffer": ["n"]}}
+        design, workload = load_design(spec)
+        assert design.mapping is None
+        assert design.constraints is not None
+        with Session(search_budget=8) as session:
+            assert session.search(design, workload).found
+
+
+class TestSpecHardening:
+    def test_non_dict_spec_rejected(self):
+        with pytest.raises(SpecError):
+            load_design("- a\n- list\n")
+
+    def test_malformed_yaml_rejected(self):
+        with pytest.raises(SpecError):
+            load_design("arch: [unclosed\n")

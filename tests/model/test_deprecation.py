@@ -1,0 +1,99 @@
+"""Legacy ``Evaluator`` entry points: thin shims over the façade.
+
+Each deprecated entry point must (a) warn exactly once per process,
+(b) delegate to the same implementation the Session runs, returning
+bit-identical results.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import Evaluator, Session, load_design
+from repro.model import engine
+from repro.workload.nets import alexnet
+from tests.io.test_yaml_spec import FULL_SPEC
+
+
+@pytest.fixture
+def fresh_warnings():
+    """Reset the once-per-process guard and surface every warning."""
+    saved = set(engine._DEPRECATION_WARNED)
+    engine._DEPRECATION_WARNED.clear()
+    with warnings.catch_warnings():
+        warnings.simplefilter("always")
+        yield
+    engine._DEPRECATION_WARNED.clear()
+    engine._DEPRECATION_WARNED.update(saved)
+
+
+def _deprecations(caught):
+    return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+def _densities_for(layer):
+    return {"I": 0.5, "W": 0.4}
+
+
+class TestShimsWarnOnce:
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda ev, d, w: ev.evaluate(d, w),
+            lambda ev, d, w: ev.evaluate_many([(d, w)]),
+            lambda ev, d, w: ev.search_mappings(d, w, candidates=[d.mapping]),
+        ],
+        ids=["evaluate", "evaluate_many", "search_mappings"],
+    )
+    def test_warns_on_first_call_only(self, fresh_warnings, call):
+        design, workload = load_design(FULL_SPEC)
+        ev = Evaluator()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            call(ev, design, workload)
+            assert len(_deprecations(caught)) == 1
+            assert "repro.api" in str(_deprecations(caught)[0].message)
+            call(ev, design, workload)
+            assert len(_deprecations(caught)) == 1, "must warn only once"
+
+    def test_network_shim_warns(self, fresh_warnings):
+        from repro.designs import eyeriss
+
+        ev = Evaluator(check_capacity=False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            ev.evaluate_network(
+                eyeriss.eyeriss_design(), alexnet()[:1], _densities_for
+            )
+        messages = [str(w.message) for w in _deprecations(caught)]
+        assert any("evaluate_network" in m for m in messages)
+
+
+class TestShimsDelegate:
+    def test_evaluate_matches_session(self, fresh_warnings):
+        design, workload = load_design(FULL_SPEC)
+        legacy = Evaluator().evaluate(design, workload)
+        with Session() as session:
+            new = session.evaluate(design, workload)
+        assert legacy.to_dict() == new.to_dict()
+
+    def test_evaluate_many_matches_submit_many(self, fresh_warnings):
+        design, workload = load_design(FULL_SPEC)
+        jobs = [(design, workload)] * 3
+        legacy = Evaluator().evaluate_many(jobs)
+        with Session() as session:
+            handles = session.submit_many(jobs)
+            new = [h.result() for h in handles]
+        assert [r.to_dict() for r in legacy] == [r.to_dict() for r in new]
+
+    def test_search_matches_session_search(self, fresh_warnings):
+        design, workload = load_design(FULL_SPEC)
+        candidates = [design.mapping]
+        legacy = Evaluator().search_mappings(
+            design, workload, candidates=candidates
+        )
+        with Session() as session:
+            new = session.search(design, workload, candidates=candidates)
+        assert legacy.to_dict() == new.best.to_dict()

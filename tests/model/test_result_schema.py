@@ -1,0 +1,174 @@
+"""The versioned result schema (``schema: 1``).
+
+Serialized results are the façade's wire format: they must round-trip
+bit-exactly (``from_dict(r.to_dict()).to_dict() == r.to_dict()``, and
+the same through JSON text) for every bundled design — including
+results whose usage reports record a capacity overflow — and reject
+envelopes they don't understand.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Session
+from repro.common.errors import SpecError
+from repro.micro.validity import overflow_error
+from repro.model.result import (
+    RESULT_SCHEMA_VERSION,
+    EvaluationResult,
+    NetworkResult,
+    SearchResult,
+)
+from repro.workload.nets import alexnet
+from tests.io.test_yaml_spec import FULL_SPEC
+from tests.sparse.test_vectorized_equivalence import CASE_IDS, CASES
+
+
+def assert_round_trips(result: EvaluationResult) -> None:
+    data = result.to_dict()
+    assert data["schema"] == RESULT_SCHEMA_VERSION
+    assert data["kind"] == "evaluation"
+
+    rebuilt = EvaluationResult.from_dict(data)
+    assert rebuilt.to_dict() == data, "dict round-trip must be bit-exact"
+
+    via_json = EvaluationResult.from_json(result.to_json())
+    assert via_json.to_dict() == data, "JSON round-trip must be bit-exact"
+
+    # Derived metrics reproduce exactly, not approximately.
+    assert rebuilt.cycles == result.cycles
+    assert rebuilt.energy_pj == result.energy_pj
+    assert rebuilt.edp == result.edp
+    assert rebuilt.actual_computes == result.actual_computes
+    # The mapping survives as the same schedule (same content key).
+    assert (
+        rebuilt.dense.mapping.cache_key()
+        == result.dense.mapping.cache_key()
+    )
+    # The summary (a pure function of serialized fields) is unchanged.
+    assert rebuilt.summary() == result.summary()
+
+
+class TestEvaluationRoundTrip:
+    @pytest.mark.parametrize("name,design,workload", CASES, ids=CASE_IDS)
+    def test_bundled_design_round_trip(self, name, design, workload):
+        with Session(check_capacity=False) as session:
+            result = session.evaluate(design, workload)
+        assert_round_trips(result)
+
+    def test_capacity_error_result_round_trip(self):
+        # An overflowing design evaluated permissively: the usage
+        # report records the overflow; the round-trip preserves it
+        # down to the identical replayed ValidationError message.
+        import yaml
+
+        spec = yaml.safe_load(FULL_SPEC)
+        spec["arch"]["storage"][1]["capacity_words"] = 4
+        with Session(check_capacity=False) as session:
+            result = session.evaluate(spec)
+        overflowing = [u for u in result.usage.values() if not u.fits]
+        assert overflowing, "the shrunken Buffer must overflow"
+        assert_round_trips(result)
+        rebuilt = EvaluationResult.from_dict(result.to_dict())
+        for level, report in result.usage.items():
+            twin = rebuilt.usage[level]
+            assert twin.fits == report.fits
+            if not report.fits:
+                assert str(overflow_error(twin)) == str(
+                    overflow_error(report)
+                )
+
+    def test_json_is_plain_data(self):
+        with Session() as session:
+            result = session.evaluate(FULL_SPEC)
+        data = json.loads(result.to_json())
+        assert isinstance(data, dict)
+        # Stable top-level keys (the schema contract).
+        assert set(data) == {
+            "schema",
+            "kind",
+            "design",
+            "workload",
+            "mapping",
+            "dense",
+            "sparse",
+            "latency",
+            "energy",
+            "usage",
+        }
+
+
+class TestEnvelopeValidation:
+    def test_rejects_unknown_schema_version(self):
+        with Session() as session:
+            data = session.evaluate(FULL_SPEC).to_dict()
+        data["schema"] = RESULT_SCHEMA_VERSION + 1
+        with pytest.raises(SpecError):
+            EvaluationResult.from_dict(data)
+
+    def test_rejects_wrong_kind(self):
+        with Session() as session:
+            data = session.evaluate(FULL_SPEC).to_dict()
+        with pytest.raises(SpecError):
+            SearchResult.from_dict(data)
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(SpecError):
+            EvaluationResult.from_dict([1, 2, 3])
+
+    def test_truncated_body_raises_spec_error(self):
+        # A valid envelope with a missing/garbled body must surface as
+        # SpecError, never a raw KeyError.
+        with pytest.raises(SpecError):
+            EvaluationResult.from_json('{"schema": 1, "kind": "evaluation"}')
+        with pytest.raises(SpecError):
+            SearchResult.from_json('{"schema": 1, "kind": "search"}')
+        with pytest.raises(SpecError):
+            NetworkResult.from_json(
+                '{"schema": 1, "kind": "network", "design": "d", '
+                '"layers": [{"name": "l"}]}'
+            )
+
+
+class TestSearchResultRoundTrip:
+    def test_round_trip_with_winner(self):
+        with Session(search_budget=8) as session:
+            outcome = session.search(FULL_SPEC)
+        data = outcome.to_dict()
+        assert data["kind"] == "search"
+        assert SearchResult.from_dict(data).to_dict() == data
+        assert SearchResult.from_json(outcome.to_json()).to_dict() == data
+
+    def test_round_trip_empty(self):
+        empty = SearchResult(
+            design_name="d", workload_name="w", budget=4, seed=0, best=None
+        )
+        rebuilt = SearchResult.from_json(empty.to_json())
+        assert rebuilt.to_dict() == empty.to_dict()
+        assert not rebuilt.found
+
+
+def _densities_for(layer):
+    return {"I": 0.5, "W": 0.4}
+
+
+class TestNetworkResultRoundTrip:
+    def test_round_trip_preserves_layers_and_totals(self):
+        from repro.designs import eyeriss
+
+        with Session(check_capacity=False) as session:
+            net = session.evaluate_network(
+                eyeriss.eyeriss_design(), alexnet()[:3], _densities_for
+            )
+        data = net.to_dict()
+        assert data["kind"] == "network"
+        rebuilt = NetworkResult.from_json(net.to_json())
+        assert rebuilt.to_dict() == data
+        assert rebuilt.total_cycles == net.total_cycles
+        assert rebuilt.total_energy_pj == net.total_energy_pj
+        assert rebuilt.layer("conv2").result.cycles == (
+            net.layer("conv2").result.cycles
+        )
