@@ -55,6 +55,14 @@ class SearchJob:
     search fans out over worker processes). Explicit ``candidates``
     bypass the design's constraints. ``parallel`` overrides the
     Session's default worker count for this job.
+
+    ``strategy`` picks how candidates are evaluated: ``"batched"``
+    (the engine default) scans in candidate blocks — one stacked numpy
+    sparse evaluation per block, with sampled candidate streams
+    replayed from the ``"candidates"`` cache stage — while
+    ``"serial"`` is the per-candidate oracle scan. Both return a
+    bit-identical winner; ``batch_size`` tunes the block size
+    (``None`` keeps the engine's ``search_batch_size``).
     """
 
     design: Design
@@ -62,6 +70,8 @@ class SearchJob:
     objective: Callable[[EvaluationResult], float] | None = None
     candidates: list[Mapping] | None = None
     parallel: int | None = None
+    batch_size: int | None = None
+    strategy: str | None = None
 
 
 @dataclass

@@ -291,14 +291,19 @@ class Session:
         objective: Callable[[EvaluationResult], float] | None = None,
         candidates: list[Mapping] | None = None,
         parallel: int | None = None,
+        batch_size: int | None = None,
+        strategy: str | None = None,
     ) -> SearchResult:
         """Search the mapspace and return a :class:`SearchResult`.
 
         ``design`` may be a :class:`SearchJob`, a :class:`Design` (with
         ``workload``), or any spec form :meth:`submit` accepts (a
         spec's mapping section, if any, is ignored in favour of the
-        search). ``objective``/``candidates``/``parallel`` override the
-        corresponding job fields when given.
+        search). ``objective``/``candidates``/``parallel``/
+        ``batch_size``/``strategy`` override the corresponding job
+        fields when given (see :class:`SearchJob` for the
+        ``strategy``/``batch_size`` block-scan knobs; ``"batched"``
+        and ``"serial"`` return bit-identical winners).
         """
         if isinstance(design, SearchJob):
             job = design
@@ -317,6 +322,8 @@ class Session:
                 ("objective", objective),
                 ("candidates", candidates),
                 ("parallel", parallel),
+                ("batch_size", batch_size),
+                ("strategy", strategy),
             )
             if value is not None
         }
@@ -425,6 +432,8 @@ class Session:
                 objective=job.objective,
                 candidates=job.candidates,
                 parallel=job.parallel or self.parallel,
+                batch_size=job.batch_size,
+                strategy=job.strategy,
             )
         except ReproError as exc:
             handle._resolve(exception=exc)

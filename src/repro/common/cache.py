@@ -67,6 +67,11 @@ DEFAULT_STAGE_SIZES = {
     "validity": 4096,
     "latency": 4096,
     "energy": 4096,
+    # Sampled candidate streams (mapspace search): each entry is a
+    # whole list of mappings (up to the search budget), so the stage is
+    # kept small — one entry per distinct (constraints, einsum, arch,
+    # seed, budget) search configuration.
+    "candidates": 64,
 }
 
 DEFAULT_STAGE_SIZE = 1024

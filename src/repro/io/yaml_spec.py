@@ -45,7 +45,7 @@ import yaml
 from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
 from repro.common.errors import MappingError, SpecError
 from repro.mapping.mapping import Mapping
-from repro.mapping.mapspace import MapspaceConstraints
+from repro.mapping.mapspace import Mapper, MapspaceConstraints
 from repro.model.engine import Design
 from repro.sparse.formats import (
     Bitmask,
@@ -287,6 +287,16 @@ def load_design(source) -> tuple[Design, Workload]:
     constraints = (
         load_constraints(spec) if "constraints" in spec else None
     )
+    if constraints is not None:
+        # Cross-check the constraints against this spec's architecture
+        # and workload now, with the mapper's own validation (unknown
+        # level names, unknown spatial dims): a typo'd constraint is a
+        # malformed *spec*, and must fail at load time rather than be
+        # silently ignored by a later search.
+        try:
+            Mapper(workload.einsum, arch, constraints)
+        except MappingError as exc:
+            raise SpecError(f"invalid constraints section: {exc}") from exc
     design = Design(
         name=spec.get("name", arch.name),
         arch=arch,

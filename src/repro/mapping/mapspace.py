@@ -48,6 +48,63 @@ class MapspaceConstraints:
     fixed_factors: dict[str, dict[str, int]] = field(default_factory=dict)
     max_permutations: int = 8
 
+    def cache_key(self) -> tuple:
+        """Canonical hashable content key (sorted, order-insensitive
+        for the dict containers, order-preserving for the lists whose
+        order matters — loop orders and spatial priority)."""
+        return (
+            tuple(
+                (level, tuple(dims))
+                for level, dims in sorted(self.loop_orders.items())
+            ),
+            tuple(
+                (level, tuple(dims))
+                for level, dims in sorted(self.spatial_dims.items())
+            ),
+            tuple(
+                (level, None if tensors is None else tuple(sorted(tensors)))
+                for level, tensors in sorted(self.keep.items())
+            ),
+            tuple(
+                (level, tuple(sorted(factors.items())))
+                for level, factors in sorted(self.fixed_factors.items())
+            ),
+            self.max_permutations,
+        )
+
+
+#: Cache-stage name under which sampled candidate streams are memoised
+#: (see :func:`sampled_candidates_key` and the engine's search path).
+CANDIDATES_STAGE = "candidates"
+
+
+def sampled_candidates_key(
+    einsum: EinsumSpec,
+    arch: Architecture,
+    constraints: MapspaceConstraints,
+    seed: int | None,
+    count: int,
+    max_tries: int | None = None,
+) -> tuple:
+    """Content key of one :meth:`Mapper.sample_mappings` stream.
+
+    The stream is a pure function of the mapspace (einsum dims, the
+    architecture's level/fanout structure, the constraints) and the
+    sampling parameters (seed, count, try budget): witnesses never
+    alter the draws — they only withhold doomed candidates — so the
+    *unpruned* stream is deterministic under this key and can be
+    replayed across searches, evaluators, and processes.
+    """
+    return (
+        CANDIDATES_STAGE,
+        einsum.cache_key(),
+        arch.cache_key(),
+        constraints.cache_key(),
+        seed,
+        count,
+        max_tries,
+    )
+
 
 class Mapper:
     """Enumerates valid mappings of a workload onto an architecture.
@@ -69,6 +126,39 @@ class Mapper:
         self.arch = arch
         self.constraints = constraints or MapspaceConstraints()
         self.level_names = arch.level_names  # outermost first
+        self._level_order = {name: i for i, name in enumerate(self.level_names)}
+        # Constraints must name real levels: a typo'd level would
+        # otherwise be silently ignored (its pins/orders/keeps never
+        # consulted), which reads as "constraint accepted" while the
+        # search roams the unconstrained space.
+        for option, per_level in (
+            ("loop_orders", self.constraints.loop_orders),
+            ("spatial_dims", self.constraints.spatial_dims),
+            ("keep", self.constraints.keep),
+            ("fixed_factors", self.constraints.fixed_factors),
+        ):
+            for level in per_level:
+                if level not in self._level_order:
+                    raise MappingError(
+                        f"constraint {option} names unknown level "
+                        f"{level!r}; architecture has {self.level_names}"
+                    )
+        # ...and real dimensions: a typo'd dim in a loop order or a
+        # pinned factor would be looked up with `.get` and silently
+        # never enforced (the same silent-acceptance class as the level
+        # names above; spatial_dims already validates its dims below).
+        for option, dims_of_level in (
+            ("loop_orders", self.constraints.loop_orders),
+            ("fixed_factors", self.constraints.fixed_factors),
+        ):
+            for level, dims in dims_of_level.items():
+                for dim in dims:
+                    if dim not in einsum.dims:
+                        raise MappingError(
+                            f"constraint {option} at {level!r} names "
+                            f"unknown dim {dim!r}; workload has "
+                            f"{sorted(einsum.dims)}"
+                        )
         # Slot layout: per dim, temporal slot per level then spatial
         # slots for levels that allow this dim spatially.
         self._spatial_slots: list[tuple[str, str]] = []  # (level, dim)
@@ -81,7 +171,22 @@ class Mapper:
                     )
                 self._spatial_slots.append((level, dim))
         self._slot_levels_cache: dict[str, list[int]] = {}
-        self._level_order = {name: i for i, name in enumerate(self.level_names)}
+        self._dim_pins_cache: dict[str, dict[int, int]] = {}
+        # ...and satisfiable pins: factors that are non-positive or
+        # cannot tile their dim's bound make the whole mapspace empty.
+        # Failing here attributes that to the malformed constraint
+        # instead of a later, misleading "no valid mapping found".
+        for dim in einsum.dims:
+            if not self._pins_satisfiable(dim):
+                pins = {
+                    level: factors[dim]
+                    for level, factors in self.constraints.fixed_factors.items()
+                    if dim in factors
+                }
+                raise MappingError(
+                    f"fixed_factors pins {pins} cannot tile dim {dim!r} "
+                    f"(bound {einsum.dims[dim]}); the mapspace is empty"
+                )
         # Capacity-overflow feedback (engine prefilter -> mapper): per
         # level, monotone infeasibility witnesses. A witness ``w`` means
         # any candidate whose per-dim tile extents at that level
@@ -122,20 +227,70 @@ class Mapper:
             if ok:
                 yield combo
 
+    def _dim_pins(self, dim: str) -> dict[int, int]:
+        """Pinned slots of ``dim``: slot index -> fixed factor, from
+        ``constraints.fixed_factors`` (temporal slots only, matching
+        :meth:`_dim_factorizations`)."""
+        pins = self._dim_pins_cache.get(dim)
+        if pins is None:
+            pins = {}
+            for index, (kind, level) in enumerate(self._dim_slot_names(dim)):
+                if kind != "t":
+                    continue
+                factor = self.constraints.fixed_factors.get(level, {}).get(dim)
+                if factor is not None:
+                    pins[index] = factor
+            self._dim_pins_cache[dim] = pins
+        return pins
+
+    def _pins_satisfiable(self, dim: str) -> bool:
+        """True when the pinned factors of ``dim`` can tile its bound
+        (their product divides it; all-slots-pinned needs an exact
+        tile). Unsatisfiable pins would make the whole mapspace empty,
+        so :meth:`__init__` rejects them outright."""
+        pins = self._dim_pins(dim)
+        quotient = self.einsum.dims[dim]
+        for factor in pins.values():
+            if factor <= 0 or quotient % factor:
+                return False
+            quotient //= factor
+        slots = len(self._dim_slot_names(dim))
+        return quotient == 1 if len(pins) == slots else True
+
     def _random_dim_factorization(
         self, dim: str, rng: random.Random
     ) -> tuple[int, ...]:
+        """A uniform-ish random slot factorization honouring the pins.
+
+        Pinned slots take their fixed factor directly; only the free
+        slots are drawn, from the pinned-down quotient — every draw
+        conforms by construction, so pins never trigger redraw loops
+        (and never desynchronise the documented RNG stream contract:
+        with no pins the draw sequence is exactly the historical one).
+        Pin satisfiability was established at :meth:`__init__`.
+        """
         bound = self.einsum.dims[dim]
         slots = self._dim_slot_names(dim)
+        pins = self._dim_pins(dim)
         remaining = bound
+        for factor in pins.values():
+            remaining //= factor
+        free = len(slots) - len(pins)
         combo = []
-        for _ in range(len(slots) - 1):
-            f = rng.choice(cached_divisors(remaining))
-            combo.append(f)
-            remaining //= f
-        combo.append(remaining)
-        rng.shuffle(combo)
-        return tuple(combo)
+        if free > 0:
+            for _ in range(free - 1):
+                f = rng.choice(cached_divisors(remaining))
+                combo.append(f)
+                remaining //= f
+            combo.append(remaining)
+            rng.shuffle(combo)
+        if not pins:
+            return tuple(combo)
+        free_factors = iter(combo)
+        return tuple(
+            pins[index] if index in pins else next(free_factors)
+            for index in range(len(slots))
+        )
 
     # ------------------------------------------------------------------
     # Capacity-overflow feedback (monotone dominance pruning)
@@ -227,6 +382,31 @@ class Mapper:
                         dominated = False
                         break
                 if dominated:
+                    return True
+        return False
+
+    def mapping_dominated(self, mapping: Mapping) -> bool:
+        """True when a built mapping dominates a registered witness.
+
+        The replayed-stream equivalent of the yield-time check inside
+        :meth:`enumerate_mappings` / :meth:`sample_mappings`: a search
+        that scans a *materialised* candidate list (e.g. a memoised
+        sampled stream) calls this per candidate to withhold exactly
+        the candidates the live generator would have withheld, keeping
+        stream positions — and therefore tie-breaking indices —
+        identical to the generator-driven scan.
+        """
+        if not self._overflow_witnesses:
+            return False
+        extents = {dim: 1 for dim in self.einsum.dims}
+        for level_map in reversed(mapping.levels):  # innermost first
+            for loop in level_map.temporal + level_map.spatial:
+                extents[loop.dim] *= loop.bound
+            witnesses = self._overflow_witnesses.get(level_map.level)
+            if not witnesses:
+                continue
+            for witness in witnesses:
+                if all(extents.get(d, 1) >= v for d, v in witness.items()):
                     return True
         return False
 
@@ -360,13 +540,19 @@ class Mapper:
         still count toward ``count`` but are not yielded: a pruned run
         draws exactly the same random candidates as an unpruned one and
         merely withholds the doomed ones, so a model-driven search over
-        the samples finds the same winner either way.
+        the samples finds the same winner either way. Draws honour
+        ``constraints.fixed_factors`` by construction (pinned slots are
+        fixed, only the free slots are drawn), so pins neither produce
+        non-conforming candidates nor perturb the draw sequence of
+        unpinned dimensions. ``max_tries`` caps the structural-validity
+        rejection loop; an explicit ``0`` means no tries at all (only
+        ``None`` selects the default ``count * 50`` budget).
         """
         rng = random.Random(seed)
         dims = list(self.einsum.dims)
         tries = 0
         produced = 0
-        budget = max_tries or count * 50
+        budget = count * 50 if max_tries is None else max_tries
         while produced < count and tries < budget:
             tries += 1
             combos = {

@@ -80,7 +80,12 @@ from repro.common.cache import (
 from repro.common.errors import MappingError, SpecError, ValidationError
 from repro.dataflow.nest_analysis import DenseTraffic, analyze_dataflow
 from repro.mapping.mapping import Mapping
-from repro.mapping.mapspace import Mapper, MapspaceConstraints
+from repro.mapping.mapspace import (
+    CANDIDATES_STAGE,
+    Mapper,
+    MapspaceConstraints,
+    sampled_candidates_key,
+)
 from repro.micro.energy import ENERGY_STAGE, compute_energy
 from repro.micro.latency import LATENCY_STAGE, compute_latency
 from repro.micro.validity import (
@@ -93,6 +98,7 @@ from repro.sparse.format_analyzer import TILE_FORMAT_STAGE
 from repro.sparse.postprocess import (
     VECTORIZED_DEFAULT,
     analyze_sparse,
+    analyze_sparse_batch,
     ensure_output_density,
     sparse_analysis_key,
 )
@@ -213,6 +219,23 @@ class Evaluator:
     ``REPRO_SCALAR_SPARSE`` environment variable forced the scalar
     oracle process-wide) or the scalar oracle path; both are
     bit-identical (see :mod:`repro.sparse.postprocess`).
+    ``search_strategy`` / ``search_batch_size``: how the serial
+    mapspace scan evaluates candidates. ``"batched"`` (the default)
+    drives the search in candidate blocks — prefilter each candidate
+    as it is drawn (feeding overflow witnesses straight back to the
+    mapper, so generation between blocks is already pruned), then push
+    every survivor of a block through **one stacked sparse evaluation**
+    (:func:`~repro.sparse.postprocess.analyze_sparse_batch`) instead of
+    one numpy pass per candidate — and, on the sampled path, replays
+    the candidate stream from the ``"candidates"`` cache stage instead
+    of re-drawing it. ``"serial"`` is the per-candidate oracle (the
+    exact historical scan); both strategies return a bit-identical
+    winner — same score, same stream index, same result — because the
+    stacked arithmetic is elementwise and the scan preserves candidate
+    order, prefilter decisions, and witness feedback points. The
+    batched strategy keeps its block structure (and the candidate
+    memo) even when the scalar sparse oracle is forced — the stacked
+    flush simply degenerates to per-candidate scalar arithmetic.
     ``persistent``: an optional
     :class:`~repro.common.cache.PersistentCache` on-disk tier.
     :meth:`warm_start` loads a snapshot into the in-memory cache and
@@ -242,6 +265,8 @@ class Evaluator:
     )
     persistent: PersistentCache | None = field(default=None, repr=False)
     persistent_key: str | None = field(default=None, repr=False)
+    search_strategy: str = "batched"
+    search_batch_size: int = 32
 
     @property
     def dense_cache(self) -> DenseAnalysisCache | None:
@@ -426,6 +451,21 @@ class Evaluator:
         sparse, sparse_key = self._sparse_analysis_keyed(
             dense, design.safs, dense_key
         )
+        return self._finish_evaluation(
+            design, workload, dense, sparse, sparse_key
+        )
+
+    def _finish_evaluation(
+        self,
+        design: Design,
+        workload: Workload,
+        dense: DenseTraffic,
+        sparse: SparseTraffic,
+        sparse_key: CachedHashKey | None,
+    ) -> EvaluationResult:
+        """The micro-model tail shared by every evaluation path (the
+        serial pipeline, the batched block scan, and its fallback), so
+        the bit-identical contract hangs on one implementation."""
         usage = self._staged_validity(design, sparse, sparse_key)
         latency = self._staged_latency(design, dense, sparse, sparse_key)
         energy = self._staged_energy(design, sparse, sparse_key)
@@ -519,11 +559,14 @@ class Evaluator:
         objective: Callable[[EvaluationResult], float] | None = None,
         candidates: Iterable[Mapping] | None = None,
         parallel: int = 1,
+        batch_size: int | None = None,
+        strategy: str | None = None,
     ) -> EvaluationResult | None:
         """Deprecated entry point; use :meth:`repro.api.Session.search`."""
         _warn_deprecated("search_mappings", "Session.search / SearchJob")
         return self._search_mappings(
-            design, workload, objective, candidates, parallel
+            design, workload, objective, candidates, parallel,
+            batch_size=batch_size, strategy=strategy,
         )
 
     def _search_mappings(
@@ -533,6 +576,8 @@ class Evaluator:
         objective: Callable[[EvaluationResult], float] | None = None,
         candidates: Iterable[Mapping] | None = None,
         parallel: int = 1,
+        batch_size: int | None = None,
+        strategy: str | None = None,
     ) -> EvaluationResult | None:
         """Find the best valid mapping by the objective (default EDP).
 
@@ -543,30 +588,103 @@ class Evaluator:
         including tie-breaks — matches the serial scan; requires
         picklable design/workload/objective).
 
-        In the serial mapper-driven path, capacity-prefilter overflows
-        are fed back to the mapper as dominance witnesses, pruning
-        factorization subtrees while the candidate stream is being
-        generated. (The parallel path materialises candidates up front,
-        so feedback does not apply there.)
+        ``strategy`` / ``batch_size`` override the evaluator's
+        ``search_strategy`` / ``search_batch_size`` for this search
+        (see the class docstring); both strategies return bit-identical
+        winners.
+
+        In the mapper-driven path, capacity-prefilter overflows are fed
+        back to the mapper as dominance witnesses, pruning factorization
+        subtrees while the candidate stream is being generated — the
+        batched strategy prefilters each candidate as it is drawn, so
+        witnesses registered inside a block already prune the
+        generation of the next block. (The parallel path materialises
+        candidates up front, so feedback does not apply there.)
         """
+        strategy = strategy or self.search_strategy
+        if strategy not in ("serial", "batched"):
+            raise SpecError(
+                f"unknown search strategy {strategy!r}; "
+                "expected 'serial' or 'batched'"
+            )
+        if batch_size is None:
+            batch_size = self.search_batch_size
+        # The strategy alone decides the scan: batch_size=1 still runs
+        # the batched machinery (candidate-stream memo, witness replay)
+        # with single-candidate flushes, and the forced scalar sparse
+        # oracle only degenerates the stacked flush to per-candidate
+        # scalar arithmetic inside analyze_sparse_batch — neither
+        # silently falls back to the serial scan.
+        batched = strategy == "batched"
         mapper: Mapper | None = None
+        replayed = False
         if candidates is None:
             mapper = Mapper(workload.einsum, design.arch, design.constraints)
             space = mapper.mapspace_size_estimate()
             if space <= self.search_budget * 4:
                 candidates = mapper.enumerate_mappings()
             else:
-                candidates = mapper.sample_mappings(
-                    self.search_budget, seed=self.search_seed
+                stream = (
+                    self._sampled_candidates(design, workload, mapper)
+                    if batched
+                    else None
                 )
+                if stream is not None:
+                    candidates = stream
+                    replayed = True
+                else:
+                    candidates = mapper.sample_mappings(
+                        self.search_budget, seed=self.search_seed
+                    )
         if parallel > 1:
             return self._search_parallel(
-                design, workload, list(candidates), objective, parallel
+                design, workload, list(candidates), objective, parallel,
+                batch_size=batch_size, strategy=strategy,
             )
-        best = self._search_candidates(
-            design, workload, candidates, objective, mapper=mapper
-        )
+        if batched:
+            best = self._search_candidates_batched(
+                design, workload, candidates, objective,
+                mapper=mapper, batch_size=batch_size, replayed=replayed,
+            )
+        else:
+            best = self._search_candidates(
+                design, workload, candidates, objective, mapper=mapper
+            )
         return best[2] if best is not None else None
+
+    def _sampled_candidates(
+        self, design: Design, workload: Workload, mapper: Mapper
+    ) -> list[Mapping] | None:
+        """The memoised sampled candidate stream for this search.
+
+        Sampled streams are pure functions of (constraints, einsum,
+        arch, seed, budget) — witnesses only *withhold* draws, never
+        change them — so the unpruned stream is recorded in the
+        ``"candidates"`` cache stage and replayed by later searches
+        (including across SAF variants sharing a mapspace, and across
+        processes via the persistent tier). Returns ``None`` when
+        caching is disabled, leaving the generator-driven path in
+        charge.
+        """
+        if self.cache is None:
+            return None
+        key = sampled_candidates_key(
+            workload.einsum,
+            design.arch,
+            mapper.constraints,
+            self.search_seed,
+            self.search_budget,
+        )
+        stage = self.cache.stage(CANDIDATES_STAGE)
+        stream = stage.get(key)
+        if stream is None:
+            stream = list(
+                mapper.sample_mappings(
+                    self.search_budget, seed=self.search_seed
+                )
+            )
+            stage.put(key, stream)
+        return stream
 
     def _search_candidates(
         self,
@@ -602,6 +720,207 @@ class Evaluator:
                 best = (score, offset + index, result)
         return best
 
+    def _search_candidates_batched(
+        self,
+        design: Design,
+        workload: Workload,
+        candidates: Iterable[Mapping],
+        objective: Callable[[EvaluationResult], float] | None,
+        offset: int = 0,
+        mapper: Mapper | None = None,
+        batch_size: int | None = None,
+        replayed: bool = False,
+    ) -> tuple[float, int, EvaluationResult] | None:
+        """Blocked scan returning the same ``(score, global_index,
+        result)`` winner as :meth:`_search_candidates`.
+
+        The scan mirrors the serial oracle step for step — candidates
+        are drawn one at a time, witness-withheld candidates never get
+        a stream index, prefilter overflows register witnesses
+        *immediately* (so generation of later candidates, including the
+        next block's, is already pruned) — but evaluation of prefilter
+        survivors is deferred: each full block runs through one stacked
+        sparse evaluation (:meth:`_sparse_analysis_many`) instead of
+        one numpy pass per candidate. Deferral is sound because
+        evaluation never feeds anything back to the stream; scores are
+        bit-identical because the stacked arithmetic is elementwise and
+        the in-order ``score < best`` comparison reproduces the serial
+        first-strictly-better tie-break exactly.
+
+        ``replayed=True`` marks ``candidates`` as a materialised stream
+        (the ``"candidates"`` memo): the generator's yield-time witness
+        check did not run for it, so this scan applies
+        :meth:`Mapper.mapping_dominated` per candidate to withhold
+        exactly what the live generator would have — keeping stream
+        indices, and therefore tie-breaks, identical.
+        """
+        objective = objective or _edp_objective
+        if batch_size is None:
+            batch_size = self.search_batch_size
+        batch_size = max(1, batch_size)
+        prefilter = self.prefilter_capacity and self.check_capacity
+        best: tuple[float, int, EvaluationResult] | None = None
+        block: list[tuple[int, Mapping]] = []
+        index = offset - 1
+        for mapping in candidates:
+            if (
+                replayed
+                and mapper is not None
+                and mapper.mapping_dominated(mapping)
+            ):
+                mapper.pruned_candidates += 1
+                continue
+            index += 1
+            if prefilter:
+                overflow = self._capacity_overflow(design, workload, mapping)
+                if overflow is not None:
+                    if mapper is not None and overflow.monotone:
+                        mapper.register_overflow(
+                            overflow.level, overflow.dim_extents
+                        )
+                    continue
+            block.append((index, mapping))
+            if len(block) >= batch_size:
+                best = self._evaluate_block(
+                    design, workload, block, objective, best
+                )
+                block = []
+        if block:
+            best = self._evaluate_block(
+                design, workload, block, objective, best
+            )
+        return best
+
+    def _evaluate_block(
+        self,
+        design: Design,
+        workload: Workload,
+        block: list[tuple[int, Mapping]],
+        objective: Callable[[EvaluationResult], float],
+        best: tuple[float, int, EvaluationResult] | None,
+    ) -> tuple[float, int, EvaluationResult] | None:
+        """Evaluate one block of prefilter survivors through the
+        stacked sparse pipeline and fold them into ``best``.
+
+        Candidates whose evaluation raises an expected modeling error
+        (capacity overflow under the full validity check, mapping
+        rejection) are skipped, exactly as in the serial scan. Should
+        the stacked pass itself fail, the block falls back to the
+        serial per-candidate oracle — with the sparse-stage accounting
+        of the aborted attempt rolled back first — so the failure is
+        attributed to the one candidate that caused it; results and
+        cache statistics are identical to the serial scan either way.
+        """
+        prepared: list[tuple[int, Mapping, DenseTraffic, tuple | None]] = []
+        for index, mapping in block:
+            try:
+                dense, dense_key = self._dense_analysis_keyed(
+                    design, workload, mapping
+                )
+            except (ValidationError, MappingError):
+                continue
+            prepared.append((index, mapping, dense, dense_key))
+        if not prepared:
+            return best
+        stage = self.cache.sparse if self.cache is not None else None
+        counters = (stage.hits, stage.misses) if stage is not None else None
+        try:
+            analyses = self._sparse_analysis_many(
+                [(dense, key) for _, _, dense, key in prepared], design.safs
+            )
+        except (ValidationError, MappingError):
+            if stage is not None:
+                # The aborted stacked attempt already counted its
+                # lookups; the serial fallback recounts every one.
+                stage.hits, stage.misses = counters
+            analyses = None
+        if analyses is None:
+            analyses = []
+            for _index, _mapping, dense, dense_key in prepared:
+                try:
+                    analyses.append(
+                        self._sparse_analysis_keyed(
+                            dense, design.safs, dense_key
+                        )
+                    )
+                except (ValidationError, MappingError):
+                    analyses.append(None)
+        for (index, _mapping, dense, _key), analysis in zip(
+            prepared, analyses
+        ):
+            if analysis is None:
+                continue
+            sparse, sparse_key = analysis
+            try:
+                result = self._finish_evaluation(
+                    design, workload, dense, sparse, sparse_key
+                )
+            except (ValidationError, MappingError):
+                continue
+            score = objective(result)
+            if best is None or score < best[0]:
+                best = (score, index, result)
+        return best
+
+    def _sparse_analysis_many(
+        self,
+        items: Sequence[tuple[DenseTraffic, tuple | None]],
+        safs: SAFSpec,
+    ) -> list[tuple[SparseTraffic, CachedHashKey | None]]:
+        """:meth:`_sparse_analysis_keyed` over many candidates at once.
+
+        Cache hits are served as usual; the misses are computed in
+        **one** stacked numpy pass (deduped by content key, so a
+        repeated sampled draw is computed once and shared, exactly as
+        the serial scan's compute-then-hit sequence would) and
+        installed into the sparse stage. Per-candidate results are
+        bit-identical to calling the serial helper in a loop.
+        """
+        count = len(items)
+        sparses: list[SparseTraffic | None] = [None] * count
+        keys: list[CachedHashKey | None] = [None] * count
+        compute_positions: list[int] = []
+        followers: dict[int, list[int]] = {}
+        first_by_key: dict[CachedHashKey, int] = {}
+        for position, (dense, dense_key) in enumerate(items):
+            key: CachedHashKey | None = None
+            if self.cache is not None:
+                raw = sparse_analysis_key(dense, safs, dense_key)
+                if raw is not None:
+                    key = CachedHashKey(raw)
+            keys[position] = key
+            if key is not None:
+                stage = self.cache.sparse
+                if key in stage:  # peek: accounting handled per branch
+                    sparses[position] = stage.get(key)  # counts the hit
+                    continue
+                first = first_by_key.get(key)
+                if first is not None:
+                    # Serial accounting: by the time the scan reached
+                    # this duplicate, the first occurrence had computed
+                    # and installed the entry — a hit, not a miss. (The
+                    # LRU refresh the serial hit would do is subsumed
+                    # by the upcoming put of the first occurrence.)
+                    stage.hits += 1
+                    followers.setdefault(first, []).append(position)
+                    continue
+                first_by_key[key] = position
+                stage.misses += 1  # the serial get-before-compute miss
+            compute_positions.append(position)
+        if compute_positions:
+            computed = analyze_sparse_batch(
+                [(items[i][0], safs) for i in compute_positions],
+                vectorized=self.sparse_vectorized,
+            )
+            for position, sparse in zip(compute_positions, computed):
+                sparses[position] = sparse
+                key = keys[position]
+                if key is not None:
+                    self.cache.sparse.put(key, sparse)
+                for follower in followers.get(position, ()):
+                    sparses[follower] = sparse
+        return list(zip(sparses, keys))
+
     def _search_parallel(
         self,
         design: Design,
@@ -609,6 +928,8 @@ class Evaluator:
         candidates: list[Mapping],
         objective: Callable[[EvaluationResult], float] | None,
         parallel: int,
+        batch_size: int | None = None,
+        strategy: str | None = None,
     ) -> EvaluationResult | None:
         if len(candidates) <= 1:
             best = self._search_candidates(
@@ -616,7 +937,15 @@ class Evaluator:
             )
             return best[2] if best is not None else None
         chunks = _contiguous_chunks(candidates, parallel)
-        worker = replace(self, cache=None)
+        worker = replace(
+            self,
+            cache=None,
+            search_strategy=strategy or self.search_strategy,
+            search_batch_size=(
+                batch_size if batch_size is not None
+                else self.search_batch_size
+            ),
+        )
         payloads = []
         offset = 0
         for chunk in chunks:
@@ -624,7 +953,16 @@ class Evaluator:
                 (worker, design, workload, chunk, objective, offset)
             )
             offset += len(chunk)
-        partials = self._run_pool(_search_chunk_worker, payloads)
+        # Search chunk workers receive explicit materialised candidate
+        # lists and never sample, so the (potentially large) candidates
+        # stage is dead weight in their warm-up payload. (Evaluate/
+        # network pools keep it: a constraints-only design makes their
+        # workers run whole searches, where replay pays off.)
+        partials = self._run_pool(
+            _search_chunk_worker,
+            payloads,
+            exclude_stages=(CANDIDATES_STAGE,),
+        )
         best: tuple[float, int, EvaluationResult] | None = None
         for partial in partials:
             if partial is None:
@@ -809,20 +1147,28 @@ class Evaluator:
     # Warm-worker cache shipping and the persistent tier
 
     def _export_cache_state(
-        self, per_stage_limit: int | None = None
+        self,
+        per_stage_limit: int | None = None,
+        exclude_stages: tuple[str, ...] = (),
     ) -> dict | None:
         """Picklable snapshot of this evaluator's cache stages plus the
         process-global tile-format stage.
 
         ``per_stage_limit`` caps entries per stage (pool initializers
         pass the default shipping cap; persistent spills pass ``None``
-        for everything). Returns ``None`` when caching is disabled
-        (``cache=None``), so workers honour the parent's setting
-        instead of silently re-enabling their own caches.
+        for everything). ``exclude_stages`` drops whole stages from the
+        payload — search pools use it for the ``candidates`` stage,
+        whose streams their workers can never read (chunk workers get
+        explicit materialised candidate lists). Returns ``None`` when
+        caching is disabled (``cache=None``), so workers honour the
+        parent's setting instead of silently re-enabling their own
+        caches.
         """
         if self.cache is None:
             return None
         state = dict(self.cache.export_state(per_stage_limit))
+        for name in exclude_stages:
+            state.pop(name, None)
         tile = global_cache().stage(TILE_FORMAT_STAGE).export_entries(
             per_stage_limit
         )
@@ -902,7 +1248,12 @@ class Evaluator:
         tile_stage.dirty = False
         return written
 
-    def _run_pool(self, worker_fn, payloads: list) -> list:
+    def _run_pool(
+        self,
+        worker_fn,
+        payloads: list,
+        exclude_stages: tuple[str, ...] = (),
+    ) -> list:
         """Map ``worker_fn`` over ``payloads`` in a process pool.
 
         The pool pins an explicit multiprocessing context —
@@ -927,7 +1278,9 @@ class Evaluator:
             mp_context=context,
             initializer=_warm_worker_initializer,
             initargs=(
-                self._export_cache_state(DEFAULT_EXPORT_LIMIT),
+                self._export_cache_state(
+                    DEFAULT_EXPORT_LIMIT, exclude_stages=exclude_stages
+                ),
                 persistent,
                 self.persistent_key,
             ),
@@ -1068,6 +1421,13 @@ def _contiguous_chunks(items: list, parts: int) -> list[list]:
 def _search_chunk_worker(payload):
     evaluator, design, workload, chunk, objective, offset = payload
     evaluator = _bind_worker_cache(evaluator)
+    # Chunk workers honour the search strategy shipped on the
+    # evaluator; both scans return identical (score, index, result)
+    # partials, so the parallel merge is strategy-agnostic.
+    if evaluator.search_strategy == "batched":
+        return evaluator._search_candidates_batched(
+            design, workload, chunk, objective, offset=offset
+        )
     return evaluator._search_candidates(
         design, workload, chunk, objective, offset=offset
     )

@@ -27,6 +27,17 @@ the scatter preserves per-accumulator addition order. The default is
 the vectorized path; set the ``REPRO_SCALAR_SPARSE`` environment
 variable (or pass ``vectorized=False``) to force the oracle.
 
+The emitter contract extends *across* loop nests: because rows are
+stored column-wise and the scatter replays per-accumulator emission
+order, one :class:`_BatchEmitter` can record the flows of **many**
+analyses — e.g. every surviving candidate mapping of one mapspace
+search block — and evaluate them all in a single stacked numpy pass.
+:func:`analyze_sparse_batch` does exactly that: each analysis occupies
+a contiguous segment of the batch columns, elementwise float64
+operations are position-independent, and the per-candidate scatter
+preserves each accumulator's addition order, so the stacked results
+are bit-identical to running :func:`analyze_sparse` once per analysis.
+
 :func:`sparse_analysis_key` derives the content key under which a whole
 :class:`~repro.sparse.traffic.SparseTraffic` is memoised by the
 engine's ``"sparse"`` cache stage (see :mod:`repro.common.cache`).
@@ -354,6 +365,48 @@ def analyze_sparse(
     """
     if vectorized is None:
         vectorized = VECTORIZED_DEFAULT
+    emitter = _BatchEmitter() if vectorized else _ScalarEmitter()
+    sparse = _record_sparse(dense, safs, emitter)
+    emitter.flush()
+    return sparse
+
+
+def analyze_sparse_batch(
+    jobs,
+    *,
+    vectorized: bool | None = None,
+) -> list[SparseTraffic]:
+    """Run the sparse modeling step for many analyses in one pass.
+
+    ``jobs`` is a sequence of ``(dense, safs)`` pairs — typically the
+    surviving candidate mappings of one mapspace-search block. Under
+    the vectorized backend every analysis records its flows into one
+    shared :class:`_BatchEmitter` and a single flush evaluates the
+    stacked arrays; each analysis owns a contiguous segment of the
+    batch, so the scatter preserves per-candidate accumulation order
+    and the results are bit-identical to calling :func:`analyze_sparse`
+    once per pair (the equivalence oracle, which the scalar backend
+    falls back to directly).
+    """
+    if vectorized is None:
+        vectorized = VECTORIZED_DEFAULT
+    if not vectorized:
+        return [
+            analyze_sparse(dense, safs, vectorized=False)
+            for dense, safs in jobs
+        ]
+    emitter = _BatchEmitter()
+    results = [_record_sparse(dense, safs, emitter) for dense, safs in jobs]
+    emitter.flush()
+    return results
+
+
+def _record_sparse(
+    dense: DenseTraffic, safs: SAFSpec, emitter
+) -> SparseTraffic:
+    """The descriptive analysis walk: classify every (level, tensor)
+    flow and describe its split arithmetic to ``emitter``. The caller
+    owns the flush, which lets one batch emitter stack many walks."""
     workload = dense.workload
     ensure_output_density(workload)
     analyzer = GatingSkippingAnalyzer(dense, safs)
@@ -392,7 +445,6 @@ def analyze_sparse(
             )
         return fmt_cache[key]
 
-    emitter = _BatchEmitter() if vectorized else _ScalarEmitter()
     for tensor in workload.einsum.tensors:
         chain = dense.mapping.keep_chain(tensor.name)
         if tensor.is_output:
@@ -404,7 +456,6 @@ def analyze_sparse(
             _process_operand(
                 dense, analyzer, sparse, tensor, chain, fmt_info, emitter
             )
-    emitter.flush()
 
     # Record occupancy for every (level, tensor) pair.
     for (level, name), record in dense.traffic.items():

@@ -208,6 +208,32 @@ class TestConstraints:
         with pytest.raises(SpecError):
             load_constraints({"constraints": section})
 
+    @pytest.mark.parametrize(
+        "section,needle",
+        [
+            ({"loop_orders": {"Bufer": ["m", "k", "n"]}}, "Bufer"),
+            ({"spatial_dims": {"Bufer": ["n"]}}, "Bufer"),
+            ({"keep": {"Bufer": ["A"]}}, "Bufer"),
+            ({"fixed_factors": {"Bufer": {"m": 4}}}, "Bufer"),
+            ({"spatial_dims": {"Buffer": ["q"]}}, "q"),
+            ({"loop_orders": {"Buffer": ["M", "k", "n"]}}, "M"),
+            ({"fixed_factors": {"Buffer": {"q": 4}}}, "q"),
+            ({"fixed_factors": {"Buffer": {"m": 3}}}, "cannot tile"),
+        ],
+    )
+    def test_unknown_names_fail_at_load_time(self, section, needle):
+        """A typo'd level (or spatial dim) in any constraints container
+        is a malformed spec: `load_design` cross-checks the constraints
+        against this spec's architecture and workload instead of letting
+        a later search silently ignore them."""
+        import yaml as _yaml
+
+        spec = _yaml.safe_load(FULL_SPEC)
+        del spec["mapping"]
+        spec["constraints"] = section
+        with pytest.raises(SpecError, match=needle):
+            load_design(spec)
+
     def test_design_with_constraints_section(self):
         import yaml as _yaml
 

@@ -98,6 +98,134 @@ class TestSampling:
         b = [m.describe() for m in Mapper(spec, arch).sample_mappings(5, seed=7)]
         assert a == b
 
+    def test_samples_honor_fixed_factors(self, arch):
+        """Random draws must respect pinned tiling factors exactly as
+        enumeration does (regression: the sampler used to ignore
+        ``fixed_factors`` entirely)."""
+        spec = matmul(16, 8, 16)
+        constraints = MapspaceConstraints(
+            fixed_factors={"Buffer": {"m": 4, "k": 2}}
+        )
+        samples = list(
+            Mapper(spec, arch, constraints).sample_mappings(12, seed=1)
+        )
+        assert samples
+        for m in samples:
+            m.validate(spec, arch)
+            buffer_m = [
+                l.bound for l in m.level("Buffer").temporal if l.dim == "m"
+            ]
+            buffer_k = [
+                l.bound for l in m.level("Buffer").temporal if l.dim == "k"
+            ]
+            assert buffer_m == [4], m.describe()
+            assert buffer_k == [2], m.describe()
+
+    def test_pinned_sampling_deterministic_given_seed(self, arch):
+        """Pins keep the draw-sequence contract: same seed, same
+        stream (the free slots are drawn through the same RNG calls
+        every run)."""
+        spec = matmul(16, 8, 16)
+        constraints = MapspaceConstraints(fixed_factors={"Buffer": {"m": 4}})
+        a = [
+            m.describe()
+            for m in Mapper(spec, arch, constraints).sample_mappings(
+                6, seed=2
+            )
+        ]
+        b = [
+            m.describe()
+            for m in Mapper(spec, arch, constraints).sample_mappings(
+                6, seed=2
+            )
+        ]
+        assert a == b and a
+
+    def test_unsatisfiable_pins_rejected_at_construction(self, arch):
+        """Pins whose product cannot tile the bound (or non-positive
+        factors) make the whole mapspace empty; the mapper fails fast
+        with the real cause instead of letting every search come back
+        'no valid mapping found'."""
+        from repro.common.errors import MappingError
+
+        spec = matmul(8, 8, 8)
+        for factors in ({"m": 3}, {"m": 0}, {"m": -2}, {"m": 16}):
+            with pytest.raises(MappingError, match="cannot tile"):
+                Mapper(
+                    spec,
+                    arch,
+                    MapspaceConstraints(fixed_factors={"Buffer": factors}),
+                )
+
+    def test_max_tries_zero_means_zero(self, arch):
+        """An explicit ``max_tries=0`` is a hard cap of zero tries, not
+        an alias for the default budget."""
+        spec = matmul(8, 8, 8)
+        assert list(Mapper(spec, arch).sample_mappings(5, max_tries=0)) == []
+        # None still selects the default budget.
+        assert len(list(Mapper(spec, arch).sample_mappings(5, seed=0))) == 5
+
+
+class TestConstraintValidation:
+    def test_unknown_levels_rejected_consistently(self, arch):
+        """All four per-level constraint containers validate their
+        level names (regression: only ``spatial_dims`` used to — a
+        typo'd level in the others was silently ignored)."""
+        from repro.common.errors import MappingError
+
+        spec = matmul(4, 4, 4)
+        bad = [
+            MapspaceConstraints(loop_orders={"Bufer": ["m", "k", "n"]}),
+            MapspaceConstraints(spatial_dims={"Bufer": ["n"]}),
+            MapspaceConstraints(keep={"Bufer": {"A"}}),
+            MapspaceConstraints(fixed_factors={"Bufer": {"m": 2}}),
+        ]
+        for constraints in bad:
+            with pytest.raises(MappingError, match="Bufer"):
+                Mapper(spec, arch, constraints)
+
+    def test_unknown_dims_rejected_in_orders_and_pins(self, arch):
+        """Typo'd dim names in loop orders and pinned factors raise
+        too — they would otherwise be looked up with `.get` and never
+        enforced (matching the existing spatial_dims behaviour)."""
+        from repro.common.errors import MappingError
+
+        spec = matmul(4, 4, 4)
+        bad = [
+            MapspaceConstraints(loop_orders={"Buffer": ["M", "k", "n"]}),
+            MapspaceConstraints(fixed_factors={"Buffer": {"q": 2}}),
+        ]
+        for constraints in bad:
+            with pytest.raises(MappingError, match="unknown dim"):
+                Mapper(spec, arch, constraints)
+
+    def test_known_levels_accepted(self, arch):
+        constraints = MapspaceConstraints(
+            loop_orders={"Buffer": ["m", "k", "n"]},
+            spatial_dims={"Buffer": ["n"]},
+            keep={"Buffer": {"A", "Z"}},
+            fixed_factors={"DRAM": {"m": 2}},
+        )
+        Mapper(matmul(4, 4, 4), arch, constraints)
+
+    def test_constraints_cache_key_canonical(self):
+        a = MapspaceConstraints(
+            loop_orders={"Buffer": ["m", "k"]},
+            keep={"Buffer": {"A", "Z"}, "DRAM": None},
+            fixed_factors={"Buffer": {"m": 4, "k": 2}},
+        )
+        b = MapspaceConstraints(
+            keep={"DRAM": None, "Buffer": {"Z", "A"}},
+            loop_orders={"Buffer": ["m", "k"]},
+            fixed_factors={"Buffer": {"k": 2, "m": 4}},
+        )
+        assert a.cache_key() == b.cache_key()
+        assert hash(a.cache_key()) == hash(b.cache_key())
+        # Loop *order* is content; a different order is a different key.
+        c = MapspaceConstraints(loop_orders={"Buffer": ["k", "m"]})
+        d = MapspaceConstraints(loop_orders={"Buffer": ["m", "k"]})
+        assert c.cache_key() != d.cache_key()
+
 
 class TestSizeEstimate:
     def test_positive_and_monotone(self, arch):

@@ -47,6 +47,46 @@ class TestRegisterOverflow:
         mapper.register_overflow("Buffer", {"m": 1, "k": 1, "n": 32})
         assert mapper.overflow_witness_count == 2
 
+    def test_new_witness_replaces_every_dominated_existing(self):
+        """One sufficiently weak witness sweeps out *all* existing
+        witnesses it dominates, not just the first."""
+        wl = overflowing_workload()
+        mapper = Mapper(wl.einsum, tiny_buffer_arch())
+        mapper.register_overflow("Buffer", {"m": 16, "k": 4})
+        mapper.register_overflow("Buffer", {"m": 4, "k": 16})
+        mapper.register_overflow("Buffer", {"n": 32})
+        assert mapper.overflow_witness_count == 3
+        # {m:2, k:2} is dominated by both m/k witnesses' regions'
+        # complements — i.e. it dominates neither, but both existing
+        # m/k witnesses dominate it, so both are replaced; the
+        # incomparable n-witness survives.
+        mapper.register_overflow("Buffer", {"m": 2, "k": 2})
+        assert mapper.overflow_witness_count == 2
+
+    def test_equal_witness_is_discarded(self):
+        wl = overflowing_workload()
+        mapper = Mapper(wl.einsum, tiny_buffer_arch())
+        mapper.register_overflow("Buffer", {"m": 8, "k": 8})
+        mapper.register_overflow("Buffer", {"m": 8, "k": 8})
+        assert mapper.overflow_witness_count == 1
+
+    def test_unit_extents_are_normalised_out(self):
+        """Extents of 1 say nothing (every candidate has extent >= 1),
+        so they must not make two equivalent witnesses look distinct."""
+        wl = overflowing_workload()
+        mapper = Mapper(wl.einsum, tiny_buffer_arch())
+        mapper.register_overflow("Buffer", {"m": 8, "k": 8, "n": 1})
+        mapper.register_overflow("Buffer", {"m": 8, "k": 8})
+        assert mapper.overflow_witness_count == 1
+
+    def test_witnesses_per_level_are_independent(self):
+        wl = overflowing_workload()
+        arch = tiny_buffer_arch()
+        mapper = Mapper(wl.einsum, arch)
+        mapper.register_overflow("Buffer", {"m": 8})
+        mapper.register_overflow("DRAM", {"m": 8})
+        assert mapper.overflow_witness_count == 2
+
     def test_unknown_level_rejected(self):
         import pytest
 
@@ -92,6 +132,27 @@ class TestEnumerationPruning:
                     break
             assert seen_buffer
             assert extents["m"] >= 32 and extents["k"] >= 32
+
+    def test_counters_distinguish_candidates_from_subtrees(self):
+        """`pruned_candidates` counts fully-built dominated candidates;
+        `pruned_subtrees` counts factorization prefixes cut before
+        enumeration descended into them. Both observability counters
+        must move under a witness that bites."""
+        wl = overflowing_workload()
+        arch = tiny_buffer_arch()
+        mapper = Mapper(wl.einsum, arch)
+        assert mapper.pruned_candidates == 0
+        assert mapper.pruned_subtrees == 0
+        mapper.register_overflow("Buffer", {"m": 16, "k": 16})
+        list(mapper.enumerate_mappings())
+        assert mapper.pruned_subtrees > 0
+        # Sampling (no subtree structure) moves only the candidate
+        # counter.
+        sampler = Mapper(wl.einsum, arch)
+        sampler.register_overflow("Buffer", {"m": 16, "k": 16})
+        list(sampler.sample_mappings(30, seed=11))
+        assert sampler.pruned_candidates > 0
+        assert sampler.pruned_subtrees == 0
 
     def test_sampling_counts_pruned_toward_budget(self):
         wl = overflowing_workload()

@@ -16,7 +16,11 @@ from repro.dataflow.nest_analysis import analyze_dataflow
 from repro.designs import codesign, dstc, eyeriss, scnn, stc
 from repro.designs.common import conv_as_gemm
 from repro.sparse.density import FixedStructuredDensity, UniformDensity
-from repro.sparse.postprocess import analyze_sparse, sparse_analysis_key
+from repro.sparse.postprocess import (
+    analyze_sparse,
+    analyze_sparse_batch,
+    sparse_analysis_key,
+)
 from repro.workload.nets import alexnet, resnet50
 
 
@@ -126,6 +130,47 @@ class TestVectorizedEquivalence:
         assert a.cycles == b.cycles
         assert a.energy_pj == b.energy_pj
         assert a.edp == b.edp
+
+
+class TestStackedBatchEquivalence:
+    """One emitter stacking *many* analyses must change nothing."""
+
+    def _pairs(self):
+        pairs = []
+        for name, design, workload in CASES:
+            mapping = design.mapping_for(workload)
+            dense = analyze_dataflow(workload, design.arch, mapping)
+            pairs.append((name, dense, design.safs))
+        return pairs
+
+    def test_stacked_batch_is_bit_identical_per_analysis(self):
+        """Every bundled design's flows recorded into ONE shared batch
+        emitter and flushed in a single stacked numpy pass — each
+        result must match its individually-evaluated counterpart
+        bit for bit (both against the vectorized single-nest path and
+        the scalar oracle)."""
+        pairs = self._pairs()
+        stacked = analyze_sparse_batch(
+            [(dense, safs) for _, dense, safs in pairs], vectorized=True
+        )
+        for (name, dense, safs), batch_result in zip(pairs, stacked):
+            single = analyze_sparse(dense, safs, vectorized=True)
+            oracle = analyze_sparse(dense, safs, vectorized=False)
+            assert_sparse_identical(batch_result, single)
+            assert_sparse_identical(batch_result, oracle)
+
+    def test_scalar_backend_falls_back_per_analysis(self):
+        pairs = self._pairs()[:3]
+        scalar = analyze_sparse_batch(
+            [(dense, safs) for _, dense, safs in pairs], vectorized=False
+        )
+        for (name, dense, safs), result in zip(pairs, scalar):
+            assert_sparse_identical(
+                result, analyze_sparse(dense, safs, vectorized=False)
+            )
+
+    def test_empty_batch(self):
+        assert analyze_sparse_batch([]) == []
 
 
 class TestSparseStageCache:
