@@ -54,7 +54,11 @@ class SearchJob:
     default EDP; must be picklable — a module-level function — when the
     search fans out over worker processes). Explicit ``candidates``
     bypass the design's constraints. ``parallel`` overrides the
-    Session's default worker count for this job.
+    Session's default worker count for this job; the fan-out installs
+    the design/workload/candidate state once per worker process and
+    ships only candidate index ranges per task (see
+    ``docs/caching.md``), so per-task payloads stay O(1) regardless of
+    candidate count.
 
     ``strategy`` picks how candidates are evaluated: ``"batched"``
     (the engine default) scans in candidate blocks — one stacked numpy

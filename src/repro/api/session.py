@@ -78,9 +78,11 @@ class Session:
     The Session warm-starts from it automatically the first time it
     runs a job with a new (design, workload) content key, and spills
     the in-memory cache back on :meth:`close`.
-    ``prefilter_capacity`` / ``sparse_vectorized``: engine fast-path
-    flags, passed through unchanged (``sparse_vectorized=None`` keeps
-    the engine default).
+    ``prefilter_capacity`` / ``sparse_vectorized`` /
+    ``dense_vectorized`` / ``prefilter_vectorized``: engine fast-path
+    flags, passed through unchanged (``None`` keeps the engine default
+    for each of the three vectorization knobs; each fast path is
+    proven bit-identical to its scalar oracle).
 
     Sessions are context managers; :meth:`close` runs any still-pending
     jobs, then spills to the persistent tier. A closed Session rejects
@@ -98,6 +100,8 @@ class Session:
         persistent: PersistentCache | None = None,
         prefilter_capacity: bool = True,
         sparse_vectorized: bool | None = None,
+        dense_vectorized: bool | None = None,
+        prefilter_vectorized: bool | None = None,
     ):
         if parallel < 1:
             raise SpecError(f"parallel must be >= 1, got {parallel}")
@@ -113,6 +117,10 @@ class Session:
         )
         if sparse_vectorized is not None:
             engine_kwargs["sparse_vectorized"] = sparse_vectorized
+        if dense_vectorized is not None:
+            engine_kwargs["dense_vectorized"] = dense_vectorized
+        if prefilter_vectorized is not None:
+            engine_kwargs["prefilter_vectorized"] = prefilter_vectorized
         self._evaluator = Evaluator(**engine_kwargs)
         self.parallel = parallel
         self._pending: list[JobHandle] = []
@@ -518,12 +526,31 @@ class Session:
     def cache(self) -> AnalysisCache | None:
         return self._evaluator.cache
 
+    #: Stages always present in :meth:`cache_stats` output, with zero
+    #: counters when untouched: the cold-search hot path reads the
+    #: ``"dense"`` (memoised dataflow analyses) and ``"candidates"``
+    #: (replayed sampled streams) stages, so their hit/miss counters
+    #: are reportable even before the first search runs.
+    _REPORTED_STAGES = ("dense", "candidates")
+
     def cache_stats(self) -> dict[str, dict[str, float]]:
         """Per-stage hit/miss statistics of the in-memory cache
-        (empty when caching is disabled)."""
+        (empty when caching is disabled).
+
+        The ``"dense"`` and ``"candidates"`` stages are always
+        reported — with zeroed counters when nothing touched them —
+        so callers monitoring cold-search behaviour see a stable
+        schema.
+        """
         if self._evaluator.cache is None:
             return {}
-        return self._evaluator.cache.stats()
+        stats = self._evaluator.cache.stats()
+        for name in self._REPORTED_STAGES:
+            stats.setdefault(
+                name,
+                {"hits": 0, "misses": 0, "hit_rate": 0.0, "entries": 0},
+            )
+        return stats
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else f"{len(self._pending)} pending"

@@ -247,7 +247,10 @@ class DenseAnalysisCache(StageCache):
     def get_or_compute_keyed(self, workload, arch, mapping):
         """Like :meth:`get_or_compute` but returns ``(dense, key)`` so
         callers can derive downstream stage keys without recomputing
-        the (einsum, arch, mapping) content hashes."""
+        the (einsum, arch, mapping) content hashes. The returned key is
+        a :class:`CachedHashKey` — the stage is consulted up to three
+        times per evaluation (and the key is re-embedded in every
+        downstream stage key), so its deep-tuple hash is paid once."""
         from dataclasses import replace
 
         from repro.dataflow.nest_analysis import (
@@ -255,7 +258,7 @@ class DenseAnalysisCache(StageCache):
             dense_analysis_key,
         )
 
-        key = dense_analysis_key(workload, arch, mapping)
+        key = CachedHashKey(dense_analysis_key(workload, arch, mapping))
         cached = self.get(key)
         if cached is not None:
             return replace(cached, workload=workload), key

@@ -155,8 +155,19 @@ class Mapping:
                 )
 
     def keep_chain(self, tensor: str) -> list[str]:
-        """Names of levels keeping ``tensor``, outermost first."""
-        return [lvl.level for lvl in self.levels if lvl.keeps(tensor)]
+        """Names of levels keeping ``tensor``, outermost first.
+
+        Memoised per instance: callers must treat the returned list as
+        read-only and must not rearrange levels after the first call.
+        """
+        memo = getattr(self, "_keep_chains", None)
+        if memo is None:
+            memo = self._keep_chains = {}
+        chain = memo.get(tensor)
+        if chain is None:
+            chain = [lvl.level for lvl in self.levels if lvl.keeps(tensor)]
+            memo[tensor] = chain
+        return chain
 
     def to_spec(self) -> list[dict]:
         """Serializable spec form: the same list-of-level-entries shape
@@ -223,6 +234,27 @@ class Mapping:
                 lvl.level,
                 tuple(lvl.temporal),
                 tuple(lvl.spatial),
+                None if lvl.keep is None else frozenset(lvl.keep),
+            )
+            for lvl in self.levels
+        )
+
+    def structure_key(self) -> tuple:
+        """Loop-*structure* signature: everything in :meth:`cache_key`
+        except the loop bounds — level names, ordered temporal/spatial
+        loop dims, and keep sets.
+
+        Mappings sharing a structure key differ only in loop bound
+        values, so per-candidate integer quantities (tile extents,
+        fanouts, episode counts) become row-wise products over a stacked
+        factor matrix. The batched dense analysis and the vectorized
+        capacity prefilter group candidate blocks by this key.
+        """
+        return tuple(
+            (
+                lvl.level,
+                tuple(l.dim for l in lvl.temporal),
+                tuple(l.dim for l in lvl.spatial),
                 None if lvl.keep is None else frozenset(lvl.keep),
             )
             for lvl in self.levels

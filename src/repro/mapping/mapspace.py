@@ -172,6 +172,8 @@ class Mapper:
                 self._spatial_slots.append((level, dim))
         self._slot_levels_cache: dict[str, list[int]] = {}
         self._dim_pins_cache: dict[str, dict[int, int]] = {}
+        self._dim_slots_cache: dict[str, list[tuple[str, str]]] = {}
+        self._draw_ctx: tuple[bool, list[tuple[int, list[tuple[str, int]]]]] | None = None
         # ...and satisfiable pins: factors that are non-positive or
         # cannot tile their dim's bound make the whole mapspace empty.
         # Failing here attributes that to the malformed constraint
@@ -203,11 +205,18 @@ class Mapper:
     # Factor enumeration
 
     def _dim_slot_names(self, dim: str) -> list[tuple[str, str]]:
-        """Slots a dim's bound can be split across: ('t'|'s', level)."""
-        slots = [("t", level) for level in self.level_names]
-        slots += [
-            ("s", level) for (level, d) in self._spatial_slots if d == dim
-        ]
+        """Slots a dim's bound can be split across: ('t'|'s', level).
+
+        Cached per dim: the sampler asks for the same slot list on
+        every candidate draw. Callers must not mutate the result.
+        """
+        slots = self._dim_slots_cache.get(dim)
+        if slots is None:
+            slots = [("t", level) for level in self.level_names]
+            slots += [
+                ("s", level) for (level, d) in self._spatial_slots if d == dim
+            ]
+            self._dim_slots_cache[dim] = slots
         return slots
 
     def _dim_factorizations(self, dim: str) -> Iterator[tuple[int, ...]]:
@@ -558,14 +567,17 @@ class Mapper:
             combos = {
                 d: self._random_dim_factorization(d, rng) for d in dims
             }
-            mapping = self._build_mapping(combos)
-            if not self._structurally_valid(mapping):
+            # Structural validity is decided on the combos themselves
+            # (see _combo_structurally_valid): rejected draws never pay
+            # a Mapping construction, accepted ones are valid by the
+            # same rules Mapping.validate enforces.
+            if not self._combo_structurally_valid(combos):
                 continue
             produced += 1
             if self._witness_dominated(dims, [combos[d] for d in dims]):
                 self.pruned_candidates += 1
                 continue
-            yield mapping
+            yield self._build_mapping(combos)
 
     def _structurally_valid(self, mapping: Mapping) -> bool:
         try:
@@ -573,6 +585,86 @@ class Mapper:
         except MappingError:
             return False
         return True
+
+    def _combo_structurally_valid(
+        self, combos: dict[str, tuple[int, ...]]
+    ) -> bool:
+        """:meth:`Mapping.validate` evaluated directly on slot combos.
+
+        Sampled draws satisfy most of ``validate`` *by construction*:
+        level names match the architecture, factor products tile every
+        bound exactly, and all dims are known. What remains is the
+        spatial-fanout limit (genuinely draw-dependent) and the
+        draw-independent checks (instance ratios, keep-set residency),
+        which are computed once and reused. Accepts exactly the combos
+        whose built mapping passes ``validate``, without paying a
+        :class:`Mapping` construction for rejected draws.
+        """
+        ctx = self._draw_ctx
+        if ctx is None:
+            ctx = self._draw_ctx = self._build_draw_ctx()
+        static_ok, spatial_checks = ctx
+        if not static_ok:
+            return False
+        for available, slots in spatial_checks:
+            fanout = 1
+            for dim, index in slots:
+                fanout *= combos[dim][index]
+            if fanout > available:
+                return False
+        return True
+
+    def _build_draw_ctx(
+        self,
+    ) -> tuple[bool, list[tuple[int, list[tuple[str, int]]]]]:
+        """Draw-independent validity facts for sampled candidates.
+
+        Returns ``(static_ok, spatial_checks)``: ``static_ok`` covers
+        the checks no draw can change (hardware instance ratios, keep
+        residency under the fixed constraint keep sets, fanout room at
+        levels with no spatial slots), ``spatial_checks`` lists, per
+        level that can receive spatial factors, the available child
+        instances and the (dim, slot index) positions contributing to
+        that level's fanout.
+        """
+        ordered = self.level_names
+        static_ok = True
+        for tensor in self.einsum.tensors:
+            if not any(
+                self.constraints.keep.get(level) is None
+                or tensor.name in self.constraints.keep[level]
+                for level in ordered
+            ):
+                static_ok = False
+        spatial_checks: list[tuple[int, list[tuple[str, int]]]] = []
+        for idx, level in enumerate(ordered):
+            parent_instances = (
+                self.arch.level(ordered[idx - 1]).instances if idx else 1
+            )
+            below_instances = (
+                self.arch.level(ordered[idx + 1]).instances
+                if idx + 1 < len(ordered)
+                else self.arch.compute.instances
+            )
+            this_instances = self.arch.level(level).instances
+            if this_instances % parent_instances != 0:
+                static_ok = False
+            available = below_instances // this_instances
+            slots = [
+                (dim, index)
+                for dim in self.einsum.dims
+                for index, (kind, slot_level) in enumerate(
+                    self._dim_slot_names(dim)
+                )
+                if kind == "s" and slot_level == level
+            ]
+            if slots:
+                spatial_checks.append((available, slots))
+            elif available < 1:
+                # A draw puts no spatial factor here, so its fanout is
+                # exactly 1 — which still needs one child instance.
+                static_ok = False
+        return static_ok, spatial_checks
 
     def mapspace_size_estimate(self) -> int:
         """Upper bound on the factorization space (permutations excluded).

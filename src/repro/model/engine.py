@@ -65,7 +65,10 @@ import os
 import warnings
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field, replace
+from itertools import islice
 from pathlib import Path
+
+import numpy as np
 
 from repro.accelergy.backend import Accelergy
 from repro.arch.spec import Architecture
@@ -78,7 +81,13 @@ from repro.common.cache import (
     global_cache,
 )
 from repro.common.errors import MappingError, SpecError, ValidationError
-from repro.dataflow.nest_analysis import DenseTraffic, analyze_dataflow
+from repro.dataflow.nest_analysis import (
+    DENSE_VECTORIZED_DEFAULT,
+    DenseTraffic,
+    analyze_dataflow,
+    analyze_dataflow_batch,
+    dense_analysis_key,
+)
 from repro.mapping.mapping import Mapping
 from repro.mapping.mapspace import (
     CANDIDATES_STAGE,
@@ -116,6 +125,14 @@ __all__ = [
 ]
 
 MappingFactory = Callable[[Workload, Architecture], Mapping]
+
+#: Default backend for the capacity prefilter in the batched search
+#: strategy. The scalar oracle (:meth:`Evaluator._capacity_overflow`
+#: per candidate) can be forced process-wide by setting
+#: ``REPRO_SCALAR_PREFILTER`` to anything but an explicit falsy value.
+PREFILTER_VECTORIZED_DEFAULT = os.environ.get(
+    "REPRO_SCALAR_PREFILTER", ""
+).lower() in ("", "0", "false", "no", "off")
 
 #: Entry points that already emitted their deprecation warning this
 #: process (so heavy sweeps through legacy call sites warn once, not
@@ -184,9 +201,82 @@ class OverflowReason:
     monotone: bool = False
 
 
+class _PrefilterReject:
+    """One block-prefilter rejection, with the witness held *lazily*.
+
+    The batched prefilter computes occupancy bounds for a whole block
+    in stacked arrays; most rejects never register a witness (the
+    mapper already dominates them, or the overflow is not monotone), so
+    the per-dimension extents dict is only materialised from the block
+    arrays on demand. ``reason()`` upgrades to a full
+    :class:`OverflowReason` — bit-identical to the scalar oracle's.
+    """
+
+    __slots__ = (
+        "level", "monotone", "used_words", "capacity_words",
+        "_extent_cols", "_col", "_dims", "_reason",
+    )
+
+    def __init__(
+        self,
+        level: str,
+        monotone: bool,
+        used_words: float,
+        capacity_words: float,
+        extent_cols: dict | None = None,
+        col: int = 0,
+        dims: tuple[str, ...] = (),
+        reason: OverflowReason | None = None,
+    ):
+        self.level = level
+        self.monotone = monotone
+        self.used_words = used_words
+        self.capacity_words = capacity_words
+        self._extent_cols = extent_cols
+        self._col = col
+        self._dims = dims
+        self._reason = reason
+
+    def witness_extents(self) -> dict[str, int]:
+        """Per-dimension tile extents at the overflowing level."""
+        if self._reason is not None:
+            return self._reason.dim_extents
+        cols = self._extent_cols
+        return {d: int(cols[d][self._col]) for d in self._dims}
+
+    def reason(self) -> OverflowReason:
+        """The full scalar-oracle-equivalent :class:`OverflowReason`."""
+        if self._reason is None:
+            self._reason = OverflowReason(
+                level=self.level,
+                dim_extents=self.witness_extents(),
+                used_words=self.used_words,
+                capacity_words=self.capacity_words,
+                monotone=self.monotone,
+            )
+        return self._reason
+
+
 def _edp_objective(result: EvaluationResult) -> float:
     """Default search objective (module-level so it pickles)."""
     return result.edp
+
+
+#: Per-architecture Accelergy backends. The backend is immutable after
+#: construction (per-action energy tables only), so one instance serves
+#: every evaluation of an architecture in the process; bounded by a
+#: clear-on-overflow so sweeps over many architectures cannot leak.
+_ACCELERGY_MEMO: dict[tuple, Accelergy] = {}
+
+
+def _accelergy_for(arch: Architecture) -> Accelergy:
+    key = arch.cache_key()
+    backend = _ACCELERGY_MEMO.get(key)
+    if backend is None:
+        if len(_ACCELERGY_MEMO) >= 64:
+            _ACCELERGY_MEMO.clear()
+        backend = _ACCELERGY_MEMO[key] = Accelergy(arch)
+    return backend
 
 
 @dataclass
@@ -219,6 +309,21 @@ class Evaluator:
     ``REPRO_SCALAR_SPARSE`` environment variable forced the scalar
     oracle process-wide) or the scalar oracle path; both are
     bit-identical (see :mod:`repro.sparse.postprocess`).
+    ``dense_vectorized``: run the dense nest analysis of each search
+    block through the stacked backend
+    (:func:`~repro.dataflow.nest_analysis.analyze_dataflow_batch`)
+    instead of one scalar walk per candidate, and share the
+    sparse-walk memo (leader keeps, format scalings) across the
+    candidates of one search. Default follows ``REPRO_SCALAR_DENSE``;
+    both backends are bit-identical.
+    ``prefilter_vectorized``: run the capacity prefilter of the
+    batched search strategy as one stacked numpy reduction per memory
+    level and block instead of the scalar per-candidate scan
+    (:meth:`_capacity_overflow`, which remains the bit-identical
+    oracle). Default follows ``REPRO_SCALAR_PREFILTER``. Witness
+    feedback into the mapper is unchanged: overflow extents are
+    derived lazily from the block arrays only when a witness is
+    actually registered.
     ``search_strategy`` / ``search_batch_size``: how the serial
     mapspace scan evaluates candidates. ``"batched"`` (the default)
     drives the search in candidate blocks — prefilter each candidate
@@ -262,6 +367,12 @@ class Evaluator:
     prefilter_capacity: bool = True
     sparse_vectorized: bool = field(
         default_factory=lambda: VECTORIZED_DEFAULT
+    )
+    dense_vectorized: bool = field(
+        default_factory=lambda: DENSE_VECTORIZED_DEFAULT
+    )
+    prefilter_vectorized: bool = field(
+        default_factory=lambda: PREFILTER_VECTORIZED_DEFAULT
     )
     persistent: PersistentCache | None = field(default=None, repr=False)
     persistent_key: str | None = field(default=None, repr=False)
@@ -431,16 +542,18 @@ class Evaluator:
     def _staged_energy(
         self, design: Design, sparse: SparseTraffic, sparse_key: CachedHashKey | None
     ):
-        """:func:`compute_energy` through the ``"energy"`` stage; a hit
-        also skips constructing the Accelergy backend."""
+        """:func:`compute_energy` through the ``"energy"`` stage; the
+        Accelergy backend itself is memoised per architecture
+        (:func:`_accelergy_for`), so neither path re-derives the
+        per-action energy tables."""
         if self.cache is None or sparse_key is None:
             return compute_energy(
-                design.arch, sparse, Accelergy(design.arch)
+                design.arch, sparse, _accelergy_for(design.arch)
             )
         return self.cache.stage(ENERGY_STAGE).get_or_compute(
             sparse_key,
             lambda: compute_energy(
-                design.arch, sparse, Accelergy(design.arch)
+                design.arch, sparse, _accelergy_for(design.arch)
             ),
         )
 
@@ -548,6 +661,199 @@ class Evaluator:
     ) -> bool:
         """Boolean view of :meth:`_capacity_overflow`."""
         return self._capacity_overflow(design, workload, mapping) is None
+
+    def _capacity_overflow_block(
+        self,
+        design: Design,
+        workload: Workload,
+        mappings: Sequence[Mapping],
+        vectorized: bool | None = None,
+    ) -> list[OverflowReason | None]:
+        """Block view of :meth:`_capacity_overflow`: one
+        :class:`OverflowReason` (or ``None``) per mapping.
+
+        ``vectorized=None`` follows ``prefilter_vectorized``; the
+        scalar path simply loops the oracle. Both paths are
+        bit-identical — decision, overflowing level, bound values, and
+        witness extents. The search itself keeps the lazier
+        :class:`_PrefilterReject` records from
+        :meth:`_prefilter_block`; this eager view serves equivalence
+        tests and external callers.
+        """
+        if vectorized is None:
+            vectorized = self.prefilter_vectorized
+        if not vectorized:
+            return [
+                self._capacity_overflow(design, workload, mapping)
+                for mapping in mappings
+            ]
+        return [
+            None if reject is None else reject.reason()
+            for reject in self._prefilter_block(design, workload, mappings)
+        ]
+
+    def _prefilter_block(
+        self, design: Design, workload: Workload, mappings: Sequence[Mapping]
+    ) -> list["_PrefilterReject | None"]:
+        """Vectorized capacity prefilter over one block of candidates.
+
+        Returns one :class:`_PrefilterReject` (``None`` = survivor) per
+        mapping, matching :meth:`_capacity_overflow` per candidate
+        bit for bit. Candidates are grouped by keep structure (level
+        names + keep sets — uniform across any one mapper stream) so
+        each group's occupancy bounds evaluate as stacked numpy
+        reductions; groups the stacked path cannot handle exactly
+        (single candidates, extents near the int64 range, capacities
+        beyond float64 integer precision) fall back to the scalar
+        oracle, whose Python-int arithmetic is exact.
+        """
+        ensure_output_density(workload)
+        results: list[_PrefilterReject | None] = [None] * len(mappings)
+        groups: dict[tuple, list[int]] = {}
+        for i, mapping in enumerate(mappings):
+            key = tuple(
+                (
+                    lvl.level,
+                    None if lvl.keep is None else frozenset(lvl.keep),
+                )
+                for lvl in mapping.levels
+            )
+            groups.setdefault(key, []).append(i)
+        for indices in groups.values():
+            rejects = self._prefilter_group(
+                design, workload, [mappings[i] for i in indices]
+            )
+            if rejects is None:
+                for i in indices:
+                    reason = self._capacity_overflow(
+                        design, workload, mappings[i]
+                    )
+                    if reason is not None:
+                        results[i] = _PrefilterReject(
+                            level=reason.level,
+                            monotone=reason.monotone,
+                            used_words=reason.used_words,
+                            capacity_words=reason.capacity_words,
+                            reason=reason,
+                        )
+            else:
+                for i, reject in zip(indices, rejects):
+                    results[i] = reject
+        return results
+
+    def _prefilter_group(
+        self, design: Design, workload: Workload, group: list[Mapping]
+    ) -> list["_PrefilterReject | None"] | None:
+        """Stacked occupancy bounds for one keep-structure group, or
+        ``None`` when the group must use the scalar oracle.
+
+        Mirrors :meth:`_capacity_overflow` with every per-candidate
+        scalar replaced by a block column: tile extents accumulate
+        innermost-first into int64 columns, per-tensor tile sizes are
+        row-wise products, and the statistical occupancy models are
+        evaluated once per *unique* tile size (the model calls are pure
+        scalar functions, so deduplication changes nothing). Additions
+        run in the scalar path's exact order, so the float64 bound
+        accumulators — and therefore the reject decisions, flagged
+        levels, and monotone flags — are bit-identical.
+        """
+        count = len(group)
+        if count < 2:
+            return None
+        einsum = workload.einsum
+        rep = group[0]
+        dims = tuple(einsum.dims)
+        ext_list: dict[str, list[int]] = {d: [1] * count for d in dims}
+        rejects: list[_PrefilterReject | None] = [None] * count
+        rejected = np.zeros(count, dtype=bool)
+        for pos in range(len(rep.levels) - 1, -1, -1):  # innermost first
+            for c, mapping in enumerate(group):
+                level_map = mapping.levels[pos]
+                for loop in level_map.temporal + level_map.spatial:
+                    ext_list[loop.dim][c] *= loop.bound
+            keep = rep.levels[pos]
+            level_name = keep.level
+            capacity = design.arch.level(level_name).capacity_words
+            if capacity is None:
+                continue
+            if isinstance(capacity, int) and capacity >= 2**53:
+                # float64 cannot represent the capacity exactly; the
+                # scalar oracle's int/float comparisons are exact.
+                return None
+            # int64 safety: every intermediate of the tile products is
+            # bounded by the tile size at the per-dim column maxima
+            # (all factors/terms are >= 1), computed in exact ints.
+            max_ext = {d: max(vals) for d, vals in ext_list.items()}
+            if any(v >= 2**62 for v in max_ext.values()) or any(
+                tensor.tile_size(max_ext) >= 2**62
+                for tensor in einsum.tensors
+                if keep.keeps(tensor.name)
+            ):
+                return None
+            ext = {
+                d: np.asarray(vals, dtype=np.int64)
+                for d, vals in ext_list.items()
+            }
+            used = np.zeros(count)
+            monotone_used = np.zeros(count)
+            for tensor in einsum.tensors:
+                if not keep.keeps(tensor.name):
+                    continue
+                tile = np.ones(count, dtype=np.int64)
+                for rank in tensor.ranks:
+                    span = np.zeros(count, dtype=np.int64)
+                    for term in rank.terms:
+                        span += term.coefficient * (ext[term.dim] - 1)
+                    tile *= span + 1
+                fmt = design.safs.format_for(level_name, tensor.name)
+                if fmt is not None and fmt.is_compressed:
+                    model = workload.densities.get(tensor.name)
+                    if model is not None:
+                        uniq, inverse = np.unique(
+                            tile, return_inverse=True
+                        )
+                        quantile = np.asarray(
+                            [
+                                model.quantile_occupancy(int(v))
+                                for v in uniq
+                            ],
+                            dtype=np.float64,
+                        )[inverse]
+                        used = used + np.minimum(
+                            tile.astype(np.float64), quantile
+                        )
+                        bounds = [
+                            model.monotone_occupancy_bound(int(v))
+                            for v in uniq
+                        ]
+                        # A model without a monotone bound contributes
+                        # nothing; adding 0.0 to the non-negative
+                        # accumulator is bit-exact with skipping.
+                        monotone_used = monotone_used + np.asarray(
+                            [0.0 if b is None else b for b in bounds],
+                            dtype=np.float64,
+                        )[inverse]
+                        continue
+                used = used + tile
+                monotone_used = monotone_used + tile
+            over = (used > capacity) & ~rejected
+            if over.any():
+                mono_over = monotone_used > capacity
+                for c in np.nonzero(over)[0]:
+                    c = int(c)
+                    rejects[c] = _PrefilterReject(
+                        level=level_name,
+                        monotone=bool(mono_over[c]),
+                        used_words=float(used[c]),
+                        capacity_words=capacity,
+                        extent_cols=ext,
+                        col=c,
+                        dims=dims,
+                    )
+                rejected |= over
+                if rejected.all():
+                    break
+        return rejects
 
     # ------------------------------------------------------------------
     # Mapspace search
@@ -753,41 +1059,102 @@ class Evaluator:
         :meth:`Mapper.mapping_dominated` per candidate to withhold
         exactly what the live generator would have — keeping stream
         indices, and therefore tie-breaks, identical.
+
+        With ``prefilter_vectorized`` the prefilter itself runs per
+        *drawn block* (:meth:`_prefilter_block`) instead of per
+        candidate. Drawing a whole block ahead of witness registration
+        would let a live generator yield candidates the serial scan's
+        yield-time witness check would have withheld — exactly those
+        dominated by witnesses registered *inside* the current block —
+        so the scan replays :meth:`Mapper.mapping_dominated` for the
+        rest of the block once any in-block witness registers. The
+        surviving (index, mapping) stream, and with it every score and
+        tie-break, is identical to the serial scan; only the mapper's
+        pruned_subtrees/pruned_candidates *split* may shift (in-block
+        subtree prunes arrive as per-candidate withholds), never their
+        effect.
         """
         objective = objective or _edp_objective
         if batch_size is None:
             batch_size = self.search_batch_size
         batch_size = max(1, batch_size)
         prefilter = self.prefilter_capacity and self.check_capacity
+
+        def _survivors_scalar() -> Iterable[tuple[int, Mapping]]:
+            # The PR 5 scan: draw one candidate at a time, scalar
+            # prefilter, witnesses registered before the next draw.
+            index = offset - 1
+            for mapping in candidates:
+                if (
+                    replayed
+                    and mapper is not None
+                    and mapper.mapping_dominated(mapping)
+                ):
+                    mapper.pruned_candidates += 1
+                    continue
+                index += 1
+                if prefilter:
+                    overflow = self._capacity_overflow(
+                        design, workload, mapping
+                    )
+                    if overflow is not None:
+                        if mapper is not None and overflow.monotone:
+                            mapper.register_overflow(
+                                overflow.level, overflow.dim_extents
+                            )
+                        continue
+                yield index, mapping
+
+        def _survivors_blocked() -> Iterable[tuple[int, Mapping]]:
+            # Draw whole blocks and prefilter them in one stacked pass.
+            index = offset - 1
+            stream = iter(candidates)
+            while True:
+                drawn = list(islice(stream, batch_size))
+                if not drawn:
+                    return
+                rejects = self._prefilter_block(design, workload, drawn)
+                registered = False
+                for mapping, reject in zip(drawn, rejects):
+                    if (
+                        mapper is not None
+                        and (replayed or registered)
+                        and mapper.mapping_dominated(mapping)
+                    ):
+                        mapper.pruned_candidates += 1
+                        continue
+                    index += 1
+                    if reject is None:
+                        yield index, mapping
+                    elif mapper is not None and reject.monotone:
+                        mapper.register_overflow(
+                            reject.level, reject.witness_extents()
+                        )
+                        registered = True
+
+        survivors = (
+            _survivors_blocked()
+            if prefilter and self.prefilter_vectorized
+            else _survivors_scalar()
+        )
+        # One sparse-walk memo spans the whole search: every candidate
+        # shares (design, workload), so leader-keep probabilities and
+        # per-tile format scalings recur across blocks. Gated with the
+        # vectorized dense backend so the scalar-oracle configuration
+        # stays the plain per-candidate pipeline.
+        memo: dict | None = {} if self.dense_vectorized else None
         best: tuple[float, int, EvaluationResult] | None = None
         block: list[tuple[int, Mapping]] = []
-        index = offset - 1
-        for mapping in candidates:
-            if (
-                replayed
-                and mapper is not None
-                and mapper.mapping_dominated(mapping)
-            ):
-                mapper.pruned_candidates += 1
-                continue
-            index += 1
-            if prefilter:
-                overflow = self._capacity_overflow(design, workload, mapping)
-                if overflow is not None:
-                    if mapper is not None and overflow.monotone:
-                        mapper.register_overflow(
-                            overflow.level, overflow.dim_extents
-                        )
-                    continue
+        for index, mapping in survivors:
             block.append((index, mapping))
             if len(block) >= batch_size:
                 best = self._evaluate_block(
-                    design, workload, block, objective, best
+                    design, workload, block, objective, best, memo=memo
                 )
                 block = []
         if block:
             best = self._evaluate_block(
-                design, workload, block, objective, best
+                design, workload, block, objective, best, memo=memo
             )
         return best
 
@@ -798,27 +1165,30 @@ class Evaluator:
         block: list[tuple[int, Mapping]],
         objective: Callable[[EvaluationResult], float],
         best: tuple[float, int, EvaluationResult] | None,
+        memo: dict | None = None,
     ) -> tuple[float, int, EvaluationResult] | None:
         """Evaluate one block of prefilter survivors through the
-        stacked sparse pipeline and fold them into ``best``.
+        stacked dense + sparse pipeline and fold them into ``best``.
 
         Candidates whose evaluation raises an expected modeling error
         (capacity overflow under the full validity check, mapping
         rejection) are skipped, exactly as in the serial scan. Should
-        the stacked pass itself fail, the block falls back to the
-        serial per-candidate oracle — with the sparse-stage accounting
-        of the aborted attempt rolled back first — so the failure is
+        a stacked pass itself fail, the block falls back to the serial
+        per-candidate oracle — with the stage accounting of the
+        aborted attempt rolled back first — so the failure is
         attributed to the one candidate that caused it; results and
         cache statistics are identical to the serial scan either way.
+        ``memo`` is the search-wide sparse-walk memo (see
+        :func:`~repro.sparse.postprocess.analyze_sparse_batch`).
         """
+        dense_entries = self._dense_analysis_many(
+            design, workload, [mapping for _, mapping in block]
+        )
         prepared: list[tuple[int, Mapping, DenseTraffic, tuple | None]] = []
-        for index, mapping in block:
-            try:
-                dense, dense_key = self._dense_analysis_keyed(
-                    design, workload, mapping
-                )
-            except (ValidationError, MappingError):
+        for (index, mapping), entry in zip(block, dense_entries):
+            if entry is None:
                 continue
+            dense, dense_key = entry
             prepared.append((index, mapping, dense, dense_key))
         if not prepared:
             return best
@@ -826,7 +1196,9 @@ class Evaluator:
         counters = (stage.hits, stage.misses) if stage is not None else None
         try:
             analyses = self._sparse_analysis_many(
-                [(dense, key) for _, _, dense, key in prepared], design.safs
+                [(dense, key) for _, _, dense, key in prepared],
+                design.safs,
+                memo=memo,
             )
         except (ValidationError, MappingError):
             if stage is not None:
@@ -862,10 +1234,110 @@ class Evaluator:
                 best = (score, index, result)
         return best
 
+    def _dense_analysis_many(
+        self,
+        design: Design,
+        workload: Workload,
+        mappings: Sequence[Mapping],
+    ) -> list[tuple[DenseTraffic, tuple | None] | None]:
+        """:meth:`_dense_analysis_keyed` over one block of candidates.
+
+        Cache hits are served as usual; misses run through **one**
+        :func:`~repro.dataflow.nest_analysis.analyze_dataflow_batch`
+        call (deduped by content key, so a repeated sampled draw is
+        computed once and the follower served as the hit the serial
+        scan would have seen) and are installed into the ``"dense"``
+        stage. A candidate whose analysis fails with an expected
+        modeling error yields ``None``; should the stacked pass fail,
+        the stage accounting of the aborted attempt is rolled back and
+        the block recounts through the serial per-candidate oracle.
+        Results and cache statistics match the serial loop exactly.
+        """
+        count = len(mappings)
+        out: list[tuple[DenseTraffic, tuple | None] | None] = [None] * count
+        keys: list[tuple | None] = [None] * count
+        compute_positions: list[int] = []
+        followers: dict[int, list[int]] = {}
+        first_by_key: dict[tuple, int] = {}
+        stage = self.cache.dense if self.cache is not None else None
+        counters = (stage.hits, stage.misses) if stage is not None else None
+        for position, mapping in enumerate(mappings):
+            if stage is not None:
+                key = CachedHashKey(
+                    dense_analysis_key(workload, design.arch, mapping)
+                )
+                keys[position] = key
+                if key in stage:  # peek: accounting handled per branch
+                    cached = stage.get(key)  # counts the hit
+                    out[position] = (replace(cached, workload=workload), key)
+                    continue
+                first = first_by_key.get(key)
+                if first is not None:
+                    # Serial accounting: the first occurrence computes
+                    # and installs before the scan reaches this
+                    # duplicate — a hit, not a miss.
+                    stage.hits += 1
+                    followers.setdefault(first, []).append(position)
+                    continue
+                first_by_key[key] = position
+                stage.misses += 1  # the serial get-before-compute miss
+            compute_positions.append(position)
+        if compute_positions:
+            try:
+                computed = analyze_dataflow_batch(
+                    [
+                        (workload, design.arch, mappings[i])
+                        for i in compute_positions
+                    ],
+                    vectorized=self.dense_vectorized,
+                )
+            except (ValidationError, MappingError):
+                if stage is not None:
+                    # The aborted stacked attempt already counted its
+                    # lookups; the serial fallback recounts every one.
+                    stage.hits, stage.misses = counters
+                return self._dense_analysis_many_fallback(
+                    design, workload, mappings
+                )
+            for position, dense in zip(compute_positions, computed):
+                key = keys[position]
+                if stage is not None and key is not None:
+                    # Store with the workload stripped, exactly as
+                    # DenseAnalysisCache.get_or_compute_keyed does.
+                    stage.put(key, replace(dense, workload=None))
+                out[position] = (dense, key)
+                for follower in followers.get(position, ()):
+                    # The follower's serial hit would have returned the
+                    # stored copy rebound to its workload.
+                    out[follower] = (
+                        replace(dense, workload=workload),
+                        keys[follower],
+                    )
+        return out
+
+    def _dense_analysis_many_fallback(
+        self,
+        design: Design,
+        workload: Workload,
+        mappings: Sequence[Mapping],
+    ) -> list[tuple[DenseTraffic, tuple | None] | None]:
+        """Per-candidate dense analysis with per-candidate error
+        isolation — the serial oracle the stacked pass falls back to."""
+        out: list[tuple[DenseTraffic, tuple | None] | None] = []
+        for mapping in mappings:
+            try:
+                out.append(
+                    self._dense_analysis_keyed(design, workload, mapping)
+                )
+            except (ValidationError, MappingError):
+                out.append(None)
+        return out
+
     def _sparse_analysis_many(
         self,
         items: Sequence[tuple[DenseTraffic, tuple | None]],
         safs: SAFSpec,
+        memo: dict | None = None,
     ) -> list[tuple[SparseTraffic, CachedHashKey | None]]:
         """:meth:`_sparse_analysis_keyed` over many candidates at once.
 
@@ -882,12 +1354,42 @@ class Evaluator:
         compute_positions: list[int] = []
         followers: dict[int, list[int]] = {}
         first_by_key: dict[CachedHashKey, int] = {}
+        # The block shares one workload and one SAF spec, so of the
+        # sparse key triple (dense key, SAF key, density keys) only the
+        # dense component varies per candidate: derive the invariant
+        # parts once and assemble per-candidate keys inline — the same
+        # tuples sparse_analysis_key would build.
+        invariant: tuple | None = None
+        if self.cache is not None and items:
+            workload = next(
+                (d.workload for d, _k in items if d is not None), None
+            )
+            if workload is not None:
+                ensure_output_density(workload)
+                density_keys = []
+                for tensor in workload.einsum.tensors:
+                    density_key = workload.density_of(tensor.name).cache_key()
+                    if density_key is None:
+                        density_keys = None
+                        break
+                    density_keys.append((tensor.name, density_key))
+                if density_keys is not None:
+                    invariant = (safs.cache_key(), tuple(density_keys))
         for position, (dense, dense_key) in enumerate(items):
             key: CachedHashKey | None = None
             if self.cache is not None:
-                raw = sparse_analysis_key(dense, safs, dense_key)
-                if raw is not None:
-                    key = CachedHashKey(raw)
+                if (
+                    invariant is not None
+                    and dense_key is not None
+                    and dense.workload is workload
+                ):
+                    if not isinstance(dense_key, CachedHashKey):
+                        dense_key = CachedHashKey(dense_key)
+                    key = CachedHashKey((dense_key, *invariant))
+                else:
+                    raw = sparse_analysis_key(dense, safs, dense_key)
+                    if raw is not None:
+                        key = CachedHashKey(raw)
             keys[position] = key
             if key is not None:
                 stage = self.cache.sparse
@@ -911,6 +1413,7 @@ class Evaluator:
             computed = analyze_sparse_batch(
                 [(items[i][0], safs) for i in compute_positions],
                 vectorized=self.sparse_vectorized,
+                memo=memo,
             )
             for position, sparse in zip(compute_positions, computed):
                 sparses[position] = sparse
@@ -946,22 +1449,35 @@ class Evaluator:
                 else self.search_batch_size
             ),
         )
+        # Zero-pickle fan-out: the read-only search state — evaluator,
+        # design, workload, the full candidate list, the objective —
+        # ships ONCE per worker through the pool initializer (inherited
+        # for free under fork, pickled once per worker under
+        # spawn/forkserver), and each task payload is just a candidate
+        # index range. The old protocol re-pickled the design and the
+        # chunk's mappings into every task.
+        shared = {
+            "evaluator": worker,
+            "design": design,
+            "workload": workload,
+            "candidates": candidates,
+            "objective": objective,
+        }
         payloads = []
         offset = 0
         for chunk in chunks:
-            payloads.append(
-                (worker, design, workload, chunk, objective, offset)
-            )
+            payloads.append((offset, offset + len(chunk)))
             offset += len(chunk)
-        # Search chunk workers receive explicit materialised candidate
+        # Search range workers receive explicit materialised candidate
         # lists and never sample, so the (potentially large) candidates
         # stage is dead weight in their warm-up payload. (Evaluate/
         # network pools keep it: a constraints-only design makes their
         # workers run whole searches, where replay pays off.)
         partials = self._run_pool(
-            _search_chunk_worker,
+            _search_range_worker,
             payloads,
             exclude_stages=(CANDIDATES_STAGE,),
+            shared=shared,
         )
         best: tuple[float, int, EvaluationResult] | None = None
         for partial in partials:
@@ -1008,8 +1524,17 @@ class Evaluator:
             return [self._evaluate(*job) for job in jobs]
         chunks = _contiguous_chunks(jobs, parallel)
         worker = replace(self, cache=None)
-        payloads = [(worker, chunk) for chunk in chunks]
-        partials = self._run_pool(_evaluate_chunk_worker, payloads)
+        # Zero-pickle fan-out: jobs (designs + workloads) ship once per
+        # worker via the initializer; task payloads are index ranges.
+        shared = {"evaluator": worker, "jobs": jobs}
+        payloads = []
+        offset = 0
+        for chunk in chunks:
+            payloads.append((offset, offset + len(chunk)))
+            offset += len(chunk)
+        partials = self._run_pool(
+            _evaluate_range_worker, payloads, shared=shared
+        )
         results = [result for chunk in partials for result in chunk]
         # Results were computed in workers; fold them back into the
         # parent cache so follow-up serial evaluations hit and
@@ -1125,7 +1650,9 @@ class Evaluator:
             return
         from repro.dataflow.nest_analysis import dense_analysis_key
 
-        dense_key = dense_analysis_key(workload, design.arch, dense.mapping)
+        dense_key = CachedHashKey(
+            dense_analysis_key(workload, design.arch, dense.mapping)
+        )
         if dense_key not in self.cache.dense:
             self.cache.dense.put(dense_key, replace(dense, workload=None))
         sparse_key = sparse_analysis_key(dense, design.safs, dense_key)
@@ -1253,6 +1780,7 @@ class Evaluator:
         worker_fn,
         payloads: list,
         exclude_stages: tuple[str, ...] = (),
+        shared: dict | None = None,
     ) -> list:
         """Map ``worker_fn`` over ``payloads`` in a process pool.
 
@@ -1265,6 +1793,13 @@ class Evaluator:
         and the parent's shipped entries. Empty payload lists return
         immediately (``ProcessPoolExecutor`` rejects
         ``max_workers=0``).
+
+        ``shared`` carries the fan-out's read-only state (evaluator,
+        design, workload, candidates/jobs) to :data:`_WORKER_SHARED`
+        through the initializer: it crosses the process boundary once
+        per *worker* — by inheritance under fork, as part of the
+        initargs pickle under spawn/forkserver — instead of riding in
+        every task payload, which stays a tiny index range.
         """
         if not payloads:
             return []
@@ -1283,6 +1818,7 @@ class Evaluator:
                 ),
                 persistent,
                 self.persistent_key,
+                shared,
             ),
         ) as pool:
             return list(pool.map(worker_fn, payloads))
@@ -1366,11 +1902,18 @@ def _install_cache_state(cache: AnalysisCache, state: dict) -> int:
 _WORKER_CACHE: AnalysisCache | None = None
 _WORKER_CACHE_INSTALLED = False
 
+#: Read-only fan-out state installed by the pool initializer (the
+#: zero-pickle worker protocol): evaluator, design, workload, and the
+#: full candidate/job list of the current fan-out. Range workers slice
+#: it by the index ranges their task payloads carry.
+_WORKER_SHARED: dict | None = None
+
 
 def _warm_worker_initializer(
     state: dict | None,
     persistent: PersistentCache | None = None,
     persistent_key: str | None = None,
+    shared: dict | None = None,
 ) -> None:
     """Runs once per worker process: seed the process-global tile
     stage and build the shared per-process analysis cache, warming it
@@ -1378,9 +1921,11 @@ def _warm_worker_initializer(
     and then from the parent's shipped entries. A ``None`` state means
     the parent runs uncached; workers then do too — the persistent
     tier is skipped as well, so disabling the cache really disables
-    every tier."""
-    global _WORKER_CACHE, _WORKER_CACHE_INSTALLED
+    every tier. ``shared`` is the fan-out's read-only state for range
+    workers (see :meth:`Evaluator._run_pool`)."""
+    global _WORKER_CACHE, _WORKER_CACHE_INSTALLED, _WORKER_SHARED
     _WORKER_CACHE_INSTALLED = True
+    _WORKER_SHARED = shared
     if state is None:
         _WORKER_CACHE = None
         return
@@ -1418,12 +1963,42 @@ def _contiguous_chunks(items: list, parts: int) -> list[list]:
     return chunks
 
 
-def _search_chunk_worker(payload):
-    evaluator, design, workload, chunk, objective, offset = payload
-    evaluator = _bind_worker_cache(evaluator)
-    # Chunk workers honour the search strategy shipped on the
+def _search_range_worker(payload):
+    """Search one candidate index range against the installed
+    fan-out state (:data:`_WORKER_SHARED`)."""
+    start, stop = payload
+    shared = _WORKER_SHARED
+    evaluator = _bind_worker_cache(shared["evaluator"])
+    chunk = shared["candidates"][start:stop]
+    # Range workers honour the search strategy shipped on the
     # evaluator; both scans return identical (score, index, result)
     # partials, so the parallel merge is strategy-agnostic.
+    if evaluator.search_strategy == "batched":
+        return evaluator._search_candidates_batched(
+            shared["design"], shared["workload"], chunk,
+            shared["objective"], offset=start,
+        )
+    return evaluator._search_candidates(
+        shared["design"], shared["workload"], chunk,
+        shared["objective"], offset=start,
+    )
+
+
+def _evaluate_range_worker(payload):
+    """Evaluate one job index range against the installed fan-out
+    state (:data:`_WORKER_SHARED`)."""
+    start, stop = payload
+    shared = _WORKER_SHARED
+    evaluator = _bind_worker_cache(shared["evaluator"])
+    return [evaluator._evaluate(*job) for job in shared["jobs"][start:stop]]
+
+
+def _search_chunk_worker(payload):
+    """Legacy self-contained chunk worker (state rides in the payload);
+    kept for external callers — the engine now ships
+    :func:`_search_range_worker` payloads instead."""
+    evaluator, design, workload, chunk, objective, offset = payload
+    evaluator = _bind_worker_cache(evaluator)
     if evaluator.search_strategy == "batched":
         return evaluator._search_candidates_batched(
             design, workload, chunk, objective, offset=offset
@@ -1434,6 +2009,8 @@ def _search_chunk_worker(payload):
 
 
 def _evaluate_chunk_worker(payload):
+    """Legacy self-contained chunk worker; see
+    :func:`_search_chunk_worker`."""
     evaluator, jobs = payload
     evaluator = _bind_worker_cache(evaluator)
     return [evaluator._evaluate(*job) for job in jobs]

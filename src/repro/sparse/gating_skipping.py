@@ -28,7 +28,7 @@ from repro.sparse.saf import SAFKind, SAFSpec, StorageSAF
 from repro.workload.einsum import TensorRef
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EliminationSource:
     """One elimination mechanism acting on a flow.
 
@@ -47,7 +47,7 @@ class EliminationSource:
     is_intersection: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlowClassification:
     """Fractions of a flow's operations that are skipped/gated/actual."""
 
@@ -59,6 +59,10 @@ class FlowClassification:
     def from_sources(
         cls, sources: list[EliminationSource]
     ) -> "FlowClassification":
+        if not sources:
+            # Identical to running the combination on zero sources
+            # (k_skip = k_gate = 1): the flow survives untouched.
+            return NO_ELIMINATION
         skip_keeps: dict[str, float] = {}
         gate_keeps: dict[str, float] = {}
         for src in sources:
@@ -92,7 +96,13 @@ class GatingSkippingAnalyzer:
     the loop-nest view) and the design's SAF specification.
     """
 
-    def __init__(self, dense: DenseTraffic, safs: SAFSpec):
+    def __init__(
+        self,
+        dense: DenseTraffic,
+        safs: SAFSpec,
+        *,
+        shared: dict | None = None,
+    ):
         self.dense = dense
         self.safs = safs
         self.einsum = dense.workload.einsum
@@ -104,8 +114,34 @@ class GatingSkippingAnalyzer:
         # compute sources. Memoising inside the analyzer keeps the
         # scalar and vectorized post-processing paths on the exact same
         # floats while removing the repeated dict/projection work.
-        self._keep_memo: dict[tuple, float] = {}
+        #
+        # ``shared`` extends those memos *across* analyzers: the
+        # candidates of one mapspace search share workload (densities),
+        # SAF spec, and architecture, so leader keeps and the
+        # mapping-structure-keyed classifications recur block after
+        # block. Every shared entry is a pure function of its key given
+        # that fixed context — callers own scoping the dict to it.
+        self._shared = shared
+        if shared is not None:
+            self._keep_memo = shared.setdefault("keep", {})
+        else:
+            self._keep_memo = {}
         self._compute_sources: list[EliminationSource] | None = None
+        self._inputs_innermost: tuple[str, ...] | None = None
+
+    def _inputs_innermost_keeps(self) -> tuple[str, ...]:
+        """Each input's innermost keeping level, in einsum order.
+
+        Shared-memo keys for the compute-source collection and the
+        update classification both hinge on exactly this projection of
+        the mapping, so it is derived once per analyzer.
+        """
+        if self._inputs_innermost is None:
+            keep_chain = self.dense.mapping.keep_chain
+            self._inputs_innermost = tuple(
+                keep_chain(t.name)[-1] for t in self.einsum.inputs
+            )
+        return self._inputs_innermost
 
     # ------------------------------------------------------------------
     # Leader tile computation
@@ -258,6 +294,17 @@ class GatingSkippingAnalyzer:
         """
         if self._compute_sources is not None:
             return self._compute_sources
+        shared = self._shared
+        shared_key = None
+        if shared is not None:
+            # The collection depends on the mapping only through each
+            # input's innermost keeping level (via the own-format
+            # source); everything else is fixed search-wide.
+            shared_key = ("compute-sources", self._inputs_innermost_keeps())
+            cached = shared.get(shared_key)
+            if cached is not None:
+                self._compute_sources = cached
+                return cached
         inputs = {t.name: t for t in self.einsum.inputs}
         sources: list[EliminationSource] = []
         for saf in self.safs.compute_safs:
@@ -295,10 +342,22 @@ class GatingSkippingAnalyzer:
             if own is not None:
                 sources.append(own)
         self._compute_sources = sources
+        if shared_key is not None:
+            shared[shared_key] = sources
         return sources
 
     def classify_compute(self) -> FlowClassification:
-        return FlowClassification.from_sources(self.compute_sources())
+        shared = self._shared
+        if shared is None:
+            return FlowClassification.from_sources(self.compute_sources())
+        # Pure function of the compute-source collection, which is
+        # itself keyed by the inputs' innermost keeping levels.
+        key = ("compute-cls", self._inputs_innermost_keeps())
+        cached = shared.get(key)
+        if cached is None:
+            cached = FlowClassification.from_sources(self.compute_sources())
+            shared[key] = cached
+        return cached
 
     def classify_output_updates(self) -> FlowClassification:
         """Classification of accumulator write-backs.
@@ -316,6 +375,20 @@ class GatingSkippingAnalyzer:
         for loop in self.nest.boundary_spatial(innermost_idx, -1):
             if loop.dim not in out.dims:
                 extents[loop.dim] = extents.get(loop.dim, 1) * loop.bound
+        shared = self._shared
+        shared_key = None
+        if shared is not None:
+            # Fully determined by the compute-source collection (keyed
+            # by the inputs' innermost keeping levels) and the group
+            # extents — both mapping-derived, everything else fixed.
+            shared_key = (
+                "update-classification",
+                self._inputs_innermost_keeps(),
+                tuple(sorted(extents.items())),
+            )
+            cached = shared.get(shared_key)
+            if cached is not None:
+                return cached
         sources = [
             EliminationSource(
                 kind=s.kind,
@@ -325,7 +398,10 @@ class GatingSkippingAnalyzer:
             )
             for s in self.compute_sources()
         ]
-        return FlowClassification.from_sources(sources)
+        classification = FlowClassification.from_sources(sources)
+        if shared_key is not None:
+            shared[shared_key] = classification
+        return classification
 
     def classify_flow(
         self, follower: TensorRef, flow_level: str

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import os
 
+from repro.common.cache import CachedHashKey
 from repro.common.util import prod
 from repro.dataflow.nest_analysis import DenseTraffic, dense_analysis_key
 from repro.sparse.density import UniformDensity
@@ -118,7 +119,16 @@ def sparse_analysis_key(
             return None
         density_keys.append((tensor.name, key))
     if dense_key is None:
-        dense_key = dense_analysis_key(workload, dense.arch, dense.mapping)
+        dense_key = CachedHashKey(
+            dense_analysis_key(workload, dense.arch, dense.mapping)
+        )
+    elif not isinstance(dense_key, CachedHashKey):
+        dense_key = CachedHashKey(dense_key)
+    # The dense key rides inside the sparse key as its hash-memoising
+    # wrapper: the sparse tuple is itself hashed by four stages, and
+    # every one of those hashes then reuses the dense key's cached
+    # digest instead of re-walking the deep (einsum, arch, mapping)
+    # triple.
     return (dense_key, safs.cache_key(), tuple(density_keys))
 
 
@@ -375,6 +385,7 @@ def analyze_sparse_batch(
     jobs,
     *,
     vectorized: bool | None = None,
+    memo: dict | None = None,
 ) -> list[SparseTraffic]:
     """Run the sparse modeling step for many analyses in one pass.
 
@@ -387,6 +398,17 @@ def analyze_sparse_batch(
     and the results are bit-identical to calling :func:`analyze_sparse`
     once per pair (the equivalence oracle, which the scalar backend
     falls back to directly).
+
+    ``memo`` is an optional *cross-call* walk memo: candidates of one
+    mapspace search re-derive the same leader-keep probabilities,
+    format scalings, and compute-source collections over and over, so
+    the engine threads one plain dict through every block of a search.
+    All memoised values are pure functions of their keys **given a
+    fixed workload (densities), SAF spec, and architecture** — callers
+    must pass a fresh dict per such context and never share one across
+    contexts. Memoisation returns the exact objects the unmemoised
+    walk would compute, so results remain bit-identical. The scalar
+    oracle path ignores the memo entirely.
     """
     if vectorized is None:
         vectorized = VECTORIZED_DEFAULT
@@ -396,20 +418,23 @@ def analyze_sparse_batch(
             for dense, safs in jobs
         ]
     emitter = _BatchEmitter()
-    results = [_record_sparse(dense, safs, emitter) for dense, safs in jobs]
+    results = [
+        _record_sparse(dense, safs, emitter, memo=memo)
+        for dense, safs in jobs
+    ]
     emitter.flush()
     return results
 
 
 def _record_sparse(
-    dense: DenseTraffic, safs: SAFSpec, emitter
+    dense: DenseTraffic, safs: SAFSpec, emitter, memo: dict | None = None
 ) -> SparseTraffic:
     """The descriptive analysis walk: classify every (level, tensor)
     flow and describe its split arithmetic to ``emitter``. The caller
     owns the flush, which lets one batch emitter stack many walks."""
     workload = dense.workload
     ensure_output_density(workload)
-    analyzer = GatingSkippingAnalyzer(dense, safs)
+    analyzer = GatingSkippingAnalyzer(dense, safs, shared=memo)
     sparse = SparseTraffic()
 
     compute_cls = analyzer.classify_compute()
@@ -426,24 +451,42 @@ def _record_sparse(
 
     def fmt_info(level: str, tensor: str) -> _LevelFormatInfo:
         key = (level, tensor)
-        if key not in fmt_cache:
-            record = dense.at(level, tensor)
-            spec = safs.format_for(level, tensor)
-            compressed = spec is not None and spec.is_compressed
-            fmt: FormatSpec = spec or dense_format(len(record.tile_rank_extents))
-            occ = analyze_tile_format(
-                fmt,
-                record.tile_rank_extents,
-                workload.density_of(tensor),
-            )
-            arch_level = dense.arch.level(level)
-            fmt_cache[key] = _LevelFormatInfo(
-                occ,
-                arch_level.word_bits,
-                arch_level.metadata_word_bits,
-                compressed,
-            )
-        return fmt_cache[key]
+        info = fmt_cache.get(key)
+        if info is not None:
+            return info
+        record = dense.at(level, tensor)
+        # Across the candidates of one search the same (level, tensor,
+        # tile shape) recurs constantly; the scaling factors are a pure
+        # function of that triple once workload/SAFs/arch are fixed.
+        memo_key = (
+            ("fmt", level, tensor, record.tile_rank_extents)
+            if memo is not None
+            else None
+        )
+        if memo_key is not None:
+            info = memo.get(memo_key)
+            if info is not None:
+                fmt_cache[key] = info
+                return info
+        spec = safs.format_for(level, tensor)
+        compressed = spec is not None and spec.is_compressed
+        fmt: FormatSpec = spec or dense_format(len(record.tile_rank_extents))
+        occ = analyze_tile_format(
+            fmt,
+            record.tile_rank_extents,
+            workload.density_of(tensor),
+        )
+        arch_level = dense.arch.level(level)
+        info = _LevelFormatInfo(
+            occ,
+            arch_level.word_bits,
+            arch_level.metadata_word_bits,
+            compressed,
+        )
+        fmt_cache[key] = info
+        if memo_key is not None:
+            memo[memo_key] = info
+        return info
 
     for tensor in workload.einsum.tensors:
         chain = dense.mapping.keep_chain(tensor.name)

@@ -11,9 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class ActionBreakdown:
-    """Counts of one action split into actual / gated / skipped."""
+    """Counts of one action split into actual / gated / skipped.
+
+    Slotted: the sparse walk allocates a handful of breakdowns per
+    (level, tensor) pair for every candidate of a search, so the
+    per-instance ``__dict__`` is measurable overhead.
+    """
 
     actual: float = 0.0
     gated: float = 0.0
@@ -58,7 +63,7 @@ class ActionBreakdown:
         return cls(actual, gated, skipped)
 
 
-@dataclass
+@dataclass(slots=True)
 class LevelTensorActions:
     """All sparse actions of one tensor at one storage level."""
 
@@ -88,7 +93,7 @@ class LevelTensorActions:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class SparseTraffic:
     """Output of the sparse modeling step: filtered (sparse) traffic."""
 
@@ -101,9 +106,11 @@ class SparseTraffic:
 
     def at(self, level: str, tensor: str) -> LevelTensorActions:
         key = (level, tensor)
-        if key not in self.actions:
-            self.actions[key] = LevelTensorActions(tensor=tensor, level=level)
-        return self.actions[key]
+        actions = self.actions.get(key)
+        if actions is None:
+            actions = LevelTensorActions(tensor=tensor, level=level)
+            self.actions[key] = actions
+        return actions
 
     def level_actions(self, level: str) -> list[LevelTensorActions]:
         return [a for (lvl, _t), a in self.actions.items() if lvl == level]

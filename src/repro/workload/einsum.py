@@ -138,17 +138,34 @@ class EinsumSpec:
 
     @property
     def output(self) -> TensorRef:
-        return next(t for t in self.tensors if t.is_output)
+        # Memoised like cache_key: einsums are frozen by contract once
+        # evaluated, and the modeling walks ask for the output tensor
+        # once or more per candidate mapping.
+        memo = getattr(self, "_output", None)
+        if memo is None:
+            memo = next(t for t in self.tensors if t.is_output)
+            self._output = memo
+        return memo
 
     @property
     def inputs(self) -> list[TensorRef]:
-        return [t for t in self.tensors if not t.is_output]
+        memo = getattr(self, "_inputs", None)
+        if memo is None:
+            memo = [t for t in self.tensors if not t.is_output]
+            self._inputs = memo
+        return memo
 
     def tensor(self, name: str) -> TensorRef:
-        for t in self.tensors:
-            if t.name == name:
-                return t
-        raise SpecError(f"unknown tensor {name!r} in einsum {self.name!r}")
+        by_name = getattr(self, "_tensors_by_name", None)
+        if by_name is None:
+            by_name = {t.name: t for t in self.tensors}
+            self._tensors_by_name = by_name
+        try:
+            return by_name[name]
+        except KeyError:
+            raise SpecError(
+                f"unknown tensor {name!r} in einsum {self.name!r}"
+            ) from None
 
     @property
     def total_operations(self) -> int:
@@ -166,7 +183,11 @@ class EinsumSpec:
     @property
     def reduction_dims(self) -> frozenset[str]:
         """Dimensions reduced away (absent from the output tensor)."""
-        return frozenset(self.dims) - self.output.dims
+        memo = getattr(self, "_reduction_dims", None)
+        if memo is None:
+            memo = frozenset(self.dims) - self.output.dims
+            self._reduction_dims = memo
+        return memo
 
 
 def _simple_rank(name: str, dim: str) -> RankProjection:

@@ -1,0 +1,141 @@
+"""Combo-level sample validity vs the ``Mapping.validate`` oracle.
+
+``sample_mappings`` decides structural validity on the drawn factor
+combos directly (``_combo_structurally_valid``) so rejected draws never
+pay a :class:`Mapping` construction. That shortcut must accept exactly
+the draws whose built mapping passes ``validate`` — otherwise the
+sampled candidate stream (and with it every seeded search result)
+would silently change. These tests replay the sampler against a
+validate-backed oracle across architectures and constraint shapes and
+require identical streams.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Workload, conv2d, matmul
+from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
+from repro.mapping.mapspace import Mapper, MapspaceConstraints
+
+SAMPLES = 40
+
+
+def _arch2(macs=16) -> Architecture:
+    return Architecture(
+        "a2",
+        [
+            StorageLevel("DRAM", None, component="dram",
+                         read_bandwidth=8, write_bandwidth=8),
+            StorageLevel("Buffer", 16 * 1024, component="sram",
+                         read_bandwidth=8, write_bandwidth=8),
+        ],
+        ComputeLevel("MAC", instances=macs),
+    )
+
+
+def _arch3() -> Architecture:
+    return Architecture(
+        "a3",
+        [
+            StorageLevel("DRAM", None, component="dram",
+                         read_bandwidth=8, write_bandwidth=8),
+            StorageLevel("Global", 64 * 1024, component="sram",
+                         read_bandwidth=8, write_bandwidth=8),
+            StorageLevel("Buffer", 1024, component="sram",
+                         read_bandwidth=4, write_bandwidth=4,
+                         instances=4),
+        ],
+        ComputeLevel("MAC", instances=16),
+    )
+
+
+def _einsums():
+    return [
+        matmul(64, 64, 64),
+        conv2d(n=2, k=8, c=8, p=7, q=7, r=3, s=3),
+    ]
+
+
+def _constraint_variants(arch: Architecture, einsum) -> list:
+    dims = list(einsum.dims)
+    inner = arch.level_names[-1]
+    return [
+        MapspaceConstraints(),
+        MapspaceConstraints(spatial_dims={inner: dims[:2]}),
+        MapspaceConstraints(
+            spatial_dims={inner: dims[:2]},
+            keep={inner: [t.name for t in einsum.tensors]},
+        ),
+    ]
+
+
+def _cases():
+    cases = []
+    for einsum in _einsums():
+        for arch_fn in (_arch2, _arch3):
+            arch = arch_fn()
+            for index, constraints in enumerate(
+                _constraint_variants(arch, einsum)
+            ):
+                cases.append(
+                    pytest.param(
+                        einsum, arch, constraints,
+                        id=f"{einsum.name}-{arch.name}-c{index}",
+                    )
+                )
+    return cases
+
+
+class _OracleMapper(Mapper):
+    """Replaces the combo-level check with the full validate oracle:
+    build the mapping, run ``Mapping.validate``. The draw sequence is
+    untouched (RNG consumption happens before the check), so the two
+    mappers agree iff the combo check accepts exactly validate's set."""
+
+    def _combo_structurally_valid(self, combos) -> bool:
+        return self._structurally_valid(self._build_mapping(combos))
+
+
+@pytest.mark.parametrize("einsum,arch,constraints", _cases())
+def test_combo_validity_matches_validate_oracle(einsum, arch, constraints):
+    workload = Workload.uniform(einsum, {})
+    fast = Mapper(workload.einsum, arch, constraints)
+    oracle = _OracleMapper(workload.einsum, arch, constraints)
+    fast_stream = list(fast.sample_mappings(SAMPLES, seed=11))
+    oracle_stream = list(oracle.sample_mappings(SAMPLES, seed=11))
+    assert [m.cache_key() for m in fast_stream] == [
+        m.cache_key() for m in oracle_stream
+    ]
+    # Accepted draws really are valid (not merely oracle-consistent).
+    for mapping in fast_stream:
+        mapping.validate(workload.einsum, arch)
+
+
+def test_combo_check_rejections_are_exercised():
+    """The equivalence suite is only meaningful if the combo check
+    actually rejects draws somewhere: conv2d's seven dimensions against
+    three constrained spatial slots and 16 MACs overflow the fanout on
+    a healthy fraction of draws — and every rejection must be one the
+    validate oracle would also make."""
+    einsum = conv2d(n=2, k=8, c=8, p=7, q=7, r=3, s=3)
+    arch = _arch2()
+    constraints = MapspaceConstraints(
+        spatial_dims={"Buffer": ["k", "c", "p"]}
+    )
+    mapper = Mapper(einsum, arch, constraints)
+    rejected = []
+    combo_check = mapper._combo_structurally_valid
+    validate_check = mapper._structurally_valid
+
+    def counting(combos):
+        ok = combo_check(combos)
+        if not ok:
+            rejected.append(dict(combos))
+        return ok
+
+    mapper._combo_structurally_valid = counting
+    list(mapper.sample_mappings(SAMPLES, seed=11))
+    assert rejected, "scenario produced no combo-level rejections"
+    for combos in rejected:
+        assert not validate_check(mapper._build_mapping(combos))
