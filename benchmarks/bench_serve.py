@@ -1,0 +1,409 @@
+"""Perf + correctness smoke for the evaluation daemon (``repro serve``).
+
+Three phases, each against a real daemon subprocess speaking the
+newline-delimited ``schema: 1`` protocol over a unix socket:
+
+* **Identity** — every bundled design family evaluates through the
+  daemon and through an in-process :class:`repro.api.Session` with the
+  same knobs; the wire results must be *bit-identical* (dict equality
+  on the full ``schema: 1`` envelopes, floats included — JSON
+  round-trips shortest-repr floats exactly).
+* **Concurrent throughput** — 8 client OS processes (both ``fork``
+  and ``spawn`` start methods) hammer one daemon; realized jobs/sec
+  must clear the committed ``serve_jobs_per_sec_floor``.
+* **Cross-client micro-batching** — 8 connections submit interleaved
+  DSE traffic against a batching daemon and against the same daemon
+  with ``--batch-max 1``; the min-of-rounds speedup must clear the
+  committed ``serve_batching_speedup_floor``.
+
+Both floors live in ``baseline_perf_engine.json`` and are deliberately
+conservative (see the comment there); the measured numbers are written
+to ``BENCH_serve.json`` next to this file.
+
+The timed phases submit with ``fields=["summary"]`` — the scalar
+projection a throughput-bound DSE client would use — so the numbers
+measure the daemon's hot path, not full-envelope serialization (the
+identity phase covers full envelopes). Daemons run ``--cold``: the
+persistent tier would otherwise let the second daemon warm-start from
+the first one's spilled snapshot and poison the A/B comparison.
+
+Run:  pytest benchmarks/bench_serve.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import Design, SAFSpec, Workload, matmul
+from repro.api import EvaluateJob, Session, connect
+from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
+from repro.designs import codesign, dstc, eyeriss, eyeriss_v2, scnn, stc, toy
+from repro.designs.common import conv_as_gemm
+from repro.mapping.mapspace import Mapper, MapspaceConstraints
+from repro.sparse.density import FixedStructuredDensity, UniformDensity
+from repro.sparse.formats import CoordinatePayload, FormatRank, FormatSpec
+from repro.sparse.saf import SAFKind, double_sided, skip_compute
+from repro.workload.nets import alexnet, mobilenet_v1, resnet50
+
+BASELINE_PATH = Path(__file__).parent / "baseline_perf_engine.json"
+SUMMARY_PATH = Path(__file__).parent / "BENCH_serve.json"
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src"
+
+#: Concurrent client processes / connections in the timed phases.
+CLIENTS = 8
+#: Jobs per client in the concurrent-throughput phase.
+JOBS_PER_CLIENT = 16
+#: Jobs per timed round in the batching phase.
+BATCH_ROUND_JOBS = 128
+#: Timed rounds per daemon config (plus one discarded warmup round);
+#: the minimum of each side is compared, which cancels transient
+#: machine load the way the cold-search bench does.
+BATCH_ROUNDS = 4
+
+
+def _update_summary(section: dict) -> None:
+    data = {"bench": "serve"}
+    if SUMMARY_PATH.exists():
+        data.update(json.loads(SUMMARY_PATH.read_text()))
+    data.update(section)
+    SUMMARY_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
+# ----------------------------------------------------------------------
+# Daemon management
+
+def _start_daemon(*extra: str):
+    """Boot ``repro serve`` on a fresh unix socket; returns (proc, sock)
+    once the daemon prints ``ready``."""
+    sock = tempfile.mktemp(prefix="repro-bench-serve-", suffix=".sock")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC_ROOT)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--unix", sock,
+         "--no-capacity-check", "--cold", *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    banner: list[str] = []
+    for line in proc.stdout:
+        banner.append(line)
+        if line.strip() == "ready":
+            return proc, sock
+    raise RuntimeError(
+        f"daemon exited (code {proc.wait()}) before 'ready':\n"
+        + "".join(banner)
+    )
+
+
+def _stop_daemon(proc) -> None:
+    proc.terminate()
+    proc.wait(timeout=30)
+
+
+# ----------------------------------------------------------------------
+# Identity: every bundled design family, daemon vs in-process
+
+def _tc_workload(weight_model):
+    gemm = conv_as_gemm(resnet50()[10])
+    return Workload(
+        gemm,
+        {"A": weight_model, "B": UniformDensity(0.65, gemm.tensor_size("B"))},
+    )
+
+
+def _identity_cases():
+    """One (name, design, workload) per bundled design family — the
+    same pairings the sparse-equivalence suite exercises."""
+    mm = Workload.uniform(matmul(64, 64, 64), {"A": 0.2, "B": 0.2})
+    conv = Workload.uniform(alexnet()[2].spec, {"I": 0.5})
+    mobile = mobilenet_v1()[3]
+    dataflow, saf = codesign.ALL_COMBINATIONS[0]
+    return [
+        ("toy-bitmask", toy.bitmask_design(), mm),
+        ("toy-coordinate-list", toy.coordinate_list_design(), mm),
+        ("eyeriss", eyeriss.eyeriss_design(), conv),
+        (
+            "eyeriss-v2-pe",
+            eyeriss_v2.eyeriss_v2_pe_design(),
+            Workload.uniform(mobile.spec, {"I": 0.55, "W": 0.4}),
+        ),
+        ("scnn", scnn.scnn_design(), Workload.uniform(
+            alexnet()[2].spec, {"I": 0.4, "W": 0.3}
+        )),
+        ("dstc", dstc.dstc_design(), _tc_workload(UniformDensity(0.4, 1024))),
+        ("stc", stc.stc_design(), _tc_workload(FixedStructuredDensity(2, 4))),
+        (
+            f"codesign-{dataflow}-{saf}",
+            codesign.build_design(dataflow, saf),
+            Workload.uniform(matmul(256, 256, 256), {"A": 0.06, "B": 0.06}),
+        ),
+    ]
+
+
+@pytest.mark.perf
+def test_serve_identity_vs_in_process():
+    cases = _identity_cases()
+    proc, sock = _start_daemon()
+    try:
+        with connect(sock) as remote:
+            remote_handles = [
+                (name, remote.submit(EvaluateJob(design, workload)))
+                for name, design, workload in cases
+            ]
+            remote_dicts = {
+                name: handle.result(timeout=300).to_dict()
+                for name, handle in remote_handles
+            }
+    finally:
+        _stop_daemon(proc)
+
+    with Session(check_capacity=False) as local:
+        local_handles = [
+            (name, local.submit(EvaluateJob(design, workload)))
+            for name, design, workload in cases
+        ]
+        for name, handle in local_handles:
+            assert remote_dicts[name] == handle.result().to_dict(), (
+                f"daemon result for {name} diverged from the in-process "
+                "Session"
+            )
+
+    _update_summary({
+        "identity_designs": [name for name, _, _ in cases],
+        "identity_bit_identical": True,
+    })
+    print(f"\n=== serve identity ===\n{len(cases)} bundled designs "
+          "bit-identical (daemon vs in-process Session)")
+
+
+# ----------------------------------------------------------------------
+# Shared DSE scenario for the timed phases
+
+def _dse_scenario():
+    """The DSE traffic pattern: one small sparse accelerator, one
+    matmul workload, a deterministic sampled mapping stream."""
+    arch = Architecture(
+        "serve-dse",
+        [
+            StorageLevel("DRAM", None, component="dram",
+                         read_bandwidth=8, write_bandwidth=8),
+            StorageLevel("Buffer", 16 * 1024, component="sram",
+                         read_bandwidth=8, write_bandwidth=8),
+        ],
+        ComputeLevel("MAC", instances=16),
+    )
+    workload = Workload.uniform(matmul(128, 128, 128), {"A": 0.2, "B": 0.2})
+    cp2 = FormatSpec(
+        [FormatRank(CoordinatePayload()), FormatRank(CoordinatePayload())]
+    )
+    safs = SAFSpec(
+        formats={("Buffer", "A"): cp2, ("DRAM", "A"): cp2},
+        storage_safs=double_sided(SAFKind.SKIP, "A", "B", "Buffer"),
+        compute_safs=[skip_compute()],
+    )
+    constraints = MapspaceConstraints(spatial_dims={"Buffer": ["n", "m"]})
+    design = Design("serve-dse", arch, safs, constraints=constraints)
+    mapper = Mapper(workload.einsum, arch, constraints)
+    return design, workload, mapper
+
+
+def _sampled_mappings(mapper, count: int):
+    mappings = list(mapper.sample_mappings(count * 3, seed=9))[:count]
+    assert len(mappings) == count, "mapspace too small for the bench"
+    return mappings
+
+
+# ----------------------------------------------------------------------
+# Concurrent throughput: 8 client processes, fork and spawn
+
+def _throughput_client(sock, index, barrier, out):
+    """One client OS process: connect, wait for the gun, submit its
+    slice, drain. Module-level so the spawn start method can import it."""
+    design, workload, mapper = _dse_scenario()
+    mappings = _sampled_mappings(mapper, CLIENTS * JOBS_PER_CLIENT)
+    jobs = [
+        EvaluateJob(design, workload, mapping)
+        for mapping in mappings[
+            index * JOBS_PER_CLIENT:(index + 1) * JOBS_PER_CLIENT
+        ]
+    ]
+    with connect(sock) as session:
+        barrier.wait()
+        handles = session.submit_many(jobs, fields=["summary"])
+        for handle in handles:
+            summary = handle.result(timeout=300)
+            assert summary["summary"]["cycles"] > 0
+        out.put(session.stats(timeout=60))
+
+
+def _run_concurrent(method: str) -> dict:
+    proc, sock = _start_daemon()
+    try:
+        # One warm evaluation so client timing measures the daemon's
+        # steady state, not its very first numpy dispatch.
+        design, workload, mapper = _dse_scenario()
+        with connect(sock) as session:
+            session.evaluate(design, workload, next(iter(
+                _sampled_mappings(mapper, 1)
+            )))
+        ctx = multiprocessing.get_context(method)
+        barrier = ctx.Barrier(CLIENTS + 1)
+        out = ctx.Queue()
+        clients = [
+            ctx.Process(
+                target=_throughput_client, args=(sock, i, barrier, out)
+            )
+            for i in range(CLIENTS)
+        ]
+        for client in clients:
+            client.start()
+        barrier.wait()
+        t0 = time.perf_counter()
+        stats = [out.get(timeout=300) for _ in clients]
+        seconds = time.perf_counter() - t0
+        for client in clients:
+            client.join(timeout=60)
+        with connect(sock) as session:
+            server = session.server_stats(timeout=60)
+        jobs = CLIENTS * JOBS_PER_CLIENT
+        assert sum(s["jobs"] for s in stats) >= jobs
+        return {
+            "jobs": jobs,
+            "seconds": round(seconds, 4),
+            "jobs_per_sec": round(jobs / seconds, 1),
+            "batch_mean": round(server["evaluate_batch_mean"], 1),
+            "batch_max": server["evaluate_batch_max"],
+        }
+    finally:
+        _stop_daemon(proc)
+
+
+@pytest.mark.perf
+def test_serve_concurrent_clients_floor():
+    baseline = json.loads(BASELINE_PATH.read_text())
+    floor = baseline["serve_jobs_per_sec_floor"]
+    results = {}
+    for method in ("fork", "spawn"):
+        # Timing smoke on shared runners: allow one re-measure before
+        # declaring the floor breached.
+        for attempts_left in (1, 0):
+            measured = _run_concurrent(method)
+            if measured["jobs_per_sec"] >= floor or not attempts_left:
+                break
+        results[method] = measured
+
+    worst = min(r["jobs_per_sec"] for r in results.values())
+    _update_summary({
+        "concurrent_clients": CLIENTS,
+        "concurrent_fork": results["fork"],
+        "concurrent_spawn": results["spawn"],
+        "serve_jobs_per_sec": worst,
+        "serve_jobs_per_sec_floor": floor,
+    })
+    print(f"\n=== serve concurrent ===\n{json.dumps(results, indent=2)}")
+
+    for method, measured in results.items():
+        assert measured["jobs_per_sec"] >= floor, (
+            f"{CLIENTS} concurrent {method}-clients sustained only "
+            f"{measured['jobs_per_sec']:.1f} jobs/s; the committed floor "
+            f"is {floor}/s"
+        )
+
+
+# ----------------------------------------------------------------------
+# Cross-client micro-batching speedup
+
+def _run_batching_config(extra: list[str], mappings) -> tuple[list, dict]:
+    """One daemon boot, CLIENTS connections, a discarded warmup round
+    plus BATCH_ROUNDS timed rounds over *distinct* mapping slices (the
+    same slices for every config, so neither side gets cache hits the
+    other does not)."""
+    design, workload, _mapper = _dse_scenario()
+    proc, sock = _start_daemon(*extra)
+    times = []
+    try:
+        sessions = [connect(sock) for _ in range(CLIENTS)]
+        try:
+            rounds = [
+                mappings[r * BATCH_ROUND_JOBS:(r + 1) * BATCH_ROUND_JOBS]
+                for r in range(BATCH_ROUNDS + 1)
+            ]
+            for number, chunk in enumerate(rounds):
+                jobs_per_client = [
+                    [EvaluateJob(design, workload, m)
+                     for m in chunk[i::CLIENTS]]
+                    for i in range(CLIENTS)
+                ]
+                t0 = time.perf_counter()
+                handles = []
+                for session, jobs in zip(sessions, jobs_per_client):
+                    handles += session.submit_many(jobs, fields=["summary"])
+                for handle in handles:
+                    handle.result(timeout=300)
+                if number > 0:  # round 0 is the discarded warmup
+                    times.append(time.perf_counter() - t0)
+            stats = sessions[0].server_stats(timeout=60)
+        finally:
+            for session in sessions:
+                session.close()
+    finally:
+        _stop_daemon(proc)
+    return times, stats
+
+
+@pytest.mark.perf
+def test_serve_batching_speedup_floor():
+    _design, _workload, mapper = _dse_scenario()
+    mappings = _sampled_mappings(
+        mapper, BATCH_ROUND_JOBS * (BATCH_ROUNDS + 1)
+    )
+    baseline = json.loads(BASELINE_PATH.read_text())
+    floor = baseline["serve_batching_speedup_floor"]
+
+    # Timing-ratio smoke on shared runners: allow one re-measure
+    # before declaring the floor breached.
+    for attempts_left in (1, 0):
+        batched_times, batched_stats = _run_batching_config([], mappings)
+        serial_times, _ = _run_batching_config(
+            ["--batch-max", "1"], mappings
+        )
+        batched, serial = min(batched_times), min(serial_times)
+        if serial / batched >= floor or not attempts_left:
+            break
+
+    speedup = serial / batched
+    summary = {
+        "batching_round_jobs": BATCH_ROUND_JOBS,
+        "batching_batched_seconds": round(batched, 4),
+        "batching_batch1_seconds": round(serial, 4),
+        "batching_batched_jobs_per_sec": round(BATCH_ROUND_JOBS / batched, 1),
+        "batching_batch1_jobs_per_sec": round(BATCH_ROUND_JOBS / serial, 1),
+        "batching_realized_batch_mean": round(
+            batched_stats["evaluate_batch_mean"], 1
+        ),
+        "batching_realized_batch_max": batched_stats["evaluate_batch_max"],
+        "serve_batching_speedup": round(speedup, 2),
+        "serve_batching_speedup_floor": floor,
+    }
+    _update_summary(summary)
+    print(f"\n=== serve batching ===\n{json.dumps(summary, indent=2)}")
+
+    # The collector must actually be forming cross-client batches —
+    # a speedup from anything else would not be micro-batching.
+    assert batched_stats["evaluate_batch_mean"] > 4, batched_stats
+
+    assert speedup >= floor, (
+        f"cross-client micro-batching sped the DSE round up only "
+        f"{speedup:.2f}x over --batch-max 1 (batched {batched:.3f}s, "
+        f"batch1 {serial:.3f}s); the committed floor is {floor}x"
+    )

@@ -58,16 +58,19 @@ def _session(args: argparse.Namespace) -> Session:
     )
 
 
-def _print_verbose(session: Session, result) -> None:
+def _print_verbose(session: Session, result, baseline=None) -> None:
     print()
     if session.evaluator.persistent is not None:
         print(
             f"persistent cache: {session.warm_loaded} entries warm "
             "(snapshot spills when the session closes)"
         )
-    stats = session.cache_stats()
+    # With a checkpoint taken before the run, report what *this run*
+    # hit and missed (cache_stats(since=...)) instead of lifetime
+    # totals — the totals include warm-started entries.
+    stats = session.cache_stats(since=baseline)
     if stats:
-        print("cache stages:")
+        print("cache stages (this run):" if baseline else "cache stages:")
         for name in sorted(stats):
             stage = stats[name]
             print(
@@ -92,6 +95,7 @@ def _print_verbose(session: Session, result) -> None:
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     with _session(args) as session:
+        baseline = session.cache_stats()
         outcome = session.submit(args.spec, search=args.search).result()
         if isinstance(outcome, SearchResult):
             result = outcome.best_or_raise()
@@ -102,12 +106,62 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         else:
             print(result.summary())
             if args.verbose:
-                _print_verbose(session, result)
+                _print_verbose(session, result, baseline)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here: the asyncio serve stack is daemon-only baggage for
+    # the evaluate/search one-shot paths.
+    import asyncio
+
+    from repro.serve.server import ReproServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix,
+        batch_window_ms=args.batch_window_ms,
+        batch_max=args.batch_max,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+    )
+    server = ReproServer(
+        config,
+        check_capacity=not args.no_capacity_check,
+        search_budget=args.budget,
+        search_seed=args.seed,
+        parallel=args.parallel,
+        persistent=_persistent_store(args),
+    )
+
+    async def _serve() -> None:
+        import signal
+
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_stop)
+            except NotImplementedError:  # non-unix event loops
+                pass
+        # One line per listener, then a ready marker — flushed so
+        # supervisors (and bench_serve.py) can wait on it.
+        for address in server.addresses:
+            print(f"listening on {address}", flush=True)
+        print("ready", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
     with _session(args) as session:
+        baseline = session.cache_stats()
         search = session.search(args.spec)
         best = search.best_or_raise()
         if args.json:
@@ -121,7 +175,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
             print()
             print(best.summary())
             if args.verbose:
-                _print_verbose(session, best)
+                _print_verbose(session, best, baseline)
     return 0
 
 
@@ -190,6 +244,85 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_common_arguments(se)
     se.set_defaults(func=_cmd_search)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the evaluation daemon (one hot Session, many clients)",
+    )
+    sv.add_argument("--host", default="127.0.0.1", help="TCP bind host")
+    sv.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="TCP port (0 picks an ephemeral port; omit for no TCP)",
+    )
+    sv.add_argument(
+        "--unix",
+        default=None,
+        metavar="PATH",
+        help="unix socket path (omit for no unix listener)",
+    )
+    sv.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="evaluate micro-batch collection window (default 2ms)",
+    )
+    sv.add_argument(
+        "--batch-max",
+        type=int,
+        default=32,
+        metavar="N",
+        help="flush the evaluate collector at N jobs (1 = no batching)",
+    )
+    sv.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker threads for search/network jobs",
+    )
+    sv.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        metavar="N",
+        help="max queued search/network jobs before shedding "
+        "('overloaded' errors)",
+    )
+    sv.add_argument(
+        "--budget", type=int, default=64, help="mappings sampled per search"
+    )
+    sv.add_argument(
+        "--seed", type=int, default=0, help="mapspace sampling seed"
+    )
+    sv.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="engine worker processes for pooled work",
+    )
+    sv.add_argument(
+        "--no-capacity-check",
+        action="store_true",
+        help="allow mappings whose tiles overflow storage",
+    )
+    sv.add_argument(
+        "--cold",
+        action="store_true",
+        help="skip the persistent cache tier (start cold, spill nothing)",
+    )
+    sv.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent cache location (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro)",
+    )
+    sv.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)
     try:

@@ -16,9 +16,20 @@ fan-out; jobs are plain data (:class:`EvaluateJob`, :class:`SearchJob`,
 :class:`NetworkJob`) resolved through futures-like
 :class:`JobHandle`\\ s. Results are versioned serializable data — see
 :mod:`repro.model.result` and ``docs/api.md``.
+
+The same surface is available over the wire: :func:`connect` opens a
+:class:`RemoteSession` to a ``repro serve`` daemon (see
+``docs/serving.md``), with handles that behave identically to local
+ones.
 """
 
-from repro.api.jobs import EvaluateJob, JobHandle, NetworkJob, SearchJob
+from repro.api.jobs import (
+    EvaluateJob,
+    JobHandle,
+    NetworkJob,
+    SearchJob,
+    job_from_dict,
+)
 from repro.api.session import Session, evaluate_network
 from repro.model.result import (
     RESULT_SCHEMA_VERSION,
@@ -34,6 +45,8 @@ __all__ = [
     "SearchJob",
     "NetworkJob",
     "JobHandle",
+    "job_from_dict",
+    "connect",
     "evaluate_network",
     "EvaluationResult",
     "SearchResult",
@@ -41,3 +54,11 @@ __all__ = [
     "NetworkLayerResult",
     "RESULT_SCHEMA_VERSION",
 ]
+
+
+def connect(address, *, timeout: float | None = 10.0):
+    """Open a :class:`~repro.serve.client.RemoteSession` to a serving
+    daemon (lazy import keeps plain local use off the serve stack)."""
+    from repro.serve.client import connect as _connect
+
+    return _connect(address, timeout=timeout)

@@ -11,19 +11,98 @@ Jobs are constructed directly from Python objects, or by
 carry no execution state; submitting one returns a :class:`JobHandle`,
 a futures-like ticket the Session resolves — batched, so many pending
 evaluate jobs share one process-pool fan-out.
+
+Jobs are also *wire data*: each kind has a ``to_dict``/``from_dict``
+pair mirroring the result schema (``schema: 1`` envelopes with a
+``kind`` tag; see :mod:`repro.model.result`), and
+:func:`job_from_dict` dispatches on the tag. Mappings and candidate
+lists serialize structurally via :meth:`Mapping.to_spec`; designs,
+workloads, and callables (objectives, ``densities_for``) have no spec
+form — bundled designs carry ``mapping_factory`` callables and
+arbitrary density models — so they ship as tagged base64 pickles, the
+same trust model as the engine's own process-pool protocol. Decode job
+dicts only from trusted peers (the serving daemon binds localhost /
+unix sockets by default for exactly this reason).
 """
 
 from __future__ import annotations
 
+import base64
+import pickle
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro.common.errors import SpecError
 from repro.mapping.mapping import Mapping
 from repro.model.engine import Design
-from repro.model.result import EvaluationResult
+from repro.model.result import RESULT_SCHEMA_VERSION, EvaluationResult
 from repro.workload.spec import Workload
 
-__all__ = ["EvaluateJob", "SearchJob", "NetworkJob", "JobHandle"]
+__all__ = [
+    "EvaluateJob",
+    "SearchJob",
+    "NetworkJob",
+    "JobHandle",
+    "job_from_dict",
+    "JOB_SCHEMA_VERSION",
+]
+
+#: Job envelopes version in lockstep with result envelopes: a peer that
+#: can read one side of the wire can read the other.
+JOB_SCHEMA_VERSION = RESULT_SCHEMA_VERSION
+
+
+def _pack(obj) -> dict:
+    """Tagged wire encoding for payloads with no spec-dict form."""
+    return {
+        "encoding": "pickle",
+        "data": base64.b64encode(
+            pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        ).decode("ascii"),
+    }
+
+
+def _unpack(blob):
+    if blob is None:
+        return None
+    if not isinstance(blob, dict) or blob.get("encoding") != "pickle":
+        raise SpecError(
+            "job payloads must be tagged pickle blobs "
+            "({'encoding': 'pickle', 'data': ...}), got "
+            f"{type(blob).__name__}"
+        )
+    try:
+        return pickle.loads(base64.b64decode(blob["data"]))
+    except SpecError:
+        raise
+    except Exception as exc:
+        raise SpecError(f"cannot decode job payload: {exc!r}") from exc
+
+
+def _job_envelope(data: dict, kind: str, build):
+    """Validate a job envelope, then run ``build()`` with body-level
+    failures normalised to :class:`SpecError` — the exact contract of
+    :meth:`repro.model.result.SerializableResult._rebuild`, with job
+    wording."""
+    if not isinstance(data, dict):
+        raise SpecError(
+            f"serialized job must be a dict, got {type(data).__name__}"
+        )
+    version = data.get("schema")
+    if version != JOB_SCHEMA_VERSION:
+        raise SpecError(
+            f"unsupported job schema version {version!r} "
+            f"(this build reads version {JOB_SCHEMA_VERSION})"
+        )
+    found = data.get("kind")
+    if found != kind:
+        raise SpecError(f"expected a {kind!r} job, got kind {found!r}")
+    try:
+        return build()
+    except SpecError:
+        raise
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise SpecError(f"malformed serialized {kind}: {exc!r}") from exc
 
 
 @dataclass
@@ -44,6 +123,36 @@ class EvaluateJob:
         if self.mapping is None:
             return (self.design, self.workload)
         return (self.design, self.workload, self.mapping)
+
+    def to_dict(self, *, pack=_pack) -> dict:
+        """Serialize to a ``schema: 1`` wire envelope (see module
+        docstring for the payload encodings).
+
+        ``pack`` swaps the payload encoder for the design/workload
+        blobs; the serving client passes an interning encoder that
+        replaces repeated payloads with content-digest references
+        (see :mod:`repro.serve.client`). The default wire form is
+        self-contained.
+        """
+        return {
+            "schema": JOB_SCHEMA_VERSION,
+            "kind": "evaluate-job",
+            "design": pack(self.design),
+            "workload": pack(self.workload),
+            "mapping": None if self.mapping is None else self.mapping.to_spec(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EvaluateJob":
+        def build() -> "EvaluateJob":
+            mapping = data["mapping"]
+            return cls(
+                design=_unpack(data["design"]),
+                workload=_unpack(data["workload"]),
+                mapping=None if mapping is None else Mapping.from_spec(mapping),
+            )
+
+        return _job_envelope(data, "evaluate-job", build)
 
 
 @dataclass
@@ -77,6 +186,46 @@ class SearchJob:
     batch_size: int | None = None
     strategy: str | None = None
 
+    def to_dict(self) -> dict:
+        """Serialize to a ``schema: 1`` wire envelope. The objective,
+        when set, must be picklable (a module-level function) — the
+        same constraint the process-pool fan-out already imposes."""
+        return {
+            "schema": JOB_SCHEMA_VERSION,
+            "kind": "search-job",
+            "design": _pack(self.design),
+            "workload": _pack(self.workload),
+            "objective": None if self.objective is None else _pack(self.objective),
+            "candidates": (
+                None
+                if self.candidates is None
+                else [mapping.to_spec() for mapping in self.candidates]
+            ),
+            "parallel": self.parallel,
+            "batch_size": self.batch_size,
+            "strategy": self.strategy,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SearchJob":
+        def build() -> "SearchJob":
+            candidates = data["candidates"]
+            return cls(
+                design=_unpack(data["design"]),
+                workload=_unpack(data["workload"]),
+                objective=_unpack(data["objective"]),
+                candidates=(
+                    None
+                    if candidates is None
+                    else [Mapping.from_spec(spec) for spec in candidates]
+                ),
+                parallel=data["parallel"],
+                batch_size=data["batch_size"],
+                strategy=data["strategy"],
+            )
+
+        return _job_envelope(data, "search-job", build)
+
 
 @dataclass
 class NetworkJob:
@@ -92,6 +241,54 @@ class NetworkJob:
     layers: list = field(default_factory=list)
     densities_for: Callable[[object], dict[str, float]] | None = None
     parallel: int | None = None
+
+    def to_dict(self) -> dict:
+        """Serialize to a ``schema: 1`` wire envelope. ``layers`` and
+        ``densities_for`` ship as one pickle each (layer objects and
+        density callables have no spec form)."""
+        return {
+            "schema": JOB_SCHEMA_VERSION,
+            "kind": "network-job",
+            "design": _pack(self.design),
+            "layers": _pack(list(self.layers)),
+            "densities_for": (
+                None if self.densities_for is None else _pack(self.densities_for)
+            ),
+            "parallel": self.parallel,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NetworkJob":
+        def build() -> "NetworkJob":
+            return cls(
+                design=_unpack(data["design"]),
+                layers=_unpack(data["layers"]) or [],
+                densities_for=_unpack(data["densities_for"]),
+                parallel=data["parallel"],
+            )
+
+        return _job_envelope(data, "network-job", build)
+
+
+def job_from_dict(data: dict):
+    """Rebuild any job from its :meth:`to_dict` envelope, dispatching
+    on the ``kind`` tag."""
+    if not isinstance(data, dict):
+        raise SpecError(
+            f"serialized job must be a dict, got {type(data).__name__}"
+        )
+    kind = data.get("kind")
+    kinds = {
+        "evaluate-job": EvaluateJob,
+        "search-job": SearchJob,
+        "network-job": NetworkJob,
+    }
+    cls = kinds.get(kind)
+    if cls is None:
+        raise SpecError(
+            f"unknown job kind {kind!r}; expected one of {sorted(kinds)}"
+        )
+    return cls.from_dict(data)
 
 
 class JobHandle:
@@ -120,31 +317,46 @@ class JobHandle:
         """True once the job has run (successfully or not)."""
         return self._done
 
-    def result(self):
+    def result(self, timeout: float | None = None):
         """The job's result, running all pending session jobs first.
 
         Returns an :class:`EvaluationResult` (evaluate jobs), a
         :class:`~repro.model.result.SearchResult` (search jobs), or a
         :class:`~repro.model.result.NetworkResult` (network jobs).
         Re-raises the job's captured error, if it failed.
+
+        Thread-safe. ``timeout`` (seconds) bounds how long to wait for
+        the Session lock when another thread is mid-drain; expiry
+        raises :class:`TimeoutError` and leaves the handle pending, so
+        a later untimed call still resolves it.
         """
-        if not self._done:
-            self._session.run()
+        if not self._done and not self._session.run(timeout=timeout):
+            raise TimeoutError(
+                f"job did not resolve within {timeout:g}s (Session busy)"
+            )
         if self._exception is not None:
             raise self._exception
         return self._result
 
-    def exception(self) -> BaseException | None:
+    def exception(
+        self, timeout: float | None = None
+    ) -> BaseException | None:
         """The job's captured failure (``None`` on success), running
-        all pending session jobs first."""
-        if not self._done:
-            self._session.run()
+        all pending session jobs first. ``timeout`` behaves exactly as
+        in :meth:`result`."""
+        if not self._done and not self._session.run(timeout=timeout):
+            raise TimeoutError(
+                f"job did not resolve within {timeout:g}s (Session busy)"
+            )
         return self._exception
 
     def _resolve(self, result=None, exception: BaseException | None = None):
-        self._done = True
+        # Publish the payload before the done flag: result()/exception()
+        # fast-path on `_done` without taking the Session lock, so a
+        # reader that observes done() must never see a stale payload.
         self._result = result
         self._exception = exception
+        self._done = True
 
     def __repr__(self) -> str:
         state = "pending"

@@ -35,6 +35,7 @@ Results are versioned, serializable data — see
 
 from __future__ import annotations
 
+import threading
 import warnings
 from collections.abc import Callable, Iterable
 from dataclasses import replace
@@ -55,9 +56,52 @@ from repro.model.result import (
 )
 from repro.workload.spec import Workload
 
-__all__ = ["Session", "evaluate_network"]
+__all__ = ["Session", "coerce_job", "evaluate_network"]
 
 _UNSET = object()
+
+
+def coerce_job(spec, *, search: bool = False):
+    """Turn any accepted spec form into a job object — the rules of
+    :meth:`Session.submit`, shared with the remote client so local and
+    remote submissions spell jobs identically."""
+    if isinstance(spec, (EvaluateJob, SearchJob, NetworkJob)):
+        if search and not isinstance(spec, SearchJob):
+            raise SpecError(
+                f"search=True cannot convert a {type(spec).__name__}; "
+                "submit a SearchJob instead"
+            )
+        return spec
+    if isinstance(spec, JobHandle):
+        raise SpecError("a JobHandle is a ticket, not a submittable job")
+    if isinstance(spec, tuple):
+        if not 2 <= len(spec) <= 3:
+            raise SpecError(
+                "tuple jobs must be (design, workload[, mapping]), "
+                f"got {len(spec)} elements"
+            )
+        if search:
+            if len(spec) == 3:
+                raise SpecError(
+                    "search jobs take (design, workload); a fixed "
+                    "mapping cannot seed a mapspace search"
+                )
+            return SearchJob(spec[0], spec[1])
+        return EvaluateJob(*spec)
+    if isinstance(spec, (dict, str, Path)):
+        design, workload = load_design(spec)
+        if search:
+            design.mapping = None
+            design.constraints = design.constraints or MapspaceConstraints()
+            return SearchJob(design, workload)
+        if design.mapping is None and design.constraints is not None:
+            return SearchJob(design, workload)
+        return EvaluateJob(design, workload)
+    raise SpecError(
+        f"cannot build a job from {type(spec).__name__}; expected a "
+        "job object, a (design, workload[, mapping]) tuple, or a "
+        "dict / YAML string / YAML path spec"
+    )
 
 
 class Session:
@@ -123,6 +167,12 @@ class Session:
             engine_kwargs["prefilter_vectorized"] = prefilter_vectorized
         self._evaluator = Evaluator(**engine_kwargs)
         self.parallel = parallel
+        # Reentrant so a drain that resolves handles may re-enter the
+        # Session (e.g. a search objective reading another handle), but
+        # exclusive across threads: the serving daemon submits and
+        # drains from many connection tasks, and handle resolution must
+        # never interleave with a concurrent submit/run.
+        self._lock = threading.RLock()
         self._pending: list[JobHandle] = []
         self._warmed: set[str] = set()
         self._spill_keys: list[str] = []
@@ -162,21 +212,22 @@ class Session:
         only ever load valid-if-unneeded extras, and any one key
         restores everything the session derived.
         """
-        if self._closed:
-            return
-        self._closed = True
-        try:
-            if run_pending:
-                self._drain()
-            else:
-                cancelled = ReproError(
-                    "job cancelled: Session closed before it ran"
-                )
-                for handle in self._pending:
-                    handle._resolve(exception=cancelled)
-                self._pending = []
-        finally:
-            self._evaluator.spill_cache_all(self._spill_keys)
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                if run_pending:
+                    self._drain()
+                else:
+                    cancelled = ReproError(
+                        "job cancelled: Session closed before it ran"
+                    )
+                    for handle in self._pending:
+                        handle._resolve(exception=cancelled)
+                    self._pending = []
+            finally:
+                self._evaluator.spill_cache_all(self._spill_keys)
 
     # ------------------------------------------------------------------
     # Submission
@@ -197,8 +248,6 @@ class Session:
         results. Jobs run lazily, in bulk, on the first
         ``handle.result()`` call (or at :meth:`close`).
         """
-        if self._closed:
-            raise SpecError("cannot submit to a closed Session")
         job = self._coerce_job(spec, search=search)
         if isinstance(job, (EvaluateJob, SearchJob)) and job.workload is None:
             raise SpecError(
@@ -206,8 +255,11 @@ class Session:
                 "dict/path carries its own; Python-object jobs take it "
                 "explicitly)"
             )
-        handle = JobHandle(self, job)
-        self._pending.append(handle)
+        with self._lock:
+            if self._closed:
+                raise SpecError("cannot submit to a closed Session")
+            handle = JobHandle(self, job)
+            self._pending.append(handle)
         return handle
 
     def submit_many(self, specs: Iterable, *, search: bool = False) -> list[JobHandle]:
@@ -216,43 +268,7 @@ class Session:
         return [self.submit(spec, search=search) for spec in specs]
 
     def _coerce_job(self, spec, *, search: bool):
-        if isinstance(spec, (EvaluateJob, SearchJob, NetworkJob)):
-            if search and not isinstance(spec, SearchJob):
-                raise SpecError(
-                    f"search=True cannot convert a {type(spec).__name__}; "
-                    "submit a SearchJob instead"
-                )
-            return spec
-        if isinstance(spec, JobHandle):
-            raise SpecError("a JobHandle is a ticket, not a submittable job")
-        if isinstance(spec, tuple):
-            if not 2 <= len(spec) <= 3:
-                raise SpecError(
-                    "tuple jobs must be (design, workload[, mapping]), "
-                    f"got {len(spec)} elements"
-                )
-            if search:
-                if len(spec) == 3:
-                    raise SpecError(
-                        "search jobs take (design, workload); a fixed "
-                        "mapping cannot seed a mapspace search"
-                    )
-                return SearchJob(spec[0], spec[1])
-            return EvaluateJob(*spec)
-        if isinstance(spec, (dict, str, Path)):
-            design, workload = load_design(spec)
-            if search:
-                design.mapping = None
-                design.constraints = design.constraints or MapspaceConstraints()
-                return SearchJob(design, workload)
-            if design.mapping is None and design.constraints is not None:
-                return SearchJob(design, workload)
-            return EvaluateJob(design, workload)
-        raise SpecError(
-            f"cannot build a job from {type(spec).__name__}; expected a "
-            "job object, a (design, workload[, mapping]) tuple, or a "
-            "dict / YAML string / YAML path spec"
-        )
+        return coerce_job(spec, search=search)
 
     # ------------------------------------------------------------------
     # Direct (submit + resolve) conveniences
@@ -356,14 +372,31 @@ class Session:
     # ------------------------------------------------------------------
     # Execution
 
-    def run(self) -> None:
+    def run(self, *, timeout: float | None = None) -> bool:
         """Run every pending job now (handles become ``done()``).
 
         Called implicitly by the first ``result()`` / ``exception()``
         read on a pending handle and by :meth:`close`; calling it
         directly is only needed to front-load the work.
+
+        Thread-safe: concurrent callers serialize on the Session lock,
+        and each sees every handle that was pending when it acquired
+        the lock resolved. ``timeout`` bounds the wait *for the lock*
+        (a drain already underway resolves this caller's handles too);
+        returns ``False`` if the lock could not be acquired in time,
+        ``True`` otherwise.
         """
-        self._drain()
+        if timeout is None:
+            with self._lock:
+                self._drain()
+            return True
+        if not self._lock.acquire(timeout=timeout):
+            return False
+        try:
+            self._drain()
+        finally:
+            self._lock.release()
+        return True
 
     def _drain(self) -> None:
         while self._pending:
@@ -406,16 +439,17 @@ class Session:
             except ReproError:
                 # An expected per-job failure (e.g. one capacity
                 # overflow) aborts a pooled batch as a unit; re-run
-                # serially so the error is captured on the one handle
-                # that caused it. Expected path — no warning.
+                # as a stacked in-process batch so the error is
+                # captured on the one handle that caused it. Expected
+                # path — no warning.
                 pass
             except Exception as exc:
                 # Infra failures (pickling, broken pool) also fall back
-                # serially — but say so, since they'd otherwise cost
+                # in-process — but say so, since they'd otherwise cost
                 # the whole fan-out invisibly.
                 warnings.warn(
                     f"parallel batch of {len(jobs)} jobs failed "
-                    f"({type(exc).__name__}: {exc}); re-running serially",
+                    f"({type(exc).__name__}: {exc}); re-running in-process",
                     RuntimeWarning,
                     stacklevel=2,
                 )
@@ -423,10 +457,24 @@ class Session:
                 for handle, result in zip(handles, results):
                     handle._resolve(result=result)
                 return
-        for handle in handles:
+        if len(handles) == 1:
+            handle = handles[0]
             try:
                 result = self._evaluator._evaluate(*handle.job.engine_args())
             except ReproError as exc:
+                handle._resolve(exception=exc)
+            else:
+                handle._resolve(result=result)
+            return
+        # Multi-job in-process batches run through the stacked pass:
+        # the whole batch's sparse-stage misses resolve in one numpy
+        # call, bit-identical to the serial loop. This is what makes
+        # the serving daemon's cross-client micro-batching pay off.
+        outcomes = self._evaluator._evaluate_batch(
+            [h.job.engine_args() for h in handles]
+        )
+        for handle, (result, exc) in zip(handles, outcomes):
+            if exc is not None:
                 handle._resolve(exception=exc)
             else:
                 handle._resolve(result=result)
@@ -533,7 +581,9 @@ class Session:
     #: are reportable even before the first search runs.
     _REPORTED_STAGES = ("dense", "candidates")
 
-    def cache_stats(self) -> dict[str, dict[str, float]]:
+    def cache_stats(
+        self, since: dict[str, dict[str, float]] | None = None
+    ) -> dict[str, dict[str, float]]:
         """Per-stage hit/miss statistics of the in-memory cache
         (empty when caching is disabled).
 
@@ -541,6 +591,18 @@ class Session:
         reported — with zeroed counters when nothing touched them —
         so callers monitoring cold-search behaviour see a stable
         schema.
+
+        ``since`` takes a dict previously returned by this method and
+        turns the result into a *delta*: per-stage hits/misses are the
+        counts accrued since that checkpoint (with ``hit_rate``
+        recomputed over the delta), while ``entries`` stays the current
+        cache size. Stages absent from the checkpoint are reported in
+        full. This is how the serving daemon attributes cache hits to
+        individual clients without global counters::
+
+            before = session.cache_stats()
+            ...run this client's jobs...
+            attributed = session.cache_stats(since=before)
         """
         if self._evaluator.cache is None:
             return {}
@@ -550,7 +612,21 @@ class Session:
                 name,
                 {"hits": 0, "misses": 0, "hit_rate": 0.0, "entries": 0},
             )
-        return stats
+        if since is None:
+            return stats
+        delta: dict[str, dict[str, float]] = {}
+        for name, counters in stats.items():
+            base = since.get(name, {})
+            hits = counters["hits"] - base.get("hits", 0)
+            misses = counters["misses"] - base.get("misses", 0)
+            total = hits + misses
+            delta[name] = {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / total if total else 0.0,
+                "entries": counters["entries"],
+            }
+        return delta
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else f"{len(self._pending)} pending"

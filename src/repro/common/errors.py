@@ -19,3 +19,11 @@ class MappingError(ReproError):
 
 class ValidationError(ReproError):
     """A mapping failed micro-architectural validity checks (e.g. capacity)."""
+
+
+class OverloadedError(ReproError):
+    """The serving daemon shed this job: its admission queue is full.
+
+    Retryable by construction — the job was rejected before any work
+    ran, so resubmitting (ideally after a backoff) is always safe.
+    """

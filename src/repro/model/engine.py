@@ -80,7 +80,12 @@ from repro.common.cache import (
     PersistentCache,
     global_cache,
 )
-from repro.common.errors import MappingError, SpecError, ValidationError
+from repro.common.errors import (
+    MappingError,
+    ReproError,
+    SpecError,
+    ValidationError,
+)
 from repro.dataflow.nest_analysis import (
     DENSE_VECTORIZED_DEFAULT,
     DenseTraffic,
@@ -1491,6 +1496,289 @@ class Evaluator:
             return None
         self._absorb_result(design, workload, best[2])
         return best[2]
+
+    def _dense_analysis_mixed(
+        self,
+        items: Sequence[tuple[Design, Workload, Mapping]],
+    ) -> list[tuple[DenseTraffic, tuple | None] | ReproError]:
+        """:meth:`_dense_analysis_keyed` over many *heterogeneous*
+        ``(design, workload, mapping)`` triples at once.
+
+        The block variant (:meth:`_dense_analysis_many`) serves one
+        search block's candidates; this one serves the
+        batched-submission/serving path, where every triple may carry
+        a different design and workload
+        (:func:`~repro.dataflow.nest_analysis.analyze_dataflow_batch`
+        groups compatible structures internally). Cache hits are
+        served as usual; misses run through one stacked call. A
+        triple whose analysis fails with an expected modeling error
+        gets that error in its slot; should the stacked pass itself
+        fail, the stage accounting of the aborted attempt is rolled
+        back and every triple recounts through the serial oracle so
+        the error lands on exactly the job(s) that caused it. Results
+        and cache statistics match the serial loop exactly.
+        """
+        count = len(items)
+        out: list[tuple[DenseTraffic, tuple | None] | ReproError | None] = (
+            [None] * count
+        )
+        keys: list[CachedHashKey | None] = [None] * count
+        compute_positions: list[int] = []
+        followers: dict[int, list[int]] = {}
+        first_by_key: dict[CachedHashKey, int] = {}
+        stage = self.cache.dense if self.cache is not None else None
+        counters = (stage.hits, stage.misses) if stage is not None else None
+        for position, (design, workload, mapping) in enumerate(items):
+            if stage is not None:
+                key = CachedHashKey(
+                    dense_analysis_key(workload, design.arch, mapping)
+                )
+                keys[position] = key
+                if key in stage:  # peek: accounting handled per branch
+                    cached = stage.get(key)  # counts the hit
+                    out[position] = (replace(cached, workload=workload), key)
+                    continue
+                first = first_by_key.get(key)
+                if first is not None:
+                    # Serial accounting: the first occurrence computes
+                    # and installs before the scan reaches this
+                    # duplicate — a hit, not a miss.
+                    stage.hits += 1
+                    followers.setdefault(first, []).append(position)
+                    continue
+                first_by_key[key] = position
+                stage.misses += 1  # the serial get-before-compute miss
+            compute_positions.append(position)
+        if compute_positions:
+            try:
+                computed = analyze_dataflow_batch(
+                    [
+                        (items[i][1], items[i][0].arch, items[i][2])
+                        for i in compute_positions
+                    ],
+                    vectorized=self.dense_vectorized,
+                )
+            except ReproError:
+                if stage is not None:
+                    # The aborted stacked attempt already counted its
+                    # lookups; the serial fallback recounts every one.
+                    stage.hits, stage.misses = counters
+                fallback: list[
+                    tuple[DenseTraffic, tuple | None] | ReproError
+                ] = []
+                for design, workload, mapping in items:
+                    try:
+                        fallback.append(
+                            self._dense_analysis_keyed(
+                                design, workload, mapping
+                            )
+                        )
+                    except ReproError as exc:
+                        fallback.append(exc)
+                return fallback
+            for position, dense in zip(compute_positions, computed):
+                key = keys[position]
+                if stage is not None and key is not None:
+                    # Store with the workload stripped, exactly as
+                    # DenseAnalysisCache.get_or_compute_keyed does.
+                    stage.put(key, replace(dense, workload=None))
+                out[position] = (dense, key)
+                for follower in followers.get(position, ()):
+                    # The follower's serial hit would have returned
+                    # the stored copy rebound to its own workload.
+                    out[follower] = (
+                        replace(dense, workload=items[follower][1]),
+                        keys[follower],
+                    )
+        return out
+
+    def _sparse_analysis_mixed(
+        self,
+        entries: Sequence[tuple[DenseTraffic, SAFSpec, tuple | None]],
+    ) -> list[tuple[SparseTraffic, CachedHashKey | None]]:
+        """:meth:`_sparse_analysis_keyed` over many *heterogeneous*
+        analyses at once.
+
+        The block variant (:meth:`_sparse_analysis_many`) stacks the
+        candidates of one search block, which share a workload and one
+        SAF spec; this one serves the batched-submission/serving path,
+        where every entry may carry a different design and workload.
+        Cache hits are served as usual; the misses are deduped by
+        content key and computed in stacked numpy passes
+        (:func:`~repro.sparse.postprocess.analyze_sparse_batch` takes
+        per-item SAF specs), so jobs from many clients share the
+        vectorized kernels. Misses whose sparse-walk *context* matches
+        — same workload content (einsum and densities), SAF spec, and
+        architecture; only the mapping differs — additionally share
+        one walk memo per flush, exactly as the candidates of one
+        search block do. Per-entry results — values, cache accounting,
+        and shared-object identity for duplicates — are bit-identical
+        to calling the serial helper in a loop.
+        """
+        count = len(entries)
+        sparses: list[SparseTraffic | None] = [None] * count
+        keys: list[CachedHashKey | None] = [None] * count
+        compute_positions: list[int] = []
+        followers: dict[int, list[int]] = {}
+        first_by_key: dict[CachedHashKey, int] = {}
+        for position, (dense, safs, dense_key) in enumerate(entries):
+            key: CachedHashKey | None = None
+            if self.cache is not None:
+                raw = sparse_analysis_key(dense, safs, dense_key)
+                if raw is not None:
+                    key = CachedHashKey(raw)
+            keys[position] = key
+            if key is not None:
+                stage = self.cache.sparse
+                if key in stage:  # peek: accounting handled per branch
+                    sparses[position] = stage.get(key)  # counts the hit
+                    continue
+                first = first_by_key.get(key)
+                if first is not None:
+                    # Serial accounting: by the time the scan reached
+                    # this duplicate, the first occurrence had computed
+                    # and installed the entry — a hit, not a miss.
+                    stage.hits += 1
+                    followers.setdefault(first, []).append(position)
+                    continue
+                first_by_key[key] = position
+                stage.misses += 1  # the serial get-before-compute miss
+            compute_positions.append(position)
+        # Group the misses by sparse-walk context: the sparse key is
+        # (dense key = (einsum, arch, mapping), SAF key, density keys),
+        # so dropping the mapping component leaves exactly the context
+        # the walk memo is pure over (see analyze_sparse_batch). Each
+        # group flushes as one stacked pass with a fresh shared memo;
+        # keyless entries (uncacheable densities) have no content
+        # identity to group on and flush together without one.
+        groups: dict[object, list[int]] = {}
+        for position in compute_positions:
+            key = keys[position]
+            context: object = None
+            if key is not None:
+                dense_component, safs_key, density_keys = key.key
+                dense_parts = dense_component.key
+                if isinstance(dense_parts, tuple) and len(dense_parts) == 3:
+                    context = (
+                        dense_parts[0],  # einsum content
+                        dense_parts[1],  # architecture content
+                        safs_key,
+                        density_keys,
+                    )
+                else:  # unrecognised dense-key shape: no cross-entry memo
+                    context = key
+            groups.setdefault(context, []).append(position)
+        for context, positions in groups.items():
+            computed = analyze_sparse_batch(
+                [(entries[i][0], entries[i][1]) for i in positions],
+                vectorized=self.sparse_vectorized,
+                memo={} if context is not None else None,
+            )
+            for position, sparse in zip(positions, computed):
+                sparses[position] = sparse
+                key = keys[position]
+                if key is not None:
+                    self.cache.sparse.put(key, sparse)
+                for follower in followers.get(position, ()):
+                    sparses[follower] = sparse
+        return list(zip(sparses, keys))
+
+    def _evaluate_batch(
+        self, jobs: Sequence[tuple]
+    ) -> list[tuple[EvaluationResult | None, ReproError | None]]:
+        """Evaluate a batch of jobs in one stacked pass, capturing
+        expected failures per job.
+
+        Each job is ``(design, workload[, mapping])`` — the
+        :meth:`_evaluate` signature. The pipeline runs stage by stage
+        across the whole batch: mappings resolve first
+        (constraints-only designs fall back to the ordinary search
+        path), the dense misses of the batch stack through one
+        :meth:`_dense_analysis_mixed` pass, the sparse misses through
+        one :meth:`_sparse_analysis_mixed` pass, and the micro tail
+        finishes each job. Every per-job outcome — including
+        :class:`~repro.common.errors.ReproError` failures such as
+        capacity overflows — matches a serial :meth:`_evaluate` call
+        bit for bit; only the grouping of the numpy arithmetic
+        changes, and the stacked backends are the proven-bit-identical
+        :func:`~repro.dataflow.nest_analysis.analyze_dataflow_batch`
+        and :func:`~repro.sparse.postprocess.analyze_sparse_batch`.
+
+        Returns one ``(result, error)`` pair per job, in job order
+        (exactly one side is non-``None``). This is the micro-batching
+        core of the serving daemon: N concurrent clients' evaluate
+        jobs resolve through one call.
+        """
+        jobs = list(jobs)
+        outcomes: list[tuple | None] = [None] * len(jobs)
+        staged: list[tuple[int, Design, Workload, Mapping]] = []
+        for index, job in enumerate(jobs):
+            design, workload = job[0], job[1]
+            mapping = job[2] if len(job) > 2 else None
+            try:
+                mapping = mapping or design.mapping_for(workload)
+                if mapping is None:
+                    # Constraints-driven (or absent) mapping policy:
+                    # the search path owns this job end to end.
+                    outcomes[index] = (self._evaluate(design, workload), None)
+                    continue
+            except ReproError as exc:
+                outcomes[index] = (None, exc)
+                continue
+            staged.append((index, design, workload, mapping))
+
+        dense_entries: list[tuple] = []
+        dense_outcomes = self._dense_analysis_mixed(
+            [(design, workload, mapping) for _i, design, workload, mapping
+             in staged]
+        )
+        for (index, design, workload, _mapping), dense_outcome in zip(
+            staged, dense_outcomes
+        ):
+            if isinstance(dense_outcome, ReproError):
+                outcomes[index] = (None, dense_outcome)
+                continue
+            dense, dense_key = dense_outcome
+            dense_entries.append((index, design, workload, dense, dense_key))
+
+        analyses: list
+        try:
+            analyses = self._sparse_analysis_mixed(
+                [
+                    (dense, design.safs, dense_key)
+                    for _i, design, _w, dense, dense_key in dense_entries
+                ]
+            )
+        except ReproError:
+            # A failure inside the stacked flush cannot be attributed
+            # to one job; re-run the sparse stage serially so the error
+            # lands on exactly the job(s) that caused it.
+            analyses = []
+            for _i, design, _w, dense, dense_key in dense_entries:
+                try:
+                    analyses.append(
+                        self._sparse_analysis_keyed(
+                            dense, design.safs, dense_key
+                        )
+                    )
+                except ReproError as exc:
+                    analyses.append(exc)
+
+        for entry, analysis in zip(dense_entries, analyses):
+            index, design, workload, dense, _dense_key = entry
+            if isinstance(analysis, ReproError):
+                outcomes[index] = (None, analysis)
+                continue
+            sparse, sparse_key = analysis
+            try:
+                result = self._finish_evaluation(
+                    design, workload, dense, sparse, sparse_key
+                )
+            except ReproError as exc:
+                outcomes[index] = (None, exc)
+            else:
+                outcomes[index] = (result, None)
+        return outcomes
 
     # ------------------------------------------------------------------
     # Batch evaluation

@@ -352,21 +352,49 @@ class EvaluationResult(SerializableResult):
     # ------------------------------------------------------------------
     # Serialization (schema v1)
 
-    def to_dict(self) -> dict:
-        """Serialize to the versioned, JSON-compatible schema."""
-        mapping = self.dense.mapping
-        return {
-            "schema": RESULT_SCHEMA_VERSION,
-            "kind": "evaluation",
-            "design": self.design_name,
-            "workload": self.workload_name,
-            "mapping": None if mapping is None else mapping.to_spec(),
-            "dense": _dense_to_dict(self.dense),
-            "sparse": _sparse_to_dict(self.sparse),
-            "latency": _latency_to_dict(self.latency),
-            "energy": _energy_to_dict(self.energy),
-            "usage": _usage_to_list(self.usage),
+    def to_dict(self, *, fields=None) -> dict:
+        """Serialize to the versioned, JSON-compatible schema.
+
+        ``fields`` (an iterable of top-level key names) projects the
+        payload: only the named keys plus the ``schema``/``kind``
+        envelope are emitted, and sub-dicts projected away are never
+        built — a sweep client reading one scalar per candidate skips
+        most of the serialization cost. The virtual ``"summary"``
+        field (``cycles``/``energy_pj``/``edp``) exists only under
+        projection. Projected payloads are partial and do not
+        round-trip through :meth:`from_dict`; the default
+        (``fields=None``) output is the full schema, unchanged.
+        """
+        builders = {
+            "design": lambda: self.design_name,
+            "workload": lambda: self.workload_name,
+            "mapping": lambda: (
+                None
+                if self.dense.mapping is None
+                else self.dense.mapping.to_spec()
+            ),
+            "dense": lambda: _dense_to_dict(self.dense),
+            "sparse": lambda: _sparse_to_dict(self.sparse),
+            "latency": lambda: _latency_to_dict(self.latency),
+            "energy": lambda: _energy_to_dict(self.energy),
+            "usage": lambda: _usage_to_list(self.usage),
         }
+        data = {"schema": RESULT_SCHEMA_VERSION, "kind": "evaluation"}
+        if fields is None:
+            for key, build in builders.items():
+                data[key] = build()
+            return data
+        keep = set(fields)
+        if "summary" in keep:
+            data["summary"] = {
+                "cycles": self.cycles,
+                "energy_pj": self.energy_pj,
+                "edp": self.edp,
+            }
+        for key, build in builders.items():
+            if key in keep:
+                data[key] = build()
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "EvaluationResult":

@@ -1,0 +1,20 @@
+"""Evaluation-as-a-service: daemon, wire protocol, and thin client.
+
+The daemon (``repro serve`` or :class:`ReproServer`) owns one hot
+:class:`~repro.api.Session` per process and speaks newline-delimited
+``schema: 1`` JSON over TCP and unix sockets; concurrent evaluate jobs
+from different clients micro-batch into single stacked engine passes.
+:func:`repro.api.connect` returns a :class:`RemoteSession` mirroring
+the Session surface. See ``docs/serving.md``.
+"""
+
+from repro.serve.client import RemoteHandle, RemoteSession, connect
+from repro.serve.server import ReproServer, ServeConfig
+
+__all__ = [
+    "connect",
+    "RemoteSession",
+    "RemoteHandle",
+    "ReproServer",
+    "ServeConfig",
+]

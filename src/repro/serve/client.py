@@ -1,0 +1,536 @@
+"""The thin client: :func:`connect` and :class:`RemoteSession`.
+
+A :class:`RemoteSession` mirrors the :class:`~repro.api.Session`
+surface — ``submit`` / ``submit_many`` / ``evaluate`` / ``search`` /
+``evaluate_network`` — over one daemon connection. Submissions return
+:class:`RemoteHandle`\\ s that behave exactly like in-process
+:class:`~repro.api.jobs.JobHandle`\\ s: ``result()`` returns the same
+``schema: 1`` result objects (bit-identical payloads), ``exception()``
+returns the same :class:`~repro.common.errors.ReproError` types with
+the same messages, and both take ``timeout=``.
+
+Every job kind is a pure function of its payload, so requests are
+idempotent; a dropped connection (daemon restart, socket error) is
+retried once per wait — the client reconnects and resends every
+request still in flight. The daemon sheds load with
+:class:`~repro.common.errors.OverloadedError` envelopes; those are
+surfaced, not retried, so the caller controls backoff.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import socket
+import threading
+from dataclasses import replace
+from pathlib import Path
+
+from repro.api.jobs import EvaluateJob, NetworkJob, SearchJob, _pack
+from repro.api.session import coerce_job
+from repro.common.errors import ReproError, SpecError
+from repro.io.yaml_spec import load_design
+from repro.model.engine import Design
+from repro.model.result import SearchResult
+from repro.serve.protocol import (
+    decode_line,
+    encode_line,
+    error_from_envelope,
+    result_from_dict,
+)
+
+__all__ = ["connect", "RemoteSession", "RemoteHandle"]
+
+
+def _require_workload(job) -> None:
+    if isinstance(job, (EvaluateJob, SearchJob)) and job.workload is None:
+        raise SpecError(
+            f"{type(job).__name__} needs a workload (a spec string/"
+            "dict/path carries its own; Python-object jobs take it "
+            "explicitly)"
+        )
+
+
+def connect(address, *, timeout: float | None = 10.0) -> "RemoteSession":
+    """Open a :class:`RemoteSession` to a serving daemon.
+
+    ``address`` accepts a ``(host, port)`` tuple, ``"host:port"``,
+    ``"tcp://host:port"``, ``"unix:///path/to.sock"``, or a bare
+    filesystem path (anything with a path separator, or no ``:port``
+    suffix, is treated as a unix socket). ``timeout`` bounds the
+    connection attempt, not job waits — those take per-call
+    ``timeout=`` arguments.
+    """
+    return RemoteSession(address, connect_timeout=timeout)
+
+
+def _parse_address(address) -> tuple[str, str, int | None]:
+    if isinstance(address, tuple):
+        if len(address) != 2:
+            raise SpecError(
+                f"tuple addresses must be (host, port), got {address!r}"
+            )
+        return ("tcp", str(address[0]), int(address[1]))
+    if isinstance(address, Path):
+        return ("unix", str(address), None)
+    if isinstance(address, str):
+        text = address
+        if text.startswith("unix://"):
+            return ("unix", text[len("unix://"):], None)
+        if text.startswith("tcp://"):
+            text = text[len("tcp://"):]
+        if "/" not in text:
+            host, sep, port = text.rpartition(":")
+            if sep and host and port.isdigit():
+                return ("tcp", host, int(port))
+        return ("unix", text, None)
+    raise SpecError(
+        f"cannot parse address from {type(address).__name__}; expected "
+        "a (host, port) tuple, 'host:port', 'tcp://...', 'unix://...', "
+        "or a socket path"
+    )
+
+
+class RemoteHandle:
+    """A :class:`~repro.api.jobs.JobHandle`-compatible ticket for one
+    request in flight on a :class:`RemoteSession`."""
+
+    __slots__ = (
+        "job", "_session", "_id", "_done",
+        "_result", "_raw_result", "_fields", "_exception",
+    )
+
+    def __init__(
+        self, session: "RemoteSession", job, request_id: int, fields=None
+    ):
+        self.job = job
+        self._session = session
+        self._id = request_id
+        self._done = False
+        self._result = None
+        self._raw_result = None
+        self._fields = fields
+        self._exception: BaseException | None = None
+
+    def done(self) -> bool:
+        """True once the daemon's response has been read."""
+        return self._done
+
+    def result(self, timeout: float | None = None):
+        """The job's result (same types and bit-identical payloads as
+        the in-process handle); re-raises the job's captured error.
+        ``timeout`` bounds the wait in seconds
+        (:class:`TimeoutError` on expiry; the handle stays pending).
+
+        Jobs submitted with a ``fields=`` projection return the
+        server's projected result *dict* — a partial envelope has no
+        Result-object form."""
+        if not self._done:
+            self._session._wait(self, timeout=timeout)
+        if self._exception is not None:
+            raise self._exception
+        if self._raw_result is not None:
+            # Result objects are built lazily: the read loop stays a
+            # pure demultiplexer, and callers that only poll
+            # ``exception()`` never pay for payload reconstruction.
+            with self._session._lock:
+                if self._raw_result is not None:
+                    raw = self._raw_result[0]
+                    if self._fields is None:
+                        self._result = result_from_dict(raw)
+                    elif isinstance(raw, dict):
+                        self._result = raw
+                    else:
+                        raise SpecError(
+                            "projected response carried no result "
+                            f"payload (got {type(raw).__name__})"
+                        )
+                    self._raw_result = None
+        return self._result
+
+    def exception(
+        self, timeout: float | None = None
+    ) -> BaseException | None:
+        """The job's captured failure (``None`` on success)."""
+        if not self._done:
+            self._session._wait(self, timeout=timeout)
+        return self._exception
+
+    def _resolve(self, result=None, exception: BaseException | None = None):
+        self._result = result
+        self._exception = exception
+        self._done = True
+
+    def __repr__(self) -> str:
+        state = "pending"
+        if self._done:
+            state = "failed" if self._exception is not None else "done"
+        return f"RemoteHandle({type(self.job).__name__}, {state})"
+
+
+class RemoteSession:
+    """One connection to a serving daemon, speaking the Session API.
+
+    Thread-safe: any thread may submit or wait; reads are serialized on
+    one lock and responses resolve whichever handles they belong to,
+    so concurrent waiters make progress for each other.
+    """
+
+    def __init__(self, address, *, connect_timeout: float | None = 10.0):
+        self._address = _parse_address(address)
+        self._connect_timeout = connect_timeout
+        self._lock = threading.RLock()
+        self._ids = itertools.count(1)
+        #: request id -> (handle, encoded request); kept until the
+        #: response lands so a reconnect can resend everything pending.
+        self._inflight: dict[int, tuple[RemoteHandle, bytes]] = {}
+        #: payload interning: id(obj) -> (obj, digest, packed blob).
+        #: Holding the object keeps its id stable; DSE clients reuse a
+        #: handful of designs/workloads, so this stays small.
+        self._blob_packs: dict[int, tuple[object, str, dict]] = {}
+        #: digests the *current* connection has carried in full; the
+        #: set resets on reconnect so refs never dangle server-side.
+        self._sent_refs: set[str] = set()
+        self._sock: socket.socket | None = None
+        self._rfile = None
+        self._closed = False
+        self._connect()
+
+    # ------------------------------------------------------------------
+    # Connection management
+
+    def _connect(self) -> None:
+        kind, host, port = self._address
+        if kind == "tcp":
+            sock = socket.create_connection(
+                (host, port), timeout=self._connect_timeout
+            )
+        else:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self._connect_timeout)
+            sock.connect(host)
+        sock.settimeout(None)
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+
+    def _teardown(self) -> None:
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._sock = None
+        self._rfile = None
+
+    def _reconnect_and_resend(self) -> None:
+        """Jobs are idempotent, so a dropped connection is recoverable:
+        reconnect and replay every request still awaiting a response.
+        The fresh connection has an empty server-side blob store, so
+        job requests are re-encoded from scratch — the first replay
+        carries each interned payload in full again."""
+        self._teardown()
+        self._connect()
+        self._sent_refs.clear()
+        frames: list[bytes] = []
+        for request_id, (handle, payload) in list(self._inflight.items()):
+            if handle.job is not None:
+                payload = self._job_frame(
+                    request_id, handle.job, handle._fields
+                )
+                self._inflight[request_id] = (handle, payload)
+            frames.append(payload)
+        if frames:
+            self._sock.sendall(b"".join(frames))
+
+    def close(self) -> None:
+        """Close the connection; pending handles resolve with a
+        :class:`ReproError` rather than hanging."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            dropped = ReproError("connection closed with the job in flight")
+            for handle, _payload in self._inflight.values():
+                handle._resolve(exception=dropped)
+            self._inflight.clear()
+            self._teardown()
+
+    def __enter__(self) -> "RemoteSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # Payload interning
+
+    def _pack_interned(self, obj) -> dict:
+        """Pack ``obj`` once per object, then send a digest reference.
+
+        The first request on a connection carries the full tagged blob
+        plus its content digest; the daemon stores it per connection,
+        and every later request for the same object is a ~60-byte
+        ``{"encoding": "ref"}`` stub. For DSE traffic — one design and
+        workload, thousands of mappings — this removes the dominant
+        per-job pickling and wire cost on both ends.
+        """
+        entry = self._blob_packs.get(id(obj))
+        if entry is None or entry[0] is not obj:
+            blob = _pack(obj)
+            digest = hashlib.sha256(
+                blob["data"].encode("ascii")
+            ).hexdigest()[:24]
+            entry = (obj, digest, blob)
+            self._blob_packs[id(obj)] = entry
+        _obj, digest, blob = entry
+        if digest in self._sent_refs:
+            return {"encoding": "ref", "ref": digest}
+        self._sent_refs.add(digest)
+        return {**blob, "ref": digest}
+
+    def _job_wire(self, job) -> dict:
+        """The wire dict for one job; evaluate jobs (the micro-batched
+        hot path) intern their design/workload payloads."""
+        if isinstance(job, EvaluateJob):
+            return job.to_dict(pack=self._pack_interned)
+        return job.to_dict()
+
+    def _job_frame(self, request_id: int, job, fields) -> bytes:
+        request: dict = {"id": request_id, "job": self._job_wire(job)}
+        if fields is not None:
+            request["fields"] = list(fields)
+        return encode_line(request)
+
+    # ------------------------------------------------------------------
+    # Submission (the Session surface)
+
+    def submit(
+        self, spec, *, search: bool = False, fields=None
+    ) -> RemoteHandle:
+        """Queue one job on the daemon; accepts every spec form
+        :meth:`repro.api.Session.submit` accepts.
+
+        ``fields`` asks the daemon to project the result to the named
+        top-level keys (plus the virtual ``"summary"`` scalar block for
+        evaluate results); the handle then resolves to the projected
+        dict instead of a Result object. Throughput-bound sweeps that
+        only need scalars should project — it removes most of the
+        per-job response encode/decode cost."""
+        job = coerce_job(spec, search=search)
+        _require_workload(job)
+        with self._lock:
+            if self._closed:
+                raise SpecError("cannot submit to a closed RemoteSession")
+            request_id = next(self._ids)
+            payload = self._job_frame(request_id, job, fields)
+            handle = RemoteHandle(self, job, request_id, fields)
+            self._inflight[request_id] = (handle, payload)
+            try:
+                self._sock.sendall(payload)
+            except (ConnectionError, BrokenPipeError, OSError):
+                self._reconnect_and_resend()
+        return handle
+
+    def submit_many(
+        self, specs, *, search: bool = False, fields=None
+    ) -> list[RemoteHandle]:
+        """Queue a batch; jobs submitted together land in the daemon's
+        same micro-batch window whenever the collector allows. The
+        whole batch goes out as one socket write, so the daemon sees
+        the jobs back to back rather than one syscall apart.
+        ``fields`` projects every result in the batch (see
+        :meth:`submit`)."""
+        jobs = [coerce_job(spec, search=search) for spec in specs]
+        for job in jobs:
+            _require_workload(job)
+        with self._lock:
+            if self._closed:
+                raise SpecError("cannot submit to a closed RemoteSession")
+            handles: list[RemoteHandle] = []
+            frames: list[bytes] = []
+            for job in jobs:
+                request_id = next(self._ids)
+                payload = self._job_frame(request_id, job, fields)
+                handle = RemoteHandle(self, job, request_id, fields)
+                self._inflight[request_id] = (handle, payload)
+                handles.append(handle)
+                frames.append(payload)
+            try:
+                self._sock.sendall(b"".join(frames))
+            except (ConnectionError, BrokenPipeError, OSError):
+                self._reconnect_and_resend()
+        return handles
+
+    def evaluate(self, design, workload=None, mapping=None):
+        """Mirror of :meth:`repro.api.Session.evaluate`."""
+        if workload is None and not isinstance(design, Design):
+            if mapping is None:
+                handle = self.submit(design)
+            elif isinstance(design, (dict, str, Path)):
+                spec_design, spec_workload = load_design(design)
+                handle = self.submit(
+                    EvaluateJob(spec_design, spec_workload, mapping)
+                )
+            else:
+                raise SpecError(
+                    "a mapping override needs a Design + workload or a "
+                    "dict / YAML string / YAML path spec"
+                )
+        else:
+            handle = self.submit(EvaluateJob(design, workload, mapping))
+        result = handle.result()
+        if isinstance(result, SearchResult):
+            return result.best_or_raise()
+        return result
+
+    def search(
+        self,
+        design,
+        workload=None,
+        objective=None,
+        candidates=None,
+        parallel=None,
+        batch_size=None,
+        strategy=None,
+    ) -> SearchResult:
+        """Mirror of :meth:`repro.api.Session.search`."""
+        if isinstance(design, SearchJob):
+            job = design
+        elif isinstance(design, (EvaluateJob, NetworkJob)):
+            raise SpecError(
+                f"search() cannot run a {type(design).__name__}; pass a "
+                "SearchJob, a Design + workload, or a design spec"
+            )
+        elif workload is None and not isinstance(design, Design):
+            job = coerce_job(design, search=True)
+        else:
+            job = SearchJob(design, workload)
+        overrides = {
+            name: value
+            for name, value in (
+                ("objective", objective),
+                ("candidates", candidates),
+                ("parallel", parallel),
+                ("batch_size", batch_size),
+                ("strategy", strategy),
+            )
+            if value is not None
+        }
+        if overrides:
+            job = replace(job, **overrides)
+        return self.submit(job).result()
+
+    def evaluate_network(
+        self, design, layers, densities_for, parallel=None
+    ):
+        """Mirror of :meth:`repro.api.Session.evaluate_network`."""
+        handle = self.submit(
+            NetworkJob(design, list(layers), densities_for, parallel)
+        )
+        return handle.result()
+
+    # ------------------------------------------------------------------
+    # Control ops
+
+    def ping(self, timeout: float | None = None) -> dict:
+        """Round-trip a ``ping``; returns the daemon's protocol info."""
+        return self._op("ping", timeout=timeout)
+
+    def stats(self, timeout: float | None = None) -> dict:
+        """This connection's server-side stats (jobs, attributed cache
+        hits, bytes in/out, overload rejections)."""
+        return self._op("stats", timeout=timeout)
+
+    def server_stats(self, timeout: float | None = None) -> dict:
+        """Daemon-wide counters: evaluate jobs/batches, realized batch
+        sizes (mean/max), cumulative engine seconds, client count."""
+        return self._op("server-stats", timeout=timeout)
+
+    def _op(self, op: str, *, timeout: float | None) -> dict:
+        with self._lock:
+            if self._closed:
+                raise SpecError("RemoteSession is closed")
+            request_id = next(self._ids)
+            payload = encode_line({"id": request_id, "op": op})
+            handle = RemoteHandle(self, None, request_id)
+            self._inflight[request_id] = (handle, payload)
+            try:
+                self._sock.sendall(payload)
+            except (ConnectionError, BrokenPipeError, OSError):
+                self._reconnect_and_resend()
+        return handle.result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Response plumbing
+
+    def _wait(self, handle: RemoteHandle, *, timeout: float | None) -> None:
+        """Read responses until ``handle`` resolves. Responses for
+        other handles resolve those as a side effect, so any one
+        waiter drains the connection for all of them."""
+        acquired = (
+            self._lock.acquire()
+            if timeout is None
+            else self._lock.acquire(timeout=timeout)
+        )
+        if not acquired:
+            raise TimeoutError(
+                f"no response within {timeout:g}s (connection busy)"
+            )
+        try:
+            if self._closed:
+                # close() already resolved every in-flight handle.
+                return
+            retried = False
+            self._sock.settimeout(timeout)
+            try:
+                while not handle._done:
+                    try:
+                        line = self._rfile.readline()
+                    except socket.timeout:
+                        raise TimeoutError(
+                            f"no response within {timeout:g}s"
+                        ) from None
+                    except (ConnectionError, OSError):
+                        line = b""
+                    if not line:
+                        if retried:
+                            raise ReproError(
+                                "connection to the daemon lost (retried once)"
+                            )
+                        retried = True
+                        self._reconnect_and_resend()
+                        continue
+                    self._handle_response(decode_line(line))
+            finally:
+                if self._sock is not None:
+                    self._sock.settimeout(None)
+        finally:
+            self._lock.release()
+
+    def _handle_response(self, message: dict) -> None:
+        request_id = message.get("id")
+        entry = self._inflight.pop(request_id, None)
+        if entry is None:
+            # Unknown id: a duplicate after a resend race, or a
+            # server-initiated framing error notice (id null). Drop it.
+            return
+        handle, _payload = entry
+        if "error" in message:
+            handle._resolve(exception=error_from_envelope(message["error"]))
+        elif "ok" in message:
+            handle._resolve(result=message["ok"])
+        else:
+            # Deferred: ``result()`` rebuilds the Result object on
+            # first access (see RemoteHandle.result). Tuple-wrapped so
+            # a missing payload still hits result_from_dict's checks.
+            handle._raw_result = (message.get("result"),)
+            handle._resolve(result=None)

@@ -1,0 +1,142 @@
+"""Thread-safety of JobHandle resolution and ``result(timeout=...)``.
+
+The serving daemon resolves handles from many threads at once; these
+tests pin the two contracts that makes safe:
+
+* the lazy bulk-resolve is serialized on the Session lock — concurrent
+  ``result()`` calls across threads never interleave a drain, and a
+  handle that reports ``done()`` always has its payload published
+  (the regression: ``_resolve`` used to set the done flag *before*
+  the payload, so a racing reader could see ``done()`` with a stale
+  ``None`` result),
+* ``result(timeout=...)`` bounds the wait for a busy Session and
+  leaves the handle pending on expiry.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import EvaluateJob, Session
+from repro.io.yaml_spec import load_design
+from tests.io.test_yaml_spec import FULL_SPEC
+
+
+class TestConcurrentResolution:
+    def test_concurrent_result_calls_race(self):
+        # Many threads hammer result() on distinct pending handles of
+        # one Session; every observation must be a fully-published
+        # result, never None, and all must be bit-identical.
+        design, workload = load_design(FULL_SPEC)
+        with Session() as session:
+            expected = session.evaluate(design, workload).to_dict()
+        for _ in range(5):
+            with Session() as session:
+                handles = [
+                    session.submit(EvaluateJob(design, workload))
+                    for _ in range(8)
+                ]
+                seen = [None] * len(handles)
+                errors = []
+                barrier = threading.Barrier(len(handles))
+
+                def read(i, handle):
+                    barrier.wait()
+                    try:
+                        seen[i] = handle.result().to_dict()
+                    except BaseException as exc:  # noqa: BLE001
+                        errors.append(exc)
+
+                threads = [
+                    threading.Thread(target=read, args=(i, h))
+                    for i, h in enumerate(handles)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join(timeout=30)
+                assert not errors, errors
+                assert all(s == expected for s in seen)
+
+    def test_done_implies_payload_published(self):
+        # Direct pin of the _resolve ordering: a reader polling done()
+        # from another thread must find the payload the instant the
+        # flag flips.
+        design, workload = load_design(FULL_SPEC)
+        with Session() as session:
+            handle = session.submit(EvaluateJob(design, workload))
+            observed = {}
+
+            def poll():
+                while not handle.done():
+                    pass
+                # No lock taken: this is exactly the racy fast path.
+                observed["result"] = handle._result
+
+            poller = threading.Thread(target=poll)
+            poller.start()
+            handle.result()
+            poller.join(timeout=30)
+        assert observed["result"] is not None
+
+    def test_concurrent_submit_and_drain(self):
+        design, workload = load_design(FULL_SPEC)
+        results = []
+        errors = []
+
+        with Session() as session:
+
+            def worker():
+                try:
+                    h = session.submit(EvaluateJob(design, workload))
+                    results.append(h.result().to_dict())
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+        assert not errors, errors
+        assert len(results) == 8
+        assert all(r == results[0] for r in results)
+
+
+class TestResultTimeout:
+    def test_timeout_expires_while_session_busy(self):
+        design, workload = load_design(FULL_SPEC)
+        with Session() as session:
+            handle = session.submit(EvaluateJob(design, workload))
+            locked = threading.Event()
+            release = threading.Event()
+
+            def hold_lock():
+                with session._lock:
+                    locked.set()
+                    release.wait(timeout=30)
+
+            holder = threading.Thread(target=hold_lock)
+            holder.start()
+            locked.wait(timeout=10)
+            try:
+                with pytest.raises(TimeoutError, match="did not resolve"):
+                    handle.result(timeout=0.05)
+                assert not handle.done(), "expiry must leave it pending"
+                with pytest.raises(TimeoutError):
+                    handle.exception(timeout=0.05)
+            finally:
+                release.set()
+                holder.join(timeout=10)
+            # An untimed call afterwards still resolves normally.
+            assert handle.result() is not None
+
+    def test_timeout_on_idle_session_resolves_immediately(self):
+        design, workload = load_design(FULL_SPEC)
+        with Session() as session:
+            handle = session.submit(EvaluateJob(design, workload))
+            assert handle.result(timeout=30).to_dict()
+            # Resolved handles never consult the lock again.
+            assert handle.result(timeout=0) is not None

@@ -1,0 +1,166 @@
+"""Job wire-format round-trips: ``to_dict`` / ``from_dict`` /
+:func:`job_from_dict`.
+
+Envelopes must be pure JSON (the daemon frames them as JSON lines),
+version-checked like result envelopes, and round-trip to jobs that
+evaluate bit-identically to the originals.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+import yaml
+
+from repro.api import (
+    EvaluateJob,
+    NetworkJob,
+    SearchJob,
+    Session,
+    job_from_dict,
+)
+from repro.api.jobs import JOB_SCHEMA_VERSION
+from repro.common.errors import SpecError
+from repro.io.yaml_spec import load_design
+from repro.workload.nets import alexnet
+from tests.io.test_yaml_spec import FULL_SPEC
+
+
+def _wire(job_dict: dict) -> dict:
+    """Simulate the wire: envelopes must survive JSON framing."""
+    return json.loads(json.dumps(job_dict))
+
+
+def edp_objective(result) -> float:
+    return result.edp
+
+
+def uniform_densities(layer) -> dict:
+    return {"I": 0.5}
+
+
+class TestEvaluateJobRoundTrip:
+    def test_envelope_shape(self):
+        design, workload = load_design(FULL_SPEC)
+        data = EvaluateJob(design, workload).to_dict()
+        assert data["schema"] == JOB_SCHEMA_VERSION
+        assert data["kind"] == "evaluate-job"
+        assert data["design"]["encoding"] == "pickle"
+        assert data["mapping"] is None
+
+    def test_round_trip_evaluates_bit_identically(self):
+        design, workload = load_design(FULL_SPEC)
+        original = EvaluateJob(design, workload)
+        rebuilt = EvaluateJob.from_dict(_wire(original.to_dict()))
+        with Session() as session:
+            expected = session.submit(original).result().to_dict()
+        with Session() as session:
+            actual = session.submit(rebuilt).result().to_dict()
+        assert actual == expected
+
+    def test_explicit_mapping_round_trips_structurally(self):
+        design, workload = load_design(FULL_SPEC)
+        job = EvaluateJob(design, workload, design.mapping)
+        data = _wire(job.to_dict())
+        assert isinstance(data["mapping"], list), "mappings use to_spec()"
+        rebuilt = EvaluateJob.from_dict(data)
+        assert rebuilt.mapping.to_spec() == design.mapping.to_spec()
+
+
+class TestSearchJobRoundTrip:
+    def test_round_trip_with_objective_and_knobs(self):
+        design, workload = load_design(FULL_SPEC)
+        job = SearchJob(
+            design,
+            workload,
+            objective=edp_objective,
+            parallel=2,
+            batch_size=16,
+            strategy="serial",
+        )
+        rebuilt = SearchJob.from_dict(_wire(job.to_dict()))
+        assert rebuilt.objective is edp_objective
+        assert (rebuilt.parallel, rebuilt.batch_size, rebuilt.strategy) == (
+            2,
+            16,
+            "serial",
+        )
+
+    def test_candidates_serialize_structurally(self):
+        design, workload = load_design(FULL_SPEC)
+        job = SearchJob(design, workload, candidates=[design.mapping])
+        data = _wire(job.to_dict())
+        assert isinstance(data["candidates"][0], list)
+        rebuilt = SearchJob.from_dict(data)
+        assert rebuilt.candidates[0].to_spec() == design.mapping.to_spec()
+
+    def test_search_results_identical_after_round_trip(self):
+        design, workload = load_design(FULL_SPEC)
+        design = load_design(FULL_SPEC)[0]
+        job = SearchJob(design, workload, candidates=[design.mapping])
+        rebuilt = job_from_dict(_wire(job.to_dict()))
+        with Session() as session:
+            expected = session.submit(job).result().to_dict()
+        with Session() as session:
+            actual = session.submit(rebuilt).result().to_dict()
+        assert actual == expected
+
+
+class TestNetworkJobRoundTrip:
+    def test_round_trip_evaluates_bit_identically(self):
+        design, _ = load_design(FULL_SPEC)
+        spec = yaml.safe_load(FULL_SPEC)
+        layers = alexnet()[:2]
+        job = NetworkJob(design, layers, uniform_densities)
+        rebuilt = job_from_dict(_wire(job.to_dict()))
+        assert [l.name for l in rebuilt.layers] == [l.name for l in layers]
+        assert rebuilt.densities_for is uniform_densities
+        assert rebuilt.design.name == design.name
+
+
+class TestEnvelopeValidation:
+    def test_job_from_dict_dispatches_every_kind(self):
+        design, workload = load_design(FULL_SPEC)
+        jobs = [
+            EvaluateJob(design, workload),
+            SearchJob(design, workload),
+            NetworkJob(design, alexnet()[:1], uniform_densities),
+        ]
+        for job in jobs:
+            assert type(job_from_dict(_wire(job.to_dict()))) is type(job)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecError, match="unknown job kind"):
+            job_from_dict({"schema": JOB_SCHEMA_VERSION, "kind": "teleport"})
+
+    def test_wrong_schema_version_rejected(self):
+        design, workload = load_design(FULL_SPEC)
+        data = EvaluateJob(design, workload).to_dict()
+        data["schema"] = 99
+        with pytest.raises(SpecError, match="unsupported job schema"):
+            EvaluateJob.from_dict(data)
+
+    def test_wrong_kind_rejected(self):
+        design, workload = load_design(FULL_SPEC)
+        data = SearchJob(design, workload).to_dict()
+        with pytest.raises(SpecError, match="expected a 'evaluate-job'"):
+            EvaluateJob.from_dict(data)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(SpecError, match="must be a dict"):
+            job_from_dict("a string")
+
+    def test_tampered_payload_normalised_to_spec_error(self):
+        design, workload = load_design(FULL_SPEC)
+        data = EvaluateJob(design, workload).to_dict()
+        data["design"] = {"encoding": "pickle", "data": "!!!not-base64!!!"}
+        with pytest.raises(SpecError, match="cannot decode job payload"):
+            EvaluateJob.from_dict(data)
+
+    def test_untagged_payload_rejected(self):
+        design, workload = load_design(FULL_SPEC)
+        data = EvaluateJob(design, workload).to_dict()
+        data["workload"] = "raw-string"
+        with pytest.raises(SpecError, match="tagged pickle"):
+            EvaluateJob.from_dict(data)

@@ -160,7 +160,10 @@ class TestJobHandles:
             raise boom
 
         with Session() as session:
+            # Patch both serial and stacked-batch entry points: the
+            # Session picks one based on batch size.
             monkeypatch.setattr(session.evaluator, "_evaluate", explode)
+            monkeypatch.setattr(session.evaluator, "_evaluate_batch", explode)
             bad = session.submit(EvaluateJob(design, workload))
             orphan = session.submit(EvaluateJob(design, workload))
             with pytest.raises(RuntimeError):

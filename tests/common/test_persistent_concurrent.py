@@ -1,0 +1,122 @@
+"""Concurrent-writer semantics of the persistent tier.
+
+The contract (documented in ``docs/caching.md``): many processes may
+spill to the same key at once; the winner is simply the last writer,
+and a reader racing the writers always loads a *complete* snapshot
+from one of them — never a torn or interleaved file. The mechanism is
+the write path's tempfile + fsync + ``os.replace`` (atomic rename on
+POSIX), so no locking is needed anywhere.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+
+from repro.common.cache import PersistentCache
+
+KEY = "stress-key"
+WRITERS = 4
+ROUNDS = 25
+
+
+def _payload(writer_id: int, round_no: int) -> dict:
+    # Unmistakably attributable to one (writer, round) pair, and large
+    # enough that a torn write could not accidentally parse: a reader
+    # either sees all of one writer's snapshot or none of it.
+    blob = [(f"w{writer_id}-r{round_no}-{i}", i * writer_id) for i in range(2000)]
+    return {"dense": blob, "writer": [(writer_id, round_no)]}
+
+
+def _writer(root: str, writer_id: int, barrier) -> None:
+    store = PersistentCache(root=root, namespace="stress")
+    barrier.wait()
+    for round_no in range(ROUNDS):
+        store.store(KEY, _payload(writer_id, round_no))
+
+
+def _reader(root: str, barrier, failures) -> None:
+    store = PersistentCache(root=root, namespace="stress")
+    barrier.wait()
+    for _ in range(ROUNDS * 2):
+        stages = store.load(KEY)
+        if stages is None:
+            continue  # not yet written; never torn (load discards junk)
+        ((writer_id, round_no),) = stages["writer"]
+        if stages != _payload(writer_id, round_no):
+            failures.put(
+                f"torn read: writer {writer_id} round {round_no} "
+                "loaded with mismatched stage data"
+            )
+            return
+
+
+class TestConcurrentWriters:
+    def test_last_writer_wins_no_torn_reads(self, tmp_path):
+        ctx = multiprocessing.get_context("spawn")
+        failures = ctx.Queue()
+        barrier = ctx.Barrier(WRITERS + 1)
+        writers = [
+            ctx.Process(target=_writer, args=(str(tmp_path), i + 1, barrier))
+            for i in range(WRITERS)
+        ]
+        reader = ctx.Process(
+            target=_reader, args=(str(tmp_path), barrier, failures)
+        )
+        for proc in writers + [reader]:
+            proc.start()
+        for proc in writers + [reader]:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0, f"{proc} died: exit {proc.exitcode}"
+        assert failures.empty(), failures.get()
+
+        # Quiesced store: the surviving snapshot is one writer's *last*
+        # round, complete — last-writer-wins, nothing interleaved.
+        store = PersistentCache(root=str(tmp_path), namespace="stress")
+        stages = store.load(KEY)
+        assert stages is not None
+        ((writer_id, round_no),) = stages["writer"]
+        assert round_no == ROUNDS - 1
+        assert stages == _payload(writer_id, round_no)
+
+    def test_no_tempfile_litter_after_stress(self, tmp_path):
+        store = PersistentCache(root=str(tmp_path), namespace="stress")
+        for round_no in range(5):
+            store.store(KEY, _payload(1, round_no))
+        leftovers = [
+            p for p in store.store_dir.iterdir() if p.suffix == ".tmp"
+        ]
+        assert leftovers == []
+
+    def test_corrupt_file_is_a_miss_not_a_crash(self, tmp_path):
+        # A half-written file from a crashed process (pre-rename this
+        # cannot happen, but disks lie) must read as a miss and be
+        # swept so the store self-heals.
+        store = PersistentCache(root=str(tmp_path), namespace="stress")
+        store.store(KEY, _payload(1, 0))
+        path = store.path_for(KEY)
+        complete = path.read_bytes()
+        path.write_bytes(complete[: len(complete) // 2])
+        assert store.load(KEY) is None
+        assert not path.exists(), "corrupt snapshots are discarded"
+
+
+class TestSnapshotIsolation:
+    def test_reader_never_sees_mixed_namespaces(self, tmp_path):
+        # Same key, different namespace -> different file; a namespace
+        # mismatch inside a file is rejected wholesale (no partial use).
+        a = PersistentCache(root=str(tmp_path), namespace="ns-a")
+        b = PersistentCache(root=str(tmp_path), namespace="ns-b")
+        a.store(KEY, _payload(1, 0))
+        assert b.load(KEY) is None
+        # Forge a cross-namespace file: reject, don't mix.
+        forged = b.path_for(KEY)
+        forged.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": b.version,
+            "namespace": "ns-a",
+            "key": KEY,
+            "stages": {"dense": []},
+        }
+        forged.write_bytes(pickle.dumps(payload))
+        assert b.load(KEY) is None

@@ -1,0 +1,433 @@
+"""End-to-end daemon tests: one in-process server, real sockets.
+
+The server runs its asyncio loop on a background thread and listens on
+a unix socket in the test's tmp dir; clients are real
+:class:`RemoteSession` connections. The core contract under test:
+anything a client does remotely behaves *identically* — bit-identical
+results, same exception types and messages — to doing it on an
+in-process :class:`Session`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+import yaml
+
+from repro import Workload, matmul
+from repro.api import EvaluateJob, NetworkJob, SearchJob, Session, connect
+from repro.common.errors import (
+    MappingError,
+    OverloadedError,
+    SpecError,
+    ValidationError,
+)
+from repro.io.yaml_spec import load_design
+from repro.serve.server import ReproServer, ServeConfig
+from repro.workload.nets import alexnet
+from tests.io.test_yaml_spec import FULL_SPEC
+
+
+def _overflow_spec() -> dict:
+    spec = yaml.safe_load(FULL_SPEC)
+    spec["arch"]["storage"][1]["capacity_words"] = 4
+    return spec
+
+
+def uniform_densities(layer) -> dict:
+    return {"I": 0.5, "W": 0.4}
+
+
+class _Daemon:
+    """One in-process daemon on a background event-loop thread."""
+
+    def __init__(self, config: ServeConfig, **session_kwargs):
+        self.server = ReproServer(config, **session_kwargs)
+        self._started = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._started.wait(timeout=15), "daemon failed to start"
+
+    def _run(self) -> None:
+        async def main() -> None:
+            await self.server.start()
+            self._loop = asyncio.get_running_loop()
+            self._started.set()
+            await self.server.serve_forever()
+
+        asyncio.run(main())
+
+    @property
+    def address(self) -> str:
+        return self.server.addresses[0]
+
+    def stop(self) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self.server.request_stop)
+        self._thread.join(timeout=15)
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    d = _Daemon(
+        ServeConfig(
+            port=None,
+            unix_path=str(tmp_path / "serve.sock"),
+            batch_window_ms=5.0,
+            batch_max=8,
+            workers=2,
+            queue_depth=8,
+        ),
+        search_budget=8,
+    )
+    yield d
+    d.stop()
+
+
+@pytest.fixture
+def remote(daemon):
+    session = connect(daemon.address)
+    yield session
+    session.close()
+
+
+class TestBasics:
+    def test_ping(self, remote, daemon):
+        info = remote.ping(timeout=10)
+        assert info["protocol"] == 1
+        assert info["addresses"] == daemon.server.addresses
+
+    def test_evaluate_bit_identical_to_in_process(self, remote):
+        design, workload = load_design(FULL_SPEC)
+        remote_result = remote.evaluate(design, workload)
+        with Session() as local:
+            expected = local.evaluate(design, workload)
+        assert remote_result.to_dict() == expected.to_dict()
+
+    def test_spec_forms_accepted(self, remote):
+        # The client shares the Session's coercion rules, so every
+        # spec form works remotely too.
+        a = remote.evaluate(FULL_SPEC)
+        b = remote.evaluate(yaml.safe_load(FULL_SPEC))
+        assert a.to_dict() == b.to_dict()
+
+    def test_search_identical_to_in_process(self, remote):
+        design, workload = load_design(FULL_SPEC)
+        remote_result = remote.search(SearchJob(design, workload))
+        with Session(search_budget=8) as local:
+            expected = local.search(SearchJob(design, workload))
+        assert remote_result.to_dict() == expected.to_dict()
+
+    def test_network_identical_to_in_process(self, tmp_path):
+        from repro.designs import eyeriss
+
+        d = _Daemon(
+            ServeConfig(port=None, unix_path=str(tmp_path / "net.sock")),
+            check_capacity=False,
+        )
+        try:
+            design = eyeriss.eyeriss_design()
+            layers = alexnet()[:2]
+            with connect(d.address) as session:
+                remote_result = session.evaluate_network(
+                    design, layers, uniform_densities
+                )
+            with Session(check_capacity=False) as local:
+                expected = local.evaluate_network(
+                    design, layers, uniform_densities
+                )
+            assert remote_result.to_dict() == expected.to_dict()
+        finally:
+            d.stop()
+
+
+class TestMicroBatching:
+    def test_concurrent_clients_batch_and_match(self, daemon):
+        design, workload = load_design(FULL_SPEC)
+        with Session() as local:
+            expected = local.evaluate(design, workload).to_dict()
+        results = [None] * 4
+        errors = []
+
+        def client(i):
+            try:
+                with connect(daemon.address) as session:
+                    handles = session.submit_many(
+                        [EvaluateJob(design, workload) for _ in range(3)]
+                    )
+                    results[i] = [h.result(timeout=60).to_dict() for h in handles]
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=90)
+        assert not errors, errors
+        for batch in results:
+            assert batch is not None
+            assert all(r == expected for r in batch)
+
+    def test_batch_max_1_still_correct(self, tmp_path):
+        # --batch-max 1 disables cross-client batching; results must
+        # not change, only throughput.
+        d = _Daemon(
+            ServeConfig(
+                port=None,
+                unix_path=str(tmp_path / "nobatch.sock"),
+                batch_max=1,
+            )
+        )
+        try:
+            design, workload = load_design(FULL_SPEC)
+            with connect(d.address) as session:
+                handles = session.submit_many(
+                    [EvaluateJob(design, workload) for _ in range(4)]
+                )
+                dicts = [h.result(timeout=60).to_dict() for h in handles]
+            with Session() as local:
+                expected = local.evaluate(design, workload).to_dict()
+            assert all(r == expected for r in dicts)
+        finally:
+            d.stop()
+
+    def test_cache_hits_attributed_to_client(self, remote):
+        design, workload = load_design(FULL_SPEC)
+        handles = remote.submit_many(
+            [EvaluateJob(design, workload) for _ in range(6)]
+        )
+        for handle in handles:
+            handle.result(timeout=60)
+        stats = remote.stats(timeout=10)
+        assert stats["jobs"] == 6
+        assert stats["cache_hits"] > 0, "duplicate jobs must hit the cache"
+        assert stats["bytes_in"] > 0 and stats["bytes_out"] > 0
+
+
+class TestErrorRoundTrips:
+    """Satellite: every ReproError subclass crosses the wire with
+    ``exception()``/``result()`` behaving identically to in-process."""
+
+    def _compare(self, job, remote, **session_kwargs):
+        with Session(**session_kwargs) as local:
+            local_exc = local.submit(job).exception()
+        remote_exc = remote.submit(job).exception(timeout=60)
+        assert type(remote_exc) is type(local_exc)
+        assert str(remote_exc) == str(local_exc)
+        return remote_exc
+
+    def test_validation_error_capacity_overflow(self, remote):
+        design, workload = load_design(_overflow_spec())
+        exc = self._compare(EvaluateJob(design, workload), remote)
+        assert isinstance(exc, ValidationError)
+        assert "overflows" in str(exc), "the usage report survives the wire"
+
+    def test_mapping_error(self, remote):
+        design, _ = load_design(FULL_SPEC)
+        mismatched = Workload.uniform(matmul(8, 8, 8), {"A": 0.5})
+        exc = self._compare(EvaluateJob(design, mismatched), remote)
+        assert isinstance(exc, MappingError)
+
+    def test_spec_error(self, remote):
+        design, _ = load_design(FULL_SPEC)
+        job = NetworkJob(design, alexnet()[:1], densities_for=None)
+        exc = self._compare(job, remote)
+        assert isinstance(exc, SpecError)
+
+    def test_result_reraises_like_in_process(self, remote):
+        design, workload = load_design(_overflow_spec())
+        handle = remote.submit(EvaluateJob(design, workload))
+        with pytest.raises(ValidationError, match="overflows"):
+            handle.result(timeout=60)
+        assert handle.done()
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_with_explicit_envelope(self, tmp_path):
+        d = _Daemon(
+            ServeConfig(
+                port=None,
+                unix_path=str(tmp_path / "tiny.sock"),
+                workers=1,
+                queue_depth=1,
+            ),
+            search_budget=16,
+        )
+        try:
+            design, workload = load_design(FULL_SPEC)
+            with connect(d.address) as session:
+                handles = [
+                    session.submit(SearchJob(design, workload))
+                    for _ in range(8)
+                ]
+                outcomes = [h.exception(timeout=120) for h in handles]
+            shed = [e for e in outcomes if isinstance(e, OverloadedError)]
+            ran = [e for e in outcomes if e is None]
+            assert shed, "a full queue must shed with OverloadedError"
+            assert ran, "admitted jobs must still complete"
+            assert "retry" in str(shed[0])
+        finally:
+            d.stop()
+
+
+class TestReconnect:
+    def test_dropped_connection_retries_idempotent_jobs(self, remote):
+        design, workload = load_design(FULL_SPEC)
+        handle = remote.submit(EvaluateJob(design, workload))
+        # Sever the transport under the client; the wait must
+        # reconnect and resend the in-flight request once.
+        remote._sock.shutdown(2)
+        result = handle.result(timeout=60)
+        with Session() as local:
+            expected = local.evaluate(design, workload)
+        assert result.to_dict() == expected.to_dict()
+
+    def test_close_resolves_inflight_handles(self, daemon):
+        session = connect(daemon.address)
+        design, workload = load_design(FULL_SPEC)
+        handle = session.submit(EvaluateJob(design, workload))
+        session.close()
+        exc = handle.exception()
+        assert exc is not None and "closed" in str(exc)
+        with pytest.raises(SpecError, match="closed"):
+            session.submit(EvaluateJob(design, workload))
+
+
+class TestPayloadInterning:
+    """Repeated design/workload payloads cross the wire once per
+    connection; later jobs carry content-digest ref stubs."""
+
+    def test_refs_replace_repeated_payloads(self, remote):
+        design, workload = load_design(FULL_SPEC)
+        first = remote._job_wire(EvaluateJob(design, workload))
+        second = remote._job_wire(EvaluateJob(design, workload))
+        assert first["design"]["encoding"] == "pickle"
+        assert "ref" in first["design"]
+        assert second["design"] == {
+            "encoding": "ref", "ref": first["design"]["ref"]
+        }
+        assert second["workload"]["encoding"] == "ref"
+
+    def test_interned_jobs_bit_identical(self, remote):
+        design, workload = load_design(FULL_SPEC)
+        handles = remote.submit_many(
+            [EvaluateJob(design, workload) for _ in range(3)]
+        )
+        dicts = [h.result(timeout=60).to_dict() for h in handles]
+        with Session() as local:
+            expected = local.evaluate(design, workload).to_dict()
+        assert all(d == expected for d in dicts)
+
+    def test_dangling_ref_is_a_spec_error(self, remote):
+        design, workload = load_design(FULL_SPEC)
+        # Mark the payloads as already sent without ever sending them:
+        # the server must reject the stub, not crash or hang.
+        remote._pack_interned(design)
+        remote._pack_interned(workload)
+        exc = remote.submit(EvaluateJob(design, workload)).exception(
+            timeout=60
+        )
+        assert isinstance(exc, SpecError)
+        assert "unknown payload ref" in str(exc)
+
+    def test_reconnect_resends_payloads_in_full(self, remote):
+        design, workload = load_design(FULL_SPEC)
+        remote.submit(EvaluateJob(design, workload)).result(timeout=60)
+        assert remote._sent_refs, "first job should have interned refs"
+        # Sever the transport: the fresh connection's server-side blob
+        # store is empty, so the client must drop its sent-ref memory
+        # and re-carry the payloads inline.
+        remote._sock.shutdown(2)
+        result = remote.submit(EvaluateJob(design, workload)).result(
+            timeout=60
+        )
+        with Session() as local:
+            expected = local.evaluate(design, workload)
+        assert result.to_dict() == expected.to_dict()
+
+
+class TestFieldProjection:
+    """``fields=`` trims the response envelope server-side; projected
+    handles resolve to plain dicts."""
+
+    def test_projected_fields_match_full_result(self, remote):
+        design, workload = load_design(FULL_SPEC)
+        job = EvaluateJob(design, workload)
+        full = remote.submit(job).result(timeout=60)
+        projected = remote.submit(
+            job, fields=["latency", "summary"]
+        ).result(timeout=60)
+        assert set(projected) == {"schema", "kind", "latency", "summary"}
+        assert projected["latency"] == full.to_dict()["latency"]
+        assert projected["summary"] == {
+            "cycles": full.cycles,
+            "energy_pj": full.energy_pj,
+            "edp": full.edp,
+        }
+
+    def test_submit_many_projects_every_result(self, remote):
+        design, workload = load_design(FULL_SPEC)
+        handles = remote.submit_many(
+            [EvaluateJob(design, workload) for _ in range(3)],
+            fields=["summary"],
+        )
+        summaries = [h.result(timeout=60) for h in handles]
+        with Session() as local:
+            expected = local.evaluate(design, workload)
+        assert all(
+            s == {
+                "schema": 1,
+                "kind": "evaluation",
+                "summary": {
+                    "cycles": expected.cycles,
+                    "energy_pj": expected.energy_pj,
+                    "edp": expected.edp,
+                },
+            }
+            for s in summaries
+        )
+
+    def test_projection_applies_to_worker_pool_jobs(self, remote):
+        design, workload = load_design(FULL_SPEC)
+        projected = remote.submit(
+            SearchJob(design, workload), fields=["best"]
+        ).result(timeout=120)
+        assert set(projected) == {"schema", "kind", "best"}
+        assert projected["kind"] == "search"
+        assert projected["best"] is not None
+
+    def test_invalid_fields_rejected(self, remote):
+        design, workload = load_design(FULL_SPEC)
+        exc = remote.submit(
+            EvaluateJob(design, workload), fields=[1, 2]
+        ).exception(timeout=60)
+        assert isinstance(exc, SpecError)
+        assert "'fields'" in str(exc)
+
+    def test_errors_unaffected_by_projection(self, remote):
+        design, workload = load_design(_overflow_spec())
+        exc = remote.submit(
+            EvaluateJob(design, workload), fields=["summary"]
+        ).exception(timeout=60)
+        assert isinstance(exc, ValidationError)
+
+
+class TestServerStats:
+    def test_counters_track_batches(self, remote):
+        design, workload = load_design(FULL_SPEC)
+        handles = remote.submit_many(
+            [EvaluateJob(design, workload) for _ in range(6)]
+        )
+        for handle in handles:
+            handle.result(timeout=60)
+        stats = remote.server_stats(timeout=10)
+        assert stats["evaluate_jobs"] >= 6
+        assert stats["evaluate_batches"] >= 1
+        assert stats["evaluate_batch_max"] >= 1
+        assert stats["evaluate_batch_mean"] >= 1
+        assert stats["engine_seconds"] > 0
+        assert stats["clients"] >= 1
