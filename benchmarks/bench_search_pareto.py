@@ -1,0 +1,104 @@
+"""Pareto/evolutionary search quality smoke with committed floors.
+
+Two commitments on the DSE traffic pattern (the three SAF variants of
+``bench_perf_engine._dse_designs``):
+
+* **Scalar parity** — at an equal candidate budget, the evolutionary
+  strategy's best EDP must match or beat batched random sampling's on
+  *every* design. Breeding recycles pruned proposals and exploits the
+  factorization structure, so losing to blind random draws means the
+  strategy regressed.
+* **Frontier size** — a three-axis search (energy, cycles, slack)
+  must keep at least ``pareto_frontier_min_points`` mutually
+  non-dominated points per design (committed conservatively below the
+  11-14 the reference measurement finds). A collapsing frontier means
+  dominance bookkeeping or the objective axes broke.
+
+Both runs are deterministic (fixed search seed), so the quality
+assertions are exact, not statistical; the measured numbers are
+written to ``BENCH_search_pareto.json`` for the perf CI artifact.
+
+Run:  pytest benchmarks/bench_search_pareto.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.model.engine import Evaluator
+from repro.search.frontier import dominates
+
+from bench_perf_engine import SEARCH_BUDGET, _dse_designs
+
+BASELINE_PATH = Path(__file__).parent / "baseline_perf_engine.json"
+SUMMARY_PATH = Path(__file__).parent / "BENCH_search_pareto.json"
+
+MULTI_OBJECTIVE = ("energy", "cycles", "slack")
+
+
+def _best_scalar(design, workload, strategy) -> float:
+    evaluator = Evaluator(search_budget=SEARCH_BUDGET)
+    outcome = evaluator._search_full(
+        design, workload, objective="edp", strategy=strategy
+    )
+    assert outcome.best_score is not None
+    return outcome.best_score
+
+
+@pytest.mark.perf
+def test_search_pareto_smoke():
+    designs, workload = _dse_designs()
+    baseline = json.loads(BASELINE_PATH.read_text())
+    frontier_floor = baseline["pareto_frontier_min_points"]
+
+    summary: dict = {
+        "budget": SEARCH_BUDGET,
+        "multi_objective": list(MULTI_OBJECTIVE),
+        "designs": [],
+    }
+
+    t0 = time.perf_counter()
+    for design in designs:
+        batched_best = _best_scalar(design, workload, "batched")
+        evolved_best = _best_scalar(design, workload, "evolutionary")
+        assert evolved_best <= batched_best, (
+            f"{design.name}: evolutionary best EDP {evolved_best:.6g} "
+            f"lost to batched random sampling's {batched_best:.6g} at "
+            f"equal budget {SEARCH_BUDGET}"
+        )
+
+        outcome = Evaluator(search_budget=SEARCH_BUDGET)._search_full(
+            design, workload,
+            objective=MULTI_OBJECTIVE, strategy="batched",
+        )
+        points = outcome.frontier.ordered()
+        for a in points:
+            for b in points:
+                assert not dominates(a.objectives, b.objectives), (
+                    f"{design.name}: frontier holds a dominated point"
+                )
+        assert any(p.index == outcome.best_index for p in points), (
+            f"{design.name}: scalar winner is not on the frontier"
+        )
+        assert len(points) >= frontier_floor, (
+            f"{design.name}: frontier collapsed to {len(points)} points "
+            f"(committed floor {frontier_floor})"
+        )
+
+        summary["designs"].append(
+            {
+                "design": design.name,
+                "batched_best_edp": batched_best,
+                "evolutionary_best_edp": evolved_best,
+                "improvement": batched_best / evolved_best,
+                "frontier_points": len(points),
+            }
+        )
+
+    summary["seconds"] = round(time.perf_counter() - t0, 3)
+    SUMMARY_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"\n[bench_search_pareto] {json.dumps(summary, indent=2)}")

@@ -71,3 +71,31 @@ print("(Use Session(parallel=N) to fan larger sweeps and searches out "
 print()
 print("The best schedule changes with the SAFs: skipping designs favor")
 print("mappings whose leader tiles are small (Fig. 10's insight).")
+
+# --- Objectives beyond EDP: Pareto frontiers and evolutionary search.
+# A vector objective keeps every mutually non-dominated mapping, and
+# strategy="evolutionary" breeds candidates in factorization space
+# instead of scanning random draws (docs/search.md).
+print()
+design = Design("skipping", arch, saf_choices["skipping"],
+                constraints=constraints)
+with Session(search_budget=80) as session:
+    pareto = session.search(
+        design, workload, objective=("energy", "cycles", "slack")
+    )
+    points = pareto.frontier.ordered()
+    print(f"energy/cycles/slack frontier: {len(points)} non-dominated "
+          f"mappings (winner by EDP is index {pareto.best_index})")
+    for point in points[:4]:
+        energy, cycles, slack = point.objectives
+        print(f"  #{point.index}: energy {energy:.4g} pJ, "
+              f"cycles {cycles:.4g}, headroom {-slack:.0%}")
+
+    evolved = session.search(
+        design, workload, objective="edp", strategy="evolutionary"
+    )
+    random_best = session.search(design, workload, objective="edp")
+    print(f"evolutionary EDP {evolved.best_score:.3g}, batched random "
+          f"sampling EDP {random_best.best_score:.3g} at the same "
+          f"budget (benchmarks/bench_search_pareto.py tracks the "
+          f"committed parity floor)")

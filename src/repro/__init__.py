@@ -8,6 +8,8 @@ accelerators. The public API mirrors the paper's structure:
 * :mod:`repro.workload` — extended-Einsum workloads and DNN layer tables
 * :mod:`repro.arch` — architecture specifications
 * :mod:`repro.mapping` — mappings and mapspace search
+* :mod:`repro.search` — objectives (named, weighted, vector) and
+  Pareto frontiers for mapspace search (see ``docs/search.md``)
 * :mod:`repro.sparse` — density models, formats, and SAF specifications
 * :mod:`repro.model` — the three-step evaluation engine and the
   versioned, serializable result schema
@@ -42,6 +44,14 @@ from repro.model.result import (
     NetworkResult,
     SearchResult,
 )
+from repro.search import (
+    MultiObjective,
+    NamedObjective,
+    Objective,
+    ParetoFrontier,
+    WeightedObjective,
+    resolve_objective,
+)
 from repro.sparse.density import (
     ActualDataDensity,
     BandedDensity,
@@ -52,7 +62,7 @@ from repro.sparse.saf import SAFSpec
 from repro.workload.einsum import conv2d, matmul
 from repro.workload.spec import Workload
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # Evaluation façade
@@ -80,6 +90,13 @@ __all__ = [
     "SAFSpec",
     "Design",
     "load_design",
+    # Search objectives and frontiers
+    "Objective",
+    "NamedObjective",
+    "WeightedObjective",
+    "MultiObjective",
+    "ParetoFrontier",
+    "resolve_objective",
     # Engine (legacy entry points) and results
     "Evaluator",
     "EvaluationResult",

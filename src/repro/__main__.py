@@ -160,21 +160,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.search import resolve_objective
+
     with _session(args) as session:
         baseline = session.cache_stats()
-        search = session.search(args.spec)
+        search = session.search(
+            args.spec, objective=args.objective, strategy=args.strategy
+        )
         best = search.best_or_raise()
         if args.json:
             print(search.to_json(indent=2))
         else:
+            name = resolve_objective(search.objective).name
+            label = "EDP" if name == "edp" else name
+            score = search.best_score
+            score = best.edp if score is None else score
             print(
                 f"best mapping ({search.budget} budget, "
-                f"seed {search.seed}, EDP {best.edp:.6g}):"
+                f"seed {search.seed}, {label} {score:.6g}):"
             )
             print(best.dense.mapping.describe())
             print()
             print(best.summary())
+            if args.frontier and search.frontier is not None:
+                axes = search.frontier.axes
+                print()
+                print(f"frontier ({', '.join(axes)}):")
+                for point in search.frontier.ordered():
+                    coords = ", ".join(
+                        f"{axis}={value:.6g}"
+                        for axis, value in zip(axes, point.objectives)
+                    )
+                    print(f"  #{point.index}: {coords}")
             if args.verbose:
+                print(f"objective {name}: winning score {score:.6g}")
                 _print_verbose(session, best, baseline)
     return 0
 
@@ -243,6 +262,23 @@ def main(argv: list[str] | None = None) -> int:
         "search", help="search the mapspace for the best mapping"
     )
     _add_common_arguments(se)
+    se.add_argument(
+        "--objective",
+        default=None,
+        choices=["edp", "energy", "latency", "cycles", "slack"],
+        help="metric to minimize (default: edp)",
+    )
+    se.add_argument(
+        "--strategy",
+        default=None,
+        choices=["serial", "batched", "evolutionary"],
+        help="candidate evaluation strategy (default: batched)",
+    )
+    se.add_argument(
+        "--frontier",
+        action="store_true",
+        help="print the Pareto frontier after the winner",
+    )
     se.set_defaults(func=_cmd_search)
 
     sv = sub.add_parser(

@@ -32,10 +32,13 @@ import pickle
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+import warnings
+
 from repro.common.errors import SpecError
 from repro.mapping.mapping import Mapping
 from repro.model.engine import Design
 from repro.model.result import RESULT_SCHEMA_VERSION, EvaluationResult
+from repro.search.objective import Objective, resolve_objective
 from repro.workload.spec import Workload
 
 __all__ = [
@@ -77,6 +80,59 @@ def _unpack(blob):
         raise
     except Exception as exc:
         raise SpecError(f"cannot decode job payload: {exc!r}") from exc
+
+
+#: Whether the once-per-process wire-callable deprecation warning has
+#: fired (tests reset this to re-assert it).
+_WIRE_CALLABLE_WARNED = [False]
+
+
+def _objective_to_wire(objective):
+    """Wire form of a job objective: plain schema-v1 spec data for
+    named/weighted/multi objectives (and the names / name-sequences /
+    spec dicts users pass directly), a tagged pickle blob only for
+    legacy callables — which is deprecated on the wire and rejected by
+    the serving daemon on TCP transports (docs/serving.md)."""
+    if objective is None:
+        return None
+    if isinstance(objective, (str, dict)):
+        # Validate eagerly so a bad name fails at submission, with the
+        # spec itself as the wire form.
+        resolved = resolve_objective(objective)
+        if not resolved.wire_safe:
+            raise SpecError(
+                f"objective spec {objective!r} does not describe a "
+                "wire-safe objective"
+            )
+        return objective
+    if isinstance(objective, (list, tuple)) or isinstance(objective, Objective):
+        resolved = resolve_objective(objective)
+        if resolved.wire_safe:
+            return resolved.to_spec()
+        objective = resolved.fn  # legacy callable in Objective clothing
+    if not _WIRE_CALLABLE_WARNED[0]:
+        _WIRE_CALLABLE_WARNED[0] = True
+        warnings.warn(
+            "pickling a callable search objective onto the job wire is "
+            "deprecated; use a named objective ('edp', 'energy', "
+            "'latency', 'cycles', 'slack'), a weighted/multi spec, or "
+            "keep the callable in-process (see docs/search.md)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return _pack(objective)
+
+
+def _objective_from_wire(blob):
+    """Inverse of :func:`_objective_to_wire`: spec data passes through
+    verbatim (validated; the engine resolves it at search time), pickle
+    blobs are decoded for trusted/legacy senders."""
+    if blob is None:
+        return None
+    if isinstance(blob, dict) and blob.get("encoding") == "pickle":
+        return _unpack(blob)
+    resolve_objective(blob)  # validate names early; SpecError on junk
+    return blob
 
 
 def _job_envelope(data: dict, kind: str, build):
@@ -159,15 +215,20 @@ class EvaluateJob:
 class SearchJob:
     """Search the design's mapspace for the best valid mapping.
 
-    ``objective`` scores an :class:`EvaluationResult` (lower is better;
-    default EDP; must be picklable — a module-level function — when the
-    search fans out over worker processes). Explicit ``candidates``
-    bypass the design's constraints. ``parallel`` overrides the
-    Session's default worker count for this job; the fan-out installs
-    the design/workload/candidate state once per worker process and
-    ships only candidate index ranges per task (see
-    ``docs/caching.md``), so per-task payloads stay O(1) regardless of
-    candidate count.
+    ``objective`` takes any form ``repro.search.resolve_objective``
+    accepts: ``None`` (EDP), a metric name (``"edp"``, ``"energy"``,
+    ``"latency"``, ``"cycles"``, ``"slack"``), a sequence of names
+    (vector objective searched as a Pareto frontier), a weighted/multi
+    spec dict, an :class:`repro.search.Objective`, or a legacy
+    callable scoring an :class:`EvaluationResult` (lower is better;
+    must be picklable — a module-level function — when the search fans
+    out over worker processes, and deprecated on the serve wire).
+    Explicit ``candidates`` bypass the design's constraints.
+    ``parallel`` overrides the Session's default worker count for this
+    job; the fan-out installs the design/workload/candidate state once
+    per worker process and ships only candidate index ranges per task
+    (see ``docs/caching.md``), so per-task payloads stay O(1)
+    regardless of candidate count.
 
     ``strategy`` picks how candidates are evaluated: ``"batched"``
     (the engine default) scans in candidate blocks — one stacked numpy
@@ -176,26 +237,30 @@ class SearchJob:
     ``"serial"`` is the per-candidate oracle scan. Both return a
     bit-identical winner; ``batch_size`` tunes the block size
     (``None`` keeps the engine's ``search_batch_size``).
+    ``"evolutionary"`` breeds candidates from the design's mapspace
+    instead of scanning a stream (see ``docs/search.md``).
     """
 
     design: Design
     workload: Workload
-    objective: Callable[[EvaluationResult], float] | None = None
+    objective: object = None
     candidates: list[Mapping] | None = None
     parallel: int | None = None
     batch_size: int | None = None
     strategy: str | None = None
 
     def to_dict(self) -> dict:
-        """Serialize to a ``schema: 1`` wire envelope. The objective,
-        when set, must be picklable (a module-level function) — the
-        same constraint the process-pool fan-out already imposes."""
+        """Serialize to a ``schema: 1`` wire envelope. Named/weighted/
+        multi objectives ride as plain spec data; a legacy callable
+        objective is pickled (deprecated — the serving daemon rejects
+        pickled objectives on TCP) and must be a module-level
+        function."""
         return {
             "schema": JOB_SCHEMA_VERSION,
             "kind": "search-job",
             "design": _pack(self.design),
             "workload": _pack(self.workload),
-            "objective": None if self.objective is None else _pack(self.objective),
+            "objective": _objective_to_wire(self.objective),
             "candidates": (
                 None
                 if self.candidates is None
@@ -213,7 +278,7 @@ class SearchJob:
             return cls(
                 design=_unpack(data["design"]),
                 workload=_unpack(data["workload"]),
-                objective=_unpack(data["objective"]),
+                objective=_objective_from_wire(data["objective"]),
                 candidates=(
                     None
                     if candidates is None

@@ -312,7 +312,7 @@ class Session:
         self,
         design,
         workload: Workload | None = None,
-        objective: Callable[[EvaluationResult], float] | None = None,
+        objective=None,
         candidates: list[Mapping] | None = None,
         parallel: int | None = None,
         batch_size: int | None = None,
@@ -327,7 +327,15 @@ class Session:
         ``batch_size``/``strategy`` override the corresponding job
         fields when given (see :class:`SearchJob` for the
         ``strategy``/``batch_size`` block-scan knobs; ``"batched"``
-        and ``"serial"`` return bit-identical winners).
+        and ``"serial"`` return bit-identical winners, and
+        ``"evolutionary"`` breeds candidates from the mapspace).
+
+        ``objective`` accepts a metric name (``"edp"``, ``"energy"``,
+        ``"latency"``, ``"cycles"``, ``"slack"``), a sequence of names
+        (vector objective — the result's ``frontier`` spans those
+        axes), a weighted/multi spec dict, an
+        :class:`repro.search.Objective`, or a legacy callable; see
+        ``docs/search.md``.
         """
         if isinstance(design, SearchJob):
             job = design
@@ -482,7 +490,7 @@ class Session:
     def _run_search(self, handle: JobHandle) -> None:
         job: SearchJob = handle.job
         try:
-            best = self._evaluator._search_mappings(
+            outcome = self._evaluator._search_full(
                 job.design,
                 job.workload,
                 objective=job.objective,
@@ -504,7 +512,12 @@ class Session:
                 workload_name=job.workload.name or job.workload.einsum.name,
                 budget=self._evaluator.search_budget if sampled else None,
                 seed=self._evaluator.search_seed if sampled else None,
-                best=best,
+                best=outcome.best_result,
+                objective=outcome.objective.to_spec(),
+                strategy=outcome.strategy,
+                best_score=outcome.best_score,
+                best_index=outcome.best_index,
+                frontier=outcome.frontier,
             )
         )
 

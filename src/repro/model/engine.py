@@ -62,6 +62,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import random
 import warnings
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field, replace
@@ -108,6 +109,14 @@ from repro.micro.validity import (
     overflow_error,
 )
 from repro.model.result import EvaluationResult
+from repro.search.evolutionary import (
+    EvolutionConfig,
+    genome_key,
+    genome_of,
+    make_offspring,
+)
+from repro.search.frontier import ParetoFrontier
+from repro.search.objective import Objective, resolve_objective
 from repro.sparse.format_analyzer import TILE_FORMAT_STAGE
 from repro.sparse.postprocess import (
     VECTORIZED_DEFAULT,
@@ -126,6 +135,7 @@ __all__ = [
     "Evaluator",
     "OverflowReason",
     "PersistentCache",
+    "SearchOutcome",
     "persistent_state_key",
 ]
 
@@ -267,6 +277,37 @@ def _edp_objective(result: EvaluationResult) -> float:
     return result.edp
 
 
+@dataclass
+class SearchOutcome:
+    """Everything a mapspace search produced.
+
+    ``best`` is the ``(score, index, result)`` winner — the minimum
+    ``(score, index)`` member of the frontier, which for a scalar
+    objective is provably the serial oracle's first-strictly-better
+    winner and for vector objectives guarantees the winner lies on
+    the frontier. ``objective`` is the resolved
+    :class:`~repro.search.objective.Objective` the scores and frontier
+    axes came from.
+    """
+
+    objective: Objective
+    strategy: str
+    frontier: ParetoFrontier
+    best: tuple[float, int, EvaluationResult] | None
+
+    @property
+    def best_result(self) -> EvaluationResult | None:
+        return self.best[2] if self.best is not None else None
+
+    @property
+    def best_score(self) -> float | None:
+        return self.best[0] if self.best is not None else None
+
+    @property
+    def best_index(self) -> int | None:
+        return self.best[1] if self.best is not None else None
+
+
 #: Per-architecture Accelergy backends. The backend is immutable after
 #: construction (per-action energy tables only), so one instance serves
 #: every evaluation of an architecture in the process; bounded by a
@@ -346,6 +387,16 @@ class Evaluator:
     batched strategy keeps its block structure (and the candidate
     memo) even when the scalar sparse oracle is forced — the stacked
     flush simply degenerates to per-candidate scalar arithmetic.
+    ``"evolutionary"`` breeds candidates in factorization space
+    instead of scanning a fixed stream: population seeded from the
+    ``"candidates"`` memo, crossover/mutation honouring
+    ``fixed_factors`` by construction, overflow witnesses killing
+    offspring before evaluation without consuming budget (see
+    :meth:`_search_evolutionary` and ``docs/search.md``).
+    ``evolution``: optional
+    :class:`repro.search.evolutionary.EvolutionConfig` overriding the
+    evolutionary strategy's knobs (population sizing, selection cut,
+    mutation rate).
     ``persistent``: an optional
     :class:`~repro.common.cache.PersistentCache` on-disk tier.
     :meth:`warm_start` loads a snapshot into the in-memory cache and
@@ -383,6 +434,7 @@ class Evaluator:
     persistent_key: str | None = field(default=None, repr=False)
     search_strategy: str = "batched"
     search_batch_size: int = 32
+    evolution: EvolutionConfig | None = field(default=None, repr=False)
 
     @property
     def dense_cache(self) -> DenseAnalysisCache | None:
@@ -884,25 +936,57 @@ class Evaluator:
         self,
         design: Design,
         workload: Workload,
-        objective: Callable[[EvaluationResult], float] | None = None,
+        objective=None,
         candidates: Iterable[Mapping] | None = None,
         parallel: int = 1,
         batch_size: int | None = None,
         strategy: str | None = None,
     ) -> EvaluationResult | None:
-        """Find the best valid mapping by the objective (default EDP).
+        """Best-result shim over :meth:`_search_full` (same semantics,
+        drops the frontier/score/objective bookkeeping)."""
+        return self._search_full(
+            design, workload, objective, candidates, parallel,
+            batch_size=batch_size, strategy=strategy,
+        ).best_result
+
+    def _search_full(
+        self,
+        design: Design,
+        workload: Workload,
+        objective=None,
+        candidates: Iterable[Mapping] | None = None,
+        parallel: int = 1,
+        batch_size: int | None = None,
+        strategy: str | None = None,
+    ) -> SearchOutcome:
+        """Find the best valid mapping by the objective (default EDP)
+        and the Pareto frontier over the objective's axes.
+
+        ``objective`` takes any form :func:`repro.search.objective.
+        resolve_objective` accepts — ``None`` (EDP), a metric name, a
+        sequence of names (vector objective), an ``Objective``, or a
+        legacy callable. The returned :class:`SearchOutcome` carries
+        the resolved objective, the frontier, and the ``(score, index,
+        result)`` winner — ``best is None`` when no candidate is
+        valid. The winner is always a frontier member: it is the
+        minimum ``(score, index)`` point of the frontier, which for
+        scalar objectives reproduces the serial first-strictly-better
+        tie-break exactly.
 
         Uses the design's constraints with the built-in mapper unless
-        explicit ``candidates`` are supplied. Returns None when no
-        candidate is valid. ``parallel=N`` distributes the candidate
-        list over ``N`` worker processes (deterministic: the winner —
-        including tie-breaks — matches the serial scan; requires
-        picklable design/workload/objective).
+        explicit ``candidates`` are supplied. ``parallel=N``
+        distributes the candidate list over ``N`` worker processes
+        (deterministic: winner and frontier match the serial scan;
+        requires picklable design/workload/objective).
 
         ``strategy`` / ``batch_size`` override the evaluator's
         ``search_strategy`` / ``search_batch_size`` for this search
-        (see the class docstring); both strategies return bit-identical
-        winners.
+        (see the class docstring); the serial and batched strategies
+        return bit-identical winners, and ``"evolutionary"`` breeds
+        candidates from the design's mapspace (see
+        :meth:`_search_evolutionary`; explicit ``candidates`` are
+        rejected there, and generations run in-process, so
+        ``parallel`` does not apply).
 
         In the mapper-driven path, capacity-prefilter overflows are fed
         back to the mapper as dominance witnesses, pruning factorization
@@ -912,14 +996,22 @@ class Evaluator:
         generation of the next block. (The parallel path materialises
         candidates up front, so feedback does not apply there.)
         """
+        objective = resolve_objective(objective)
         strategy = strategy or self.search_strategy
-        if strategy not in ("serial", "batched"):
+        if strategy not in ("serial", "batched", "evolutionary"):
             raise SpecError(
                 f"unknown search strategy {strategy!r}; "
-                "expected 'serial' or 'batched'"
+                "expected 'serial', 'batched', or 'evolutionary'"
             )
         if batch_size is None:
             batch_size = self.search_batch_size
+        evolutionary = strategy == "evolutionary"
+        if evolutionary and candidates is not None:
+            raise SpecError(
+                "strategy='evolutionary' breeds candidates from the "
+                "design's mapspace constraints; explicit candidates fix "
+                "the population — scan them with 'serial' or 'batched'"
+            )
         # The strategy alone decides the scan: batch_size=1 still runs
         # the batched machinery (candidate-stream memo, witness replay)
         # with single-candidate flushes, and the forced scalar sparse
@@ -927,13 +1019,24 @@ class Evaluator:
         # scalar arithmetic inside analyze_sparse_batch — neither
         # silently falls back to the serial scan.
         batched = strategy == "batched"
+        frontier = ParetoFrontier(axes=objective.axes)
         mapper: Mapper | None = None
         replayed = False
         if candidates is None:
             mapper = Mapper(workload.einsum, design.arch, design.constraints)
             space = mapper.mapspace_size_estimate()
             if space <= self.search_budget * 4:
+                # Exhaustively enumerable: every strategy scans the
+                # whole space, so evolutionary breeding would only
+                # re-propose known genomes — it degenerates to the
+                # batched scan (which is also what makes the three
+                # strategies' frontiers provably agree here).
                 candidates = mapper.enumerate_mappings()
+                if evolutionary:
+                    evolutionary = False
+                    batched = True
+            elif evolutionary:
+                pass  # the evolutionary loop seeds and breeds itself
             else:
                 stream = (
                     self._sampled_candidates(design, workload, mapper)
@@ -947,21 +1050,40 @@ class Evaluator:
                     candidates = mapper.sample_mappings(
                         self.search_budget, seed=self.search_seed
                     )
-        if parallel > 1:
-            return self._search_parallel(
+        if evolutionary:
+            self._search_evolutionary(
+                design, workload, objective, mapper, frontier,
+                batch_size=batch_size,
+            )
+        elif parallel > 1:
+            self._search_parallel(
                 design, workload, list(candidates), objective, parallel,
                 batch_size=batch_size, strategy=strategy,
+                frontier=frontier,
             )
-        if batched:
-            best = self._search_candidates_batched(
+        elif batched:
+            self._search_candidates_batched(
                 design, workload, candidates, objective,
                 mapper=mapper, batch_size=batch_size, replayed=replayed,
+                frontier=frontier,
             )
         else:
-            best = self._search_candidates(
-                design, workload, candidates, objective, mapper=mapper
+            self._search_candidates(
+                design, workload, candidates, objective, mapper=mapper,
+                frontier=frontier,
             )
-        return best[2] if best is not None else None
+        winner = frontier.best()
+        best = (
+            None
+            if winner is None
+            else (winner.score, winner.index, winner.result)
+        )
+        return SearchOutcome(
+            objective=objective,
+            strategy=strategy,
+            frontier=frontier,
+            best=best,
+        )
 
     def _sampled_candidates(
         self, design: Design, workload: Workload, mapper: Mapper
@@ -1002,15 +1124,17 @@ class Evaluator:
         design: Design,
         workload: Workload,
         candidates: Iterable[Mapping],
-        objective: Callable[[EvaluationResult], float] | None,
+        objective,
         offset: int = 0,
         mapper: Mapper | None = None,
+        frontier: ParetoFrontier | None = None,
     ) -> tuple[float, int, EvaluationResult] | None:
         """Serial scan returning ``(score, global_index, result)`` of the
         winner; ``offset`` re-bases indices for chunked fan-out. When
         ``mapper`` produced the candidates, prefilter overflows are fed
-        back to it for subtree pruning."""
-        objective = objective or _edp_objective
+        back to it for subtree pruning. A ``frontier`` is maintained in
+        place when given; the winner is always one of its points."""
+        objective = resolve_objective(objective)
         prefilter = self.prefilter_capacity and self.check_capacity
         best: tuple[float, int, EvaluationResult] | None = None
         for index, mapping in enumerate(candidates):
@@ -1026,7 +1150,9 @@ class Evaluator:
                 result = self._evaluate_mapping(design, workload, mapping)
             except (ValidationError, MappingError):
                 continue
-            score = objective(result)
+            score = objective.score(result)
+            if frontier is not None:
+                frontier.observe(objective, score, offset + index, result)
             if best is None or score < best[0]:
                 best = (score, offset + index, result)
         return best
@@ -1036,11 +1162,12 @@ class Evaluator:
         design: Design,
         workload: Workload,
         candidates: Iterable[Mapping],
-        objective: Callable[[EvaluationResult], float] | None,
+        objective,
         offset: int = 0,
         mapper: Mapper | None = None,
         batch_size: int | None = None,
         replayed: bool = False,
+        frontier: ParetoFrontier | None = None,
     ) -> tuple[float, int, EvaluationResult] | None:
         """Blocked scan returning the same ``(score, global_index,
         result)`` winner as :meth:`_search_candidates`.
@@ -1079,7 +1206,7 @@ class Evaluator:
         subtree prunes arrive as per-candidate withholds), never their
         effect.
         """
-        objective = objective or _edp_objective
+        objective = resolve_objective(objective)
         if batch_size is None:
             batch_size = self.search_batch_size
         batch_size = max(1, batch_size)
@@ -1154,12 +1281,14 @@ class Evaluator:
             block.append((index, mapping))
             if len(block) >= batch_size:
                 best = self._evaluate_block(
-                    design, workload, block, objective, best, memo=memo
+                    design, workload, block, objective, best, memo=memo,
+                    frontier=frontier,
                 )
                 block = []
         if block:
             best = self._evaluate_block(
-                design, workload, block, objective, best, memo=memo
+                design, workload, block, objective, best, memo=memo,
+                frontier=frontier,
             )
         return best
 
@@ -1168,12 +1297,19 @@ class Evaluator:
         design: Design,
         workload: Workload,
         block: list[tuple[int, Mapping]],
-        objective: Callable[[EvaluationResult], float],
+        objective: Objective,
         best: tuple[float, int, EvaluationResult] | None,
         memo: dict | None = None,
+        frontier: ParetoFrontier | None = None,
+        collect: list | None = None,
     ) -> tuple[float, int, EvaluationResult] | None:
         """Evaluate one block of prefilter survivors through the
         stacked dense + sparse pipeline and fold them into ``best``.
+
+        A ``frontier`` is maintained in place when given, and
+        ``collect`` (when given) receives an ``(index, score)`` pair
+        per successfully evaluated candidate — the evolutionary
+        strategy's fitness feed.
 
         Candidates whose evaluation raises an expected modeling error
         (capacity overflow under the full validity check, mapping
@@ -1234,9 +1370,129 @@ class Evaluator:
                 )
             except (ValidationError, MappingError):
                 continue
-            score = objective(result)
+            score = objective.score(result)
+            if collect is not None:
+                collect.append((index, score))
+            if frontier is not None:
+                frontier.observe(objective, score, index, result)
             if best is None or score < best[0]:
                 best = (score, index, result)
+        return best
+
+    def _search_evolutionary(
+        self,
+        design: Design,
+        workload: Workload,
+        objective: Objective,
+        mapper: Mapper,
+        frontier: ParetoFrontier,
+        batch_size: int,
+    ) -> tuple[float, int, EvaluationResult] | None:
+        """Evolutionary mapspace search (SparseMap-style, ROADMAP 2).
+
+        The population is seeded from the memoised ``"candidates"``
+        stream (the same draws the batched random search would scan,
+        so a warm cache is shared between strategies), then evolved by
+        truncation selection over all evaluated individuals, uniform
+        per-dimension crossover, and mutation through the mapper's
+        constraint-honouring sampler — ``fixed_factors`` hold for
+        every genome by construction. Offspring dominated by an
+        accumulated overflow witness are killed *before* evaluation
+        and do not consume search budget: the pruned sampling mass is
+        recycled into extra population budget, unlike the random
+        strategies where withheld draws still count toward the
+        budget. The budget caps candidates entering the prefilter +
+        evaluation pipeline at ``search_budget``, mirroring the random
+        strategies' draw budget.
+
+        Deterministic for a fixed ``search_seed``: the seed stream,
+        the breeding RNG, and every selection sort are explicitly
+        ordered. Generations run in-process (no ``parallel`` fan-out);
+        survivor blocks still go through the stacked dense + sparse
+        pipeline. Knobs live in
+        :class:`repro.search.evolutionary.EvolutionConfig` (the
+        evaluator's ``evolution`` field).
+        """
+        config = self.evolution or EvolutionConfig()
+        budget = self.search_budget
+        pop_size = config.population_size(budget)
+        batch_size = max(1, batch_size)
+        prefilter = self.prefilter_capacity and self.check_capacity
+        rng = random.Random(self.search_seed)
+        dims = list(mapper.einsum.dims)
+        seeds = self._sampled_candidates(design, workload, mapper)
+        if seeds is None:
+            seeds = mapper.sample_mappings(budget, seed=self.search_seed)
+        seen: set[tuple] = set()
+        generation: list[dict] = []
+        for mapping in seeds:
+            if len(generation) >= pop_size:
+                break
+            genome = genome_of(mapper, mapping)
+            key = genome_key(genome, dims)
+            if key in seen:
+                continue
+            seen.add(key)
+            generation.append(genome)
+        # One sparse-walk memo spans the whole search, as in the
+        # batched scan: every candidate shares (design, workload).
+        memo: dict | None = {} if self.dense_vectorized else None
+        best: tuple[float, int, EvaluationResult] | None = None
+        scored: list[tuple[float, int, dict]] = []
+        proposals = 0
+        index = -1
+        while generation and proposals < budget:
+            block: list[tuple[int, Mapping]] = []
+            genomes_by_index: dict[int, dict] = {}
+            collect: list[tuple[int, float]] = []
+            for genome in generation:
+                if proposals >= budget:
+                    break
+                combos = [genome[dim] for dim in dims]
+                if mapper._witness_dominated(dims, combos):
+                    # Killed before evaluation; the budget is untouched
+                    # (pruned mass recycled into later generations).
+                    mapper.pruned_candidates += 1
+                    continue
+                proposals += 1
+                index += 1
+                mapping = mapper._build_mapping(genome)
+                if prefilter:
+                    overflow = self._capacity_overflow(
+                        design, workload, mapping
+                    )
+                    if overflow is not None:
+                        if overflow.monotone:
+                            mapper.register_overflow(
+                                overflow.level, overflow.dim_extents
+                            )
+                        continue
+                block.append((index, mapping))
+                genomes_by_index[index] = genome
+                if len(block) >= batch_size:
+                    best = self._evaluate_block(
+                        design, workload, block, objective, best,
+                        memo=memo, frontier=frontier, collect=collect,
+                    )
+                    block = []
+            if block:
+                best = self._evaluate_block(
+                    design, workload, block, objective, best,
+                    memo=memo, frontier=frontier, collect=collect,
+                )
+            for got_index, score in collect:
+                scored.append((score, got_index, genomes_by_index[got_index]))
+            if proposals >= budget:
+                break
+            scored.sort(key=lambda entry: (entry[0], entry[1]))
+            parents = [
+                genome
+                for _score, _idx, genome in scored[: config.parent_count(pop_size)]
+            ]
+            generation = make_offspring(
+                mapper, parents, rng,
+                min(pop_size, budget - proposals), seen, config,
+            )
         return best
 
     def _dense_analysis_many(
@@ -1434,14 +1690,18 @@ class Evaluator:
         design: Design,
         workload: Workload,
         candidates: list[Mapping],
-        objective: Callable[[EvaluationResult], float] | None,
+        objective,
         parallel: int,
         batch_size: int | None = None,
         strategy: str | None = None,
+        frontier: ParetoFrontier | None = None,
     ) -> EvaluationResult | None:
+        objective = resolve_objective(objective)
+        if frontier is None:
+            frontier = ParetoFrontier(axes=objective.axes)
         if len(candidates) <= 1:
             best = self._search_candidates(
-                design, workload, candidates, objective
+                design, workload, candidates, objective, frontier=frontier
             )
             return best[2] if best is not None else None
         chunks = _contiguous_chunks(candidates, parallel)
@@ -1484,18 +1744,22 @@ class Evaluator:
             exclude_stages=(CANDIDATES_STAGE,),
             shared=shared,
         )
-        best: tuple[float, int, EvaluationResult] | None = None
+        # Partial frontiers merge exactly (the non-dominated set of a
+        # union is the non-dominated set of the union of per-chunk
+        # non-dominated sets); folding them in chunk order keeps the
+        # first-index representative of every tied vector, so the
+        # frontier's (score, index) minimum reproduces the serial
+        # first-strictly-better tie-breaking exactly.
         for partial in partials:
             if partial is None:
                 continue
-            # Lexicographic (score, index) min reproduces the serial
-            # first-strictly-better tie-breaking exactly.
-            if best is None or (partial[0], partial[1]) < (best[0], best[1]):
-                best = partial
-        if best is None:
+            _partial_best, partial_frontier = partial
+            frontier.merge(partial_frontier)
+        winner = frontier.best()
+        if winner is None:
             return None
-        self._absorb_result(design, workload, best[2])
-        return best[2]
+        self._absorb_result(design, workload, winner.result)
+        return winner.result
 
     def _dense_analysis_mixed(
         self,
@@ -2253,23 +2517,28 @@ def _contiguous_chunks(items: list, parts: int) -> list[list]:
 
 def _search_range_worker(payload):
     """Search one candidate index range against the installed
-    fan-out state (:data:`_WORKER_SHARED`)."""
+    fan-out state (:data:`_WORKER_SHARED`).
+
+    Returns ``(best, frontier)`` — the chunk's winner tuple and its
+    partial Pareto frontier. Both scans produce identical partials,
+    so the parallel merge is strategy-agnostic."""
     start, stop = payload
     shared = _WORKER_SHARED
     evaluator = _bind_worker_cache(shared["evaluator"])
     chunk = shared["candidates"][start:stop]
-    # Range workers honour the search strategy shipped on the
-    # evaluator; both scans return identical (score, index, result)
-    # partials, so the parallel merge is strategy-agnostic.
+    objective = resolve_objective(shared["objective"])
+    frontier = ParetoFrontier(axes=objective.axes)
     if evaluator.search_strategy == "batched":
-        return evaluator._search_candidates_batched(
+        best = evaluator._search_candidates_batched(
             shared["design"], shared["workload"], chunk,
-            shared["objective"], offset=start,
+            objective, offset=start, frontier=frontier,
         )
-    return evaluator._search_candidates(
-        shared["design"], shared["workload"], chunk,
-        shared["objective"], offset=start,
-    )
+    else:
+        best = evaluator._search_candidates(
+            shared["design"], shared["workload"], chunk,
+            objective, offset=start, frontier=frontier,
+        )
+    return best, frontier
 
 
 def _evaluate_range_worker(payload):

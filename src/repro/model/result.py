@@ -29,6 +29,7 @@ from repro.mapping.mapping import Mapping
 from repro.micro.energy import EnergyResult
 from repro.micro.latency import LatencyResult
 from repro.micro.validity import LevelUsage
+from repro.search.frontier import ParetoFrontier
 from repro.sparse.traffic import (
     ActionBreakdown,
     LevelTensorActions,
@@ -429,13 +430,28 @@ class SearchResult(SerializableResult):
     """Outcome of one mapspace search: the winning evaluation (or
     ``None`` when no candidate within budget was valid) plus the search
     parameters that produced it. ``budget``/``seed`` are ``None`` when
-    the search scanned explicit candidates, which bypass sampling."""
+    the search scanned explicit candidates, which bypass sampling.
+
+    Results are self-describing: ``objective`` records the objective
+    spec that produced ``best_score`` (a metric name, a weighted/multi
+    spec dict, or a descriptive ``{"callable": ...}`` record for
+    legacy callables — see :mod:`repro.search.objective`),
+    ``strategy`` the scan that ran, ``best_index`` the winner's
+    candidate-stream index, and ``frontier`` the Pareto frontier over
+    the objective's axes (for scalar objectives, the single winning
+    point). All of it rides the same schema-v1 envelope and
+    round-trips bit-exactly."""
 
     design_name: str
     workload_name: str
     budget: int | None
     seed: int | None
     best: EvaluationResult | None
+    objective: object = None
+    strategy: str | None = None
+    best_score: float | None = None
+    best_index: int | None = None
+    frontier: ParetoFrontier | None = None
 
     @property
     def found(self) -> bool:
@@ -464,13 +480,21 @@ class SearchResult(SerializableResult):
             "workload": self.workload_name,
             "budget": self.budget,
             "seed": self.seed,
+            "objective": self.objective,
+            "strategy": self.strategy,
+            "best_score": self.best_score,
+            "best_index": self.best_index,
             "best": None if self.best is None else self.best.to_dict(),
+            "frontier": (
+                None if self.frontier is None else self.frontier.to_dict()
+            ),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "SearchResult":
         def build() -> "SearchResult":
             best = data["best"]
+            frontier = data.get("frontier")
             return cls(
                 design_name=data["design"],
                 workload_name=data["workload"],
@@ -478,6 +502,15 @@ class SearchResult(SerializableResult):
                 seed=data["seed"],
                 best=(
                     None if best is None else EvaluationResult.from_dict(best)
+                ),
+                objective=data.get("objective"),
+                strategy=data.get("strategy"),
+                best_score=data.get("best_score"),
+                best_index=data.get("best_index"),
+                frontier=(
+                    None
+                    if frontier is None
+                    else ParetoFrontier.from_dict(frontier)
                 ),
             )
 

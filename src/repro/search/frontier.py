@@ -1,0 +1,193 @@
+"""Pareto frontier maintenance for mapspace search.
+
+The frontier is the set of evaluated candidates whose objective
+vectors are mutually non-dominated.  Dominance is the standard
+minimising rule: ``a`` dominates ``b`` iff ``a <= b`` component-wise
+with at least one strict inequality.  Exact duplicates of a vector
+already on the frontier are rejected, keeping the first (lowest
+stream index) representative — which is what makes the 1-D scalar
+case degenerate to exactly the serial oracle's winner: the frontier
+of a scalar search is the single first-seen minimum.
+
+Merging frontiers is exact: the non-dominated set of a union equals
+the non-dominated set of the union of per-chunk non-dominated sets,
+so the parallel fan-out can merge partial frontiers without losing
+or inventing points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import SpecError
+from repro.mapping.mapping import Mapping
+
+__all__ = ["FrontierPoint", "ParetoFrontier", "dominates"]
+
+
+def dominates(a, b) -> bool:
+    """True iff vector ``a`` dominates ``b`` (minimising, strict)."""
+
+    return a != b and all(x <= y for x, y in zip(a, b))
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One non-dominated candidate.
+
+    ``result`` keeps the full in-memory ``EvaluationResult`` for the
+    winner-selection path; it is deliberately excluded from equality
+    and serialization — on the wire a point is its stream ``index``,
+    scalar ``score``, objective vector, summary ``metrics``, and the
+    ``mapping`` that produced it.
+    """
+
+    index: int
+    score: float
+    objectives: tuple[float, ...]
+    metrics: dict
+    mapping: Mapping | None = None
+    result: object = field(default=None, compare=False, repr=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "score": self.score,
+            "objectives": list(self.objectives),
+            "metrics": dict(self.metrics),
+            "mapping": None if self.mapping is None else self.mapping.to_spec(),
+        }
+
+    @classmethod
+    def from_dict(cls, data) -> "FrontierPoint":
+        if not isinstance(data, dict):
+            raise SpecError("frontier point must be a dict, got %r" % (data,))
+        try:
+            mapping = data["mapping"]
+            return cls(
+                index=data["index"],
+                score=data["score"],
+                objectives=tuple(data["objectives"]),
+                metrics=dict(data["metrics"]),
+                mapping=None if mapping is None else Mapping.from_spec(mapping),
+            )
+        except (KeyError, TypeError) as exc:
+            raise SpecError("malformed frontier point: %s" % exc) from exc
+
+
+class ParetoFrontier:
+    """Incrementally maintained set of mutually non-dominated points."""
+
+    __slots__ = ("axes", "_points")
+
+    def __init__(self, axes=("edp",), points=None):
+        self.axes = tuple(axes)
+        self._points: list[FrontierPoint] = []
+        if points:
+            for point in points:
+                self.add(point)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self._points)
+
+    def __repr__(self) -> str:
+        return "ParetoFrontier(axes=%r, points=%d)" % (self.axes, len(self._points))
+
+    @property
+    def points(self) -> tuple[FrontierPoint, ...]:
+        """Points in insertion (stream) order."""
+
+        return tuple(self._points)
+
+    def add(self, point: FrontierPoint) -> bool:
+        """Insert ``point`` unless dominated; evict what it dominates.
+
+        Returns True when the point joined the frontier.  A point
+        whose vector exactly equals an existing one is rejected (the
+        earlier index is the canonical representative).
+        """
+
+        if len(point.objectives) != len(self.axes):
+            raise SpecError(
+                "frontier point has %d objectives but the frontier spans "
+                "%d axes %r"
+                % (len(point.objectives), len(self.axes), self.axes)
+            )
+        vector = point.objectives
+        for existing in self._points:
+            if existing.objectives == vector or dominates(
+                existing.objectives, vector
+            ):
+                return False
+        self._points = [
+            existing
+            for existing in self._points
+            if not dominates(vector, existing.objectives)
+        ]
+        self._points.append(point)
+        return True
+
+    def observe(self, objective, score, index, result) -> bool:
+        """Add an evaluated candidate, deriving its point in place."""
+
+        point = FrontierPoint(
+            index=index,
+            score=score,
+            objectives=objective.vector(result),
+            metrics={
+                "cycles": result.cycles,
+                "energy_pj": result.energy_pj,
+                "edp": result.edp,
+            },
+            mapping=result.dense.mapping,
+            result=result,
+        )
+        return self.add(point)
+
+    def merge(self, other: "ParetoFrontier") -> None:
+        """Fold another frontier in (points re-checked in index order)."""
+
+        for point in sorted(other._points, key=lambda p: p.index):
+            self.add(point)
+
+    def best(self):
+        """The winner: minimum ``(score, index)`` over the frontier.
+
+        For a scalar objective this is provably the serial oracle's
+        first-strictly-better winner; for vector objectives it is the
+        best-scalar frontier member, so the reported winner always
+        lies on the frontier.
+        """
+
+        if not self._points:
+            return None
+        return min(self._points, key=lambda p: (p.score, p.index))
+
+    def ordered(self) -> list[FrontierPoint]:
+        """Canonical stable ordering: by objective vector, then index."""
+
+        return sorted(self._points, key=lambda p: (p.objectives, p.index))
+
+    def to_dict(self) -> dict:
+        return {
+            "axes": list(self.axes),
+            "points": [point.to_dict() for point in self.ordered()],
+        }
+
+    @classmethod
+    def from_dict(cls, data) -> "ParetoFrontier":
+        if not isinstance(data, dict):
+            raise SpecError("frontier section must be a dict, got %r" % (data,))
+        try:
+            frontier = cls(axes=tuple(data["axes"]))
+            points = data["points"]
+        except KeyError as exc:
+            raise SpecError("malformed frontier section: %s" % exc) from exc
+        # Serialized points are already mutually non-dominated; load
+        # them verbatim so the round-trip is bit-exact even if float
+        # comparisons would behave oddly (NaN scores etc.).
+        frontier._points = [FrontierPoint.from_dict(entry) for entry in points]
+        return frontier

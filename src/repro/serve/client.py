@@ -402,7 +402,17 @@ class RemoteSession:
         batch_size=None,
         strategy=None,
     ) -> SearchResult:
-        """Mirror of :meth:`repro.api.Session.search`."""
+        """Mirror of :meth:`repro.api.Session.search`.
+
+        Named/weighted/multi objectives travel as plain schema-v1 spec
+        data — ``objective="energy"`` or ``objective=("energy",
+        "cycles", "slack")`` puts no pickle on the wire, and the
+        result's ``frontier`` section can be projected with
+        ``submit(job, fields=["frontier"])``. A legacy callable
+        objective is pickled (deprecation warning) and the daemon
+        rejects it on TCP transports; use a unix socket or a named
+        objective instead (docs/serving.md, "Trust model").
+        """
         if isinstance(design, SearchJob):
             job = design
         elif isinstance(design, (EvaluateJob, NetworkJob)):

@@ -37,13 +37,15 @@ import functools
 import heapq
 import itertools
 import os
+import socket
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from threading import Lock
 
-from repro.api.jobs import job_from_dict
+from repro.api.jobs import SearchJob, job_from_dict
 from repro.api.session import Session
+from repro.search.objective import resolve_objective
 from repro.model.result import EvaluationResult
 from repro.common.errors import OverloadedError, ReproError, SpecError
 from repro.serve.protocol import (
@@ -90,15 +92,21 @@ class _ClientStats:
 
 
 class _Client:
-    __slots__ = ("writer", "name", "stats", "blobs")
+    __slots__ = ("writer", "name", "stats", "blobs", "trusted")
 
-    def __init__(self, writer: asyncio.StreamWriter, name: str):
+    def __init__(
+        self, writer: asyncio.StreamWriter, name: str, trusted: bool = False
+    ):
         self.writer = writer
         self.name = name
         self.stats = _ClientStats()
         #: interned payloads: digest -> tagged blob dict. Lives and
         #: dies with the connection, so refs cannot dangle a restart.
         self.blobs: dict[str, dict] = {}
+        #: same-host peers (unix socket) may ship pickled payload
+        #: extras like callable objectives; TCP peers may not (see
+        #: docs/serving.md, "Trust model").
+        self.trusted = trusted
 
 
 @dataclass(order=True)
@@ -155,6 +163,10 @@ class ReproServer:
         self._evaluate_batches = 0
         self._evaluate_batch_max = 0
         self._engine_seconds = 0.0
+        # Per-objective search attribution (written by worker threads;
+        # same GIL-atomicity caveat as the evaluate counters).
+        self._search_jobs = 0
+        self._search_objectives: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -225,7 +237,14 @@ class ReproServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        client = _Client(writer, name=f"client-{next(self._client_seq)}")
+        sock = writer.get_extra_info("socket")
+        trusted = (
+            sock is not None
+            and getattr(sock, "family", None) == socket.AF_UNIX
+        )
+        client = _Client(
+            writer, name=f"client-{next(self._client_seq)}", trusted=trusted
+        )
         self._clients[client.name] = client
         try:
             while True:
@@ -296,6 +315,33 @@ class ReproServer:
         except ReproError as exc:
             self._send(client, request_id, error=exc)
             return
+        # Trust boundary: search objectives cross the wire as plain
+        # named/weighted/multi spec data. A pickled objective callable
+        # is only honoured from same-host unix-socket peers — over TCP
+        # it is rejected up front, before the payload ever reaches an
+        # unpickler (docs/serving.md, "Trust model").
+        if (
+            not client.trusted
+            and isinstance(job_dict, dict)
+            and job_dict.get("kind") == "search-job"
+        ):
+            objective = job_dict.get("objective")
+            if (
+                isinstance(objective, dict)
+                and objective.get("encoding") == "pickle"
+            ):
+                self._send(
+                    client,
+                    request_id,
+                    error=SpecError(
+                        "pickled objective callables are not accepted "
+                        "over TCP; send a named objective ('edp', "
+                        "'energy', 'latency', 'cycles', 'slack') or a "
+                        "weighted/multi spec instead (see "
+                        "docs/serving.md)"
+                    ),
+                )
+                return
         client.stats.jobs += 1
         deadline_ms = message.get("deadline_ms")
         # Route on the envelope's kind tag alone; unpickling the job
@@ -333,6 +379,8 @@ class ReproServer:
                     ),
                     "engine_seconds": self._engine_seconds,
                     "clients": len(self._clients),
+                    "search_jobs": self._search_jobs,
+                    "search_objectives": dict(self._search_objectives),
                 },
             )
         else:
@@ -538,6 +586,15 @@ class ReproServer:
         client, request_id = entry.client, entry.request_id
         try:
             job = job_from_dict(entry.job)
+            if isinstance(job, SearchJob):
+                # Attribute the search to the objective that will score
+                # it, so server-stats can break search traffic down the
+                # same way the results themselves are self-describing.
+                objective_name = resolve_objective(job.objective).name
+                self._search_jobs += 1
+                self._search_objectives[objective_name] = (
+                    self._search_objectives.get(objective_name, 0) + 1
+                )
             with self._engine_lock:
                 before = self.session.cache_stats()
                 handle = self.session.submit(job)

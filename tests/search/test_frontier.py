@@ -1,0 +1,151 @@
+"""Pareto frontier invariants, property-tested.
+
+The frontier is the search's source of truth for winners — the scalar
+equivalence guarantee ("batched == serial oracle, bit-identical") rides
+on the 1-D frontier keeping *exactly* the first strict minimum. The
+properties here pin that down independently of the engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SpecError
+from repro.search.frontier import FrontierPoint, ParetoFrontier, dominates
+
+finite = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+def vectors(dim: int):
+    return st.lists(
+        st.tuples(*[finite] * dim), min_size=1, max_size=40
+    )
+
+
+def _point(index: int, vector: tuple) -> FrontierPoint:
+    return FrontierPoint(
+        index=index,
+        score=vector[0],
+        objectives=tuple(vector),
+        metrics={"cycles": 1.0, "energy_pj": 1.0, "edp": 1.0},
+    )
+
+
+def _fill(frontier: ParetoFrontier, vecs) -> None:
+    for index, vector in enumerate(vecs):
+        frontier.add(_point(index, vector))
+
+
+class TestDominance:
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates((1.0, 2.0), (1.0, 2.0))
+
+    def test_strict_dominance(self):
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+        assert not dominates((1.0, 3.0), (1.0, 2.0))
+
+    def test_incomparable(self):
+        assert not dominates((1.0, 3.0), (2.0, 2.0))
+        assert not dominates((2.0, 2.0), (1.0, 3.0))
+
+
+@settings(max_examples=200, deadline=None)
+@given(vecs=st.one_of(vectors(1), vectors(2), vectors(3)))
+def test_points_mutually_non_dominated(vecs):
+    frontier = ParetoFrontier(axes=tuple("abc"[: len(vecs[0])]))
+    _fill(frontier, vecs)
+    points = frontier.ordered()
+    assert points, "a non-empty stream always leaves a frontier"
+    for a in points:
+        for b in points:
+            assert not dominates(a.objectives, b.objectives)
+
+
+@settings(max_examples=200, deadline=None)
+@given(vecs=st.one_of(vectors(2), vectors(3)))
+def test_frontier_is_exactly_the_non_dominated_set(vecs):
+    frontier = ParetoFrontier(axes=tuple("abc"[: len(vecs[0])]))
+    _fill(frontier, vecs)
+    kept = {p.index for p in frontier.ordered()}
+    for index, vector in enumerate(vecs):
+        vec = tuple(vector)
+        strictly_dominated = any(
+            dominates(tuple(other), vec) for other in vecs
+        )
+        first_of_its_value = vecs.index(vector) == index
+        if not strictly_dominated and first_of_its_value:
+            assert index in kept
+        if strictly_dominated:
+            assert index not in kept
+
+
+@settings(max_examples=200, deadline=None)
+@given(vecs=vectors(1))
+def test_scalar_frontier_is_the_first_minimum(vecs):
+    """1-D frontier == the serial oracle: first strictly-better wins."""
+    frontier = ParetoFrontier(axes=("edp",))
+    _fill(frontier, vecs)
+    points = frontier.ordered()
+    assert len(points) == 1
+    scores = [v[0] for v in vecs]
+    expected_index = scores.index(min(scores))
+    assert points[0].index == expected_index
+    assert points[0].objectives == (min(scores),)
+    assert frontier.best() is points[0]
+
+
+@settings(max_examples=200, deadline=None)
+@given(vecs=st.one_of(vectors(1), vectors(2)))
+def test_best_is_on_the_frontier(vecs):
+    frontier = ParetoFrontier(axes=tuple("ab"[: len(vecs[0])]))
+    _fill(frontier, vecs)
+    best = frontier.best()
+    assert best in frontier.ordered()
+    assert all(best.score <= p.score or best.index < p.index
+               for p in frontier.ordered())
+
+
+@settings(max_examples=150, deadline=None)
+@given(vecs=st.one_of(vectors(2), vectors(3)), split=st.integers(0, 40))
+def test_merge_equals_sequential_adds(vecs, split):
+    """Chunked accumulation (the parallel path) must agree with the
+    serial scan bit for bit."""
+    dim = len(vecs[0])
+    axes = tuple("abc"[:dim])
+    serial = ParetoFrontier(axes=axes)
+    _fill(serial, vecs)
+
+    split = min(split, len(vecs))
+    left, right = ParetoFrontier(axes=axes), ParetoFrontier(axes=axes)
+    for index, vector in enumerate(vecs):
+        (left if index < split else right).add(_point(index, vector))
+    merged = ParetoFrontier(axes=axes)
+    merged.merge(left)
+    merged.merge(right)
+    assert merged.to_dict() == serial.to_dict()
+
+
+@settings(max_examples=100, deadline=None)
+@given(vecs=st.one_of(vectors(1), vectors(3)))
+def test_dict_round_trip_is_bit_exact(vecs):
+    frontier = ParetoFrontier(axes=tuple("abc"[: len(vecs[0])]))
+    _fill(frontier, vecs)
+    data = frontier.to_dict()
+    rebuilt = ParetoFrontier.from_dict(data)
+    assert rebuilt.to_dict() == data
+
+
+class TestGuards:
+    def test_axis_mismatch_rejected(self):
+        frontier = ParetoFrontier(axes=("a", "b"))
+        with pytest.raises(SpecError, match="ax"):
+            frontier.add(_point(0, (1.0,)))
+
+    def test_empty_frontier_has_no_best(self):
+        frontier = ParetoFrontier(axes=("a",))
+        assert frontier.best() is None
+        assert frontier.ordered() == []

@@ -1,0 +1,189 @@
+"""Objectives over the serve wire: named specs, frontier projection,
+and the pickled-callable trust boundary.
+
+The acceptance contract: a remote ``search`` with ``objective="energy"``
+returns bit-identical results (including the frontier section) to an
+in-process :class:`Session`, with no pickle on the wire; TCP clients
+sending a pickled objective callable are rejected before anything is
+unpickled, while unix-socket peers (same trust domain as the daemon)
+keep the legacy escape hatch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+import repro.api.jobs as jobs_module
+from repro.api import SearchJob, Session, connect
+from repro.common.errors import SpecError
+from repro.io.yaml_spec import load_design
+from repro.serve.server import ReproServer, ServeConfig
+from tests.io.test_yaml_spec import FULL_SPEC
+
+BUDGET = 8
+
+
+def energy_callable(result) -> float:
+    """Module-level (hence picklable) legacy objective."""
+    return result.energy_pj
+
+
+class _Daemon:
+    """One in-process daemon on a background event-loop thread."""
+
+    def __init__(self, config: ServeConfig, **session_kwargs):
+        self.server = ReproServer(config, **session_kwargs)
+        self._started = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._started.wait(timeout=15), "daemon failed to start"
+
+    def _run(self) -> None:
+        async def main() -> None:
+            await self.server.start()
+            self._loop = asyncio.get_running_loop()
+            self._started.set()
+            await self.server.serve_forever()
+
+        asyncio.run(main())
+
+    @property
+    def address(self) -> str:
+        return self.server.addresses[0]
+
+    def stop(self) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self.server.request_stop)
+        self._thread.join(timeout=15)
+
+
+@pytest.fixture
+def unix_daemon(tmp_path):
+    d = _Daemon(
+        ServeConfig(
+            port=None,
+            unix_path=str(tmp_path / "serve.sock"),
+            batch_window_ms=5.0,
+            batch_max=8,
+            workers=2,
+            queue_depth=8,
+        ),
+        search_budget=BUDGET,
+    )
+    yield d
+    d.stop()
+
+
+@pytest.fixture
+def tcp_daemon():
+    d = _Daemon(
+        ServeConfig(
+            port=0,
+            unix_path=None,
+            batch_window_ms=5.0,
+            batch_max=8,
+            workers=2,
+            queue_depth=8,
+        ),
+        search_budget=BUDGET,
+    )
+    yield d
+    d.stop()
+
+
+class TestNamedObjectivesOnTheWire:
+    def test_energy_search_identical_to_in_process(self, unix_daemon):
+        design, workload = load_design(FULL_SPEC)
+        with connect(unix_daemon.address) as remote:
+            got = remote.search(design, workload, objective="energy")
+        with Session(search_budget=BUDGET) as local:
+            expected = local.search(
+                SearchJob(design, workload, objective="energy")
+            )
+        assert got.to_dict() == expected.to_dict()
+        assert got.objective == "energy"
+        assert got.frontier is not None
+
+    def test_multi_objective_frontier_identical(self, unix_daemon):
+        design, workload = load_design(FULL_SPEC)
+        objective = ("energy", "cycles", "slack")
+        with connect(unix_daemon.address) as remote:
+            got = remote.search(design, workload, objective=objective)
+        with Session(search_budget=BUDGET) as local:
+            expected = local.search(
+                SearchJob(design, workload, objective=objective)
+            )
+        assert got.frontier.to_dict() == expected.frontier.to_dict()
+        assert got.to_dict() == expected.to_dict()
+
+    def test_frontier_projection(self, unix_daemon):
+        design, workload = load_design(FULL_SPEC)
+        job = SearchJob(design, workload, objective="energy")
+        with connect(unix_daemon.address) as remote:
+            full = remote.search(job)
+            projected = remote.submit(job, fields=["frontier"]).result()
+        assert set(projected) == {"schema", "kind", "frontier"}
+        assert projected["frontier"] == full.to_dict()["frontier"]
+
+    def test_named_objective_works_over_tcp(self, tcp_daemon):
+        design, workload = load_design(FULL_SPEC)
+        with connect(tcp_daemon.address) as remote:
+            got = remote.search(design, workload, objective="energy")
+        with Session(search_budget=BUDGET) as local:
+            expected = local.search(
+                SearchJob(design, workload, objective="energy")
+            )
+        assert got.to_dict() == expected.to_dict()
+
+    def test_server_stats_attribute_objectives(self, unix_daemon):
+        design, workload = load_design(FULL_SPEC)
+        with connect(unix_daemon.address) as remote:
+            remote.search(design, workload, objective="energy")
+            remote.search(design, workload)
+            stats = remote.server_stats()
+        assert stats["search_jobs"] == 2
+        assert stats["search_objectives"] == {"energy": 1, "edp": 1}
+
+
+@pytest.fixture
+def fresh_deprecation_flag():
+    """The wire-callable warning fires once per process; rearm it so
+    ``pytest.warns`` sees it regardless of test order."""
+    jobs_module._WIRE_CALLABLE_WARNED[0] = False
+    yield
+    jobs_module._WIRE_CALLABLE_WARNED[0] = False
+
+
+class TestPickledObjectiveTrustBoundary:
+    def test_tcp_rejects_pickled_callable(self, tcp_daemon, fresh_deprecation_flag):
+        design, workload = load_design(FULL_SPEC)
+        with connect(tcp_daemon.address) as remote:
+            with pytest.warns(DeprecationWarning):
+                with pytest.raises(SpecError, match="not accepted over TCP"):
+                    remote.search(
+                        design, workload, objective=energy_callable
+                    )
+            # The connection survives the rejection.
+            assert remote.ping()["protocol"] == 1
+
+    def test_unix_socket_still_accepts_callable(self, unix_daemon, fresh_deprecation_flag):
+        design, workload = load_design(FULL_SPEC)
+        with connect(unix_daemon.address) as remote:
+            with pytest.warns(DeprecationWarning):
+                got = remote.search(
+                    design, workload, objective=energy_callable
+                )
+        with Session(search_budget=BUDGET) as local:
+            expected = local.search(
+                SearchJob(design, workload, objective="energy")
+            )
+        # Same metric, so the same winner — but the wire spec records
+        # the callable's provenance rather than a name.
+        assert got.best.to_dict() == expected.best.to_dict()
+        assert got.objective == {
+            "callable": f"{__name__}:energy_callable"
+        }
