@@ -1,0 +1,321 @@
+"""Perf + correctness smoke for distributed sharded search.
+
+Three phases, each against real ``repro serve --worker`` daemons booted
+by :class:`repro.distributed.LocalWorkerFleet` on unix sockets:
+
+* **Identity** — every bundled design family runs one sampled search
+  through a 2-worker fleet and in-process with ``strategy="batched"``;
+  the winning score, winning index, and full Pareto frontier must be
+  *bit-identical*. This is the tentpole guarantee of the distributed
+  subsystem: sharding is an execution detail, never a semantics change.
+* **Fault injection** — a capacity-checked search (live witness
+  traffic) runs on 2 workers while one worker is SIGKILLed the moment
+  its shard reports progress; the coordinator must reassign the dead
+  shard and still produce the bit-identical single-host outcome.
+* **Scaling** — a 4-worker sharded search races the single-host
+  batched scan on an evaluation-heavy DSE scenario; the best-of-rounds
+  speedup must clear the committed ``search_sharded_speedup_floor``.
+  Sharding splits the evaluation work but not the (serial) stream
+  planning, so the scenario is chosen to make evaluation dominate:
+  a 3-level hierarchy (deeper per-candidate analysis) over a mapspace
+  big enough to stay in sampled mode. The phase needs one core per
+  worker to mean anything and skips (loudly) on smaller machines —
+  CI enforces the floor on its multi-core runners.
+
+The floor lives in ``baseline_perf_engine.json`` (see the comment
+there); measured numbers are written to ``BENCH_search_sharded.json``
+next to this file. Fleets run ``--cold`` so the persistent tier cannot
+warm one side of an A/B comparison from the other side's spill.
+
+Run:  pytest benchmarks/bench_search_sharded.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import Design, SAFSpec, Workload, matmul
+from repro.api.jobs import SearchJob
+from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
+from repro.designs import codesign, dstc, eyeriss, eyeriss_v2, scnn, stc, toy
+from repro.designs.common import conv_as_gemm
+from repro.distributed import LocalWorkerFleet, sharded_search
+from repro.mapping.mapspace import MapspaceConstraints
+from repro.model.engine import Evaluator
+from repro.sparse.density import FixedStructuredDensity, UniformDensity
+from repro.sparse.formats import CoordinatePayload, FormatRank, FormatSpec
+from repro.sparse.saf import SAFKind, double_sided, skip_compute
+from repro.workload.nets import alexnet, mobilenet_v1, resnet50
+
+BASELINE_PATH = Path(__file__).parent / "baseline_perf_engine.json"
+SUMMARY_PATH = Path(__file__).parent / "BENCH_search_sharded.json"
+
+#: Search budget for the per-design identity sweep (small: the sweep
+#: covers eight designs and correctness does not depend on budget).
+IDENTITY_BUDGET = 12
+#: Budget for the fault-injection search — long enough that the kill
+#: lands mid-scan, capacity-checked so witness traffic is real.
+KILL_BUDGET = 8_000
+#: Budget for the timed scaling rounds (sampled mode on the scenario
+#: below: the mapspace is ~2.7M points, so the stream is the budget).
+SCALE_BUDGET = 16_000
+#: Workers in the scaling phase; the committed floor is defined at
+#: this fleet size.
+SCALE_WORKERS = 4
+#: Timed rounds in the scaling phase, each on its own stream seed so
+#: neither side can reuse warm per-mapping analysis across rounds; the
+#: best round is compared against the floor (cancels transient load),
+#: with one retry round before declaring a breach.
+SCALE_SEEDS = (7, 8)
+RETRY_SEED = 9
+
+
+def _update_summary(section: dict) -> None:
+    data = {"bench": "search_sharded"}
+    if SUMMARY_PATH.exists():
+        data.update(json.loads(SUMMARY_PATH.read_text()))
+    data.update(section)
+    SUMMARY_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def _frontier_key(frontier) -> list:
+    return [
+        (point.index, point.score, point.objectives)
+        for point in frontier.ordered()
+    ]
+
+
+def _assert_identical(name: str, ref, sharded) -> None:
+    assert sharded.best_score == ref.best_score, name
+    assert sharded.best_index == ref.best_index, name
+    assert sharded.strategy == "batched", name
+    assert _frontier_key(sharded.frontier) == _frontier_key(ref.frontier), name
+
+
+# ----------------------------------------------------------------------
+# Identity: every bundled design family, 2-worker fleet vs in-process
+
+def _tc_workload(weight_model):
+    gemm = conv_as_gemm(resnet50()[10])
+    return Workload(
+        gemm,
+        {"A": weight_model, "B": UniformDensity(0.65, gemm.tensor_size("B"))},
+    )
+
+
+def _identity_cases():
+    """One (name, design, workload) per bundled design family — the
+    same pairings the serve bench evaluates, here as mapspace searches
+    (the bundled mapping factories are bypassed: the mapper scans each
+    design's — unconstrained — mapspace with a seeded sample stream)."""
+    mm = Workload.uniform(matmul(64, 64, 64), {"A": 0.2, "B": 0.2})
+    conv = Workload.uniform(alexnet()[2].spec, {"I": 0.5})
+    mobile = mobilenet_v1()[3]
+    dataflow, saf = codesign.ALL_COMBINATIONS[0]
+    return [
+        ("toy-bitmask", toy.bitmask_design(), mm),
+        ("toy-coordinate-list", toy.coordinate_list_design(), mm),
+        ("eyeriss", eyeriss.eyeriss_design(), conv),
+        (
+            "eyeriss-v2-pe",
+            eyeriss_v2.eyeriss_v2_pe_design(),
+            Workload.uniform(mobile.spec, {"I": 0.55, "W": 0.4}),
+        ),
+        ("scnn", scnn.scnn_design(), Workload.uniform(
+            alexnet()[2].spec, {"I": 0.4, "W": 0.3}
+        )),
+        ("dstc", dstc.dstc_design(), _tc_workload(UniformDensity(0.4, 1024))),
+        ("stc", stc.stc_design(), _tc_workload(FixedStructuredDensity(2, 4))),
+        (
+            f"codesign-{dataflow}-{saf}",
+            codesign.build_design(dataflow, saf),
+            Workload.uniform(matmul(256, 256, 256), {"A": 0.06, "B": 0.06}),
+        ),
+    ]
+
+
+@pytest.mark.perf
+def test_sharded_identity_across_bundled_designs():
+    cases = _identity_cases()
+    with LocalWorkerFleet(2, cold=True) as fleet:
+        for name, design, workload in cases:
+            evaluator = Evaluator(
+                search_budget=IDENTITY_BUDGET, check_capacity=False
+            )
+            ref = evaluator._search_full(
+                design, workload, strategy="batched"
+            )
+            outcome, stats = sharded_search(
+                Evaluator(
+                    search_budget=IDENTITY_BUDGET, check_capacity=False
+                ),
+                SearchJob(design, workload),
+                fleet.addresses,
+                shards=2,
+                worker_timeout=300.0,
+            )
+            _assert_identical(name, ref, outcome)
+            assert stats["shards"] >= 1, name
+
+    _update_summary({
+        "identity_designs": [name for name, _, _ in cases],
+        "identity_bit_identical": True,
+    })
+    print(f"\n=== sharded identity ===\n{len(cases)} bundled designs "
+          "bit-identical (2-worker fleet vs single-host batched)")
+
+
+# ----------------------------------------------------------------------
+# Shared DSE scenario for the fault-injection and scaling phases
+
+def _dse_scenario():
+    """An evaluation-heavy scenario: 3-level hierarchy (deep
+    per-candidate analysis), sparse formats and SAFs on A, a mapspace
+    of ~2.7M points so every budget here stays in sampled mode."""
+    arch = Architecture(
+        "sharded-dse",
+        [
+            StorageLevel("DRAM", None, component="dram",
+                         read_bandwidth=8, write_bandwidth=8),
+            StorageLevel("L2", 128 * 1024, component="sram",
+                         read_bandwidth=16, write_bandwidth=16),
+            StorageLevel("Buffer", 8 * 1024, component="sram",
+                         read_bandwidth=32, write_bandwidth=32),
+        ],
+        ComputeLevel("MAC", instances=16),
+    )
+    cp2 = FormatSpec(
+        [FormatRank(CoordinatePayload()), FormatRank(CoordinatePayload())]
+    )
+    safs = SAFSpec(
+        formats={("Buffer", "A"): cp2, ("DRAM", "A"): cp2},
+        storage_safs=double_sided(SAFKind.SKIP, "A", "B", "Buffer"),
+        compute_safs=[skip_compute()],
+    )
+    constraints = MapspaceConstraints(spatial_dims={"Buffer": ["n", "m"]})
+    design = Design("sharded-dse", arch, safs, constraints=constraints)
+    workload = Workload.uniform(matmul(512, 512, 512), {"A": 0.2, "B": 0.2})
+    return design, workload
+
+
+# ----------------------------------------------------------------------
+# Fault injection: kill a worker mid-shard, demand the same answer
+
+@pytest.mark.perf
+def test_sharded_identity_survives_worker_kill():
+    design, workload = _dse_scenario()
+    job = SearchJob(design, workload, batch_size=64)
+    evaluator = Evaluator(search_budget=KILL_BUDGET, search_seed=7)
+    ref = evaluator._search_full(
+        design, workload, batch_size=64, strategy="batched"
+    )
+
+    with LocalWorkerFleet(2, cold=True) as fleet:
+        killed = threading.Event()
+
+        def _on_progress(info):
+            # First substantive frame from shard 0: its worker is now
+            # mid-scan — kill it (from a thread: this callback runs on
+            # the worker's own monitor thread).
+            if not isinstance(info, dict) or "event" in info:
+                return
+            if info.get("shard") == 0 and not killed.is_set():
+                killed.set()
+                threading.Thread(target=fleet.kill, args=(0,)).start()
+
+        outcome, stats = sharded_search(
+            Evaluator(search_budget=KILL_BUDGET, search_seed=7),
+            job, fleet.addresses, shards=2,
+            progress=_on_progress, worker_timeout=300.0,
+        )
+
+    assert killed.is_set(), "fault was never injected"
+    _assert_identical("kill-injection", ref, outcome)
+    _update_summary({
+        "kill_injection_bit_identical": True,
+        "kill_injection_reassigned": stats["reassigned"],
+        "kill_injection_withheld": stats["withheld"],
+        "kill_injection_rejected": stats["rejected"],
+    })
+    print("\n=== fault injection ===\nworker SIGKILLed mid-shard: "
+          f"reassigned={stats['reassigned']}, outcome bit-identical")
+
+
+# ----------------------------------------------------------------------
+# Scaling: 4-worker sharded search vs single-host, committed floor
+
+def _timed_round(fleet, seed: int) -> dict:
+    design, workload = _dse_scenario()
+    job = SearchJob(design, workload, batch_size=256)
+
+    t0 = time.perf_counter()
+    ref = Evaluator(
+        search_budget=SCALE_BUDGET, search_seed=seed, check_capacity=False
+    )._search_full(design, workload, batch_size=256, strategy="batched")
+    single_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    outcome, stats = sharded_search(
+        Evaluator(
+            search_budget=SCALE_BUDGET, search_seed=seed,
+            check_capacity=False,
+        ),
+        job, fleet.addresses, shards=SCALE_WORKERS,
+        worker_timeout=300.0,
+    )
+    sharded_s = time.perf_counter() - t0
+
+    _assert_identical(f"scaling-seed-{seed}", ref, outcome)
+    assert stats["mode"] == "sampled", stats["mode"]
+    return {
+        "seed": seed,
+        "single_host_s": round(single_s, 3),
+        "sharded_s": round(sharded_s, 3),
+        "speedup": round(single_s / sharded_s, 3),
+    }
+
+
+@pytest.mark.perf
+def test_search_sharded_speedup_floor():
+    cores = os.cpu_count() or 1
+    if cores < SCALE_WORKERS:
+        _update_summary({
+            "scaling_skipped": f"{cores} cores < {SCALE_WORKERS} workers",
+        })
+        pytest.skip(
+            f"scaling floor needs >= {SCALE_WORKERS} cores to be "
+            f"meaningful; this machine has {cores} (CI enforces it)"
+        )
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    floor = baseline["search_sharded_speedup_floor"]
+    rounds = []
+    with LocalWorkerFleet(SCALE_WORKERS, cold=True) as fleet:
+        for seed in SCALE_SEEDS:
+            rounds.append(_timed_round(fleet, seed))
+        if max(r["speedup"] for r in rounds) < floor:
+            rounds.append(_timed_round(fleet, RETRY_SEED))
+
+    best = max(rounds, key=lambda r: r["speedup"])
+    _update_summary({
+        "scaling_workers": SCALE_WORKERS,
+        "scaling_budget": SCALE_BUDGET,
+        "scaling_rounds": rounds,
+        "scaling_speedup": best["speedup"],
+        "search_sharded_speedup_floor": floor,
+    })
+    print(f"\n=== sharded scaling ===\nbest of {len(rounds)} rounds: "
+          f"{best['single_host_s']}s single-host / {best['sharded_s']}s "
+          f"sharded = {best['speedup']}x at {SCALE_WORKERS} workers "
+          f"(committed floor {floor}x)")
+    assert best["speedup"] >= floor, (
+        f"sharded search speedup regressed: best of {len(rounds)} rounds "
+        f"{best['speedup']}x at {SCALE_WORKERS} workers is below the "
+        f"committed floor {floor}x"
+    )

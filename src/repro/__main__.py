@@ -5,6 +5,8 @@ Usage::
     python -m repro evaluate spec.yaml
     python -m repro evaluate spec.yaml --json
     python -m repro search spec.yaml --budget 64 --parallel 4
+    python -m repro search spec.yaml --shards 4
+    python -m repro serve --worker --unix /tmp/worker.sock
     python -m repro --version
 
 The spec file combines arch / workload / safs / mapping / constraints
@@ -48,13 +50,14 @@ def _persistent_store(args: argparse.Namespace) -> PersistentCache | None:
     return PersistentCache(root=args.cache_dir)
 
 
-def _session(args: argparse.Namespace) -> Session:
+def _session(args: argparse.Namespace, workers=None) -> Session:
     return Session(
         check_capacity=not args.no_capacity_check,
         search_budget=args.budget,
         search_seed=args.seed,
         parallel=args.parallel,
         persistent=_persistent_store(args),
+        workers=workers,
     )
 
 
@@ -123,8 +126,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         unix_path=args.unix,
         batch_window_ms=args.batch_window_ms,
         batch_max=args.batch_max,
-        workers=args.workers,
+        # A --worker daemon runs exactly one shard at a time (the
+        # coordinator is the only client), so extra handler threads
+        # would just contend on the engine lock.
+        workers=1 if args.worker else args.workers,
         queue_depth=args.queue_depth,
+        heartbeat_s=args.heartbeat_s,
     )
     server = ReproServer(
         config,
@@ -159,13 +166,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _search_progress(info) -> None:
+    """One stderr line per progress frame in ``search -v`` runs."""
+    if not isinstance(info, dict) or info.get("heartbeat"):
+        return
+    event = info.get("event")
+    if event is not None:
+        shard = info.get("shard")
+        where = "" if shard is None else f" (shard {shard})"
+        print(f"  {event}{where}", file=sys.stderr, flush=True)
+        return
+    best = info.get("best_score")
+    label = "-" if best is None else f"{best:.6g}"
+    prefix = f"  shard {info['shard']}:" if "shard" in info else "  search:"
+    print(
+        f"{prefix} {info.get('evaluated', 0)} evaluated, best {label}, "
+        f"frontier {info.get('frontier_size', 0)}",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     from repro.search import resolve_objective
 
-    with _session(args) as session:
+    workers = None
+    if args.shards and args.shards > 1:
+        workers = args.shard_workers or args.shards
+    with _session(args, workers=workers) as session:
         baseline = session.cache_stats()
         search = session.search(
-            args.spec, objective=args.objective, strategy=args.strategy
+            args.spec,
+            objective=args.objective,
+            strategy=args.strategy,
+            shards=args.shards,
+            on_progress=_search_progress if args.verbose else None,
         )
         best = search.best_or_raise()
         if args.json:
@@ -279,6 +314,21 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the Pareto frontier after the winner",
     )
+    se.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="split the scan into N contiguous shards over local worker "
+        "daemons (bit-identical merged result; see docs/distributed.md)",
+    )
+    se.add_argument(
+        "--shard-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker daemons to boot for --shards (default: one per shard)",
+    )
     se.set_defaults(func=_cmd_search)
 
     sv = sub.add_parser(
@@ -327,6 +377,20 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="max queued search/network jobs before shedding "
         "('overloaded' errors)",
+    )
+    sv.add_argument(
+        "--worker",
+        action="store_true",
+        help="run as a sharded-search worker (single handler thread; "
+        "the coordinator assigns one shard at a time)",
+    )
+    sv.add_argument(
+        "--heartbeat-s",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="progress-heartbeat interval for in-flight jobs "
+        "(0 disables)",
     )
     sv.add_argument(
         "--budget", type=int, default=64, help="mappings sampled per search"

@@ -28,7 +28,9 @@ from repro.api.jobs import (
     JobHandle,
     NetworkJob,
     SearchJob,
+    SearchShardJob,
     job_from_dict,
+    job_resendable,
 )
 from repro.api.session import Session, evaluate_network
 from repro.model.result import (
@@ -44,8 +46,10 @@ __all__ = [
     "EvaluateJob",
     "SearchJob",
     "NetworkJob",
+    "SearchShardJob",
     "JobHandle",
     "job_from_dict",
+    "job_resendable",
     "connect",
     "evaluate_network",
     "EvaluationResult",

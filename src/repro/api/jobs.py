@@ -44,9 +44,11 @@ from repro.workload.spec import Workload
 __all__ = [
     "EvaluateJob",
     "SearchJob",
+    "SearchShardJob",
     "NetworkJob",
     "JobHandle",
     "job_from_dict",
+    "job_resendable",
     "JOB_SCHEMA_VERSION",
 ]
 
@@ -239,6 +241,17 @@ class SearchJob:
     (``None`` keeps the engine's ``search_batch_size``).
     ``"evolutionary"`` breeds candidates from the design's mapspace
     instead of scanning a stream (see ``docs/search.md``).
+
+    ``budget`` / ``seed`` (when set) override the executing Session's
+    ``search_budget`` / ``search_seed`` for this job, making the job
+    fully self-describing on the wire — a worker daemon booted with
+    different defaults still scans the exact stream the submitter
+    meant. ``shards`` asks for the distributed scan: the Session
+    splits the candidate stream into that many contiguous shards and
+    fans them out over its worker fleet (see ``docs/distributed.md``);
+    the merged result is bit-identical to the single-host batched
+    scan. ``progress`` is an in-process observation callback (called
+    with incremental progress dicts); it never serializes.
     """
 
     design: Design
@@ -248,6 +261,12 @@ class SearchJob:
     parallel: int | None = None
     batch_size: int | None = None
     strategy: str | None = None
+    budget: int | None = None
+    seed: int | None = None
+    shards: int | None = None
+    progress: Callable[[dict], None] | None = field(
+        default=None, compare=False, repr=False
+    )
 
     def to_dict(self) -> dict:
         """Serialize to a ``schema: 1`` wire envelope. Named/weighted/
@@ -269,6 +288,9 @@ class SearchJob:
             "parallel": self.parallel,
             "batch_size": self.batch_size,
             "strategy": self.strategy,
+            "budget": self.budget,
+            "seed": self.seed,
+            "shards": self.shards,
         }
 
     @classmethod
@@ -287,9 +309,116 @@ class SearchJob:
                 parallel=data["parallel"],
                 batch_size=data["batch_size"],
                 strategy=data["strategy"],
+                budget=data.get("budget"),
+                seed=data.get("seed"),
+                shards=data.get("shards"),
             )
 
         return _job_envelope(data, "search-job", build)
+
+
+@dataclass
+class SearchShardJob:
+    """Scan one contiguous shard of a search's candidate stream.
+
+    The distributed coordinator's unit of work (see
+    ``docs/distributed.md``): evaluate stream positions ``[start,
+    stop)`` of the deterministic unpruned candidate stream defined by
+    (design, constraints, ``mode``, ``budget``, ``seed``), replaying
+    the prefix ``[0, start)`` through the capacity prefilter and
+    overflow-witness bookkeeping — no evaluations — so stream indices
+    and witness state are bit-identical to the single-host batched
+    scan's at every position. ``total`` is the expected stream length;
+    workers regenerate the stream and refuse to run (``SpecError``) if
+    theirs disagrees, which catches config/version skew before it can
+    corrupt a merge. ``snapshot`` optionally seeds the replay with an
+    authoritative upstream scan state (position/index/witnesses) to
+    fast-forward it; further snapshots may arrive mid-flight via the
+    ``witness-update`` serve op. ``check_capacity`` / ``prefilter``
+    pin the executing engine's gating knobs to the coordinator's.
+
+    ``board`` and ``progress`` are in-process attachments (the serve
+    daemon wires them up after decoding); they never serialize. Shard
+    jobs are pure functions of their payload — witnesses only
+    accelerate the replay, never change its outcome — so they are
+    always safe to resend.
+    """
+
+    design: Design
+    workload: Workload
+    objective: object = None
+    search_id: str = ""
+    shard_id: int = 0
+    start: int = 0
+    stop: int = 0
+    total: int = 0
+    mode: str = "sampled"
+    budget: int = 64
+    seed: int = 0
+    batch_size: int | None = None
+    check_capacity: bool = True
+    prefilter: bool = True
+    candidates: list[Mapping] | None = None
+    snapshot: dict | None = None
+    board: object = field(default=None, compare=False, repr=False)
+    progress: Callable[[dict], None] | None = field(
+        default=None, compare=False, repr=False
+    )
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": JOB_SCHEMA_VERSION,
+            "kind": "search-shard-job",
+            "design": _pack(self.design),
+            "workload": _pack(self.workload),
+            "objective": _objective_to_wire(self.objective),
+            "search_id": self.search_id,
+            "shard": self.shard_id,
+            "start": self.start,
+            "stop": self.stop,
+            "total": self.total,
+            "mode": self.mode,
+            "budget": self.budget,
+            "seed": self.seed,
+            "batch_size": self.batch_size,
+            "check_capacity": self.check_capacity,
+            "prefilter": self.prefilter,
+            "candidates": (
+                None
+                if self.candidates is None
+                else [mapping.to_spec() for mapping in self.candidates]
+            ),
+            "snapshot": self.snapshot,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SearchShardJob":
+        def build() -> "SearchShardJob":
+            candidates = data["candidates"]
+            return cls(
+                design=_unpack(data["design"]),
+                workload=_unpack(data["workload"]),
+                objective=_objective_from_wire(data["objective"]),
+                search_id=data["search_id"],
+                shard_id=data["shard"],
+                start=data["start"],
+                stop=data["stop"],
+                total=data["total"],
+                mode=data["mode"],
+                budget=data["budget"],
+                seed=data["seed"],
+                batch_size=data["batch_size"],
+                check_capacity=data["check_capacity"],
+                prefilter=data["prefilter"],
+                candidates=(
+                    None
+                    if candidates is None
+                    else [Mapping.from_spec(spec) for spec in candidates]
+                ),
+                snapshot=data["snapshot"],
+            )
+
+        return _job_envelope(data, "search-shard-job", build)
 
 
 @dataclass
@@ -346,6 +475,7 @@ def job_from_dict(data: dict):
     kinds = {
         "evaluate-job": EvaluateJob,
         "search-job": SearchJob,
+        "search-shard-job": SearchShardJob,
         "network-job": NetworkJob,
     }
     cls = kinds.get(kind)
@@ -354,6 +484,26 @@ def job_from_dict(data: dict):
             f"unknown job kind {kind!r}; expected one of {sorted(kinds)}"
         )
     return cls.from_dict(data)
+
+
+def job_resendable(job) -> bool:
+    """Whether a job in flight on a dropped connection may be silently
+    resent on reconnect.
+
+    Evaluate, network, and shard jobs are pure functions of their
+    payload — running them twice returns the same result — so resending
+    is safe. A mapspace :class:`SearchJob` (``candidates is None``) is
+    *not*: it consumes the executing daemon's seeded candidate stream
+    and search budget, so a silent re-run would spend budget twice and
+    could race a still-running first attempt. The serve client resolves
+    such jobs with :class:`~repro.common.errors.WorkerLostError`
+    instead (the caller resubmits explicitly once it knows the first
+    attempt's fate). An explicit-candidates search job is a pure scan
+    and resends fine. ``None`` (protocol ops) is resendable.
+    """
+    if isinstance(job, SearchJob):
+        return job.candidates is not None
+    return True
 
 
 class JobHandle:

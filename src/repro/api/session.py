@@ -41,7 +41,13 @@ from collections.abc import Callable, Iterable
 from dataclasses import replace
 from pathlib import Path
 
-from repro.api.jobs import EvaluateJob, JobHandle, NetworkJob, SearchJob
+from repro.api.jobs import (
+    EvaluateJob,
+    JobHandle,
+    NetworkJob,
+    SearchJob,
+    SearchShardJob,
+)
 from repro.common.cache import AnalysisCache, PersistentCache
 from repro.common.errors import ReproError, SpecError
 from repro.io.yaml_spec import load_design
@@ -65,7 +71,7 @@ def coerce_job(spec, *, search: bool = False):
     """Turn any accepted spec form into a job object — the rules of
     :meth:`Session.submit`, shared with the remote client so local and
     remote submissions spell jobs identically."""
-    if isinstance(spec, (EvaluateJob, SearchJob, NetworkJob)):
+    if isinstance(spec, (EvaluateJob, SearchJob, NetworkJob, SearchShardJob)):
         if search and not isinstance(spec, SearchJob):
             raise SpecError(
                 f"search=True cannot convert a {type(spec).__name__}; "
@@ -127,6 +133,15 @@ class Session:
     flags, passed through unchanged (``None`` keeps the engine default
     for each of the three vectorization knobs; each fast path is
     proven bit-identical to its scalar oracle).
+    ``workers``: worker pool for sharded searches (``SearchJob.shards
+    > 1``, or ``search(..., shards=N)``). An int boots that many local
+    ``repro serve --worker`` daemons lazily on first use (sharing this
+    Session's persistent store root when one is configured); a list of
+    addresses uses already-running daemons; ``None`` (the default)
+    runs sharded scans in-process. The merged result is bit-identical
+    to the single-host batched scan either way.
+    ``worker_timeout``: seconds of total silence (heartbeats included)
+    after which a worker is presumed dead and its shard reassigned.
 
     Sessions are context managers; :meth:`close` runs any still-pending
     jobs, then spills to the persistent tier. A closed Session rejects
@@ -146,9 +161,13 @@ class Session:
         sparse_vectorized: bool | None = None,
         dense_vectorized: bool | None = None,
         prefilter_vectorized: bool | None = None,
+        workers: int | list | tuple | None = None,
+        worker_timeout: float = 30.0,
     ):
         if parallel < 1:
             raise SpecError(f"parallel must be >= 1, got {parallel}")
+        if isinstance(workers, int) and workers < 1:
+            raise SpecError(f"workers must be >= 1, got {workers}")
         if cache is _UNSET:
             cache = AnalysisCache()
         engine_kwargs = dict(
@@ -167,6 +186,10 @@ class Session:
             engine_kwargs["prefilter_vectorized"] = prefilter_vectorized
         self._evaluator = Evaluator(**engine_kwargs)
         self.parallel = parallel
+        self._workers_spec = workers
+        self._worker_timeout = worker_timeout
+        self._fleet = None
+        self._worker_addresses: list | None = None
         # Reentrant so a drain that resolves handles may re-enter the
         # Session (e.g. a search objective reading another handle), but
         # exclusive across threads: the serving daemon submits and
@@ -227,7 +250,13 @@ class Session:
                         handle._resolve(exception=cancelled)
                     self._pending = []
             finally:
-                self._evaluator.spill_cache_all(self._spill_keys)
+                try:
+                    self._evaluator.spill_cache_all(self._spill_keys)
+                finally:
+                    if self._fleet is not None:
+                        self._fleet.close()
+                        self._fleet = None
+                        self._worker_addresses = None
 
     # ------------------------------------------------------------------
     # Submission
@@ -249,7 +278,10 @@ class Session:
         ``handle.result()`` call (or at :meth:`close`).
         """
         job = self._coerce_job(spec, search=search)
-        if isinstance(job, (EvaluateJob, SearchJob)) and job.workload is None:
+        if (
+            isinstance(job, (EvaluateJob, SearchJob, SearchShardJob))
+            and job.workload is None
+        ):
             raise SpecError(
                 f"{type(job).__name__} needs a workload (a spec string/"
                 "dict/path carries its own; Python-object jobs take it "
@@ -317,6 +349,10 @@ class Session:
         parallel: int | None = None,
         batch_size: int | None = None,
         strategy: str | None = None,
+        budget: int | None = None,
+        seed: int | None = None,
+        shards: int | None = None,
+        on_progress: Callable[[dict], None] | None = None,
     ) -> SearchResult:
         """Search the mapspace and return a :class:`SearchResult`.
 
@@ -329,6 +365,11 @@ class Session:
         ``strategy``/``batch_size`` block-scan knobs; ``"batched"``
         and ``"serial"`` return bit-identical winners, and
         ``"evolutionary"`` breeds candidates from the mapspace).
+        ``budget``/``seed`` override the Session's sampling knobs for
+        this search; ``shards=N`` splits the scan into N contiguous
+        shards over the Session's ``workers`` (in-process when none
+        are configured) with a bit-identical merged result;
+        ``on_progress`` observes incremental best-so-far state.
 
         ``objective`` accepts a metric name (``"edp"``, ``"energy"``,
         ``"latency"``, ``"cycles"``, ``"slack"``), a sequence of names
@@ -356,6 +397,10 @@ class Session:
                 ("parallel", parallel),
                 ("batch_size", batch_size),
                 ("strategy", strategy),
+                ("budget", budget),
+                ("seed", seed),
+                ("shards", shards),
+                ("progress", on_progress),
             )
             if value is not None
         }
@@ -430,7 +475,9 @@ class Session:
             self._warm_for(handle.job)
         self._run_evaluates(evaluate_handles)
         for handle in handles:
-            if isinstance(handle.job, SearchJob):
+            if isinstance(handle.job, SearchShardJob):
+                self._run_shard(handle)
+            elif isinstance(handle.job, SearchJob):
                 self._run_search(handle)
             elif isinstance(handle.job, NetworkJob):
                 self._run_network(handle)
@@ -487,18 +534,82 @@ class Session:
             else:
                 handle._resolve(result=result)
 
+    def _effective_evaluator(self, job: SearchJob) -> Evaluator:
+        """The engine this search runs under: the Session's evaluator
+        with the job's budget/seed overrides folded in (a shallow
+        dataclass copy sharing the caches)."""
+        overrides = {}
+        if job.budget is not None:
+            if job.budget < 1:
+                raise SpecError(f"budget must be >= 1, got {job.budget}")
+            overrides["search_budget"] = job.budget
+        if job.seed is not None:
+            overrides["search_seed"] = job.seed
+        if not overrides:
+            return self._evaluator
+        return replace(self._evaluator, **overrides)
+
+    def _resolve_workers(self) -> list | None:
+        """Worker addresses for sharded searches, booting the lazy
+        local fleet on first use; ``None`` means run shards
+        in-process."""
+        if self._workers_spec is None:
+            return None
+        if self._worker_addresses is None:
+            if isinstance(self._workers_spec, int):
+                from repro.distributed.fleet import LocalWorkerFleet
+
+                persistent = self._evaluator.persistent
+                self._fleet = LocalWorkerFleet(
+                    self._workers_spec,
+                    cache_dir=getattr(persistent, "root", None),
+                    cold=persistent is None,
+                    check_capacity=self._evaluator.check_capacity,
+                )
+                self._worker_addresses = list(self._fleet.addresses)
+            else:
+                self._worker_addresses = list(self._workers_spec)
+        return self._worker_addresses
+
+    def _run_sharded(self, job: SearchJob, evaluator: Evaluator):
+        from repro.distributed.coordinator import (
+            run_shards_local,
+            sharded_search,
+        )
+
+        addresses = self._resolve_workers()
+        if addresses is None:
+            outcome, _stats = run_shards_local(
+                evaluator, job, job.shards, progress=job.progress
+            )
+        else:
+            outcome, _stats = sharded_search(
+                evaluator,
+                job,
+                addresses,
+                shards=job.shards,
+                progress=job.progress,
+                worker_timeout=self._worker_timeout,
+            )
+        return outcome
+
     def _run_search(self, handle: JobHandle) -> None:
         job: SearchJob = handle.job
         try:
-            outcome = self._evaluator._search_full(
-                job.design,
-                job.workload,
-                objective=job.objective,
-                candidates=job.candidates,
-                parallel=job.parallel or self.parallel,
-                batch_size=job.batch_size,
-                strategy=job.strategy,
-            )
+            evaluator = self._effective_evaluator(job)
+            if (job.shards or 0) > 1:
+                outcome = self._run_sharded(job, evaluator)
+            else:
+                outcome = evaluator._search_full(
+                    job.design,
+                    job.workload,
+                    objective=job.objective,
+                    candidates=job.candidates,
+                    parallel=job.parallel or self.parallel,
+                    batch_size=job.batch_size,
+                    strategy=job.strategy,
+                    progress=job.progress,
+                )
         except ReproError as exc:
             handle._resolve(exception=exc)
             return
@@ -510,8 +621,8 @@ class Session:
             result=SearchResult(
                 design_name=job.design.name,
                 workload_name=job.workload.name or job.workload.einsum.name,
-                budget=self._evaluator.search_budget if sampled else None,
-                seed=self._evaluator.search_seed if sampled else None,
+                budget=evaluator.search_budget if sampled else None,
+                seed=evaluator.search_seed if sampled else None,
                 best=outcome.best_result,
                 objective=outcome.objective.to_spec(),
                 strategy=outcome.strategy,
@@ -520,6 +631,35 @@ class Session:
                 frontier=outcome.frontier,
             )
         )
+
+    def _run_shard(self, handle: JobHandle) -> None:
+        """Run one :class:`SearchShardJob` through the worker-side
+        scan. The gating knobs that decide which candidates survive —
+        capacity checking and the capacity prefilter — come from the
+        *job*, not this Session: every worker must gate exactly as the
+        coordinator planned, or the merged frontier would not be
+        bit-identical to the single-host scan."""
+        from repro.distributed.worker import run_shard
+
+        job: SearchShardJob = handle.job
+        evaluator = self._evaluator
+        if (
+            evaluator.check_capacity != job.check_capacity
+            or evaluator.prefilter_capacity != job.prefilter
+        ):
+            evaluator = replace(
+                evaluator,
+                check_capacity=job.check_capacity,
+                prefilter_capacity=job.prefilter,
+            )
+        try:
+            result = run_shard(
+                evaluator, job, board=job.board, progress=job.progress
+            )
+        except ReproError as exc:
+            handle._resolve(exception=exc)
+            return
+        handle._resolve(result=result)
 
     def _run_network(self, handle: JobHandle) -> None:
         job: NetworkJob = handle.job

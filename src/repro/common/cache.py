@@ -400,8 +400,8 @@ def repro_code_hash() -> str:
     return _CODE_HASH
 
 
-class PersistentCache:
-    """Corruption-safe on-disk store for analysis-cache snapshots.
+class ObjectStore:
+    """Corruption-safe content-addressed on-disk object store.
 
     Layout::
 
@@ -409,17 +409,27 @@ class PersistentCache:
 
     ``root`` defaults to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
     ``namespace`` defaults to ``py<maj><min>-<repro_code_hash()>`` so
-    snapshots never outlive the code (or pickle format) that wrote
-    them. ``key`` is a free-form string naming one snapshot — callers
-    derive it from workload/design content (see
-    :func:`repro.model.engine.persistent_state_key`).
+    stored objects never outlive the code (or pickle format) that
+    wrote them. ``key`` is a free-form string naming one object —
+    callers derive it from content, never identity, so a fleet of
+    workers pointed at one ``root`` shares a single warm tier safely:
+    two writers racing on the same key are writing the same bytes.
 
     Writes are atomic (temp file + ``os.replace``) so a crashed or
-    concurrent run can never leave a half-written snapshot in place;
+    concurrent run can never leave a half-written object in place;
     loads that hit an unreadable or mismatched file discard it and
     report a miss. Instances are picklable (plain path + strings) so a
     process-pool initializer can reopen the same store in workers.
+
+    Subclasses pick the payload field name (``payload_field``) and may
+    tighten :meth:`_validate`; the on-disk envelope always carries
+    ``schema`` / ``namespace`` / ``key`` headers so stores with
+    different payloads can safely share one directory tree (distinct
+    keys) or be told apart (mismatched field is a miss).
     """
+
+    #: Name of the payload slot inside the on-disk envelope.
+    payload_field = "value"
 
     def __init__(
         self,
@@ -448,8 +458,13 @@ class PersistentCache:
         digest = hashlib.blake2b(key.encode(), digest_size=16).hexdigest()
         return self.store_dir / f"{digest}.pkl"
 
-    def load(self, key: str) -> dict[str, list[tuple[Any, Any]]] | None:
-        """The stage-state snapshot stored under ``key``, or ``None``.
+    def _validate(self, value: Any) -> bool:
+        """Whether a deserialized payload is shaped as expected;
+        anything failing this is discarded as corrupt."""
+        return value is not None
+
+    def get(self, key: str) -> Any | None:
+        """The object stored under ``key``, or ``None``.
 
         Any failure — missing file, truncated/corrupt pickle, or a
         payload whose schema/namespace/key does not match — is a miss;
@@ -476,24 +491,23 @@ class PersistentCache:
             or payload.get("schema") != self.version
             or payload.get("namespace") != self.namespace
             or payload.get("key") != key
-            or not isinstance(payload.get("stages"), dict)
+            or self.payload_field not in payload
+            or not self._validate(payload[self.payload_field])
         ):
             self._discard(path)
             return None
-        return payload["stages"]
+        return payload[self.payload_field]
 
-    def store(
-        self, key: str, stages: dict[str, list[tuple[Any, Any]]]
-    ) -> Path:
-        """Atomically write ``stages`` (an ``export_state()`` snapshot)
-        under ``key``; returns the snapshot path."""
+    def put(self, key: str, value: Any) -> Path:
+        """Atomically write ``value`` under ``key``; returns the
+        object's path."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "schema": self.version,
             "namespace": self.namespace,
             "key": key,
-            "stages": dict(stages),
+            self.payload_field: value,
         }
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=path.name + ".", suffix=".tmp"
@@ -510,14 +524,14 @@ class PersistentCache:
         return path
 
     def invalidate(self, key: str | None = None) -> None:
-        """Drop one snapshot (``key``) or the whole namespace."""
+        """Drop one object (``key``) or the whole namespace."""
         if key is not None:
             self._discard(self.path_for(key))
         else:
             shutil.rmtree(self.store_dir, ignore_errors=True)
 
     def prune_stale_versions(self) -> int:
-        """Remove snapshot directories of other schema versions;
+        """Remove object directories of other schema versions;
         returns how many were swept."""
         current = f"v{self.version}"
         swept = 0
@@ -536,12 +550,55 @@ class PersistentCache:
                 swept += 1
         return swept
 
+    def sibling(self, suffix: str) -> "ObjectStore":
+        """A plain :class:`ObjectStore` sharing this store's root and
+        version but namespaced ``<namespace>-<suffix>``.
+
+        The distributed layer uses this to park candidate streams and
+        other shared blobs next to the analysis snapshots without the
+        two payload shapes ever colliding on a key.
+        """
+        return ObjectStore(
+            root=self.root,
+            namespace=f"{self.namespace}-{suffix}",
+            version=self.version,
+        )
+
     @staticmethod
     def _discard(path: Path) -> None:
         try:
             path.unlink()
         except OSError:
             pass
+
+
+class PersistentCache(ObjectStore):
+    """On-disk tier for analysis-cache snapshots.
+
+    An :class:`ObjectStore` whose payload is a stage-state snapshot
+    (``AnalysisCache.export_state()``): a dict of stage name → entry
+    pairs, stored under the envelope field ``"stages"`` — the exact
+    on-disk format this class wrote before it grew the generic base,
+    so existing stores stay readable. ``key`` is derived from
+    workload/design content (see
+    :func:`repro.model.engine.persistent_state_key`).
+    """
+
+    payload_field = "stages"
+
+    def _validate(self, value: Any) -> bool:
+        return isinstance(value, dict)
+
+    def load(self, key: str) -> dict[str, list[tuple[Any, Any]]] | None:
+        """The stage-state snapshot stored under ``key``, or ``None``."""
+        return self.get(key)
+
+    def store(
+        self, key: str, stages: dict[str, list[tuple[Any, Any]]]
+    ) -> Path:
+        """Atomically write ``stages`` (an ``export_state()`` snapshot)
+        under ``key``; returns the snapshot path."""
+        return self.put(key, dict(stages))
 
 
 _GLOBAL_CACHE: AnalysisCache | None = None

@@ -27,3 +27,15 @@ class OverloadedError(ReproError):
     Retryable by construction — the job was rejected before any work
     ran, so resubmitting (ideally after a backoff) is always safe.
     """
+
+
+class WorkerLostError(ReproError):
+    """A remote worker went silent or its connection dropped mid-job.
+
+    Raised by the serve client when a daemon stops heartbeating past
+    the configured liveness timeout, and when a dropped connection
+    held a non-resendable job (a mapspace search consuming server-side
+    RNG/budget state) in flight. The distributed search coordinator
+    catches it to reassign the lost worker's shards; other callers
+    should treat the job's outcome as unknown and resubmit explicitly.
+    """

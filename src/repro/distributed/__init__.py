@@ -1,0 +1,44 @@
+"""Distributed sharded search: coordinator/worker over a shared store.
+
+One search's candidate stream is split into contiguous shards
+(:mod:`.plan`), each scanned by a worker replaying the single-host
+batched scan's bookkeeping (:mod:`.worker`), with overflow-witness
+snapshots exchanged mid-flight and per-shard Pareto frontiers merged
+back into a result provably bit-identical to the single-host scan
+(:mod:`.coordinator`). Candidate streams are shared through a
+content-addressed sibling of the persistent cache (:mod:`.store`);
+worker fleets are spawned locally by :mod:`.fleet` or addressed as
+remote ``repro serve --worker`` daemons. ``docs/distributed.md`` has
+the full semantics: sharding rules, merge determinism proof, failure
+model, and the shared-store layout.
+"""
+
+from .coordinator import (
+    SearchPlan,
+    merge_shards,
+    plan_search,
+    run_shards_local,
+    sharded_search,
+)
+from .fleet import LocalWorkerFleet
+from .plan import ShardSpec, WitnessBoard, WitnessSnapshot, plan_shards
+from .store import StreamStore, stream_store_for
+from .worker import resolve_stream, run_shard, shard_stream_key
+
+__all__ = [
+    "LocalWorkerFleet",
+    "SearchPlan",
+    "ShardSpec",
+    "StreamStore",
+    "WitnessBoard",
+    "WitnessSnapshot",
+    "merge_shards",
+    "plan_search",
+    "plan_shards",
+    "resolve_stream",
+    "run_shard",
+    "run_shards_local",
+    "shard_stream_key",
+    "sharded_search",
+    "stream_store_for",
+]

@@ -1,0 +1,152 @@
+"""Local worker fleets: ``repro serve --worker`` subprocesses.
+
+A :class:`LocalWorkerFleet` boots N worker daemons on unix sockets
+under a private temp directory and hands their addresses to the
+coordinator. Workers are ordinary serve daemons (same protocol, same
+engine); ``--worker`` marks the role on the command line and trims the
+daemon to shard duty (single handler thread — the coordinator gives
+each worker exactly one shard at a time, so extra threads would only
+fight over the engine lock).
+
+The fleet is how ``Session(workers=N)`` and ``repro search --shards``
+get their workers without any external infrastructure; point several
+fleets (or remote daemons) at one ``--cache-dir`` and they additionally
+share the content-addressed analysis and candidate-stream stores.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.common.errors import SpecError, WorkerLostError
+
+__all__ = ["LocalWorkerFleet"]
+
+#: Seconds a booting worker gets to print ``ready``.
+_STARTUP_TIMEOUT = 60.0
+
+
+class LocalWorkerFleet:
+    """N local worker daemons on unix sockets; a context manager.
+
+    ``cache_dir`` (when given) points every worker — and, typically,
+    the coordinating Session — at one shared persistent store root;
+    ``cold=True`` disables the persistent tier instead. ``extra_args``
+    append verbatim to each worker's command line (tests use it to
+    pin budgets or tweak heartbeats).
+    """
+
+    def __init__(
+        self,
+        count: int,
+        *,
+        cache_dir: str | os.PathLike | None = None,
+        cold: bool = False,
+        check_capacity: bool = True,
+        extra_args: tuple[str, ...] = (),
+    ):
+        if count < 1:
+            raise SpecError(f"fleet size must be >= 1, got {count}")
+        self._tmp = tempfile.TemporaryDirectory(prefix="repro-fleet-")
+        self._procs: list[subprocess.Popen] = []
+        self.addresses: list[str] = []
+        env = dict(os.environ)
+        src_root = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src_root]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        try:
+            for rank in range(count):
+                sock = os.path.join(self._tmp.name, f"worker-{rank}.sock")
+                cmd = [
+                    sys.executable, "-m", "repro", "serve",
+                    "--worker", "--unix", sock,
+                ]
+                if cold:
+                    cmd.append("--cold")
+                if cache_dir is not None:
+                    cmd += ["--cache-dir", str(cache_dir)]
+                if not check_capacity:
+                    cmd.append("--no-capacity-check")
+                cmd += list(extra_args)
+                proc = subprocess.Popen(
+                    cmd,
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.STDOUT,
+                    text=True,
+                    env=env,
+                )
+                self._procs.append(proc)
+                self.addresses.append(sock)
+            for proc in self._procs:
+                self._await_ready(proc)
+        except BaseException:
+            self.close()
+            raise
+
+    @staticmethod
+    def _await_ready(proc: subprocess.Popen) -> None:
+        banner: list[str] = []
+        for line in proc.stdout:
+            banner.append(line)
+            if line.strip() == "ready":
+                return
+        raise WorkerLostError(
+            f"worker exited (code {proc.wait()}) before 'ready':\n"
+            + "".join(banner)
+        )
+
+    def __len__(self) -> int:
+        return len(self._procs)
+
+    def kill(self, rank: int) -> None:
+        """SIGKILL one worker — the fault-injection hook the
+        reassignment tests and the sharded benchmark use."""
+        self._procs[rank].kill()
+        self._procs[rank].wait(timeout=30)
+
+    def suspend(self, rank: int) -> None:
+        """SIGSTOP one worker: its sockets stay open but go silent,
+        which is exactly the failure the heartbeat watchdog exists
+        for (a killed worker fails fast with a reset instead)."""
+        self._procs[rank].send_signal(signal.SIGSTOP)
+
+    def resume(self, rank: int) -> None:
+        """SIGCONT a suspended worker."""
+        self._procs[rank].send_signal(signal.SIGCONT)
+
+    def close(self) -> None:
+        """Terminate every worker and remove the socket directory."""
+        for proc in self._procs:
+            if proc.poll() is None:
+                try:  # un-suspend first: SIGTERM is deferred while stopped
+                    proc.send_signal(signal.SIGCONT)
+                except (ProcessLookupError, OSError):
+                    pass
+                proc.terminate()
+        for proc in self._procs:
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+                proc.wait(timeout=30)
+            if proc.stdout is not None:
+                proc.stdout.close()
+        self._procs = []
+        self.addresses = []
+        self._tmp.cleanup()
+
+    def __enter__(self) -> "LocalWorkerFleet":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"LocalWorkerFleet({len(self._procs)} workers)"

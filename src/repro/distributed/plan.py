@@ -1,0 +1,184 @@
+"""Deterministic mapspace sharding for distributed search.
+
+One search scans one *candidate stream*: the unpruned, deterministic
+sequence of mappings the single-host batched strategy draws. For
+exhaustive scans that is the full factorization enumeration (in
+subtree order); for sampled scans it is the seeded sample stream —
+both pure functions of (einsum, arch, constraints, budget, seed), so
+every participant can rebuild the identical stream independently
+(see :mod:`repro.distributed.store` for the shared-store shortcut).
+
+A shard is a contiguous position range ``[start, stop)`` of that
+stream. Contiguity is what makes the merge exact: the single-host
+scan assigns tie-breaking indices in stream order, so shard ``k``'s
+frontier points carry exactly the global indices the single-host scan
+would have given them, and folding per-shard frontiers in shard order
+is the same computation as the single-host frontier fold.
+
+:class:`WitnessSnapshot` and :class:`WitnessBoard` carry the
+overflow-witness exchange. A snapshot is an authoritative state of
+the (single, shared) scan timeline at one stream position: the index
+counter reached and the minimal witness set held. Every shard's scan
+passes through bit-identical states at every position — that is the
+replay invariant — so any shard may adopt any snapshot whose position
+lies in its not-yet-replayed prefix, skipping straight past the work
+an upstream shard already did. Witnesses can only *withhold*
+candidates from indexing and prefilter only *rejects* what full
+validation would reject, so the exchange accelerates replay without
+ever changing which candidates are evaluated.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.common.errors import SpecError
+
+__all__ = [
+    "ShardSpec",
+    "WitnessBoard",
+    "WitnessSnapshot",
+    "plan_shards",
+]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One contiguous slice ``[start, stop)`` of the candidate stream."""
+
+    shard_id: int
+    start: int
+    stop: int
+
+    @property
+    def width(self) -> int:
+        return self.stop - self.start
+
+
+def plan_shards(total: int, shards: int) -> list[ShardSpec]:
+    """Split ``total`` stream positions into ``shards`` contiguous,
+    balanced ranges (widths differ by at most one, longer ones first).
+
+    Deterministic and complete: the ranges partition ``[0, total)``
+    exactly, so the union of shard scans is the single-host scan.
+    Degenerate inputs shrink the plan rather than emitting empty
+    shards: ``total < shards`` yields ``total`` one-wide shards.
+    """
+    if shards < 1:
+        raise SpecError(f"shard count must be >= 1, got {shards}")
+    if total < 0:
+        raise SpecError(f"stream length must be >= 0, got {total}")
+    if total == 0:
+        return [ShardSpec(shard_id=0, start=0, stop=0)]
+    shards = min(shards, total)
+    base, extra = divmod(total, shards)
+    plan: list[ShardSpec] = []
+    start = 0
+    for shard_id in range(shards):
+        width = base + (1 if shard_id < extra else 0)
+        plan.append(
+            ShardSpec(shard_id=shard_id, start=start, stop=start + width)
+        )
+        start += width
+    return plan
+
+
+@dataclass(frozen=True)
+class WitnessSnapshot:
+    """Authoritative scan state at one stream position.
+
+    ``position`` counts raw stream draws consumed so far (including
+    withheld and prefilter-rejected candidates). ``index`` is the
+    stream-index counter at that point: the index assigned to the last
+    non-withheld candidate seen, or ``-1`` before any (the next
+    non-withheld candidate gets ``index + 1``). ``witnesses`` is the
+    mapper's minimal overflow-witness set at that point
+    (:meth:`Mapper.export_witnesses` form).
+    """
+
+    position: int
+    index: int
+    witnesses: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "position": self.position,
+            "index": self.index,
+            "witnesses": {
+                level: [dict(w) for w in entries]
+                for level, entries in self.witnesses.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WitnessSnapshot":
+        if not isinstance(data, dict):
+            raise SpecError(
+                f"witness snapshot must be a dict, got {type(data).__name__}"
+            )
+        try:
+            witnesses = data["witnesses"]
+            return cls(
+                position=int(data["position"]),
+                index=int(data["index"]),
+                witnesses={
+                    str(level): [
+                        {str(d): int(e) for d, e in entry.items()}
+                        for entry in entries
+                    ]
+                    for level, entries in witnesses.items()
+                },
+            )
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise SpecError(f"malformed witness snapshot: {exc!r}") from exc
+
+
+class WitnessBoard:
+    """Thread-safe exchange of :class:`WitnessSnapshot`s for one search.
+
+    Workers post snapshots as their scans advance; a shard mid-replay
+    polls for the furthest snapshot not past its own start and jumps
+    to it. All snapshots describe one shared timeline, so the board
+    only needs to keep a bounded set of positions — it retains the
+    highest ones (the most fast-forwarding power) and drops the rest.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise SpecError(f"board capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._snapshots: dict[int, WitnessSnapshot] = {}
+
+    def post(self, snapshot: WitnessSnapshot) -> None:
+        """Record a snapshot; duplicates (same position) collapse.
+
+        Two snapshots at one position are bit-identical by the replay
+        invariant, so first-write-wins, last-write-wins, and
+        out-of-order delivery all store the same state.
+        """
+        with self._lock:
+            if snapshot.position in self._snapshots:
+                return
+            self._snapshots[snapshot.position] = snapshot
+            if len(self._snapshots) > self._capacity:
+                del self._snapshots[min(self._snapshots)]
+
+    def best_before(
+        self, limit: int, after: int = -1
+    ) -> WitnessSnapshot | None:
+        """The snapshot with the highest ``position <= limit`` strictly
+        beyond ``after``, or ``None``."""
+        with self._lock:
+            best: WitnessSnapshot | None = None
+            for position, snapshot in self._snapshots.items():
+                if position <= after or position > limit:
+                    continue
+                if best is None or position > best.position:
+                    best = snapshot
+            return best
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._snapshots)

@@ -1,0 +1,308 @@
+"""Worker-side shard scan for distributed search.
+
+:func:`run_shard` executes one :class:`~repro.api.jobs.SearchShardJob`:
+it rebuilds the search's deterministic unpruned candidate stream,
+*replays* the prefix ``[0, start)`` through the exact bookkeeping of
+the single-host batched scan — witness-withheld candidates consume no
+stream index, prefilter-rejected candidates do, monotone overflows
+register witnesses — without evaluating anything, then scans ``[start,
+stop)`` with the same bookkeeping plus block evaluation of prefilter
+survivors through the engine's stacked pipeline.
+
+Why this is bit-identical to the single-host scan (the proof the
+tests enforce):
+
+* The unpruned stream is a pure function of the job payload
+  (:func:`sampled_candidates_key`'s contract for sampled streams; the
+  factorization enumeration order for exhaustive ones), so every
+  shard sees the same candidates at the same positions.
+* The scan state at position ``p`` — (index counter, witness set) —
+  is a deterministic fold over positions ``0..p``: withholding
+  depends only on the witness set, indexing only on withholding, and
+  witness registration only on the candidate and the prefilter
+  (which is itself stateless per candidate). Replay therefore
+  reproduces the single-host state at ``start`` exactly, and the
+  shard's survivors get exactly the global indices the single-host
+  scan assigns them.
+* Evaluation never feeds back into the stream, so deferring it (or
+  skipping it for the prefix) cannot change any state the scan
+  depends on; and no prefilter *survivor* is ever witness-dominated —
+  a candidate dominating a witness at level L has a monotone bound at
+  L at least the witness's, which overflowed — so prefix replay
+  skipping evaluations can never skip an evaluation the single-host
+  scan performed.
+* A :class:`WitnessSnapshot` posted by any shard is that shared
+  fold's state at its position (every shard passes through identical
+  states), so adopting one mid-replay — *replacing* the witness set
+  and index counter, then continuing from its position — lands the
+  replay in exactly the state it would have computed itself.
+
+Witness exchange is therefore purely an accelerator: it lets shard
+``k`` skip replaying work shards ``< k`` already did, and lets a
+reassigned shard resume from the dead worker's last reported state,
+with the merged result provably unchanged either way.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.api.jobs import SearchShardJob
+from repro.common.errors import SpecError
+from repro.mapping.mapspace import (
+    CANDIDATES_STAGE,
+    Mapper,
+    sampled_candidates_key,
+)
+from repro.model.result import SearchShardResult
+from repro.search.frontier import ParetoFrontier
+from repro.search.objective import resolve_objective
+
+from .plan import WitnessBoard, WitnessSnapshot
+from .store import StreamStore, stream_store_for
+
+__all__ = ["resolve_stream", "run_shard", "shard_stream_key"]
+
+
+def shard_stream_key(job: SearchShardJob) -> str:
+    """The shared-store key of ``job``'s candidate stream."""
+    identity = sampled_candidates_key(
+        job.workload.einsum,
+        job.design.arch,
+        job.design.constraints,
+        job.seed,
+        job.budget,
+    )
+    return StreamStore.key(job.mode, identity, job.budget, job.seed)
+
+
+def resolve_stream(
+    evaluator, job: SearchShardJob, store: StreamStore | None = None
+) -> tuple[list, Mapper | None]:
+    """The job's full unpruned candidate stream plus a fresh witness
+    mapper (``None`` for explicit-candidates jobs).
+
+    Resolution order: explicit candidates from the payload, the
+    evaluator's ``"candidates"`` memo stage, the shared stream store,
+    deterministic regeneration — all provably identical, so the
+    cheapest available source wins. The regenerated/loaded stream is
+    cross-checked against ``job.total`` (and the mode against the
+    mapspace size rule); a mismatch means the coordinator and worker
+    disagree about what the stream *is* — config or version skew — and
+    scanning anyway would corrupt the merge, so it raises
+    :class:`SpecError` instead.
+    """
+    if job.candidates is not None:
+        if len(job.candidates) != job.total:
+            raise SpecError(
+                f"shard job carries {len(job.candidates)} explicit "
+                f"candidates but declares total={job.total}"
+            )
+        return list(job.candidates), None
+
+    design, workload = job.design, job.workload
+    mapper = Mapper(workload.einsum, design.arch, design.constraints)
+    space = mapper.mapspace_size_estimate()
+    exhaustive = space <= job.budget * 4
+    if exhaustive != (job.mode == "exhaustive"):
+        raise SpecError(
+            f"shard job declares mode={job.mode!r} but this worker's "
+            f"mapspace estimate ({space}) vs budget ({job.budget}) "
+            "implies the opposite — coordinator/worker config or "
+            "version skew"
+        )
+
+    stream = None
+    stage = key = None
+    if not exhaustive and evaluator.cache is not None:
+        key = sampled_candidates_key(
+            workload.einsum, design.arch, mapper.constraints,
+            job.seed, job.budget,
+        )
+        stage = evaluator.cache.stage(CANDIDATES_STAGE)
+        stream = stage.get(key)
+    memoised = stream is not None
+    if stream is None and store is not None:
+        stream = store.fetch(shard_stream_key(job), total=job.total)
+    if stream is None:
+        if exhaustive:
+            stream = list(mapper.enumerate_mappings())
+        else:
+            stream = list(mapper.sample_mappings(job.budget, seed=job.seed))
+    if len(stream) != job.total:
+        raise SpecError(
+            f"shard job declares a stream of {job.total} candidates but "
+            f"this worker reconstructs {len(stream)} — "
+            "coordinator/worker config or version skew"
+        )
+    if stage is not None and not memoised:
+        stage.put(key, stream)
+    return list(stream), mapper
+
+
+def run_shard(
+    evaluator,
+    job: SearchShardJob,
+    board: WitnessBoard | None = None,
+    progress: Callable[[dict], None] | None = None,
+    store: StreamStore | None = None,
+) -> SearchShardResult:
+    """Scan one shard; returns its :class:`SearchShardResult`.
+
+    ``board`` (when given) supplies mid-flight witness snapshots from
+    other shards — polled between chunks while still replaying — and
+    receives this shard's own snapshots. ``progress`` is called with
+    incremental state dicts (position, snapshot, best-so-far) after
+    every chunk; the serve daemon turns these into progress envelopes
+    and the coordinator forwards the embedded snapshots to the other
+    workers. ``store`` defaults to the evaluator's persistent tier's
+    stream sibling.
+    """
+    if not 0 <= job.start <= job.stop <= job.total:
+        raise SpecError(
+            f"malformed shard range [{job.start}, {job.stop}) of "
+            f"total {job.total}"
+        )
+    if store is None:
+        store = stream_store_for(evaluator.persistent)
+    objective = resolve_objective(job.objective)
+    stream, mapper = resolve_stream(evaluator, job, store=store)
+    batch_size = max(1, job.batch_size or evaluator.search_batch_size)
+    prefilter = job.prefilter and job.check_capacity
+    blocked = prefilter and evaluator.prefilter_vectorized and mapper is not None
+
+    frontier = ParetoFrontier(axes=objective.axes)
+    memo: dict | None = {} if evaluator.dense_vectorized else None
+    best = None
+    position = 0
+    index = -1
+    if mapper is None:
+        # Explicit candidate streams have no witness bookkeeping: every
+        # drawn candidate takes an index whether or not the prefilter
+        # rejects it, so the prefix state is closed-form — jump to it.
+        position = job.start
+        index = job.start - 1
+    evaluated = withheld = rejected = 0
+    fast_forwards = 0
+    block: list = []
+
+    def _apply(snapshot: WitnessSnapshot) -> None:
+        nonlocal position, index, fast_forwards
+        position = snapshot.position
+        index = snapshot.index
+        mapper.import_witnesses(snapshot.witnesses)
+        fast_forwards += 1
+
+    if (
+        mapper is not None
+        and job.snapshot is not None
+    ):
+        seed_snap = WitnessSnapshot.from_dict(job.snapshot)
+        if 0 < seed_snap.position <= job.start:
+            _apply(seed_snap)
+
+    def _state() -> WitnessSnapshot:
+        return WitnessSnapshot(
+            position=position,
+            index=index,
+            witnesses=mapper.export_witnesses() if mapper else {},
+        )
+
+    def _report() -> None:
+        snapshot = _state()
+        if board is not None:
+            board.post(snapshot)
+        if progress is not None:
+            progress(
+                {
+                    "search": job.search_id,
+                    "shard": job.shard_id,
+                    "snapshot": snapshot.to_dict(),
+                    "evaluated": evaluated,
+                    "withheld": withheld,
+                    "rejected": rejected,
+                    "best_score": None if best is None else best[0],
+                    "best_index": None if best is None else best[1],
+                    "frontier_size": len(frontier),
+                }
+            )
+
+    design, workload = job.design, job.workload
+    stop = job.stop
+    while position < stop:
+        if board is not None and mapper is not None and position < job.start:
+            jump = board.best_before(job.start, after=position)
+            if jump is not None:
+                _apply(jump)
+                continue
+        chunk_end = min(position + batch_size, stop)
+        drawn = stream[position:chunk_end]
+        rejects = (
+            evaluator._prefilter_block(design, workload, drawn)
+            if blocked
+            else None
+        )
+        for offset, mapping in enumerate(drawn):
+            if mapper is not None and mapper.mapping_dominated(mapping):
+                mapper.pruned_candidates += 1
+                withheld += 1
+                continue
+            index += 1
+            if prefilter:
+                if rejects is not None:
+                    reject = rejects[offset]
+                    if reject is not None:
+                        rejected += 1
+                        if mapper is not None and reject.monotone:
+                            mapper.register_overflow(
+                                reject.level, reject.witness_extents()
+                            )
+                        continue
+                else:
+                    overflow = evaluator._capacity_overflow(
+                        design, workload, mapping
+                    )
+                    if overflow is not None:
+                        rejected += 1
+                        if mapper is not None and overflow.monotone:
+                            mapper.register_overflow(
+                                overflow.level, overflow.dim_extents
+                            )
+                        continue
+            if position + offset >= job.start:
+                block.append((index, mapping))
+        position = chunk_end
+        if len(block) >= batch_size or (block and position >= stop):
+            best = evaluator._evaluate_block(
+                design, workload, block, objective, best,
+                memo=memo, frontier=frontier,
+            )
+            evaluated += len(block)
+            block = []
+        _report()
+
+    if block:  # pragma: no cover - flushed above when position >= stop
+        best = evaluator._evaluate_block(
+            design, workload, block, objective, best,
+            memo=memo, frontier=frontier,
+        )
+        evaluated += len(block)
+        _report()
+
+    return SearchShardResult(
+        shard_id=job.shard_id,
+        start=job.start,
+        stop=job.stop,
+        position_end=position,
+        index_end=index,
+        evaluated=evaluated,
+        withheld=withheld,
+        rejected=rejected,
+        frontier=frontier,
+        witnesses=mapper.export_witnesses() if mapper is not None else {},
+        results={
+            point.index: point.result
+            for point in frontier
+            if point.result is not None
+        },
+    )

@@ -343,6 +343,45 @@ class Mapper:
     def overflow_witness_count(self) -> int:
         return sum(len(w) for w in self._overflow_witnesses.values())
 
+    def export_witnesses(self) -> dict[str, list[dict[str, int]]]:
+        """JSON-safe snapshot of the overflow-witness set.
+
+        Plain ``{level: [{dim: extent, ...}, ...]}`` with int extents —
+        the wire form the distributed search layer ships between
+        shards. Empty levels are dropped.
+        """
+        return {
+            level: [dict(w) for w in witnesses]
+            for level, witnesses in self._overflow_witnesses.items()
+            if witnesses
+        }
+
+    def import_witnesses(
+        self, witnesses: dict[str, list[dict[str, int]]]
+    ) -> None:
+        """Replace the witness set with an :meth:`export_witnesses`
+        snapshot.
+
+        Replacement (not merging) is deliberate: a snapshot is an
+        authoritative point-in-time state of the single-host scan
+        timeline, and a shard fast-forwarding its replay to that point
+        must hold *exactly* that state — merging in witnesses the
+        single-host scan had not yet registered would withhold
+        candidates it had not yet learned to withhold, shifting stream
+        indices.
+        """
+        imported: dict[str, list[dict[str, int]]] = {}
+        for level, entries in witnesses.items():
+            if level not in self.level_names:
+                raise MappingError(
+                    f"witness snapshot names unknown level {level!r}; "
+                    f"architecture has {self.level_names}"
+                )
+            imported[level] = [
+                {str(d): int(e) for d, e in entry.items()} for entry in entries
+            ]
+        self._overflow_witnesses = imported
+
     def _slot_levels(self, dim: str) -> list[int]:
         """Per slot of ``dim``, the outermost-first index of its level."""
         cached = self._slot_levels_cache.get(dim)

@@ -958,6 +958,7 @@ class Evaluator:
         parallel: int = 1,
         batch_size: int | None = None,
         strategy: str | None = None,
+        progress: Callable[[dict], None] | None = None,
     ) -> SearchOutcome:
         """Find the best valid mapping by the objective (default EDP)
         and the Pareto frontier over the objective's axes.
@@ -987,6 +988,13 @@ class Evaluator:
         :meth:`_search_evolutionary`; explicit ``candidates`` are
         rejected there, and generations run in-process, so
         ``parallel`` does not apply).
+
+        ``progress`` (when given) is invoked after every evaluated
+        block on the in-process batched path with a dict carrying
+        ``evaluated`` / ``best_score`` / ``best_index`` /
+        ``frontier_size`` — the feed behind streaming search progress
+        (CLI ``search -v``, serve progress envelopes). Purely
+        observational: the scan never reads anything back from it.
 
         In the mapper-driven path, capacity-prefilter overflows are fed
         back to the mapper as dominance witnesses, pruning factorization
@@ -1065,7 +1073,7 @@ class Evaluator:
             self._search_candidates_batched(
                 design, workload, candidates, objective,
                 mapper=mapper, batch_size=batch_size, replayed=replayed,
-                frontier=frontier,
+                frontier=frontier, progress=progress,
             )
         else:
             self._search_candidates(
@@ -1168,6 +1176,7 @@ class Evaluator:
         batch_size: int | None = None,
         replayed: bool = False,
         frontier: ParetoFrontier | None = None,
+        progress: Callable[[dict], None] | None = None,
     ) -> tuple[float, int, EvaluationResult] | None:
         """Blocked scan returning the same ``(score, global_index,
         result)`` winner as :meth:`_search_candidates`.
@@ -1277,6 +1286,22 @@ class Evaluator:
         memo: dict | None = {} if self.dense_vectorized else None
         best: tuple[float, int, EvaluationResult] | None = None
         block: list[tuple[int, Mapping]] = []
+        evaluated = 0
+
+        def _report() -> None:
+            if progress is None:
+                return
+            progress(
+                {
+                    "evaluated": evaluated,
+                    "best_score": None if best is None else best[0],
+                    "best_index": None if best is None else best[1],
+                    "frontier_size": (
+                        None if frontier is None else len(frontier)
+                    ),
+                }
+            )
+
         for index, mapping in survivors:
             block.append((index, mapping))
             if len(block) >= batch_size:
@@ -1284,12 +1309,16 @@ class Evaluator:
                     design, workload, block, objective, best, memo=memo,
                     frontier=frontier,
                 )
+                evaluated += len(block)
                 block = []
+                _report()
         if block:
             best = self._evaluate_block(
                 design, workload, block, objective, best, memo=memo,
                 frontier=frontier,
             )
+            evaluated += len(block)
+            _report()
         return best
 
     def _evaluate_block(

@@ -519,6 +519,94 @@ class SearchResult(SerializableResult):
 
 
 @dataclass
+class SearchShardResult(SerializableResult):
+    """One shard's contribution to a distributed mapspace search.
+
+    Produced by :func:`repro.distributed.worker.run_shard`: the Pareto
+    frontier over the shard's slice of the candidate stream (points
+    carry *global* stream indices), the scan counters, and the
+    authoritative end-of-shard state — the stream position and index
+    counter reached plus the overflow-witness set held there — which
+    downstream shards use to fast-forward their prefix replay.
+
+    Unlike :class:`SearchResult`, frontier points here ship their full
+    evaluations (``results``: frontier index → :class:`EvaluationResult`)
+    so the coordinator can rebuild the winning result after merging;
+    ``ParetoFrontier.to_dict`` deliberately drops results, so they ride
+    in a parallel index-keyed table and are reattached on
+    :meth:`from_dict`.
+    """
+
+    shard_id: int
+    start: int
+    stop: int
+    position_end: int
+    index_end: int
+    evaluated: int
+    withheld: int
+    rejected: int
+    frontier: ParetoFrontier
+    witnesses: dict
+    results: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "kind": "search-shard",
+            "shard": self.shard_id,
+            "start": self.start,
+            "stop": self.stop,
+            "position_end": self.position_end,
+            "index_end": self.index_end,
+            "evaluated": self.evaluated,
+            "withheld": self.withheld,
+            "rejected": self.rejected,
+            "frontier": self.frontier.to_dict(),
+            "witnesses": {
+                level: [dict(w) for w in entries]
+                for level, entries in self.witnesses.items()
+            },
+            "results": [
+                [index, result.to_dict()]
+                for index, result in sorted(self.results.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SearchShardResult":
+        def build() -> "SearchShardResult":
+            from dataclasses import replace as _replace
+
+            results = {
+                int(index): EvaluationResult.from_dict(entry)
+                for index, entry in data["results"]
+            }
+            frontier = ParetoFrontier.from_dict(data["frontier"])
+            frontier._points = [
+                _replace(point, result=results.get(point.index))
+                for point in frontier._points
+            ]
+            return cls(
+                shard_id=data["shard"],
+                start=data["start"],
+                stop=data["stop"],
+                position_end=data["position_end"],
+                index_end=data["index_end"],
+                evaluated=data["evaluated"],
+                withheld=data["withheld"],
+                rejected=data["rejected"],
+                frontier=frontier,
+                witnesses={
+                    level: [dict(w) for w in entries]
+                    for level, entries in data["witnesses"].items()
+                },
+                results=results,
+            )
+
+        return cls._rebuild(data, "search-shard", build)
+
+
+@dataclass
 class NetworkLayerResult:
     """One network layer's evaluation, with its repeat count."""
 

@@ -9,12 +9,22 @@ surface — ``submit`` / ``submit_many`` / ``evaluate`` / ``search`` /
 returns the same :class:`~repro.common.errors.ReproError` types with
 the same messages, and both take ``timeout=``.
 
-Every job kind is a pure function of its payload, so requests are
-idempotent; a dropped connection (daemon restart, socket error) is
-retried once per wait — the client reconnects and resends every
-request still in flight. The daemon sheds load with
-:class:`~repro.common.errors.OverloadedError` envelopes; those are
-surfaced, not retried, so the caller controls backoff.
+A dropped connection (daemon restart, socket error) is retried once
+per wait: the client reconnects and resends every *resendable* request
+still in flight. Most job kinds are pure functions of their payload
+and replay safely; a mapspace :class:`SearchJob` is not — it consumes
+the daemon's seeded candidate stream and search budget — so its handle
+resolves with :class:`~repro.common.errors.WorkerLostError` instead of
+being silently re-run (see :func:`repro.api.jobs.job_resendable`). The
+daemon sheds load with :class:`~repro.common.errors.OverloadedError`
+envelopes; those are surfaced, not retried, so the caller controls
+backoff.
+
+Long-running jobs stream non-terminal *progress* frames — incremental
+search state plus periodic heartbeats. ``worker_timeout=`` turns those
+heartbeats into a liveness watchdog: a session that hears nothing at
+all for the whole window resolves its in-flight handles with
+:class:`WorkerLostError` rather than hanging on a dead daemon.
 """
 
 from __future__ import annotations
@@ -23,12 +33,20 @@ import hashlib
 import itertools
 import socket
 import threading
+import time
 from dataclasses import replace
 from pathlib import Path
 
-from repro.api.jobs import EvaluateJob, NetworkJob, SearchJob, _pack
+from repro.api.jobs import (
+    EvaluateJob,
+    NetworkJob,
+    SearchJob,
+    SearchShardJob,
+    _pack,
+    job_resendable,
+)
 from repro.api.session import coerce_job
-from repro.common.errors import ReproError, SpecError
+from repro.common.errors import ReproError, SpecError, WorkerLostError
 from repro.io.yaml_spec import load_design
 from repro.model.engine import Design
 from repro.model.result import SearchResult
@@ -43,7 +61,10 @@ __all__ = ["connect", "RemoteSession", "RemoteHandle"]
 
 
 def _require_workload(job) -> None:
-    if isinstance(job, (EvaluateJob, SearchJob)) and job.workload is None:
+    if (
+        isinstance(job, (EvaluateJob, SearchJob, SearchShardJob))
+        and job.workload is None
+    ):
         raise SpecError(
             f"{type(job).__name__} needs a workload (a spec string/"
             "dict/path carries its own; Python-object jobs take it "
@@ -96,7 +117,7 @@ class RemoteHandle:
     request in flight on a :class:`RemoteSession`."""
 
     __slots__ = (
-        "job", "_session", "_id", "_done",
+        "job", "progress", "on_progress", "_session", "_id", "_done",
         "_result", "_raw_result", "_fields", "_exception",
     )
 
@@ -104,6 +125,13 @@ class RemoteHandle:
         self, session: "RemoteSession", job, request_id: int, fields=None
     ):
         self.job = job
+        #: Last substantive progress payload the daemon streamed
+        #: (heartbeats excluded); ``None`` until one arrives.
+        self.progress: dict | None = None
+        #: Optional callback invoked (on the waiting thread) for each
+        #: substantive progress frame. Exceptions are swallowed — an
+        #: observer must not kill the read loop.
+        self.on_progress = None
         self._session = session
         self._id = request_id
         self._done = False
@@ -176,9 +204,22 @@ class RemoteSession:
     so concurrent waiters make progress for each other.
     """
 
-    def __init__(self, address, *, connect_timeout: float | None = 10.0):
+    def __init__(
+        self,
+        address,
+        *,
+        connect_timeout: float | None = 10.0,
+        worker_timeout: float | None = None,
+    ):
         self._address = _parse_address(address)
         self._connect_timeout = connect_timeout
+        #: Liveness window: with the daemon heartbeating every few
+        #: seconds, *any* frame (heartbeats included) resets the clock;
+        #: total silence past the window means the worker is gone, and
+        #: every in-flight handle resolves with WorkerLostError instead
+        #: of hanging. ``None`` disables the watchdog.
+        self._worker_timeout = worker_timeout
+        self._last_rx = time.monotonic()
         self._lock = threading.RLock()
         self._ids = itertools.count(1)
         #: request id -> (handle, encoded request); kept until the
@@ -212,6 +253,7 @@ class RemoteSession:
         sock.settimeout(None)
         self._sock = sock
         self._rfile = sock.makefile("rb")
+        self._last_rx = time.monotonic()
 
     def _teardown(self) -> None:
         if self._rfile is not None:
@@ -228,16 +270,36 @@ class RemoteSession:
         self._rfile = None
 
     def _reconnect_and_resend(self) -> None:
-        """Jobs are idempotent, so a dropped connection is recoverable:
-        reconnect and replay every request still awaiting a response.
-        The fresh connection has an empty server-side blob store, so
-        job requests are re-encoded from scratch — the first replay
-        carries each interned payload in full again."""
+        """Reconnect and replay every *resendable* request still
+        awaiting a response. The fresh connection has an empty
+        server-side blob store, so job requests are re-encoded from
+        scratch — the first replay carries each interned payload in
+        full again.
+
+        Not every job replays safely: a mapspace SearchJob consumes
+        the daemon's seeded candidate stream and search budget, and
+        the first attempt's fate is unknown — it may still be running
+        to completion server-side. Silently re-running it would spend
+        the budget twice, so those handles resolve with
+        :class:`WorkerLostError` instead (:func:`job_resendable`)."""
         self._teardown()
         self._connect()
         self._sent_refs.clear()
         frames: list[bytes] = []
+        lost: WorkerLostError | None = None
         for request_id, (handle, payload) in list(self._inflight.items()):
+            if not job_resendable(handle.job):
+                if lost is None:
+                    lost = WorkerLostError(
+                        "connection lost with a non-resendable search "
+                        "in flight; the first attempt's fate is unknown "
+                        "(it consumes seeded candidate stream and "
+                        "search budget server-side), so it was not "
+                        "silently re-run — resubmit explicitly"
+                    )
+                del self._inflight[request_id]
+                handle._resolve(exception=lost)
+                continue
             if handle.job is not None:
                 payload = self._job_frame(
                     request_id, handle.job, handle._fields
@@ -314,7 +376,7 @@ class RemoteSession:
     # Submission (the Session surface)
 
     def submit(
-        self, spec, *, search: bool = False, fields=None
+        self, spec, *, search: bool = False, fields=None, on_progress=None
     ) -> RemoteHandle:
         """Queue one job on the daemon; accepts every spec form
         :meth:`repro.api.Session.submit` accepts.
@@ -324,7 +386,11 @@ class RemoteSession:
         evaluate results); the handle then resolves to the projected
         dict instead of a Result object. Throughput-bound sweeps that
         only need scalars should project — it removes most of the
-        per-job response encode/decode cost."""
+        per-job response encode/decode cost.
+
+        ``on_progress`` registers a callback for the job's streamed
+        progress frames (search/shard jobs emit them per block;
+        heartbeats are filtered out)."""
         job = coerce_job(spec, search=search)
         _require_workload(job)
         with self._lock:
@@ -333,6 +399,7 @@ class RemoteSession:
             request_id = next(self._ids)
             payload = self._job_frame(request_id, job, fields)
             handle = RemoteHandle(self, job, request_id, fields)
+            handle.on_progress = on_progress
             self._inflight[request_id] = (handle, payload)
             try:
                 self._sock.sendall(payload)
@@ -401,6 +468,10 @@ class RemoteSession:
         parallel=None,
         batch_size=None,
         strategy=None,
+        budget=None,
+        seed=None,
+        shards=None,
+        on_progress=None,
     ) -> SearchResult:
         """Mirror of :meth:`repro.api.Session.search`.
 
@@ -412,6 +483,11 @@ class RemoteSession:
         objective is pickled (deprecation warning) and the daemon
         rejects it on TCP transports; use a unix socket or a named
         objective instead (docs/serving.md, "Trust model").
+
+        ``budget``/``seed`` override the daemon's sampling knobs for
+        this search; ``shards`` asks the daemon to shard the scan
+        across its configured workers; ``on_progress`` streams
+        incremental best-so-far state (see :meth:`submit`).
         """
         if isinstance(design, SearchJob):
             job = design
@@ -432,12 +508,15 @@ class RemoteSession:
                 ("parallel", parallel),
                 ("batch_size", batch_size),
                 ("strategy", strategy),
+                ("budget", budget),
+                ("seed", seed),
+                ("shards", shards),
             )
             if value is not None
         }
         if overrides:
             job = replace(job, **overrides)
-        return self.submit(job).result()
+        return self.submit(job, on_progress=on_progress).result()
 
     def evaluate_network(
         self, design, layers, densities_for, parallel=None
@@ -464,6 +543,21 @@ class RemoteSession:
         """Daemon-wide counters: evaluate jobs/batches, realized batch
         sizes (mean/max), cumulative engine seconds, client count."""
         return self._op("server-stats", timeout=timeout)
+
+    def notify(self, op: str, **payload) -> None:
+        """Fire-and-forget: send an ``op`` frame with no ``id``. The
+        daemon applies it without replying (the coordinator's
+        ``witness-update`` fan-out rides on this). Best-effort by
+        design — send failures are swallowed; anything that must
+        arrive should use a replied op instead."""
+        frame = encode_line({"op": op, **payload})
+        with self._lock:
+            if self._closed or self._sock is None:
+                return
+            try:
+                self._sock.sendall(frame)
+            except (ConnectionError, BrokenPipeError, OSError):
+                pass
 
     def _op(self, op: str, *, timeout: float | None) -> dict:
         with self._lock:
@@ -500,15 +594,32 @@ class RemoteSession:
                 # close() already resolved every in-flight handle.
                 return
             retried = False
-            self._sock.settimeout(timeout)
+            deadline = (
+                None if timeout is None else time.monotonic() + timeout
+            )
             try:
                 while not handle._done:
+                    now = time.monotonic()
+                    if deadline is not None and now >= deadline:
+                        raise TimeoutError(f"no response within {timeout:g}s")
+                    # Read in slices bounded by both the caller's
+                    # deadline and the liveness lease, so heartbeat
+                    # silence is noticed even under an infinite wait.
+                    slice_s = None if deadline is None else deadline - now
+                    if self._worker_timeout is not None:
+                        lease = self._last_rx + self._worker_timeout - now
+                        if lease <= 0:
+                            self._worker_lost()
+                            continue
+                        slice_s = (
+                            lease if slice_s is None
+                            else min(slice_s, lease)
+                        )
+                    self._sock.settimeout(slice_s)
                     try:
                         line = self._rfile.readline()
                     except socket.timeout:
-                        raise TimeoutError(
-                            f"no response within {timeout:g}s"
-                        ) from None
+                        continue
                     except (ConnectionError, OSError):
                         line = b""
                     if not line:
@@ -519,6 +630,7 @@ class RemoteSession:
                         retried = True
                         self._reconnect_and_resend()
                         continue
+                    self._last_rx = time.monotonic()
                     self._handle_response(decode_line(line))
             finally:
                 if self._sock is not None:
@@ -526,8 +638,43 @@ class RemoteSession:
         finally:
             self._lock.release()
 
+    def _worker_lost(self) -> None:
+        """The liveness lease expired: no frame — not even a heartbeat
+        — inside ``worker_timeout``. The daemon is presumed dead;
+        every in-flight handle resolves with :class:`WorkerLostError`
+        and the session closes (the coordinator reassigns the shard
+        on a fresh connection to a live worker)."""
+        kind, host, port = self._address
+        where = host if port is None else f"{host}:{port}"
+        exc = WorkerLostError(
+            f"no frame from the daemon at {where} in "
+            f"{self._worker_timeout:g}s (heartbeats included) — worker "
+            "presumed dead"
+        )
+        for handle, _payload in self._inflight.values():
+            handle._resolve(exception=exc)
+        self._inflight.clear()
+        self._closed = True
+        self._teardown()
+
     def _handle_response(self, message: dict) -> None:
         request_id = message.get("id")
+        if "progress" in message:
+            entry = self._inflight.get(request_id)
+            if entry is None:
+                return
+            handle, _payload = entry
+            info = message["progress"]
+            if isinstance(info, dict) and info.get("heartbeat"):
+                return  # pure liveness; _last_rx already refreshed
+            handle.progress = info
+            callback = handle.on_progress
+            if callback is not None:
+                try:
+                    callback(info)
+                except Exception:
+                    pass  # an observer must not kill the read loop
+            return
         entry = self._inflight.pop(request_id, None)
         if entry is None:
             # Unknown id: a duplicate after a resend race, or a

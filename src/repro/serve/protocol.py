@@ -17,6 +17,19 @@ an ``op`` (control verbs: ``ping``, ``stats``). Responses echo the
 Responses are written per job as each finishes, so they may interleave
 across the ids in flight on one connection; clients match on ``id``.
 
+Long-running jobs additionally stream *progress envelopes* — ``{"id",
+"progress": {...}}`` — before their terminal response: heartbeats
+(``{"heartbeat": true}``) every ``heartbeat_s`` seconds while the job
+runs or queues, and incremental search state (evaluated count,
+best-so-far score, frontier size, witness snapshots) for search and
+shard jobs. Progress frames are non-terminal and may repeat; clients
+treat any of them as a liveness signal, and a client that sees none
+for a whole timeout window raises
+:class:`~repro.common.errors.WorkerLostError` instead of hanging. A
+request without an ``id`` is a *notification* (e.g. the coordinator's
+``witness-update`` op): the daemon applies it and writes nothing
+back.
+
 Error kinds round-trip: the client rebuilds the *same exception type*
 with the same message, so remote handles behave identically to
 in-process ones (capacity-overflow reports included — a
@@ -36,11 +49,13 @@ from repro.common.errors import (
     ReproError,
     SpecError,
     ValidationError,
+    WorkerLostError,
 )
 from repro.model.result import (
     EvaluationResult,
     NetworkResult,
     SearchResult,
+    SearchShardResult,
 )
 
 __all__ = [
@@ -68,6 +83,7 @@ ERROR_KINDS: dict[str, type[ReproError]] = {
     "mapping": MappingError,
     "validation": ValidationError,
     "overloaded": OverloadedError,
+    "worker-lost": WorkerLostError,
     "error": ReproError,
 }
 
@@ -76,6 +92,7 @@ _KIND_BY_TYPE = {cls: kind for kind, cls in ERROR_KINDS.items()}
 _RESULT_KINDS = {
     "evaluation": EvaluationResult,
     "search": SearchResult,
+    "search-shard": SearchShardResult,
     "network": NetworkResult,
 }
 

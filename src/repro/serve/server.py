@@ -43,8 +43,9 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from threading import Lock
 
-from repro.api.jobs import SearchJob, job_from_dict
+from repro.api.jobs import SearchJob, SearchShardJob, job_from_dict
 from repro.api.session import Session
+from repro.distributed.plan import WitnessBoard, WitnessSnapshot
 from repro.search.objective import resolve_objective
 from repro.model.result import EvaluationResult
 from repro.common.errors import OverloadedError, ReproError, SpecError
@@ -71,6 +72,7 @@ class ServeConfig:
     workers: int = 2  #: search/network worker threads.
     queue_depth: int = 64  #: admission bound for queued search/network jobs.
     default_deadline_ms: float = 30_000.0  #: queue priority for deadline-less jobs.
+    heartbeat_s: float = 5.0  #: liveness-ping period for queued/running jobs (0 = off).
 
 
 @dataclass
@@ -167,6 +169,18 @@ class ReproServer:
         # same GIL-atomicity caveat as the evaluate counters).
         self._search_jobs = 0
         self._search_objectives: dict[str, int] = {}
+        self._shard_jobs = 0
+        # Queued/running pool jobs, loop-confined: heartbeat progress
+        # frames go to these until their terminal response pops them.
+        self._running: dict[tuple[str, str], tuple[_Client, object]] = {}
+        self._heartbeat_timer: asyncio.TimerHandle | None = None
+        # Per-search witness boards for shard jobs: shards running here
+        # post to (and poll) their search's board, and coordinators
+        # feed snapshots from shards on *other* daemons in through the
+        # ``witness-update`` op. Bounded LRU — a board is pure
+        # accelerator state, so eviction only slows replays down.
+        self._boards_lock = Lock()
+        self._shard_boards: dict[str, WitnessBoard] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -208,6 +222,10 @@ class ReproServer:
                 )
                 self._addresses.append(f"unix://{config.unix_path}")
                 self._servers.append(server)
+            if config.heartbeat_s > 0:
+                self._heartbeat_timer = self._loop.call_later(
+                    config.heartbeat_s, self._heartbeat_tick
+                )
 
     async def serve_forever(self) -> None:
         await self.start()
@@ -218,6 +236,9 @@ class ReproServer:
         self._stopping.set()
 
     async def aclose(self) -> None:
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
+            self._heartbeat_timer = None
         for server in self._servers:
             server.close()
             await server.wait_closed()
@@ -277,6 +298,11 @@ class ReproServer:
             pass
         finally:
             del self._clients[client.name]
+            self._running = {
+                key: entry
+                for key, entry in self._running.items()
+                if entry[0] is not client
+            }
             writer.close()
             try:
                 await writer.wait_closed()
@@ -287,7 +313,7 @@ class ReproServer:
         request_id = message.get("id")
         op = message.get("op")
         if op is not None:
-            self._handle_op(client, request_id, op)
+            self._handle_op(client, request_id, op, message)
             return
         job_dict = message.get("job")
         if job_dict is None:
@@ -323,7 +349,7 @@ class ReproServer:
         if (
             not client.trusted
             and isinstance(job_dict, dict)
-            and job_dict.get("kind") == "search-job"
+            and job_dict.get("kind") in ("search-job", "search-shard-job")
         ):
             objective = job_dict.get("objective")
             if (
@@ -356,7 +382,7 @@ class ReproServer:
         else:
             self._admit(client, request_id, job_dict, deadline_ms, fields)
 
-    def _handle_op(self, client: _Client, request_id, op) -> None:
+    def _handle_op(self, client: _Client, request_id, op, message) -> None:
         if op == "ping":
             self._send(
                 client,
@@ -381,15 +407,35 @@ class ReproServer:
                     "clients": len(self._clients),
                     "search_jobs": self._search_jobs,
                     "search_objectives": dict(self._search_objectives),
+                    "shard_jobs": self._shard_jobs,
                 },
             )
+        elif op == "witness-update":
+            # Coordinator fan-in: an authoritative scan snapshot from a
+            # shard on another daemon. Usually sent as a notification
+            # (no ``id``) — fire-and-forget, nothing written back — so
+            # a slow witness path can never block shard traffic.
+            try:
+                search = message.get("search")
+                if not isinstance(search, str) or not search:
+                    raise SpecError(
+                        "witness-update needs a non-empty 'search' id"
+                    )
+                snapshot = WitnessSnapshot.from_dict(message.get("snapshot"))
+            except SpecError as exc:
+                if request_id is not None:
+                    self._send(client, request_id, error=exc)
+                return
+            self._board_for(search).post(snapshot)
+            if request_id is not None:
+                self._send(client, request_id, ok={"applied": True})
         else:
             self._send(
                 client,
                 request_id,
                 error=SpecError(
-                    f"unknown op {op!r} "
-                    "(expected ping, stats, or server-stats)"
+                    f"unknown op {op!r} (expected ping, stats, "
+                    "server-stats, or witness-update)"
                 ),
             )
 
@@ -566,6 +612,9 @@ class ReproServer:
                 fields=fields,
             ),
         )
+        # Heartbeats cover the job from admission (queue wait included)
+        # until its terminal response pops it in _send.
+        self._running[(client.name, repr(request_id))] = (client, request_id)
         self._pump_queue()
 
     def _pump_queue(self) -> None:
@@ -595,6 +644,17 @@ class ReproServer:
                 self._search_objectives[objective_name] = (
                     self._search_objectives.get(objective_name, 0) + 1
                 )
+            if isinstance(job, (SearchJob, SearchShardJob)):
+                # Stream incremental scan state back as progress frames
+                # (and, for shards, wire up this search's witness board
+                # so snapshots flow both ways).
+                job.progress = functools.partial(
+                    self._post_progress, client, request_id
+                )
+            if isinstance(job, SearchShardJob):
+                self._shard_jobs += 1
+                if job.search_id:
+                    job.board = self._board_for(job.search_id)
             with self._engine_lock:
                 before = self.session.cache_stats()
                 handle = self.session.submit(job)
@@ -614,6 +674,21 @@ class ReproServer:
         except BaseException as exc:  # noqa: BLE001 - reported to client
             self._post(client, request_id, error=exc)
 
+    def _board_for(self, search_id: str) -> WitnessBoard:
+        """This search's witness board (created on first touch).
+
+        Called from worker threads (shard jobs) and the loop thread
+        (``witness-update``); bounded FIFO eviction — boards are pure
+        accelerator state, so evicting one only slows replays down.
+        """
+        with self._boards_lock:
+            board = self._shard_boards.get(search_id)
+            if board is None:
+                while len(self._shard_boards) >= 32:
+                    self._shard_boards.pop(next(iter(self._shard_boards)))
+                board = self._shard_boards[search_id] = WitnessBoard()
+            return board
+
     @staticmethod
     def _surface_worker_crash(future) -> None:
         # _run_evaluate_batch/_run_single report everything to their
@@ -630,6 +705,27 @@ class ReproServer:
             functools.partial(self._send, client, request_id, **payload)
         )
 
+    def _post_progress(self, client: _Client, request_id, info: dict) -> None:
+        """Thread-safe non-terminal progress frame for a running job."""
+        self._loop.call_soon_threadsafe(
+            functools.partial(self._send, client, request_id, progress=info)
+        )
+
+    def _heartbeat_tick(self) -> None:
+        """Loop-side liveness pings: one ``{"heartbeat": true}``
+        progress frame per queued/running pool job per period, so
+        clients waiting on long searches can tell a busy daemon from a
+        dead one (:class:`~repro.common.errors.WorkerLostError` is the
+        client-side verdict when these stop arriving)."""
+        self._heartbeat_timer = None
+        if self._stopping.is_set():
+            return
+        for client, request_id in list(self._running.values()):
+            self._send(client, request_id, progress={"heartbeat": True})
+        self._heartbeat_timer = self._loop.call_later(
+            self.config.heartbeat_s, self._heartbeat_tick
+        )
+
     def _write_encoded(self, responses) -> None:
         """Loop side: write pre-encoded frames (one hop per batch),
         coalesced into one socket write per client."""
@@ -644,15 +740,27 @@ class ReproServer:
             client.writer.write(data)
 
     def _send(
-        self, client: _Client, request_id, *, result=None, error=None, ok=None
+        self,
+        client: _Client,
+        request_id,
+        *,
+        result=None,
+        error=None,
+        ok=None,
+        progress=None,
     ) -> None:
         response: dict = {"id": request_id}
-        if error is not None:
-            response["error"] = error_to_envelope(error)
-        elif ok is not None:
-            response["ok"] = ok
+        if progress is not None:
+            # Non-terminal: the job stays registered for heartbeats.
+            response["progress"] = progress
         else:
-            response["result"] = result
+            self._running.pop((client.name, repr(request_id)), None)
+            if error is not None:
+                response["error"] = error_to_envelope(error)
+            elif ok is not None:
+                response["ok"] = ok
+            else:
+                response["result"] = result
         if client.writer.is_closing():
             return
         data = encode_line(response)

@@ -1,0 +1,79 @@
+"""Shared fixtures for the distributed-search tests.
+
+The designs here are chosen to exercise the scan's bookkeeping, not to
+be realistic: the tight buffer plus spatial constraints makes the
+capacity prefilter reject candidates and register overflow witnesses
+(so prefix replay has real state to reproduce), and the tiny exhaustive
+design flips the planner into enumeration mode.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Workload, matmul
+from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
+from repro.mapping.mapspace import MapspaceConstraints
+from repro.model.engine import Design, Evaluator
+
+BUDGET = 24
+
+
+def _arch(name: str, buffer_words: int, macs: int) -> Architecture:
+    return Architecture(
+        name,
+        [
+            StorageLevel(
+                "DRAM", None, component="dram",
+                read_bandwidth=8, write_bandwidth=8,
+            ),
+            StorageLevel(
+                "Buffer", buffer_words, component="sram",
+                read_bandwidth=16, write_bandwidth=16,
+            ),
+        ],
+        ComputeLevel("MAC", instances=macs),
+    )
+
+
+@pytest.fixture
+def witness_design() -> Design:
+    """Sampled scan with heavy witness traffic: the 2048-word buffer
+    overflows many tilings, so withheld/rejected counts are nonzero and
+    prefix replay must reproduce real witness state."""
+    return Design(
+        "witnessy",
+        _arch("witnessy", 2048, 16),
+        constraints=MapspaceConstraints(spatial_dims={"Buffer": ["n", "m"]}),
+    )
+
+
+@pytest.fixture
+def witness_workload() -> Workload:
+    return Workload.uniform(matmul(128, 128, 128), {"A": 0.2, "B": 0.2})
+
+
+@pytest.fixture
+def exhaustive_design() -> Design:
+    return Design(
+        "tiny-exhaustive",
+        _arch("tiny-exhaustive", 1024, 1),
+        constraints=MapspaceConstraints(),
+    )
+
+
+@pytest.fixture
+def exhaustive_workload() -> Workload:
+    return Workload.uniform(matmul(64, 64, 64), {"A": 0.9, "B": 0.9})
+
+
+def make_evaluator(budget: int = BUDGET, seed: int = 0, **kwargs) -> Evaluator:
+    return Evaluator(search_budget=budget, search_seed=seed, **kwargs)
+
+
+def frontier_key(frontier) -> list:
+    """A comparable, exact rendering of a frontier's points."""
+    return [
+        (point.index, point.score, point.objectives)
+        for point in frontier.ordered()
+    ]

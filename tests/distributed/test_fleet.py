@@ -1,0 +1,250 @@
+"""Daemon-backed distributed search: real ``repro serve --worker``
+subprocesses, real sockets, injected faults.
+
+These tests boot tiny local fleets (1-2 workers), so they are the
+slowest in the distributed suite — but they are the only place the
+whole stack runs together: CLI worker flag, serve protocol progress
+and heartbeats, client liveness watchdog, coordinator reassignment,
+and the non-resendable reconnect rule.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro import Session, Workload, matmul
+from repro.api.jobs import EvaluateJob, SearchJob
+from repro.common.errors import ReproError, WorkerLostError
+from repro.distributed import LocalWorkerFleet, sharded_search
+from repro.mapping.mapping import LevelMapping, Loop, Mapping
+from repro.model.engine import Design, Evaluator
+from repro.serve.client import RemoteSession
+
+from .conftest import BUDGET, frontier_key, make_evaluator
+
+pytestmark = pytest.mark.perf  # daemon-booting tests: slow but cheap
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    with LocalWorkerFleet(
+        2, cold=True, extra_args=("--heartbeat-s", "0.2")
+    ) as workers:
+        yield workers
+
+
+def _slow_job(budget: int = 20_000) -> tuple[Evaluator, SearchJob]:
+    """A search long enough for mid-flight fault injection."""
+    from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
+    from repro.mapping.mapspace import MapspaceConstraints
+
+    arch = Architecture(
+        "fleet-slow",
+        [
+            StorageLevel(
+                "DRAM", None, component="dram",
+                read_bandwidth=8, write_bandwidth=8,
+            ),
+            StorageLevel(
+                "Buffer", 4096, component="sram",
+                read_bandwidth=16, write_bandwidth=16,
+            ),
+        ],
+        ComputeLevel("MAC", instances=16),
+    )
+    design = Design(
+        "fleet-slow", arch,
+        constraints=MapspaceConstraints(spatial_dims={"Buffer": ["n", "m"]}),
+    )
+    workload = Workload.uniform(
+        matmul(256, 256, 256), {"A": 0.3, "B": 0.3}
+    )
+    return (
+        Evaluator(search_budget=budget, search_seed=7),
+        SearchJob(design, workload, batch_size=64),
+    )
+
+
+class TestFleetIdentity:
+    def test_two_workers_bit_identical(
+        self, witness_design, witness_workload
+    ):
+        with Session(search_budget=BUDGET) as session:
+            ref = session.search(
+                witness_design, witness_workload, strategy="batched"
+            )
+        with Session(search_budget=BUDGET, workers=2) as session:
+            sharded = session.search(
+                witness_design, witness_workload, shards=2
+            )
+        assert sharded.best_score == ref.best_score
+        assert sharded.best_index == ref.best_index
+        assert frontier_key(sharded.frontier) == frontier_key(ref.frontier)
+
+    def test_existing_fleet_addresses(
+        self, fleet, witness_design, witness_workload
+    ):
+        job = SearchJob(witness_design, witness_workload)
+        evaluator = make_evaluator()
+        ref = evaluator._search_full(
+            job.design, job.workload, strategy="batched"
+        )
+        outcome, stats = sharded_search(
+            make_evaluator(), job, fleet.addresses, shards=2,
+            worker_timeout=15.0,
+        )
+        assert outcome.best_score == ref.best_score
+        assert outcome.best_index == ref.best_index
+        assert frontier_key(outcome.frontier) == frontier_key(ref.frontier)
+        assert stats["shards"] == 2
+
+
+class TestFaultTolerance:
+    def test_killed_worker_reassigns_and_stays_identical(self):
+        evaluator, job = _slow_job()
+        ref = evaluator._search_full(
+            job.design, job.workload,
+            batch_size=job.batch_size, strategy="batched",
+        )
+        with LocalWorkerFleet(2, cold=True) as fleet:
+            killed = threading.Event()
+
+            def _on_progress(info):
+                if not isinstance(info, dict) or "event" in info:
+                    return
+                if info.get("shard") == 0 and not killed.is_set():
+                    killed.set()
+                    threading.Thread(target=fleet.kill, args=(0,)).start()
+
+            outcome, stats = sharded_search(
+                Evaluator(search_budget=20_000, search_seed=7),
+                job, fleet.addresses, shards=2,
+                progress=_on_progress, worker_timeout=15.0,
+            )
+        assert killed.is_set()
+        assert outcome.best_score == ref.best_score
+        assert outcome.best_index == ref.best_index
+        assert frontier_key(outcome.frontier) == frontier_key(ref.frontier)
+
+    def test_all_workers_dead_raises_worker_lost(
+        self, witness_design, witness_workload
+    ):
+        with LocalWorkerFleet(1, cold=True) as fleet:
+            addresses = list(fleet.addresses)
+        # Fleet closed: the socket is gone before the search starts.
+        job = SearchJob(witness_design, witness_workload)
+        with pytest.raises(WorkerLostError):
+            sharded_search(
+                make_evaluator(), job, addresses, shards=2,
+                worker_timeout=5.0,
+            )
+
+
+class TestHeartbeatLiveness:
+    def test_silent_worker_raises_worker_lost_not_hang(self):
+        evaluator, job = _slow_job(budget=40_000)
+        with LocalWorkerFleet(
+            1, cold=True, extra_args=("--heartbeat-s", "0.2")
+        ) as fleet:
+            session = RemoteSession(
+                fleet.addresses[0], worker_timeout=2.0
+            )
+            handle = session.submit(job)
+            fleet.suspend(0)
+            with pytest.raises(WorkerLostError, match="presumed dead"):
+                handle.result(timeout=30)
+            fleet.resume(0)
+
+    def test_heartbeats_keep_a_slow_quiet_job_alive(self, fleet):
+        # One huge block => no substantive progress until the end; the
+        # 0.2s heartbeats alone must carry liveness past the 2s window.
+        evaluator, job = _slow_job()
+        job = SearchJob(
+            job.design, job.workload, batch_size=1_000_000,
+            budget=20_000, seed=7,
+        )
+        ref = evaluator._search_full(
+            job.design, job.workload, strategy="batched"
+        )
+        session = RemoteSession(fleet.addresses[0], worker_timeout=2.0)
+        try:
+            result = session.submit(job).result(timeout=120)
+        finally:
+            session.close()
+        assert result.best_score == ref.best_score
+        assert result.best_index == ref.best_index
+
+
+class TestReconnectResendRules:
+    def test_evaluate_jobs_resend_after_connection_drop(self, fleet):
+        design, workload = _toy_point()
+        session = RemoteSession(fleet.addresses[1])
+        try:
+            handle = session.submit(EvaluateJob(design, workload))
+            # Sever the transport under the client; the daemon is
+            # still alive, so the retried-once path must resend and
+            # complete transparently.
+            session._sock.shutdown(socket.SHUT_RDWR)
+            result = handle.result(timeout=60)
+        finally:
+            session.close()
+        assert result.cycles > 0
+
+    def test_mapspace_search_is_not_silently_rerun(
+        self, fleet, witness_design, witness_workload
+    ):
+        session = RemoteSession(fleet.addresses[1])
+        try:
+            handle = session.submit(
+                SearchJob(witness_design, witness_workload)
+            )
+            session._sock.shutdown(socket.SHUT_RDWR)
+            with pytest.raises(WorkerLostError, match="not silently re-run"):
+                handle.result(timeout=60)
+            # The session survives for explicit resubmission.
+            retry = session.submit(
+                SearchJob(witness_design, witness_workload)
+            )
+            assert retry.result(timeout=120).best_score is not None
+        finally:
+            session.close()
+
+    def test_connection_loss_with_dead_daemon_still_raises(
+        self, witness_design, witness_workload
+    ):
+        with LocalWorkerFleet(1, cold=True) as fleet:
+            session = RemoteSession(fleet.addresses[0])
+            handle = session.submit(
+                SearchJob(witness_design, witness_workload)
+            )
+            fleet.kill(0)
+            with pytest.raises((WorkerLostError, ReproError, OSError)):
+                handle.result(timeout=60)
+            session.close()
+
+
+def _toy_point():
+    from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
+
+    arch = Architecture(
+        "fleet-toy",
+        [
+            StorageLevel("DRAM", None, component="dram"),
+            StorageLevel("Buffer", 65536, component="sram"),
+        ],
+        ComputeLevel("MAC", instances=1),
+    )
+    mapping = Mapping(
+        [
+            LevelMapping("DRAM", []),
+            LevelMapping(
+                "Buffer", [Loop("m", 8), Loop("k", 8), Loop("n", 8)]
+            ),
+        ]
+    )
+    design = Design("fleet-toy", arch, mapping=mapping)
+    workload = Workload.uniform(matmul(8, 8, 8), {"A": 0.5, "B": 0.5})
+    return design, workload

@@ -1,0 +1,197 @@
+"""Unit tests for the sharding plan, witness board, and stream store."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.jobs import (
+    EvaluateJob,
+    NetworkJob,
+    SearchJob,
+    SearchShardJob,
+    job_resendable,
+)
+from repro.common.cache import ObjectStore
+from repro.common.errors import SpecError
+from repro.distributed import (
+    StreamStore,
+    WitnessBoard,
+    WitnessSnapshot,
+    plan_shards,
+    stream_store_for,
+)
+
+
+class TestPlanShards:
+    def test_partitions_exactly(self):
+        specs = plan_shards(100, 7)
+        assert specs[0].start == 0
+        assert specs[-1].stop == 100
+        for prev, nxt in zip(specs, specs[1:]):
+            assert prev.stop == nxt.start
+
+    def test_balanced_longer_first(self):
+        widths = [s.width for s in plan_shards(10, 3)]
+        assert widths == [4, 3, 3]
+
+    def test_total_smaller_than_shards(self):
+        specs = plan_shards(2, 5)
+        assert [(s.start, s.stop) for s in specs] == [(0, 1), (1, 2)]
+
+    def test_empty_stream_single_empty_shard(self):
+        specs = plan_shards(0, 4)
+        assert [(s.start, s.stop) for s in specs] == [(0, 0)]
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(SpecError):
+            plan_shards(10, 0)
+        with pytest.raises(SpecError):
+            plan_shards(-1, 2)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        total=st.integers(min_value=0, max_value=10_000),
+        shards=st.integers(min_value=1, max_value=64),
+    )
+    def test_partition_property(self, total, shards):
+        specs = plan_shards(total, shards)
+        ids = [s.shard_id for s in specs]
+        assert ids == sorted(ids) == list(range(len(specs)))
+        covered = 0
+        for spec in specs:
+            assert spec.start == covered
+            assert spec.stop >= spec.start
+            covered = spec.stop
+        assert covered == max(total, 0)
+        widths = [s.width for s in specs]
+        if total > 0:
+            assert max(widths) - min(widths) <= 1
+            assert widths == sorted(widths, reverse=True)
+
+
+class TestWitnessSnapshot:
+    def test_round_trip(self):
+        snap = WitnessSnapshot(
+            position=7, index=4,
+            witnesses={"Buffer": [{"m": 8, "n": 4}]},
+        )
+        assert WitnessSnapshot.from_dict(snap.to_dict()) == snap
+
+    def test_malformed_raises_spec_error(self):
+        with pytest.raises(SpecError):
+            WitnessSnapshot.from_dict("nope")
+        with pytest.raises(SpecError):
+            WitnessSnapshot.from_dict({"position": 1})
+        with pytest.raises(SpecError):
+            WitnessSnapshot.from_dict(
+                {"position": 1, "index": 0, "witnesses": 3}
+            )
+
+
+class TestWitnessBoard:
+    @staticmethod
+    def _snap(position: int) -> WitnessSnapshot:
+        return WitnessSnapshot(position=position, index=position, witnesses={})
+
+    def test_best_before_picks_furthest_usable(self):
+        board = WitnessBoard()
+        for position in (3, 9, 6):
+            board.post(self._snap(position))
+        assert board.best_before(10).position == 9
+        assert board.best_before(7).position == 6
+        assert board.best_before(2) is None
+
+    def test_after_excludes_already_passed(self):
+        board = WitnessBoard()
+        board.post(self._snap(5))
+        assert board.best_before(10, after=5) is None
+        assert board.best_before(10, after=4).position == 5
+
+    def test_duplicates_collapse(self):
+        board = WitnessBoard()
+        board.post(self._snap(5))
+        board.post(self._snap(5))
+        assert len(board) == 1
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        positions=st.lists(
+            st.integers(min_value=0, max_value=500),
+            min_size=0, max_size=30,
+        ),
+        limit=st.integers(min_value=0, max_value=500),
+        after=st.integers(min_value=-1, max_value=500),
+    )
+    def test_delivery_order_duplicates_and_drops_are_harmless(
+        self, positions, limit, after
+    ):
+        """Whatever subset of snapshots arrived, in whatever order,
+        with whatever duplication, ``best_before`` returns exactly the
+        furthest usable one — fast-forwarding is best-effort but never
+        wrong."""
+        board = WitnessBoard()
+        for position in positions + positions[:3]:  # re-delivery
+            board.post(self._snap(position))
+        usable = [p for p in set(positions) if after < p <= limit]
+        best = board.best_before(limit, after=after)
+        if usable:
+            assert best is not None
+            assert best.position == max(usable)
+        else:
+            assert best is None
+
+    def test_eviction_keeps_highest_positions(self):
+        board = WitnessBoard(capacity=3)
+        for position in (1, 2, 3, 4):
+            board.post(self._snap(position))
+        assert len(board) == 3
+        assert board.best_before(100).position == 4
+        assert board.best_before(1) is None  # evicted
+
+
+class TestStreamStore:
+    def test_key_is_deterministic_and_parameter_sensitive(self):
+        identity = ("einsum", "arch", "constraints")
+        a = StreamStore.key("sampled", identity, 64, 0)
+        assert a == StreamStore.key("sampled", identity, 64, 0)
+        assert a != StreamStore.key("sampled", identity, 64, 1)
+        assert a != StreamStore.key("sampled", identity, 128, 0)
+        assert a != StreamStore.key("exhaustive", identity, 64, 0)
+
+    def test_round_trip_and_length_check(self, tmp_path):
+        store = StreamStore(ObjectStore(root=tmp_path))
+        store.publish("k", [1, 2, 3])
+        assert store.fetch("k") == [1, 2, 3]
+        assert store.fetch("k", total=3) == [1, 2, 3]
+        # A length mismatch is treated as corruption and dropped.
+        assert store.fetch("k", total=5) is None
+        assert store.fetch("k") is None
+
+    def test_none_persistent_means_no_store(self):
+        assert stream_store_for(None) is None
+
+
+class TestJobResendable:
+    def test_mapspace_search_is_not_resendable(self, witness_design,
+                                               witness_workload):
+        job = SearchJob(witness_design, witness_workload)
+        assert not job_resendable(job)
+
+    def test_explicit_candidates_search_is_resendable(
+        self, witness_design, witness_workload
+    ):
+        job = SearchJob(witness_design, witness_workload, candidates=[])
+        assert job_resendable(job)
+
+    def test_other_jobs_are_resendable(self, witness_design,
+                                       witness_workload):
+        assert job_resendable(EvaluateJob(witness_design, witness_workload))
+        assert job_resendable(
+            SearchShardJob(witness_design, witness_workload)
+        )
+        assert job_resendable(
+            NetworkJob(witness_design, [], lambda layer: {})
+        )
+        assert job_resendable(None)  # protocol ops

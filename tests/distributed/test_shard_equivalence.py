@@ -1,0 +1,293 @@
+"""Bit-identity of the sharded scan against the single-host scan.
+
+The contract under test is the tentpole guarantee: splitting one
+search's candidate stream into contiguous shards, scanning them
+independently (with prefix replay and witness exchange), and merging
+the per-shard frontiers produces *exactly* the single-host batched
+outcome — same winning score, same winning index, same frontier —
+for sampled, exhaustive, and explicit-candidate streams, at any shard
+count, regardless of how witness snapshots were delivered.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import Session
+from repro.api.jobs import SearchJob, SearchShardJob
+from repro.common.errors import SpecError
+from repro.distributed import (
+    WitnessBoard,
+    WitnessSnapshot,
+    merge_shards,
+    plan_search,
+    plan_shards,
+    run_shard,
+    run_shards_local,
+)
+from repro.mapping.mapspace import Mapper
+from repro.model.result import SearchShardResult
+
+from .conftest import BUDGET, frontier_key, make_evaluator
+
+SHARD_COUNTS = [1, 2, 3, 5, 9]
+
+
+def _reference(evaluator, job: SearchJob):
+    return evaluator._search_full(
+        job.design,
+        job.workload,
+        objective=job.objective,
+        candidates=job.candidates,
+        strategy="batched",
+    )
+
+
+def _assert_outcomes_identical(ref, sharded):
+    assert sharded.best_score == ref.best_score
+    assert sharded.best_index == ref.best_index
+    assert sharded.strategy == "batched"
+    assert frontier_key(sharded.frontier) == frontier_key(ref.frontier)
+
+
+def _exhaustive_budget(design, workload) -> int:
+    space = Mapper(
+        workload.einsum, design.arch, design.constraints
+    ).mapspace_size_estimate()
+    return (space + 3) // 4 + 8
+
+
+class TestShardedEqualsSingleHost:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_sampled_with_witness_traffic(
+        self, witness_design, witness_workload, shards
+    ):
+        job = SearchJob(witness_design, witness_workload)
+        ref = _reference(make_evaluator(), job)
+        outcome, stats = run_shards_local(make_evaluator(), job, shards)
+        _assert_outcomes_identical(ref, outcome)
+        assert stats["mode"] == "sampled"
+        # The fixture is chosen to make witness bookkeeping real: a
+        # zero here means the test silently stopped testing replay.
+        assert stats["withheld"] > 0
+        assert stats["rejected"] > 0
+
+    @pytest.mark.parametrize("shards", [2, 4, 7])
+    def test_exhaustive(self, exhaustive_design, exhaustive_workload, shards):
+        budget = _exhaustive_budget(exhaustive_design, exhaustive_workload)
+        job = SearchJob(exhaustive_design, exhaustive_workload)
+        ref = _reference(make_evaluator(budget=budget), job)
+        outcome, stats = run_shards_local(
+            make_evaluator(budget=budget), job, shards
+        )
+        _assert_outcomes_identical(ref, outcome)
+        assert stats["mode"] == "exhaustive"
+
+    @pytest.mark.parametrize("shards", [2, 5])
+    def test_explicit_candidates(
+        self, witness_design, witness_workload, shards
+    ):
+        mapper = Mapper(
+            witness_workload.einsum,
+            witness_design.arch,
+            witness_design.constraints,
+        )
+        candidates = list(mapper.sample_mappings(BUDGET, seed=11))
+        job = SearchJob(
+            witness_design, witness_workload, candidates=candidates
+        )
+        ref = _reference(make_evaluator(), job)
+        outcome, stats = run_shards_local(make_evaluator(), job, shards)
+        _assert_outcomes_identical(ref, outcome)
+        assert stats["mode"] == "explicit"
+
+    def test_more_shards_than_candidates(
+        self, witness_design, witness_workload
+    ):
+        job = SearchJob(witness_design, witness_workload)
+        ref = _reference(make_evaluator(budget=3), job)
+        outcome, stats = run_shards_local(make_evaluator(budget=3), job, 16)
+        _assert_outcomes_identical(ref, outcome)
+        assert stats["shards"] <= stats["total"]
+
+
+class TestWitnessExchangeDelivery:
+    """Out-of-order, duplicated, and dropped snapshot delivery never
+    changes the merged outcome — it only changes how much replay the
+    shards get to skip."""
+
+    def _collect_snapshots(self, job: SearchJob, shards: int) -> list[dict]:
+        snaps: list[dict] = []
+
+        def _grab(info) -> None:
+            if isinstance(info, dict) and isinstance(
+                info.get("snapshot"), dict
+            ):
+                snaps.append(info["snapshot"])
+
+        run_shards_local(make_evaluator(), job, shards, progress=_grab)
+        assert snaps, "fixture produced no snapshots to deliver"
+        return snaps
+
+    @pytest.mark.parametrize("trial", range(4))
+    def test_scrambled_delivery_is_bit_identical(
+        self, witness_design, witness_workload, trial
+    ):
+        shards = 3
+        job = SearchJob(witness_design, witness_workload)
+        ref = _reference(make_evaluator(), job)
+        snaps = self._collect_snapshots(job, shards)
+
+        rng = random.Random(trial)
+        delivered = [s for s in snaps if rng.random() < 0.7]  # dropped
+        if delivered:
+            delivered += rng.sample(
+                delivered, min(3, len(delivered))
+            )  # duplicated
+        rng.shuffle(delivered)  # out of order
+
+        board = WitnessBoard()
+        for snap in delivered:
+            board.post(WitnessSnapshot.from_dict(snap))
+
+        evaluator = make_evaluator()
+        plan = plan_search(evaluator, job)
+        results = []
+        for spec in plan_shards(plan.total, shards):
+            shard_job = SearchShardJob(
+                design=job.design,
+                workload=job.workload,
+                objective=job.objective,
+                search_id="delivery-test",
+                shard_id=spec.shard_id,
+                start=spec.start,
+                stop=spec.stop,
+                total=plan.total,
+                mode=plan.mode,
+                budget=plan.budget,
+                seed=plan.seed,
+                check_capacity=evaluator.check_capacity,
+                prefilter=evaluator.prefilter_capacity,
+            )
+            results.append(run_shard(evaluator, shard_job, board=board))
+        outcome = merge_shards(job.objective, results)
+        _assert_outcomes_identical(ref, outcome)
+
+
+class TestShardResultWire:
+    def test_round_trip_preserves_frontier_and_results(
+        self, witness_design, witness_workload
+    ):
+        evaluator = make_evaluator()
+        job = SearchJob(witness_design, witness_workload)
+        plan = plan_search(evaluator, job)
+        spec = plan_shards(plan.total, 2)[0]
+        shard_job = SearchShardJob(
+            design=job.design,
+            workload=job.workload,
+            search_id="wire-test",
+            shard_id=spec.shard_id,
+            start=spec.start,
+            stop=spec.stop,
+            total=plan.total,
+            mode=plan.mode,
+            budget=plan.budget,
+            seed=plan.seed,
+        )
+        result = run_shard(evaluator, shard_job)
+        clone = SearchShardResult.from_dict(result.to_dict())
+        assert clone.shard_id == result.shard_id
+        assert (clone.start, clone.stop) == (result.start, result.stop)
+        assert (clone.position_end, clone.index_end) == (
+            result.position_end, result.index_end,
+        )
+        assert (clone.evaluated, clone.withheld, clone.rejected) == (
+            result.evaluated, result.withheld, result.rejected,
+        )
+        assert clone.witnesses == result.witnesses
+        assert frontier_key(clone.frontier) == frontier_key(result.frontier)
+        # Full evaluation payloads reattach to their frontier points.
+        for point in clone.frontier:
+            original = next(
+                p for p in result.frontier if p.index == point.index
+            )
+            assert (point.result is None) == (original.result is None)
+
+
+class TestSessionShardedSurface:
+    def test_session_shards_match_batched(
+        self, witness_design, witness_workload
+    ):
+        with Session(search_budget=BUDGET) as session:
+            ref = session.search(
+                witness_design, witness_workload, strategy="batched"
+            )
+        with Session(search_budget=BUDGET) as session:
+            sharded = session.search(
+                witness_design, witness_workload, shards=3
+            )
+        assert sharded.best_score == ref.best_score
+        assert sharded.best_index == ref.best_index
+        assert sharded.strategy == ref.strategy == "batched"
+        assert frontier_key(sharded.frontier) == frontier_key(ref.frontier)
+
+    def test_budget_and_seed_overrides_apply(
+        self, witness_design, witness_workload
+    ):
+        with Session(search_budget=BUDGET) as session:
+            ref = session.search(witness_design, witness_workload)
+            other = session.search(
+                witness_design, witness_workload, budget=BUDGET + 8, seed=5
+            )
+            again = session.search(
+                witness_design, witness_workload,
+                budget=BUDGET + 8, seed=5, shards=2,
+            )
+        assert (ref.budget, ref.seed) == (BUDGET, 0)
+        assert (other.budget, other.seed) == (BUDGET + 8, 5)
+        assert (again.best_score, again.best_index) == (
+            other.best_score, other.best_index,
+        )
+
+    def test_serial_strategy_shards_and_records_batched(
+        self, witness_design, witness_workload
+    ):
+        with Session(search_budget=BUDGET) as session:
+            result = session.search(
+                witness_design, witness_workload,
+                strategy="serial", shards=2,
+            )
+        assert result.strategy == "batched"
+
+    def test_evolutionary_cannot_shard(
+        self, witness_design, witness_workload
+    ):
+        with Session(search_budget=BUDGET) as session:
+            with pytest.raises(SpecError, match="evolutionary"):
+                session.search(
+                    witness_design, witness_workload,
+                    strategy="evolutionary", shards=2,
+                )
+
+    def test_progress_streams_incremental_state(
+        self, witness_design, witness_workload
+    ):
+        frames: list[dict] = []
+        with Session(search_budget=BUDGET) as session:
+            result = session.search(
+                witness_design, witness_workload,
+                shards=2, on_progress=frames.append,
+            )
+        shard_frames = [
+            f for f in frames
+            if isinstance(f, dict) and "shard" in f and "event" not in f
+        ]
+        assert shard_frames
+        assert {f["shard"] for f in shard_frames} == {0, 1}
+        final_best = [
+            f["best_score"] for f in shard_frames
+            if f["best_score"] is not None
+        ]
+        assert result.best_score in final_best

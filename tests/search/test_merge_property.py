@@ -1,0 +1,167 @@
+"""Property tests for `ParetoFrontier.merge` under shard delivery.
+
+The distributed merge contract (see ``docs/distributed.md``): folding
+per-shard frontiers *in shard order* reproduces exactly the frontier a
+single scan would have built by adding every point in stream-index
+order — and because the coordinator sorts shard results before
+folding, the delivery order in which shards actually arrive (late,
+duplicated, interleaved) can never change the outcome. These
+properties pin that down on the frontier alone, independent of the
+engine, for 1-D and multi-axis objectives.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.search.frontier import FrontierPoint, ParetoFrontier
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def _axes(dim: int) -> tuple:
+    return tuple("abc"[:dim])
+
+
+def _point(index: int, vector: tuple) -> FrontierPoint:
+    return FrontierPoint(
+        index=index,
+        score=vector[0],
+        objectives=tuple(vector),
+        metrics={"cycles": 1.0, "energy_pj": 1.0, "edp": 1.0},
+    )
+
+
+def _key(frontier: ParetoFrontier) -> list:
+    return [
+        (p.index, p.score, p.objectives) for p in frontier.ordered()
+    ]
+
+
+def streams(dim: int):
+    """A candidate stream (vectors in stream order) plus shard cuts."""
+    return st.tuples(
+        st.lists(st.tuples(*[finite] * dim), min_size=1, max_size=60),
+        st.data(),
+    )
+
+
+def _shard_frontiers(vectors, cuts, dim):
+    """Build per-shard frontiers the way workers do: each shard adds
+    only its own contiguous slice, with global stream indices."""
+    bounds = [0, *sorted(cuts), len(vectors)]
+    shards = []
+    for shard_id, (start, stop) in enumerate(zip(bounds, bounds[1:])):
+        frontier = ParetoFrontier(axes=_axes(dim))
+        for index in range(start, stop):
+            frontier.add(_point(index, vectors[index]))
+        shards.append((shard_id, frontier))
+    return shards
+
+
+@st.composite
+def sharded_streams(draw, dim: int):
+    vectors = draw(
+        st.lists(st.tuples(*[finite] * dim), min_size=1, max_size=60)
+    )
+    cut_count = draw(st.integers(min_value=0, max_value=5))
+    cuts = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(vectors)),
+            min_size=cut_count,
+            max_size=cut_count,
+        )
+    )
+    return vectors, cuts
+
+
+@settings(max_examples=150, deadline=None)
+@given(data=st.one_of(sharded_streams(1), sharded_streams(2), sharded_streams(3)))
+def test_shard_order_fold_equals_sequential_scan(data):
+    vectors, cuts = data
+    dim = len(vectors[0])
+    sequential = ParetoFrontier(axes=_axes(dim))
+    for index, vector in enumerate(vectors):
+        sequential.add(_point(index, vector))
+
+    merged = ParetoFrontier(axes=_axes(dim))
+    for _shard_id, frontier in _shard_frontiers(vectors, cuts, dim):
+        merged.merge(frontier)
+    assert _key(merged) == _key(sequential)
+    if len(sequential) > 0:
+        assert merged.best().index == sequential.best().index
+        assert merged.best().score == sequential.best().score
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    data=st.one_of(sharded_streams(1), sharded_streams(2)),
+    order=st.randoms(use_true_random=False),
+)
+def test_arrival_order_is_irrelevant_after_sorting(data, order):
+    """The coordinator's rule: results may *arrive* in any order, but
+    the fold sorts by shard id first — so any arrival permutation
+    gives a bit-identical frontier."""
+    vectors, cuts = data
+    dim = len(vectors[0])
+    shards = _shard_frontiers(vectors, cuts, dim)
+
+    canonical = ParetoFrontier(axes=_axes(dim))
+    for _shard_id, frontier in shards:
+        canonical.merge(frontier)
+
+    arrived = list(shards)
+    order.shuffle(arrived)
+    merged = ParetoFrontier(axes=_axes(dim))
+    for _shard_id, frontier in sorted(arrived, key=lambda s: s[0]):
+        merged.merge(frontier)
+    assert _key(merged) == _key(canonical)
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.one_of(sharded_streams(1), sharded_streams(2)))
+def test_duplicate_shard_delivery_is_idempotent(data):
+    """A reassigned shard can be reported twice (the coordinator keeps
+    the first); merging the same shard frontier again must be a
+    no-op, because every re-added point is an exact duplicate."""
+    vectors, cuts = data
+    dim = len(vectors[0])
+    shards = _shard_frontiers(vectors, cuts, dim)
+
+    merged = ParetoFrontier(axes=_axes(dim))
+    for _shard_id, frontier in shards:
+        merged.merge(frontier)
+    before = _key(merged)
+    for _shard_id, frontier in shards:
+        merged.merge(frontier)
+    assert _key(merged) == before
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.one_of(sharded_streams(1), sharded_streams(3)))
+def test_dropped_shard_loses_only_that_shards_points(data):
+    """Dropping a shard (the coordinator raises rather than merging a
+    partial set — this pins *why*): the surviving merge equals a scan
+    of the stream with that slice deleted, nothing more or less."""
+    vectors, cuts = data
+    dim = len(vectors[0])
+    shards = _shard_frontiers(vectors, cuts, dim)
+    if len(shards) < 2:
+        return
+    dropped = len(shards) // 2
+    bounds = [0, *sorted(cuts), len(vectors)]
+    start, stop = bounds[dropped], bounds[dropped + 1]
+
+    merged = ParetoFrontier(axes=_axes(dim))
+    for shard_id, frontier in shards:
+        if shard_id != dropped:
+            merged.merge(frontier)
+
+    expected = ParetoFrontier(axes=_axes(dim))
+    for index, vector in enumerate(vectors):
+        if not start <= index < stop:
+            expected.add(_point(index, vector))
+    assert _key(merged) == _key(expected)
