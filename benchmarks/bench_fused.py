@@ -1,0 +1,206 @@
+"""Fused multi-einsum evaluation: oracle + committed traffic floor.
+
+Two phases:
+
+* **Oracle** — the degenerate :class:`FusedMapping` (no sub-nests, no
+  fusion level) must reproduce ``evaluate_network``'s per-layer results
+  *bit-identically* across every bundled design family. This is the
+  refactor's safety contract: the fused path with nothing fused IS the
+  unfused path, so the einsum-graph layer provably did not change
+  single-einsum semantics.
+* **Traffic floor** — the bundled attention graph (``qk`` -> softmax ->
+  ``av`` with the ``S`` score matrix as the shared intermediate) is
+  evaluated unfused and fused at the on-chip buffer. Fusion keeps
+  ``S`` resident at the fusion level, eliminating its backing-store
+  round trip; the measured intermediate-DRAM-traffic reduction must
+  clear the committed ``fused_intermediate_traffic_reduction_floor``.
+
+The floor lives in ``baseline_perf_engine.json`` (see the comment
+there); measured numbers are written to ``BENCH_fused.json`` next to
+this file.
+
+Run:  pytest benchmarks/bench_fused.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.api import FusedMapping, Session
+from repro.designs import codesign, dstc, eyeriss, eyeriss_v2, scnn, stc, toy
+from repro.designs.common import generic_einsum_mapping
+from repro.workload.nets import NetLayer, attention
+from repro.workload.einsum import (
+    EinsumSpec,
+    ProjectionTerm,
+    RankProjection,
+    TensorRef,
+)
+from repro.workload.graph import EinsumGraph
+
+BASELINE_PATH = Path(__file__).parent / "baseline_perf_engine.json"
+SUMMARY_PATH = Path(__file__).parent / "BENCH_fused.json"
+
+#: Attention scenario for the traffic phase: big enough that the score
+#: matrix S (heads x seq x seq = 512K words) dominates intermediate
+#: traffic, small enough to evaluate in well under a second.
+ATTENTION = dict(seq=256, d_model=512, heads=8)
+
+DENSITIES = {"A": 0.5, "B": 0.6, "H": 0.7, "C": 0.4}
+
+
+def _floor() -> float:
+    baseline = json.loads(BASELINE_PATH.read_text())
+    return float(baseline["fused_intermediate_traffic_reduction_floor"])
+
+
+def _update_summary(section: dict) -> None:
+    data = {"bench": "fused"}
+    if SUMMARY_PATH.exists():
+        data.update(json.loads(SUMMARY_PATH.read_text()))
+    data.update(section)
+    SUMMARY_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def _rank(name, dim):
+    return RankProjection(name, (ProjectionTerm(dim),))
+
+
+def _chain_graph() -> EinsumGraph:
+    """Two chained matmuls sharing H: the oracle's minimal cascade."""
+
+    def mm(name, out, in_a, in_b, m, k, n):
+        a = TensorRef(in_a, (_rank("M", "m"), _rank("K", "k")))
+        b = TensorRef(in_b, (_rank("K", "k"), _rank("N", "n")))
+        z = TensorRef(out, (_rank("M", "m"), _rank("N", "n")), is_output=True)
+        return EinsumSpec(name, {"m": m, "k": k, "n": n}, [a, b, z])
+
+    return EinsumGraph(
+        "chain",
+        [mm("fc1", "H", "A", "B", 64, 32, 128), mm("fc2", "O", "H", "C", 64, 128, 48)],
+    )
+
+
+def _bundled_designs():
+    """The eight bundled design families, re-pointed at the
+    shape-agnostic mapping policy (identically on both compared
+    paths)."""
+    designs = [
+        ("toy-bitmask", toy.bitmask_design()),
+        ("toy-coordinate-list", toy.coordinate_list_design()),
+        ("eyeriss", eyeriss.eyeriss_design()),
+        ("eyeriss-v2-pe", eyeriss_v2.eyeriss_v2_pe_design()),
+        ("scnn", scnn.scnn_design()),
+        ("dstc", dstc.dstc_design()),
+        ("stc", stc.stc_design()),
+        ("codesign", codesign.build_design(*codesign.ALL_COMBINATIONS[0])),
+    ]
+    return [
+        (
+            name,
+            replace(
+                design,
+                mapping=None,
+                constraints=None,
+                mapping_factory=generic_einsum_mapping,
+            ),
+        )
+        for name, design in designs
+    ]
+
+
+# ----------------------------------------------------------------------
+# Phase 1: degenerate-fusion oracle across every bundled design family
+
+@pytest.mark.perf
+def test_degenerate_oracle_across_bundled_designs():
+    graph = _chain_graph()
+    layers = [NetLayer(spec.name, spec) for spec in graph.einsums]
+
+    def densities_for(layer):
+        names = {ref.name for ref in layer.spec.tensors}
+        return {t: d for t, d in DENSITIES.items() if t in names}
+
+    checked = []
+    for name, design in _bundled_designs():
+        with Session(check_capacity=False) as session:
+            fused = session.evaluate_fused(design, graph, dict(DENSITIES))
+            network = session.evaluate_network(design, layers, densities_for)
+        for fused_entry, layer in zip(fused.einsums, network.layers):
+            assert (
+                fused_entry.result.to_dict() == layer.result.to_dict()
+            ), f"{name}: einsum {fused_entry.einsum_name} diverged"
+        checked.append(name)
+
+    _update_summary(
+        {
+            "oracle_designs_checked": checked,
+            "oracle_bit_identical": True,
+        }
+    )
+    print(
+        f"\n=== degenerate oracle ===\n{len(checked)} bundled design "
+        "families bit-identical (fused degenerate vs evaluate_network)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Phase 2: fused attention vs unfused, committed traffic floor
+
+@pytest.mark.perf
+def test_fused_attention_clears_traffic_floor():
+    graph = attention(**ATTENTION)
+    design = replace(
+        toy.dense_design(),
+        mapping=None,
+        constraints=None,
+        mapping_factory=generic_einsum_mapping,
+    )
+
+    with Session(check_capacity=False) as session:
+        unfused = session.evaluate_fused(design, graph)
+        fused = session.evaluate_fused(
+            design, graph, fused=FusedMapping(fuse_at="Buffer")
+        )
+
+    unfused_words = unfused.intermediate_backing_words
+    fused_words = fused.intermediate_backing_words
+    # S never leaves the fusion buffer, so the fused backing traffic is
+    # exactly zero; guard the ratio against that.
+    reduction = unfused_words / max(1.0, fused_words)
+    floor = _floor()
+
+    s_words = ATTENTION["heads"] * ATTENTION["seq"] ** 2
+    record = fused.shared_tensor("S")
+
+    _update_summary(
+        {
+            "attention": ATTENTION,
+            "attention_s_words": s_words,
+            "unfused_intermediate_backing_words": unfused_words,
+            "fused_intermediate_backing_words": fused_words,
+            "intermediate_traffic_reduction": reduction,
+            "intermediate_traffic_reduction_floor": floor,
+            "fused_total_cycles": fused.total_cycles,
+            "unfused_total_cycles": unfused.total_cycles,
+        }
+    )
+    print(
+        f"\n=== fused attention ===\n"
+        f"S ({s_words} words): unfused backing {unfused_words:.4g} words, "
+        f"fused {fused_words:.4g} words -> reduction {reduction:.3g}x "
+        f"(floor {floor}x)"
+    )
+
+    # Unfused, S makes at least one full write + read round trip.
+    assert unfused_words >= 2 * s_words
+    assert record["producer"] == "qk" and record["consumers"] == ["av"]
+    assert sum(record["fusion_words"].values()) > 0
+    assert reduction >= floor, (
+        f"fused attention intermediate-traffic reduction {reduction:.3g}x "
+        f"fell below the committed floor {floor}x"
+    )

@@ -56,6 +56,7 @@ from repro.sparse.density import (
     ActualDataDensity,
     BandedDensity,
     FixedStructuredDensity,
+    StructuredNMDensity,
     UniformDensity,
 )
 from repro.sparse.saf import SAFSpec
@@ -85,6 +86,7 @@ __all__ = [
     "conv2d",
     "UniformDensity",
     "FixedStructuredDensity",
+    "StructuredNMDensity",
     "BandedDensity",
     "ActualDataDensity",
     "SAFSpec",

@@ -6,6 +6,7 @@ Usage::
     python -m repro evaluate spec.yaml --json
     python -m repro search spec.yaml --budget 64 --parallel 4
     python -m repro search spec.yaml --shards 4
+    python -m repro fused graph_spec.yaml --json
     python -m repro serve --worker --unix /tmp/worker.sock
     python -m repro --version
 
@@ -110,6 +111,35 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             print(result.summary())
             if args.verbose:
                 _print_verbose(session, result, baseline)
+    return 0
+
+
+def _cmd_fused(args: argparse.Namespace) -> int:
+    from repro.io.yaml_spec import load_fused_spec
+
+    design, graph, fused, densities = load_fused_spec(args.spec)
+    with _session(args) as session:
+        baseline = session.cache_stats()
+        result = session.evaluate_fused(
+            design, graph, densities or None, fused
+        )
+        if args.json:
+            print(result.to_json(indent=2))
+        else:
+            print(result.summary())
+            if args.verbose:
+                print()
+                stats = session.cache_stats(since=baseline)
+                if stats:
+                    print("cache stages (this run):")
+                    for name in sorted(stats):
+                        stage = stats[name]
+                        print(
+                            f"  {name}: {stage['hits']} hits / "
+                            f"{stage['misses']} misses "
+                            f"({stage['hit_rate']:.0%}), "
+                            f"{stage['entries']} entries"
+                        )
     return 0
 
 
@@ -330,6 +360,14 @@ def main(argv: list[str] | None = None) -> int:
         help="worker daemons to boot for --shards (default: one per shard)",
     )
     se.set_defaults(func=_cmd_search)
+
+    fu = sub.add_parser(
+        "fused",
+        help="evaluate an einsum graph under a fused mapping "
+        "(spec needs a 'graph' section; see docs/workloads.md)",
+    )
+    _add_common_arguments(fu)
+    fu.set_defaults(func=_cmd_fused)
 
     sv = sub.add_parser(
         "serve",

@@ -9,11 +9,12 @@ One entry point for everything the model can do::
         sweep = [session.submit(EvaluateJob(d, w)) for d, w in points]
         best = session.search(design, workload)          # mapspace search
         net = session.evaluate_network(design, layers, densities_for)
+        fused = session.evaluate_fused(design, graph, densities, mapping)
 
 The Session owns the analysis cache, the persistent on-disk tier
 (auto warm-start on first use, spill on close), and the worker-pool
 fan-out; jobs are plain data (:class:`EvaluateJob`, :class:`SearchJob`,
-:class:`NetworkJob`) resolved through futures-like
+:class:`NetworkJob`, :class:`FusedJob`) resolved through futures-like
 :class:`JobHandle`\\ s. Results are versioned serializable data — see
 :mod:`repro.model.result` and ``docs/api.md``.
 
@@ -25,6 +26,7 @@ ones.
 
 from repro.api.jobs import (
     EvaluateJob,
+    FusedJob,
     JobHandle,
     NetworkJob,
     SearchJob,
@@ -33,13 +35,17 @@ from repro.api.jobs import (
     job_resendable,
 )
 from repro.api.session import Session, evaluate_network
+from repro.mapping.fused import FusedMapping
 from repro.model.result import (
     RESULT_SCHEMA_VERSION,
     EvaluationResult,
+    FusedEinsumResult,
+    FusedResult,
     NetworkLayerResult,
     NetworkResult,
     SearchResult,
 )
+from repro.workload.graph import EinsumGraph
 
 __all__ = [
     "Session",
@@ -47,6 +53,7 @@ __all__ = [
     "SearchJob",
     "NetworkJob",
     "SearchShardJob",
+    "FusedJob",
     "JobHandle",
     "job_from_dict",
     "job_resendable",
@@ -56,6 +63,10 @@ __all__ = [
     "SearchResult",
     "NetworkResult",
     "NetworkLayerResult",
+    "FusedResult",
+    "FusedEinsumResult",
+    "FusedMapping",
+    "EinsumGraph",
     "RESULT_SCHEMA_VERSION",
 ]
 

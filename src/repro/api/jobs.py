@@ -4,7 +4,9 @@ A *job* is one unit of evaluation work, expressed as plain data:
 
 * :class:`EvaluateJob` — one (design, workload[, mapping]) point,
 * :class:`SearchJob` — a mapspace search for one (design, workload),
-* :class:`NetworkJob` — a per-layer full-network evaluation.
+* :class:`NetworkJob` — a per-layer full-network evaluation,
+* :class:`FusedJob` — an einsum-graph evaluation, optionally fused at
+  a shared buffer level.
 
 Jobs are constructed directly from Python objects, or by
 :meth:`Session.submit` from dicts / YAML strings / YAML paths. They
@@ -35,10 +37,12 @@ from dataclasses import dataclass, field
 import warnings
 
 from repro.common.errors import SpecError
+from repro.mapping.fused import FusedMapping
 from repro.mapping.mapping import Mapping
 from repro.model.engine import Design
 from repro.model.result import RESULT_SCHEMA_VERSION, EvaluationResult
 from repro.search.objective import Objective, resolve_objective
+from repro.workload.graph import EinsumGraph
 from repro.workload.spec import Workload
 
 __all__ = [
@@ -46,6 +50,7 @@ __all__ = [
     "SearchJob",
     "SearchShardJob",
     "NetworkJob",
+    "FusedJob",
     "JobHandle",
     "job_from_dict",
     "job_resendable",
@@ -464,6 +469,54 @@ class NetworkJob:
         return _job_envelope(data, "network-job", build)
 
 
+@dataclass
+class FusedJob:
+    """Evaluate an einsum graph, optionally fused at a buffer level.
+
+    ``graph`` and ``fused`` have structural spec forms and ship as
+    plain data; the design ships as one pickle (mapping factories have
+    no spec form). ``fused=None`` — or a :class:`FusedMapping` with
+    ``fuse_at=None`` — is the degenerate (unfused) form, bit-identical
+    per einsum to evaluating the graph as a network layer list.
+    """
+
+    design: Design
+    graph: EinsumGraph
+    densities: dict[str, float] | None = None
+    fused: FusedMapping | None = None
+    parallel: int | None = None
+
+    def to_dict(self) -> dict:
+        """Serialize to a ``schema: 1`` wire envelope."""
+        return {
+            "schema": JOB_SCHEMA_VERSION,
+            "kind": "fused-job",
+            "design": _pack(self.design),
+            "graph": self.graph.to_dict(),
+            "densities": (
+                None if self.densities is None else dict(self.densities)
+            ),
+            "fused": None if self.fused is None else self.fused.to_spec(),
+            "parallel": self.parallel,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FusedJob":
+        def build() -> "FusedJob":
+            fused = data.get("fused")
+            return cls(
+                design=_unpack(data["design"]),
+                graph=EinsumGraph.from_dict(data["graph"]),
+                densities=data.get("densities"),
+                fused=(
+                    None if fused is None else FusedMapping.from_spec(fused)
+                ),
+                parallel=data.get("parallel"),
+            )
+
+        return _job_envelope(data, "fused-job", build)
+
+
 def job_from_dict(data: dict):
     """Rebuild any job from its :meth:`to_dict` envelope, dispatching
     on the ``kind`` tag."""
@@ -477,6 +530,7 @@ def job_from_dict(data: dict):
         "search-job": SearchJob,
         "search-shard-job": SearchShardJob,
         "network-job": NetworkJob,
+        "fused-job": FusedJob,
     }
     cls = kinds.get(kind)
     if cls is None:
@@ -490,9 +544,9 @@ def job_resendable(job) -> bool:
     """Whether a job in flight on a dropped connection may be silently
     resent on reconnect.
 
-    Evaluate, network, and shard jobs are pure functions of their
-    payload — running them twice returns the same result — so resending
-    is safe. A mapspace :class:`SearchJob` (``candidates is None``) is
+    Evaluate, network, fused, and shard jobs are pure functions of
+    their payload — running them twice returns the same result — so
+    resending is safe. A mapspace :class:`SearchJob` (``candidates is None``) is
     *not*: it consumes the executing daemon's seeded candidate stream
     and search budget, so a silent re-run would spend budget twice and
     could race a still-running first attempt. The serve client resolves

@@ -43,6 +43,7 @@ from pathlib import Path
 
 from repro.api.jobs import (
     EvaluateJob,
+    FusedJob,
     JobHandle,
     NetworkJob,
     SearchJob,
@@ -56,6 +57,7 @@ from repro.mapping.mapspace import MapspaceConstraints
 from repro.model.engine import Design, Evaluator, persistent_state_key
 from repro.model.result import (
     EvaluationResult,
+    FusedResult,
     NetworkLayerResult,
     NetworkResult,
     SearchResult,
@@ -71,7 +73,9 @@ def coerce_job(spec, *, search: bool = False):
     """Turn any accepted spec form into a job object — the rules of
     :meth:`Session.submit`, shared with the remote client so local and
     remote submissions spell jobs identically."""
-    if isinstance(spec, (EvaluateJob, SearchJob, NetworkJob, SearchShardJob)):
+    if isinstance(
+        spec, (EvaluateJob, SearchJob, NetworkJob, SearchShardJob, FusedJob)
+    ):
         if search and not isinstance(spec, SearchJob):
             raise SpecError(
                 f"search=True cannot convert a {type(spec).__name__}; "
@@ -380,7 +384,7 @@ class Session:
         """
         if isinstance(design, SearchJob):
             job = design
-        elif isinstance(design, (EvaluateJob, NetworkJob)):
+        elif isinstance(design, (EvaluateJob, NetworkJob, FusedJob)):
             raise SpecError(
                 f"search() cannot run a {type(design).__name__}; pass a "
                 "SearchJob, a Design + workload, or a design spec"
@@ -420,6 +424,25 @@ class Session:
         handle = self.submit(
             NetworkJob(design, list(layers), densities_for, parallel)
         )
+        return handle.result()
+
+    def evaluate_fused(
+        self,
+        design: Design,
+        graph,
+        densities: dict[str, float] | None = None,
+        fused=None,
+        parallel: int | None = None,
+    ) -> FusedResult:
+        """Evaluate an einsum graph under a fused mapping.
+
+        ``fused`` is a :class:`~repro.mapping.fused.FusedMapping` (or
+        ``None`` for the degenerate no-fusion evaluation, which is
+        bit-identical per einsum to :meth:`evaluate_network` over the
+        graph's einsums). Returns a :class:`FusedResult` with
+        per-einsum breakdowns and shared-tensor traffic attribution.
+        """
+        handle = self.submit(FusedJob(design, graph, densities, fused, parallel))
         return handle.result()
 
     # ------------------------------------------------------------------
@@ -481,6 +504,8 @@ class Session:
                 self._run_search(handle)
             elif isinstance(handle.job, NetworkJob):
                 self._run_network(handle)
+            elif isinstance(handle.job, FusedJob):
+                self._run_fused(handle)
 
     def _run_evaluates(self, handles: list[JobHandle]) -> None:
         if not handles:
@@ -661,6 +686,21 @@ class Session:
             return
         handle._resolve(result=result)
 
+    def _run_fused(self, handle: JobHandle) -> None:
+        job: FusedJob = handle.job
+        try:
+            result = self._evaluator._evaluate_fused(
+                job.design,
+                job.graph,
+                densities=job.densities,
+                fused=job.fused,
+                parallel=job.parallel or self.parallel,
+            )
+        except ReproError as exc:
+            handle._resolve(exception=exc)
+            return
+        handle._resolve(result=result)
+
     def _run_network(self, handle: JobHandle) -> None:
         job: NetworkJob = handle.job
         if job.densities_for is None:
@@ -699,13 +739,14 @@ class Session:
         """First-use warm-start: load the persistent snapshot for this
         job's content key, once per distinct key per Session.
 
-        Network jobs are skipped — the engine's network path brackets
-        its own fan-out with warm-start/spill under the network's key.
+        Network and fused jobs are skipped — the engine's network path
+        (which the fused path runs through) brackets its own fan-out
+        with warm-start/spill under the network's key.
         """
         if (
             self._evaluator.persistent is None
             or self._evaluator.cache is None
-            or isinstance(job, NetworkJob)
+            or isinstance(job, (NetworkJob, FusedJob))
         ):
             return
         key = persistent_state_key(job.design, [job.workload])
@@ -730,9 +771,10 @@ class Session:
     #: Stages always present in :meth:`cache_stats` output, with zero
     #: counters when untouched: the cold-search hot path reads the
     #: ``"dense"`` (memoised dataflow analyses) and ``"candidates"``
-    #: (replayed sampled streams) stages, so their hit/miss counters
-    #: are reportable even before the first search runs.
-    _REPORTED_STAGES = ("dense", "candidates")
+    #: (replayed sampled streams) stages, and the fused path memoises
+    #: whole cascade results under ``"fused"``, so their hit/miss
+    #: counters are reportable even before the first job runs.
+    _REPORTED_STAGES = ("dense", "candidates", "fused")
 
     def cache_stats(
         self, since: dict[str, dict[str, float]] | None = None

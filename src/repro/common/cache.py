@@ -72,6 +72,11 @@ DEFAULT_STAGE_SIZES = {
     # kept small — one entry per distinct (constraints, einsum, arch,
     # seed, budget) search configuration.
     "candidates": 64,
+    # Whole fused-cascade results: each entry bundles one
+    # EvaluationResult per graph einsum, so the stage is kept small —
+    # one entry per distinct (graph, design, fused mapping, densities)
+    # evaluation.
+    "fused": 64,
 }
 
 DEFAULT_STAGE_SIZE = 1024

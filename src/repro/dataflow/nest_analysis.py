@@ -555,6 +555,74 @@ def analyze_dataflow_batch(
     return results
 
 
+def analyze_fused_dataflow(
+    jobs: Sequence[tuple[Workload, Architecture, Mapping]],
+    *,
+    fuse_at: str | None,
+    shared: dict[str, tuple[int, list[int]]],
+    vectorized: bool | None = None,
+) -> list[DenseTraffic]:
+    """Dense dataflow analysis of a fused einsum cascade.
+
+    ``jobs`` holds one ``(workload, arch, mapping)`` per einsum in
+    graph order, with the mappings already in fused form (intermediates
+    kept at ``fuse_at`` as their outermost level — see
+    :meth:`~repro.mapping.fused.FusedMapping.fused_levels`). ``shared``
+    maps each intermediate tensor name to ``(producer_index,
+    consumer_indices)`` into ``jobs``.
+
+    The per-einsum traffic comes straight from the existing batched
+    segment machinery (:func:`analyze_dataflow_batch`): because fusion
+    is expressed in the keep sets, intermediate traffic outside
+    ``fuse_at`` is zero by construction, and the tensor's residency is
+    counted once — produced into the fusion level by its producer's
+    drains, read out of it by each consumer's fills. What the batch
+    cannot see is *cross-nest* consistency, checked here per
+    intermediate:
+
+    * producer and every consumer tile the tensor identically at
+      ``fuse_at`` (same per-rank tile extents),
+    * the consumer sees at most as many distinct tiles as the producer
+      materialises (a consumer walking tiles the producer never made
+      would read garbage).
+
+    Raises :class:`MappingError` on any violation. With ``fuse_at``
+    ``None`` (the degenerate form) this is exactly
+    :func:`analyze_dataflow_batch`.
+    """
+    denses = analyze_dataflow_batch(jobs, vectorized=vectorized)
+    if fuse_at is None:
+        return denses
+    for tensor, (producer, consumers) in shared.items():
+        produced = denses[producer].traffic.get((fuse_at, tensor))
+        if produced is None:
+            raise MappingError(
+                f"intermediate {tensor!r}: producer sub-nest keeps no "
+                f"tile at fusion level {fuse_at!r}"
+            )
+        for consumer in consumers:
+            consumed = denses[consumer].traffic.get((fuse_at, tensor))
+            if consumed is None:
+                raise MappingError(
+                    f"intermediate {tensor!r}: consumer sub-nest keeps no "
+                    f"tile at fusion level {fuse_at!r}"
+                )
+            if consumed.tile_rank_extents != produced.tile_rank_extents:
+                raise MappingError(
+                    f"intermediate {tensor!r} tiled differently at fusion "
+                    f"level {fuse_at!r}: producer materialises "
+                    f"{produced.tile_rank_extents}, consumer expects "
+                    f"{consumed.tile_rank_extents}"
+                )
+            if consumed.distinct > produced.episodes:
+                raise MappingError(
+                    f"intermediate {tensor!r}: consumer walks "
+                    f"{consumed.distinct} distinct tiles at {fuse_at!r} but "
+                    f"the producer materialises only {produced.episodes}"
+                )
+    return denses
+
+
 def _merge_orders(sequences: list[list[str]]) -> list[str] | None:
     """Merge dim sequences into one order containing each as a
     subsequence, or ``None`` when their relative orders conflict.

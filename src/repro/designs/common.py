@@ -54,6 +54,35 @@ def pow2_floor(value: int) -> int:
     return 1 << max(0, int(math.floor(math.log2(max(1, value)))))
 
 
+def generic_einsum_mapping(workload, arch):
+    """Shape-agnostic schedule for arbitrary einsums.
+
+    A small inner tile per dimension at the innermost storage level,
+    the remainder outermost, every tensor kept at every level (no
+    ``keep`` restriction). Used where a mapping must exist for einsums
+    whose dimension names no kernel-specific factory recognises —
+    notably the einsum-graph (fused) paths, whose cascade einsums
+    (attention's ``h``/``p`` dims) fit no conv or matmul template.
+    """
+    from repro.mapping.mapping import LevelMapping, Loop, Mapping
+
+    names = arch.level_names  # outermost first
+    inner, outer = [], []
+    for dim, bound in workload.einsum.dims.items():
+        rest, inner_f = split_factor(bound, 16)
+        if inner_f > 1:
+            inner.append(Loop(dim, inner_f))
+        if rest > 1:
+            outer.append(Loop(dim, rest))
+    if len(names) == 1:
+        return Mapping([LevelMapping(names[0], outer + inner)])
+    levels = [LevelMapping(names[0], outer)]
+    for extra in names[1:-1]:
+        levels.append(LevelMapping(extra, []))
+    levels.append(LevelMapping(names[-1], inner))
+    return Mapping(levels)
+
+
 def generic_matmul_mapping(workload, arch):
     """Conservative matmul schedule for DNN designs' FC/attention layers.
 

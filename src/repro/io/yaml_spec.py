@@ -58,8 +58,17 @@ from repro.sparse.formats import (
     UncompressedOffsetPairs,
     classic_format,
 )
+from repro.mapping.fused import FusedMapping
 from repro.sparse.saf import ComputeSAF, SAFKind, SAFSpec, StorageSAF
-from repro.workload.einsum import conv2d, depthwise_conv2d, matmul
+from repro.workload.einsum import (
+    EinsumSpec,
+    conv2d,
+    depthwise_conv2d,
+    einsum_from_dict,
+    einsum_to_dict,
+    matmul,
+)
+from repro.workload.graph import EinsumGraph
 from repro.workload.spec import Workload
 
 _KERNELS = {
@@ -268,6 +277,159 @@ def load_constraints(source) -> MapspaceConstraints:
         )
     except (TypeError, ValueError, AttributeError) as exc:
         raise SpecError(f"malformed constraints section: {exc}") from exc
+
+
+def _load_einsum(entry) -> EinsumSpec:
+    """One einsum of a ``graph`` section: either a kernel shorthand
+    (``{kernel: matmul, name: fc, dims: {...}}``) or the explicit
+    tensors form (:func:`repro.workload.einsum.einsum_from_dict`)."""
+    if not isinstance(entry, dict):
+        raise SpecError(
+            f"graph einsum entries must be dicts, got {type(entry).__name__}"
+        )
+    if "kernel" in entry:
+        kernel_name = entry["kernel"]
+        if kernel_name not in _KERNELS:
+            raise SpecError(
+                f"unknown kernel {kernel_name!r}; supported: "
+                f"{sorted(_KERNELS)}"
+            )
+        dims = entry.get("dims", {})
+        try:
+            spec = _KERNELS[kernel_name](
+                **dims, name=entry.get("name", kernel_name)
+            )
+        except TypeError as exc:
+            raise SpecError(
+                f"bad dims for kernel {kernel_name!r}: {exc}"
+            ) from exc
+        rename = entry.get("rename") or {}
+        if rename:
+            # Kernel factories hard-code tensor names (matmul: A/B/Z),
+            # so chained einsums need renames to share intermediates:
+            # {kernel: matmul, name: fc2, rename: {A: H}} consumes the
+            # tensor H another einsum produced.
+            data = einsum_to_dict(spec)
+            known = {tensor["name"] for tensor in data["tensors"]}
+            unknown = set(rename) - known
+            if unknown:
+                raise SpecError(
+                    f"rename of unknown tensors {sorted(unknown)} in "
+                    f"einsum {spec.name!r}; kernel {kernel_name!r} has "
+                    f"{sorted(known)}"
+                )
+            for tensor in data["tensors"]:
+                tensor["name"] = rename.get(tensor["name"], tensor["name"])
+            spec = einsum_from_dict(data)
+        return spec
+    if "tensors" in entry:
+        return einsum_from_dict(entry)
+    raise SpecError(
+        "graph einsum entries need a 'kernel' shorthand or an explicit "
+        "'tensors' list"
+    )
+
+
+def load_einsum_graph(source) -> EinsumGraph:
+    """Build an :class:`EinsumGraph` from a ``graph`` section.
+
+    Example::
+
+        graph:
+          name: mlp
+          einsums:
+            - {kernel: matmul, name: fc1, dims: {m: 64, k: 32, n: 128}}
+            - name: fc2        # explicit form; consumes fc1's output
+              dims: {m: 64, k: 128, n: 10}
+              tensors: [...]
+
+    Structural validation (duplicate einsum names, multiple producers,
+    consumer-before-producer order, shared-tensor shape mismatches,
+    malformed einsums) raises :class:`SpecError` /
+    :class:`~repro.common.errors.SpecError` at load time.
+    """
+    spec = _as_dict(source)
+    spec = spec.get("graph", spec)
+    einsums = spec.get("einsums")
+    if not einsums:
+        raise SpecError("graph spec needs a non-empty 'einsums' list")
+    return EinsumGraph(
+        spec.get("name", "graph"), [_load_einsum(entry) for entry in einsums]
+    )
+
+
+def load_fused_mapping(source) -> FusedMapping:
+    """Build a :class:`FusedMapping` from a ``fused`` section.
+
+    Example::
+
+        fused:
+          fuse_at: Buffer
+          mappings:
+            fc1: [{level: DRAM, temporal: [...]}, ...]
+            fc2: [...]
+
+    Both keys are optional: no ``mappings`` defers sub-nests to the
+    design's mapping policy; no ``fuse_at`` is the degenerate (unfused)
+    evaluation.
+    """
+    spec = _as_dict(source)
+    spec = spec.get("fused", spec)
+    try:
+        return FusedMapping.from_spec(spec)
+    except MappingError as exc:
+        raise SpecError(str(exc)) from exc
+
+
+def load_fused_spec(source) -> tuple[Design, EinsumGraph, FusedMapping, dict]:
+    """Load a full fused-evaluation input: arch + graph (+ safs, fused,
+    densities).
+
+    Returns ``(design, graph, fused, densities)`` ready for
+    :meth:`repro.api.Session.evaluate_fused`. When the spec provides
+    neither per-einsum ``fused.mappings`` nor a ``constraints`` section,
+    the design falls back to the shape-agnostic
+    :func:`repro.designs.common.generic_einsum_mapping` policy so every
+    graph einsum has a schedule.
+    """
+    spec = _as_dict(source)
+    if "graph" not in spec:
+        raise SpecError("fused spec needs a 'graph' section")
+    arch = load_architecture(spec)
+    graph = load_einsum_graph(spec)
+    safs = load_saf_spec(spec) if "safs" in spec else SAFSpec()
+    fused = (
+        load_fused_mapping(spec) if "fused" in spec else FusedMapping()
+    )
+    constraints = load_constraints(spec) if "constraints" in spec else None
+    if constraints is not None:
+        # Same load-time cross-check as load_design, against every
+        # einsum in the graph — a fused spec's constraints must be
+        # satisfiable by each sub-nest's mapspace.
+        for einsum in graph.einsums:
+            try:
+                Mapper(einsum, arch, constraints)
+            except MappingError as exc:
+                raise SpecError(
+                    f"invalid constraints section for einsum "
+                    f"{einsum.name!r}: {exc}"
+                ) from exc
+    mapping_factory = None
+    if fused.mappings is None and constraints is None:
+        from repro.designs.common import generic_einsum_mapping
+
+        mapping_factory = generic_einsum_mapping
+    densities = {
+        k: float(v) for k, v in (spec.get("densities") or {}).items()
+    }
+    design = Design(
+        name=spec.get("name", arch.name),
+        arch=arch,
+        safs=safs,
+        constraints=constraints,
+        mapping_factory=mapping_factory,
+    )
+    return design, graph, fused, densities
 
 
 def load_design(source) -> tuple[Design, Workload]:

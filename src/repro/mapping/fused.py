@@ -1,0 +1,188 @@
+"""Fused mappings: per-einsum sub-nests sharing a fusion buffer level.
+
+A :class:`FusedMapping` schedules every einsum of an
+:class:`~repro.workload.graph.EinsumGraph` with its own
+:class:`~repro.mapping.mapping.Mapping` (the *sub-nest*), plus an
+explicit ``fuse_at`` storage level where the graph's intermediate
+tensors live. Fusion semantics (following the fastfusion
+``LinearMapping`` shape):
+
+* each intermediate is produced into — and consumed out of — the
+  ``fuse_at`` buffer, never travelling through the levels outside it
+  (no DRAM round trip),
+* below ``fuse_at`` each einsum keeps its own schedule; the sub-nests
+  only need to agree on the intermediate's tile at the fusion level,
+* the *degenerate* form (``fuse_at is None``) applies the sub-nests
+  verbatim, which is exactly the unfused per-layer evaluation — the
+  equivalence oracle the engine tests against ``evaluate_network``.
+
+``mappings`` may be ``None``: the engine then resolves each einsum's
+sub-nest through the design's mapping policy
+(:meth:`~repro.model.engine.Design.mapping_for`), mirroring the
+network path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.spec import Architecture
+from repro.common.errors import MappingError
+from repro.mapping.mapping import Mapping
+from repro.workload.graph import EinsumGraph
+
+
+@dataclass
+class FusedMapping:
+    """Per-einsum sub-nests plus the shared fusion level.
+
+    ``mappings`` maps einsum names to sub-nests (``None`` defers to the
+    design's mapping policy). ``fuse_at`` names the storage level where
+    intermediates are resident; ``None`` is the degenerate (unfused)
+    form.
+    """
+
+    mappings: dict[str, Mapping] | None = None
+    fuse_at: str | None = None
+
+    def mapping_for(self, einsum_name: str) -> Mapping | None:
+        if self.mappings is None:
+            return None
+        return self.mappings.get(einsum_name)
+
+    def validate(self, graph: EinsumGraph, arch: Architecture) -> None:
+        """Structural checks against the graph and the hardware.
+
+        * explicit sub-nests name einsums the graph actually has and
+          validate against their einsums,
+        * ``fuse_at`` names an architecture storage level,
+        * when fusing, every sub-nest touching an intermediate keeps it
+          at ``fuse_at`` (the fused keep transform strips any keeps
+          outside the fusion level; a sub-nest not keeping the tensor
+          there at all cannot host the resident copy).
+
+        Tile agreement between producer and consumers at the fusion
+        level is value-dependent and checked by the fused dataflow
+        analysis.
+        """
+        if self.mappings is not None:
+            known = {spec.name for spec in graph.einsums}
+            for name in self.mappings:
+                if name not in known:
+                    raise MappingError(
+                        f"fused mapping schedules unknown einsum {name!r}; "
+                        f"graph {graph.name!r} has {sorted(known)}"
+                    )
+        if self.fuse_at is None:
+            return
+        if self.fuse_at not in arch.level_names:
+            raise MappingError(
+                f"fuse_at level {self.fuse_at!r} is not an architecture "
+                f"storage level (have {arch.level_names})"
+            )
+        if self.mappings is not None:
+            for tensor in graph.intermediates:
+                touching = [graph.producer_of(tensor)] + graph.consumers_of(
+                    tensor
+                )
+                for einsum_name in touching:
+                    mapping = self.mappings.get(einsum_name)
+                    if mapping is None:
+                        continue
+                    level = mapping.level(self.fuse_at)
+                    if not level.keeps(tensor):
+                        raise MappingError(
+                            f"intermediate {tensor!r} is fused at "
+                            f"{self.fuse_at!r} but einsum {einsum_name!r}'s "
+                            f"sub-nest does not keep it there"
+                        )
+
+    def fused_levels(
+        self, mapping: Mapping, tensor_names: set[str], fused: set[str]
+    ) -> Mapping:
+        """The fused form of one sub-nest: ``fused`` (the graph's
+        intermediates this einsum touches) are stripped from the keep
+        sets of every level *outside* ``fuse_at``, pinning them at the
+        fusion level. ``tensor_names`` is the einsum's full tensor set,
+        needed to materialise ``keep=None`` (keep-everything) levels
+        into explicit sets that exclude the intermediates.
+
+        With the keep chain now starting at ``fuse_at``, the ordinary
+        dense dataflow analysis produces zero traffic for the tensor at
+        the outer levels by construction — the fusion saving is a
+        property of the mapping content, so every cache keyed by
+        mapping content stays sound with no special cases.
+        """
+        if self.fuse_at is None or not fused:
+            return mapping
+        levels = []
+        outside = True
+        for lvl in mapping.levels:  # outermost first
+            if lvl.level == self.fuse_at:
+                outside = False
+            if outside and (lvl.keep is None or lvl.keep & fused):
+                keep = set(lvl.keep if lvl.keep is not None else tensor_names)
+                keep -= fused
+                levels.append(replace_level(lvl, keep=keep))
+            else:
+                levels.append(lvl)
+        return Mapping(levels)
+
+    def to_spec(self) -> dict:
+        """Serializable spec form (also the YAML ``fused:`` section
+        shape): per-einsum :meth:`Mapping.to_spec` lists plus the
+        fusion level."""
+        return {
+            "fuse_at": self.fuse_at,
+            "mappings": (
+                None
+                if self.mappings is None
+                else {
+                    name: mapping.to_spec()
+                    for name, mapping in sorted(self.mappings.items())
+                }
+            ),
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "FusedMapping":
+        if not isinstance(spec, dict):
+            raise MappingError(
+                f"fused mapping spec must be a dict, got "
+                f"{type(spec).__name__}"
+            )
+        mappings = spec.get("mappings")
+        if mappings is not None:
+            if not isinstance(mappings, dict):
+                raise MappingError(
+                    "fused mapping 'mappings' must map einsum names to "
+                    "mapping specs"
+                )
+            mappings = {
+                name: Mapping.from_spec(entry)
+                for name, entry in mappings.items()
+            }
+        return cls(mappings=mappings, fuse_at=spec.get("fuse_at"))
+
+    def cache_key(self) -> tuple:
+        """Canonical hashable content key (sub-nests sorted by einsum
+        name so equal fused mappings key identically)."""
+        return (
+            self.fuse_at,
+            None
+            if self.mappings is None
+            else tuple(
+                (name, mapping.cache_key())
+                for name, mapping in sorted(self.mappings.items())
+            ),
+        )
+
+
+def replace_level(lvl, *, keep):
+    """A copy of one :class:`~repro.mapping.mapping.LevelMapping` with a
+    new keep set (loops shared — they are immutable)."""
+    from repro.mapping.mapping import LevelMapping
+
+    return LevelMapping(
+        lvl.level, list(lvl.temporal), list(lvl.spatial), keep=keep
+    )

@@ -141,6 +141,10 @@ __all__ = [
 
 MappingFactory = Callable[[Workload, Architecture], Mapping]
 
+#: Cache stage memoising whole :class:`~repro.model.result.FusedResult`
+#: objects by graph + design + resolved sub-nest + density content.
+FUSED_STAGE = "fused"
+
 #: Default backend for the capacity prefilter in the batched search
 #: strategy. The scalar oracle (:meth:`Evaluator._capacity_overflow`
 #: per candidate) can be forced process-wide by setting
@@ -2143,6 +2147,8 @@ class Evaluator:
         layers,
         densities_for: Callable[[object], dict[str, float]],
         parallel: int = 1,
+        *,
+        mapping_for: Callable[[Workload], Mapping | None] | None = None,
     ) -> list[tuple[object, EvaluationResult]]:
         """Per-layer evaluation of a full network (Sec 6.1 methodology).
 
@@ -2164,7 +2170,14 @@ class Evaluator:
         conservatively treated as unique. When a ``persistent`` store
         is configured, the fan-out warm-starts from (and afterwards
         spills to) the snapshot keyed by this network's content.
+
+        ``mapping_for`` overrides the design's mapping policy with an
+        explicit per-workload resolver (the fused-cascade path passes
+        its fusion-transformed sub-nests through here); ``None`` keeps
+        the design's own resolution, bit-identically to before the
+        override existed.
         """
+        resolve = design.mapping_for if mapping_for is None else mapping_for
         workloads = [
             Workload.uniform(layer.spec, densities_for(layer), name=layer.name)
             for layer in layers
@@ -2178,7 +2191,7 @@ class Evaluator:
             # produce different schedules for identical shapes, so the
             # resolved mapping joins the dedupe key (and rides in the
             # job, keeping factories at one call per layer).
-            mapping = design.mapping_for(workload)
+            mapping = resolve(workload)
             key = _workload_content_key(workload)
             if key is not None:
                 key = (key, None if mapping is None else mapping.cache_key())
@@ -2211,6 +2224,232 @@ class Evaluator:
                 result = replace(result, workload_name=workload.name)
             paired.append((layer, result))
         return paired
+
+    def evaluate_fused(
+        self,
+        design: Design,
+        graph,
+        densities: dict[str, float] | None = None,
+        fused=None,
+        parallel: int = 1,
+    ):
+        """Deprecated entry point; use
+        :meth:`repro.api.Session.evaluate_fused`."""
+        _warn_deprecated("evaluate_fused", "Session.evaluate_fused")
+        return self._evaluate_fused(design, graph, densities, fused, parallel)
+
+    def _evaluate_fused(
+        self,
+        design: Design,
+        graph,
+        densities: dict[str, float] | None = None,
+        fused=None,
+        parallel: int = 1,
+    ):
+        """Evaluate an einsum cascade, optionally fused.
+
+        ``graph`` is an :class:`~repro.workload.graph.EinsumGraph`;
+        ``densities`` maps tensor names (shared across einsums) to
+        uniform densities. ``fused`` is a
+        :class:`~repro.mapping.fused.FusedMapping`; ``None`` (or one
+        with ``fuse_at=None``) is the degenerate form, which runs the
+        einsums through exactly the :meth:`_evaluate_network` machinery
+        — per-einsum results are bit-identical to evaluating the graph
+        as an unfused layer list.
+
+        When ``fuse_at`` names a level, each sub-nest is rewritten so
+        the graph's intermediates are kept at (and never outside) that
+        level, the fused dataflow analysis cross-validates the
+        sub-nests' intermediate tiles and seeds the dense stage, and
+        the per-einsum pipeline runs on the rewritten mappings — every
+        downstream cache stays sound because the fusion lives in the
+        mapping content. Complete results are memoised in the
+        ``"fused"`` cache stage keyed by graph + design + resolved
+        sub-nest + density content.
+        """
+        from repro.dataflow.nest_analysis import analyze_fused_dataflow
+        from repro.mapping.fused import FusedMapping
+        from repro.model.result import FusedEinsumResult, FusedResult
+        from repro.workload.nets import NetLayer
+
+        if fused is None:
+            fused = FusedMapping()
+        fused.validate(graph, design.arch)
+        densities = dict(densities or {})
+        known = set(graph.tensor_names())
+        for tensor in densities:
+            if tensor not in known:
+                raise SpecError(
+                    f"density given for unknown tensor {tensor!r}; graph "
+                    f"{graph.name!r} has {sorted(known)}"
+                )
+
+        def densities_for(layer):
+            names = {t.name for t in layer.spec.tensors}
+            return {t: d for t, d in densities.items() if t in names}
+
+        layers = [NetLayer(spec.name, spec) for spec in graph.einsums]
+        workloads = [
+            Workload.uniform(layer.spec, densities_for(layer), name=layer.name)
+            for layer in layers
+        ]
+
+        # Resolve each einsum's sub-nest: explicit fused mapping first,
+        # then the design's mapping policy (one factory call per einsum,
+        # matching the network path).
+        resolved: dict[str, Mapping | None] = {}
+        for workload in workloads:
+            mapping = fused.mapping_for(workload.name)
+            if mapping is None:
+                mapping = design.mapping_for(workload)
+            resolved[workload.name] = mapping
+
+        fuse_at = fused.fuse_at
+        intermediates = set(graph.intermediates)
+        if fuse_at is not None:
+            missing = [name for name, m in resolved.items() if m is None]
+            if missing:
+                raise MappingError(
+                    f"fusing at {fuse_at!r} needs a sub-nest per einsum; "
+                    f"none resolved for {missing} (give the FusedMapping "
+                    "explicit mappings or a design with a mapping policy)"
+                )
+            for workload in workloads:
+                tensor_names = {t.name for t in workload.einsum.tensors}
+                touched = tensor_names & intermediates
+                mapping = fused.fused_levels(
+                    resolved[workload.name], tensor_names, touched
+                )
+                level = mapping.level(fuse_at)
+                for tensor in sorted(touched):
+                    if not level.keeps(tensor):
+                        raise MappingError(
+                            f"intermediate {tensor!r} is fused at "
+                            f"{fuse_at!r} but einsum {workload.name!r}'s "
+                            f"sub-nest does not keep it there"
+                        )
+                resolved[workload.name] = mapping
+
+        # Persistent-tier bracket. The network fan-out below brackets
+        # its own warm-start/spill, but its spill runs before the fused
+        # result is memoised and its warm-start after the whole-result
+        # probe has already missed — so the fused path warms here and
+        # re-spills after the store, keeping repeat runs one probe.
+        warm_key = None
+        if self.persistent is not None and self.cache is not None:
+            warm_key = persistent_state_key(design, workloads)
+            if warm_key is not None:
+                self.warm_start(warm_key)
+
+        # Whole-result memo: resolved sub-nests join the key (the
+        # FusedMapping alone may defer to the design's mapping policy).
+        fused_key = None
+        if self.cache is not None and all(
+            m is not None for m in resolved.values()
+        ):
+            fused_key = CachedHashKey(
+                (
+                    "fused-result",
+                    graph.cache_key(),
+                    design.arch.cache_key(),
+                    design.safs.cache_key(),
+                    fuse_at,
+                    tuple(
+                        (name, resolved[name].cache_key())
+                        for name in sorted(resolved)
+                    ),
+                    tuple(sorted(densities.items())),
+                    bool(self.check_capacity),
+                )
+            )
+            stage = self.cache.stage(FUSED_STAGE)
+            hit = stage.get(fused_key)
+            if hit is not None:
+                return hit
+
+        if fuse_at is not None:
+            # Fused dataflow analysis: cross-validates the intermediate
+            # tiles across sub-nests and computes every einsum's dense
+            # traffic in one batched pass; the results seed the dense
+            # stage so the per-einsum pipeline below reuses them.
+            index_of = {w.name: i for i, w in enumerate(workloads)}
+            shared = {
+                tensor: (
+                    index_of[graph.producer_of(tensor)],
+                    [index_of[name] for name in graph.consumers_of(tensor)],
+                )
+                for tensor in graph.intermediates
+            }
+            jobs = [
+                (w, design.arch, resolved[w.name]) for w in workloads
+            ]
+            denses = analyze_fused_dataflow(
+                jobs, fuse_at=fuse_at, shared=shared
+            )
+            if self.cache is not None:
+                for (workload, _arch, mapping), dense in zip(jobs, denses):
+                    key = CachedHashKey(
+                        dense_analysis_key(workload, design.arch, mapping)
+                    )
+                    if key not in self.cache.dense:
+                        self.cache.dense.put(
+                            key, replace(dense, workload=None)
+                        )
+
+        pairs = self._evaluate_network(
+            design,
+            layers,
+            densities_for,
+            parallel,
+            mapping_for=(
+                None
+                if fused.mappings is None and fuse_at is None
+                else lambda workload: resolved[workload.name]
+            ),
+        )
+
+        top_level = design.arch.level_names[0]
+        by_name = {layer.name: result for layer, result in pairs}
+        shared_records: list[dict] = []
+        for tensor in graph.intermediates:
+            producer = graph.producer_of(tensor)
+            consumers = graph.consumers_of(tensor)
+            record: dict = {
+                "tensor": tensor,
+                "producer": producer,
+                "consumers": list(consumers),
+                "level": fuse_at,
+                "fusion_words": {},
+                "backing_words": {},
+            }
+            for name in [producer, *consumers]:
+                traffic = by_name[name].dense.traffic
+                top = traffic.get((top_level, tensor))
+                record["backing_words"][name] = (
+                    top.reads + top.writes if top is not None else 0.0
+                )
+                if fuse_at is not None:
+                    at = traffic.get((fuse_at, tensor))
+                    record["fusion_words"][name] = (
+                        at.reads + at.writes if at is not None else 0.0
+                    )
+            shared_records.append(record)
+
+        result = FusedResult(
+            design_name=design.name,
+            graph_name=graph.name,
+            einsums=[
+                FusedEinsumResult(einsum_name=layer.name, result=res)
+                for layer, res in pairs
+            ],
+            fuse_at=fuse_at,
+            shared=shared_records,
+        )
+        if fused_key is not None:
+            self.cache.stage(FUSED_STAGE).put(fused_key, result)
+            if warm_key is not None:
+                self.spill_cache(warm_key)
+        return result
 
     def _absorb_result(
         self, design: Design, workload: Workload, result: EvaluationResult

@@ -672,3 +672,127 @@ class NetworkResult(SerializableResult):
 
         return cls._rebuild(data, "network", build)
 
+
+@dataclass
+class FusedEinsumResult:
+    """One einsum's evaluation inside a fused cascade."""
+
+    einsum_name: str
+    result: EvaluationResult
+
+
+@dataclass
+class FusedResult(SerializableResult):
+    """Per-einsum results of a fused einsum-graph evaluation.
+
+    ``einsums`` holds one entry per graph einsum, in graph order;
+    ``shared`` attributes the intermediate tensors' traffic: one record
+    per intermediate with its producer/consumer einsums, the words
+    moved at the fusion level, and the words moved at the outermost
+    (backing-store) level — zero when fused, the DRAM round trip when
+    not.
+    """
+
+    design_name: str
+    graph_name: str
+    einsums: list[FusedEinsumResult]
+    fuse_at: str | None = None
+    shared: list[dict] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(e.result.cycles for e in self.einsums)
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(e.result.energy_pj for e in self.einsums)
+
+    def einsum(self, name: str) -> FusedEinsumResult:
+        for entry in self.einsums:
+            if entry.einsum_name == name:
+                return entry
+        raise KeyError(f"no einsum {name!r} in this fused result")
+
+    def shared_tensor(self, tensor: str) -> dict:
+        for entry in self.shared:
+            if entry.get("tensor") == tensor:
+                return entry
+        raise KeyError(f"no shared tensor {tensor!r} in this fused result")
+
+    @property
+    def intermediate_backing_words(self) -> float:
+        """Total words the intermediates move at the outermost storage
+        level (the fused-vs-unfused benchmark's headline metric)."""
+        return sum(
+            sum(entry.get("backing_words", {}).values())
+            for entry in self.shared
+        )
+
+    def summary(self) -> str:
+        fusion = (
+            "unfused (degenerate)"
+            if self.fuse_at is None
+            else f"fused at {self.fuse_at}"
+        )
+        lines = [
+            f"{self.design_name} / {self.graph_name} ({fusion})",
+            f"  cycles: {self.total_cycles:.4g}",
+            f"  energy: {self.total_energy_pj:.6g} pJ",
+        ]
+        for entry in self.einsums:
+            lines.append(
+                f"  {entry.einsum_name}: cycles {entry.result.cycles:.4g}, "
+                f"energy {entry.result.energy_pj:.6g} pJ"
+            )
+        for entry in self.shared:
+            backing = sum(entry.get("backing_words", {}).values())
+            fusion_words = sum(entry.get("fusion_words", {}).values())
+            lines.append(
+                f"  intermediate {entry.get('tensor')}: "
+                f"{entry.get('producer')} -> "
+                f"{', '.join(entry.get('consumers', []))}; "
+                f"backing {backing:.4g} words, "
+                f"fusion-level {fusion_words:.4g} words"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "kind": "fused",
+            "design": self.design_name,
+            "graph": self.graph_name,
+            "fuse_at": self.fuse_at,
+            "einsums": [
+                {
+                    "name": entry.einsum_name,
+                    "result": entry.result.to_dict(),
+                }
+                for entry in self.einsums
+            ],
+            "shared": [dict(entry) for entry in self.shared],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FusedResult":
+        def build() -> "FusedResult":
+            # ``fuse_at`` and ``shared`` are read leniently: a minimal
+            # (or older) schema-v1 envelope carrying only the per-einsum
+            # results rebuilds with the degenerate defaults instead of
+            # raising KeyError.
+            return cls(
+                design_name=data["design"],
+                graph_name=data["graph"],
+                einsums=[
+                    FusedEinsumResult(
+                        einsum_name=entry["name"],
+                        result=EvaluationResult.from_dict(entry["result"]),
+                    )
+                    for entry in data["einsums"]
+                ],
+                fuse_at=data.get("fuse_at"),
+                shared=[dict(entry) for entry in data.get("shared") or []],
+            )
+
+        return cls._rebuild(data, "fused", build)
+

@@ -527,6 +527,17 @@ class RemoteSession:
         )
         return handle.result()
 
+    def evaluate_fused(
+        self, design, graph, densities=None, fused=None, parallel=None
+    ):
+        """Mirror of :meth:`repro.api.Session.evaluate_fused`."""
+        from repro.api.jobs import FusedJob
+
+        handle = self.submit(
+            FusedJob(design, graph, densities, fused, parallel)
+        )
+        return handle.result()
+
     # ------------------------------------------------------------------
     # Control ops
 

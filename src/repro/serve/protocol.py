@@ -53,6 +53,7 @@ from repro.common.errors import (
 )
 from repro.model.result import (
     EvaluationResult,
+    FusedResult,
     NetworkResult,
     SearchResult,
     SearchShardResult,
@@ -94,6 +95,7 @@ _RESULT_KINDS = {
     "search": SearchResult,
     "search-shard": SearchShardResult,
     "network": NetworkResult,
+    "fused": FusedResult,
 }
 
 

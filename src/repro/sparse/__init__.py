@@ -5,6 +5,7 @@ from repro.sparse.density import (
     BandedDensity,
     DensityModel,
     FixedStructuredDensity,
+    StructuredNMDensity,
     UniformDensity,
 )
 from repro.sparse.formats import (
@@ -23,6 +24,7 @@ __all__ = [
     "DensityModel",
     "UniformDensity",
     "FixedStructuredDensity",
+    "StructuredNMDensity",
     "BandedDensity",
     "ActualDataDensity",
     "RankFormat",

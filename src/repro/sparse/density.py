@@ -391,6 +391,112 @@ class FixedStructuredDensity(DensityModel):
         )
 
 
+class StructuredNMDensity(DensityModel):
+    """Row-aware N:M structured sparsity (e.g. the 2:4 tensor-core
+    pattern the DSTC design exploits).
+
+    Every aligned block of ``m`` consecutive elements along the
+    *innermost* axis holds exactly ``n`` nonzeros. Unlike
+    :class:`FixedStructuredDensity` — which flattens a multi-rank tile
+    into one contiguous run — this model respects row boundaries: a
+    tile of shape ``(..., c)`` covers ``prod(outer)`` independent row
+    segments of ``c`` elements each, every segment starting
+    block-aligned (tiles whose innermost extent divides into the
+    block grid, the shapes N:M hardware produces). Each segment spans
+    ``c // m`` full blocks (exactly ``n`` nonzeros apiece,
+    deterministic) plus one partial block of ``c % m`` positions whose
+    occupancy is hypergeometric inside the block, independent across
+    rows. Scalar shape queries are treated as a single row segment.
+    """
+
+    def __init__(self, n: int, m: int):
+        if m <= 0 or n < 0:
+            raise SpecError(f"invalid N:M structure {n}:{m}")
+        if n > m:
+            raise SpecError(f"N:M structure {n}:{m} is infeasible")
+        self.n = n
+        self.m = m
+
+    @property
+    def density(self) -> float:
+        return self.n / self.m
+
+    def cache_key(self) -> tuple:
+        return ("structured-nm", self.n, self.m)
+
+    def _split(self, shape: TileShape) -> tuple[int, int, int]:
+        """(row segments, full blocks per row, remainder per row)."""
+        size = _tile_size(shape)  # validates positivity
+        if isinstance(shape, int):
+            rows, inner = 1, shape
+        else:
+            dims = tuple(int(s) for s in shape)
+            inner = dims[-1]
+            rows = size // inner
+        return rows, inner // self.m, inner % self.m
+
+    def prob_empty(self, shape: TileShape) -> float:
+        if self.n == 0:
+            return 1.0
+        rows, full, rem = self._split(shape)
+        if full > 0:
+            return 0.0
+        # Independent partial blocks, one per row segment.
+        return hypergeom_prob_empty(self.m, self.n, rem) ** rows
+
+    def expected_occupancy(self, shape: TileShape) -> float:
+        return _tile_size(shape) * self.density
+
+    def monotone_occupancy_bound(self, shape: TileShape) -> float:
+        # Expected occupancy: monotone in every extent, and the
+        # structure keeps block occupancies at it deterministically.
+        return _tile_size(shape) * self.density
+
+    def max_occupancy(self, shape: TileShape) -> int:
+        rows, full, rem = self._split(shape)
+        return rows * (full * self.n + min(rem, self.n))
+
+    def quantile_occupancy(self, shape: TileShape, sigmas: float = 3.0) -> float:
+        rows, full, rem = self._split(shape)
+        mean = _tile_size(shape) * self.density
+        if rem == 0 or self.m == 1:
+            return float(mean)  # fully deterministic
+        # Per-row partial block: hypergeometric(total=m, nnz=n,
+        # draws=rem) variance, independent across rows.
+        d = self.density
+        fpc = (self.m - rem) / max(1, self.m - 1)
+        variance = rows * rem * d * (1.0 - d) * fpc
+        estimate = mean + sigmas * math.sqrt(max(0.0, variance))
+        return float(min(self.max_occupancy(shape), estimate))
+
+    #: Row counts above this fall back to the two-point approximation
+    #: in :meth:`occupancy_distribution` — the exact convolution's
+    #: support grows linearly with the row count.
+    _EXACT_CONVOLUTION_ROWS = 64
+
+    def occupancy_distribution(self, shape: TileShape) -> list[tuple[int, float]]:
+        rows, full, rem = self._split(shape)
+        base = rows * full * self.n
+        if rem == 0 or self.n == 0:
+            return [(base, 1.0)]
+        if rows > self._EXACT_CONVOLUTION_ROWS:
+            return super().occupancy_distribution(shape)
+        pairs = hypergeom_distribution(self.m, self.n, rem)
+        dist = {0: 1.0}
+        for _ in range(rows):
+            folded: dict[int, float] = {}
+            for have, p0 in dist.items():
+                for k, p in pairs:
+                    q = p0 * p
+                    if q > _PMF_EPSILON:
+                        folded[have + k] = folded.get(have + k, 0.0) + q
+            dist = folded
+        return sorted((base + k, p) for k, p in dist.items())
+
+    def __repr__(self) -> str:
+        return f"StructuredNMDensity({self.n}:{self.m})"
+
+
 class BandedDensity(DensityModel):
     """Diagonal-band sparsity for 2D matrices (Table 4, row 3).
 

@@ -194,6 +194,82 @@ def _simple_rank(name: str, dim: str) -> RankProjection:
     return RankProjection(name, (ProjectionTerm(dim),))
 
 
+def einsum_to_dict(spec: EinsumSpec) -> dict:
+    """Explicit serialized form of an einsum (dims + tensor rank
+    projections), the inverse of :func:`einsum_from_dict`.
+
+    Unlike the kernel shorthand (``matmul``/``conv2d`` factories), this
+    form can express any affine-projection einsum, so it is what
+    :class:`~repro.workload.graph.EinsumGraph` envelopes and the YAML
+    ``einsums:`` section carry.
+    """
+    return {
+        "name": spec.name,
+        "dims": dict(spec.dims),
+        "tensors": [
+            {
+                "name": tensor.name,
+                "output": tensor.is_output,
+                "ranks": [
+                    {
+                        "name": rank.name,
+                        "terms": [
+                            {"dim": term.dim, "coefficient": term.coefficient}
+                            for term in rank.terms
+                        ],
+                    }
+                    for rank in tensor.ranks
+                ],
+            }
+            for tensor in spec.tensors
+        ],
+    }
+
+
+def einsum_from_dict(data: dict) -> EinsumSpec:
+    """Rebuild an einsum from :func:`einsum_to_dict` output.
+
+    Construction re-runs every :class:`EinsumSpec` consistency check
+    (exactly one output, unique tensor names, projections onto known
+    dims), so malformed serialized specs raise :class:`SpecError` here
+    — at load time — rather than deep inside nest analysis.
+    """
+    if not isinstance(data, dict):
+        raise SpecError(
+            f"serialized einsum must be a dict, got {type(data).__name__}"
+        )
+    try:
+        tensors = [
+            TensorRef(
+                name=entry["name"],
+                ranks=tuple(
+                    RankProjection(
+                        name=rank["name"],
+                        terms=tuple(
+                            ProjectionTerm(
+                                dim=term["dim"],
+                                coefficient=int(term.get("coefficient", 1)),
+                            )
+                            for term in rank["terms"]
+                        ),
+                    )
+                    for rank in entry["ranks"]
+                ),
+                is_output=bool(entry.get("output", False)),
+            )
+            for entry in data["tensors"]
+        ]
+        return EinsumSpec(
+            name=data["name"],
+            dims={dim: int(bound) for dim, bound in data["dims"].items()},
+            tensors=tensors,
+        )
+    except SpecError:
+        raise
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise SpecError(f"malformed serialized einsum: {exc!r}") from exc
+
+
 def matmul(m: int, k: int, n: int, name: str = "matmul") -> EinsumSpec:
     """``Z[m, n] = sum_k A[m, k] * B[k, n]``."""
     a = TensorRef("A", (_simple_rank("M", "m"), _simple_rank("K", "k")))

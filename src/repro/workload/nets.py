@@ -11,7 +11,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.workload.einsum import EinsumSpec, conv2d, depthwise_conv2d, matmul
+from repro.common.errors import SpecError
+from repro.workload.einsum import (
+    EinsumSpec,
+    ProjectionTerm,
+    RankProjection,
+    TensorRef,
+    conv2d,
+    depthwise_conv2d,
+    matmul,
+)
+from repro.workload.graph import EinsumGraph
 
 
 @dataclass(frozen=True)
@@ -240,6 +250,57 @@ def bert_base(seq_len: int = 512) -> list[NetLayer]:
         ),
     ]
     return layers
+
+
+def _rank(name: str, dim: str) -> RankProjection:
+    return RankProjection(name, (ProjectionTerm(dim),))
+
+
+def attention(
+    seq: int = 512, d_model: int = 768, heads: int = 12
+) -> EinsumGraph:
+    """Multi-head attention as a fused-evaluable einsum graph.
+
+    Two einsums per the standard cascade, batched over heads:
+
+    * ``qk``: ``S[h,m,n] = sum_k Q[h,m,k] * K[h,n,k]`` — attention
+      scores,
+    * ``av``: ``O[h,m,p] = sum_n S[h,m,n] * V[h,n,p]`` — score-weighted
+      values,
+
+    with ``S`` the shared intermediate (``heads x seq x seq`` — the
+    tensor whose DRAM round trip fusion eliminates). The softmax
+    between them is elementwise over ``S`` (a row-wise normalisation),
+    so it changes values, not traffic shape; the dataflow model treats
+    ``S`` as flowing straight from ``qk`` to ``av``, exactly as a fused
+    kernel would apply the normalisation in place at the fusion level.
+    """
+    if d_model % heads != 0:
+        raise SpecError(
+            f"d_model {d_model} is not divisible by heads {heads}"
+        )
+    head_dim = d_model // heads
+    q = TensorRef("Q", (_rank("H", "h"), _rank("M", "m"), _rank("K", "k")))
+    k = TensorRef("K", (_rank("H", "h"), _rank("N", "n"), _rank("K", "k")))
+    s_out = TensorRef(
+        "S", (_rank("H", "h"), _rank("M", "m"), _rank("N", "n")), is_output=True
+    )
+    qk = EinsumSpec(
+        "qk",
+        {"h": heads, "m": seq, "n": seq, "k": head_dim},
+        [q, k, s_out],
+    )
+    s_in = TensorRef("S", (_rank("H", "h"), _rank("M", "m"), _rank("N", "n")))
+    v = TensorRef("V", (_rank("H", "h"), _rank("N", "n"), _rank("P", "p")))
+    o = TensorRef(
+        "O", (_rank("H", "h"), _rank("M", "m"), _rank("P", "p")), is_output=True
+    )
+    av = EinsumSpec(
+        "av",
+        {"h": heads, "m": seq, "n": seq, "p": head_dim},
+        [s_in, v, o],
+    )
+    return EinsumGraph("attention", [qk, av])
 
 
 NETWORKS = {

@@ -1,0 +1,180 @@
+"""FusedJob through the Session: submission, caching, wire format."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.api import (
+    EinsumGraph,
+    FusedJob,
+    FusedMapping,
+    FusedResult,
+    Session,
+    job_from_dict,
+    job_resendable,
+)
+from repro.api.session import coerce_job
+from repro.common.errors import SpecError
+from repro.designs import toy
+from repro.designs.common import generic_einsum_mapping
+from repro.workload.nets import attention
+from tests.workload.test_graph import chain_graph
+
+DENSITIES = {"A": 0.5, "B": 0.6, "H": 0.7, "C": 0.4}
+
+
+def fused_ready_design():
+    return replace(
+        toy.dense_design(),
+        mapping=None,
+        constraints=None,
+        mapping_factory=generic_einsum_mapping,
+    )
+
+
+class TestSessionPath:
+    def test_evaluate_fused_returns_fused_result(self):
+        with Session(check_capacity=False) as session:
+            result = session.evaluate_fused(
+                fused_ready_design(), chain_graph(), dict(DENSITIES)
+            )
+        assert isinstance(result, FusedResult)
+        assert [e.einsum_name for e in result.einsums] == ["fc1", "fc2"]
+
+    def test_submit_accepts_fused_job(self):
+        job = FusedJob(fused_ready_design(), chain_graph(), dict(DENSITIES))
+        assert coerce_job(job) is job
+        with Session(check_capacity=False) as session:
+            result = session.submit(job).result()
+        assert isinstance(result, FusedResult)
+
+    def test_search_rejects_fused_job(self):
+        job = FusedJob(fused_ready_design(), chain_graph())
+        with pytest.raises(SpecError):
+            coerce_job(job, search=True)
+        with Session(check_capacity=False) as session:
+            with pytest.raises(SpecError):
+                session.search(job)
+
+    def test_unknown_density_tensor_rejected(self):
+        with Session(check_capacity=False) as session:
+            handle = session.submit(
+                FusedJob(
+                    fused_ready_design(), chain_graph(), {"NOPE": 0.5}
+                )
+            )
+            with pytest.raises(SpecError, match="NOPE"):
+                handle.result()
+
+    def test_fused_attention_eliminates_backing_traffic(self):
+        graph = attention(seq=32, d_model=64, heads=2)
+        design = fused_ready_design()
+        with Session(check_capacity=False) as session:
+            unfused = session.evaluate_fused(design, graph)
+            fused = session.evaluate_fused(
+                design, graph, fused=FusedMapping(fuse_at="Buffer")
+            )
+        assert unfused.intermediate_backing_words > 0
+        assert fused.intermediate_backing_words == 0
+        record = fused.shared_tensor("S")
+        assert record["level"] == "Buffer"
+        assert sum(record["fusion_words"].values()) > 0
+
+
+class TestCaching:
+    def test_fused_stage_reported_and_hit_on_repeat(self):
+        with Session(check_capacity=False) as session:
+            baseline = session.cache_stats()
+            assert set(baseline) >= {"dense", "candidates", "fused"}
+            assert baseline["fused"]["misses"] == 0
+            first = session.evaluate_fused(
+                fused_ready_design(), chain_graph(), dict(DENSITIES)
+            )
+            mid = session.cache_stats()
+            assert mid["fused"]["misses"] == 1
+            assert mid["fused"]["entries"] == 1
+            second = session.evaluate_fused(
+                fused_ready_design(), chain_graph(), dict(DENSITIES)
+            )
+            after = session.cache_stats()
+            assert after["fused"]["hits"] == 1
+        assert second.to_dict() == first.to_dict()
+
+    def test_fused_stage_survives_the_persistent_tier(self, tmp_path):
+        from repro.common.cache import PersistentCache
+
+        design = fused_ready_design()
+        graph = chain_graph()
+        with Session(
+            check_capacity=False, persistent=PersistentCache(root=tmp_path)
+        ) as first:
+            cold = first.evaluate_fused(design, graph, dict(DENSITIES))
+        # A fresh Session on the same store serves the whole result
+        # from one fused-stage probe — no per-einsum stage traffic.
+        with Session(
+            check_capacity=False, persistent=PersistentCache(root=tmp_path)
+        ) as second:
+            warm = second.evaluate_fused(design, graph, dict(DENSITIES))
+            stats = second.cache_stats()
+        assert stats["fused"]["hits"] == 1
+        assert stats["fused"]["misses"] == 0
+        assert stats["dense"]["misses"] == 0
+        assert warm.to_dict() == cold.to_dict()
+
+    def test_distinct_fusions_key_separately(self):
+        graph = attention(seq=32, d_model=64, heads=2)
+        design = fused_ready_design()
+        with Session(check_capacity=False) as session:
+            unfused = session.evaluate_fused(design, graph)
+            fused = session.evaluate_fused(
+                design, graph, fused=FusedMapping(fuse_at="Buffer")
+            )
+            stats = session.cache_stats()
+        assert stats["fused"]["entries"] == 2
+        assert unfused.to_dict() != fused.to_dict()
+
+
+class TestWire:
+    def test_job_round_trip(self):
+        job = FusedJob(
+            fused_ready_design(),
+            chain_graph(),
+            dict(DENSITIES),
+            FusedMapping(fuse_at="Buffer"),
+            parallel=2,
+        )
+        data = job.to_dict()
+        assert data["kind"] == "fused-job"
+        rebuilt = job_from_dict(data)
+        assert isinstance(rebuilt, FusedJob)
+        assert rebuilt.graph.cache_key() == job.graph.cache_key()
+        assert rebuilt.fused.cache_key() == job.fused.cache_key()
+        assert rebuilt.densities == job.densities
+        assert rebuilt.parallel == 2
+
+    def test_job_is_resendable(self):
+        job = FusedJob(fused_ready_design(), chain_graph())
+        assert job_resendable(job)
+
+    def test_minimal_envelope_decodes_leniently(self):
+        job = FusedJob(fused_ready_design(), chain_graph())
+        data = job.to_dict()
+        for optional in ("densities", "fused", "parallel"):
+            data.pop(optional, None)
+        rebuilt = job_from_dict(data)
+        assert rebuilt.densities is None
+        assert rebuilt.fused is None
+        assert rebuilt.parallel is None
+
+    def test_rebuilt_job_evaluates_identically(self):
+        job = FusedJob(fused_ready_design(), chain_graph(), dict(DENSITIES))
+        rebuilt = job_from_dict(job.to_dict())
+        with Session(check_capacity=False) as session:
+            direct = session.submit(job).result()
+            resent = session.submit(rebuilt).result()
+        assert resent.to_dict() == direct.to_dict()
+
+    def test_graph_export_is_public(self):
+        graph = chain_graph()
+        rebuilt = EinsumGraph.from_dict(graph.to_dict())
+        assert rebuilt.cache_key() == graph.cache_key()

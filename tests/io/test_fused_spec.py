@@ -1,0 +1,176 @@
+"""YAML front-end for einsum graphs and fused mappings, plus the
+``repro fused`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.common.errors import SpecError
+from repro.io.yaml_spec import (
+    load_einsum_graph,
+    load_fused_mapping,
+    load_fused_spec,
+)
+from repro.model.result import FusedResult
+
+GRAPH_SPEC = """
+graph:
+  name: mlp
+  einsums:
+    - {kernel: matmul, name: fc1, dims: {m: 32, k: 16, n: 64},
+       rename: {Z: H}}
+    - {kernel: matmul, name: fc2, dims: {m: 32, k: 64, n: 8},
+       rename: {A: H, B: W2, Z: O}}
+"""
+
+FUSED_SPEC = (
+    """
+name: fused-demo
+arch:
+  name: two-level
+  storage:
+    - {name: DRAM, component: dram, read_bandwidth: 8, write_bandwidth: 8}
+    - {name: Buffer, capacity_words: 65536, component: sram,
+       read_bandwidth: 16, write_bandwidth: 16}
+  compute: {name: MAC, instances: 4}
+"""
+    + GRAPH_SPEC
+    + """
+fused:
+  fuse_at: Buffer
+densities: {A: 0.5}
+"""
+)
+
+
+class TestLoadEinsumGraph:
+    def test_kernel_shorthand_with_renames(self):
+        graph = load_einsum_graph(GRAPH_SPEC)
+        assert graph.name == "mlp"
+        assert [spec.name for spec in graph.einsums] == ["fc1", "fc2"]
+        assert graph.intermediates == ["H"]
+        assert graph.producer_of("H") == "fc1"
+
+    def test_explicit_tensor_form(self):
+        from repro.workload.einsum import einsum_to_dict
+
+        graph = load_einsum_graph(GRAPH_SPEC)
+        explicit = {
+            "graph": {
+                "name": "mlp",
+                "einsums": [
+                    einsum_to_dict(spec) for spec in graph.einsums
+                ],
+            }
+        }
+        rebuilt = load_einsum_graph(explicit)
+        assert rebuilt.cache_key()[1] == graph.cache_key()[1]
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SpecError, match="unknown kernel"):
+            load_einsum_graph(
+                {"einsums": [{"kernel": "fft", "dims": {"n": 8}}]}
+            )
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(SpecError, match="bad dims"):
+            load_einsum_graph(
+                {"einsums": [{"kernel": "matmul", "dims": {"zz": 8}}]}
+            )
+
+    def test_rename_of_unknown_tensor_rejected(self):
+        with pytest.raises(SpecError, match="rename"):
+            load_einsum_graph(
+                {
+                    "einsums": [
+                        {
+                            "kernel": "matmul",
+                            "dims": {"m": 4, "k": 4, "n": 4},
+                            "rename": {"Q": "H"},
+                        }
+                    ]
+                }
+            )
+
+    def test_missing_einsums_rejected(self):
+        with pytest.raises(SpecError, match="einsums"):
+            load_einsum_graph({"graph": {"name": "empty"}})
+
+    def test_entry_without_kernel_or_tensors_rejected(self):
+        with pytest.raises(SpecError, match="kernel"):
+            load_einsum_graph({"einsums": [{"name": "mystery"}]})
+
+
+class TestLoadFusedMapping:
+    def test_fuse_at_only(self):
+        fused = load_fused_mapping({"fused": {"fuse_at": "Buffer"}})
+        assert fused.fuse_at == "Buffer"
+        assert fused.mappings is None
+
+    def test_malformed_section_is_spec_error(self):
+        with pytest.raises(SpecError):
+            load_fused_mapping({"fused": ["not", "a", "dict"]})
+
+
+class TestLoadFusedSpec:
+    def test_full_spec_loads(self):
+        design, graph, fused, densities = load_fused_spec(FUSED_SPEC)
+        assert design.name == "fused-demo"
+        assert graph.name == "mlp"
+        assert fused.fuse_at == "Buffer"
+        assert densities == {"A": 0.5}
+        # No explicit sub-nests or constraints: the generic factory
+        # backstops the mapping policy.
+        assert design.mapping_factory is not None
+
+    def test_graph_section_required(self):
+        with pytest.raises(SpecError, match="graph"):
+            load_fused_spec(
+                {"arch": {"storage": [{"name": "DRAM", "component": "dram"}]}}
+            )
+
+    def test_evaluates_through_session(self):
+        from repro.api import Session
+
+        design, graph, fused, densities = load_fused_spec(FUSED_SPEC)
+        with Session(check_capacity=False) as session:
+            result = session.evaluate_fused(design, graph, densities, fused)
+        assert result.fuse_at == "Buffer"
+        assert result.intermediate_backing_words == 0
+
+
+class TestFusedCLI:
+    @pytest.fixture
+    def fused_spec_file(self, tmp_path):
+        path = tmp_path / "fused.yaml"
+        path.write_text(FUSED_SPEC)
+        return str(path)
+
+    def test_fused_summary(self, fused_spec_file, capsys):
+        assert main(["fused", fused_spec_file, "--cold"]) == 0
+        out = capsys.readouterr().out
+        assert "fused at Buffer" in out
+        assert "intermediate H" in out
+
+    def test_fused_verbose_reports_fused_stage(self, fused_spec_file, capsys):
+        assert main(["fused", fused_spec_file, "--cold", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "cache stages" in out
+        assert "fused:" in out
+
+    def test_fused_json_round_trips(self, fused_spec_file, capsys):
+        assert main(["fused", fused_spec_file, "--cold", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kind"] == "fused"
+        rebuilt = FusedResult.from_dict(data)
+        assert rebuilt.to_dict() == data
+
+    def test_malformed_graph_exits_2(self, tmp_path, capsys):
+        # fc2 consumes H with the wrong contraction extent: a
+        # shared-tensor shape mismatch, caught at load time.
+        bad = FUSED_SPEC.replace("k: 64", "k: 63")
+        path = tmp_path / "bad.yaml"
+        path.write_text(bad)
+        assert main(["fused", str(path), "--cold"]) == 2
+        assert "error:" in capsys.readouterr().err

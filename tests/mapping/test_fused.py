@@ -1,0 +1,131 @@
+"""FusedMapping: spec round-trips, the keep transform, validation."""
+
+import pytest
+
+from repro.arch.spec import Architecture, ComputeLevel, StorageLevel
+from repro.common.errors import MappingError
+from repro.mapping.fused import FusedMapping
+from repro.mapping.mapping import LevelMapping, Loop, Mapping
+from tests.workload.test_graph import chain_graph
+
+
+def two_level_arch():
+    return Architecture(
+        "two-level",
+        [
+            StorageLevel("DRAM", capacity_words=None, component="dram"),
+            StorageLevel("Buffer", capacity_words=1 << 16, component="sram"),
+        ],
+        ComputeLevel("MAC", instances=4),
+    )
+
+
+def sub_nest(keep_outer=None, keep_inner=None):
+    return Mapping(
+        [
+            LevelMapping("DRAM", [Loop("m", 2)], keep=keep_outer),
+            LevelMapping(
+                "Buffer",
+                [Loop("m", 4), Loop("k", 4), Loop("n", 16)],
+                keep=keep_inner,
+            ),
+        ]
+    )
+
+
+class TestSpecRoundTrip:
+    def test_default_is_degenerate(self):
+        fused = FusedMapping()
+        assert fused.fuse_at is None
+        assert fused.mapping_for("anything") is None
+
+    def test_round_trip_with_mappings(self):
+        fused = FusedMapping(
+            mappings={"fc1": sub_nest(), "fc2": sub_nest()},
+            fuse_at="Buffer",
+        )
+        spec = fused.to_spec()
+        rebuilt = FusedMapping.from_spec(spec)
+        assert rebuilt.to_spec() == spec
+        assert rebuilt.cache_key() == fused.cache_key()
+
+    def test_round_trip_degenerate(self):
+        fused = FusedMapping()
+        rebuilt = FusedMapping.from_spec(fused.to_spec())
+        assert rebuilt.cache_key() == fused.cache_key()
+
+    def test_from_spec_rejects_non_dict(self):
+        with pytest.raises(MappingError):
+            FusedMapping.from_spec(["not", "a", "dict"])
+
+    def test_cache_key_orders_by_einsum_name(self):
+        a = FusedMapping(mappings={"x": sub_nest(), "y": sub_nest()})
+        b = FusedMapping(mappings={"y": sub_nest(), "x": sub_nest()})
+        assert a.cache_key() == b.cache_key()
+
+
+class TestFusedLevels:
+    def test_strips_intermediates_outside_fuse_level(self):
+        fused = FusedMapping(fuse_at="Buffer")
+        mapping = sub_nest()  # keep=None everywhere
+        out = fused.fused_levels(mapping, {"H", "C", "O"}, {"H"})
+        # DRAM level: materialised to an explicit keep without H.
+        assert out.levels[0].keep == {"C", "O"}
+        # The fusion level itself is untouched (still keeps everything).
+        assert out.levels[1].keep is None
+
+    def test_explicit_keeps_also_stripped(self):
+        fused = FusedMapping(fuse_at="Buffer")
+        mapping = sub_nest(keep_outer={"H", "O"})
+        out = fused.fused_levels(mapping, {"H", "C", "O"}, {"H"})
+        assert out.levels[0].keep == {"O"}
+
+    def test_untouched_when_degenerate_or_no_intermediates(self):
+        mapping = sub_nest()
+        assert FusedMapping().fused_levels(mapping, {"A"}, {"A"}) is mapping
+        fused = FusedMapping(fuse_at="Buffer")
+        assert fused.fused_levels(mapping, {"A"}, set()) is mapping
+
+    def test_levels_outside_without_intermediate_untouched(self):
+        fused = FusedMapping(fuse_at="Buffer")
+        mapping = sub_nest(keep_outer={"O"})
+        out = fused.fused_levels(mapping, {"H", "C", "O"}, {"H"})
+        assert out.levels[0] is mapping.levels[0]
+
+    def test_loop_structure_preserved(self):
+        fused = FusedMapping(fuse_at="Buffer")
+        mapping = sub_nest()
+        out = fused.fused_levels(mapping, {"H", "C", "O"}, {"H"})
+        assert [
+            [(l.dim, l.bound) for l in lvl.temporal] for lvl in out.levels
+        ] == [
+            [(l.dim, l.bound) for l in lvl.temporal]
+            for lvl in mapping.levels
+        ]
+
+
+class TestValidate:
+    def test_unknown_einsum_rejected(self):
+        fused = FusedMapping(mappings={"nope": sub_nest()})
+        with pytest.raises(MappingError, match="unknown einsum"):
+            fused.validate(chain_graph(), two_level_arch())
+
+    def test_unknown_fuse_level_rejected(self):
+        fused = FusedMapping(fuse_at="L99")
+        with pytest.raises(MappingError, match="storage level"):
+            fused.validate(chain_graph(), two_level_arch())
+
+    def test_sub_nest_not_keeping_intermediate_at_fuse_level_rejected(self):
+        fused = FusedMapping(
+            mappings={"fc1": sub_nest(keep_inner={"A", "B"})},
+            fuse_at="Buffer",
+        )
+        with pytest.raises(MappingError, match="does not keep"):
+            fused.validate(chain_graph(), two_level_arch())
+
+    def test_valid_fused_mapping_passes(self):
+        fused = FusedMapping(
+            mappings={"fc1": sub_nest(), "fc2": sub_nest()},
+            fuse_at="Buffer",
+        )
+        fused.validate(chain_graph(), two_level_arch())

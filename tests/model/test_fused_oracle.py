@@ -1,0 +1,87 @@
+"""Degenerate-fusion equivalence oracle.
+
+A :class:`FusedMapping` with no sub-nests and no fusion level must
+reproduce ``evaluate_network``'s per-layer results *bit-identically* —
+the fused path with nothing fused is the unfused path. Checked across
+every bundled design family so the refactored evaluation core provably
+did not change the single-einsum semantics.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.api import Session
+from repro.designs import codesign, dstc, eyeriss, eyeriss_v2, scnn, stc, toy
+from repro.designs.common import generic_einsum_mapping
+from repro.workload.nets import NetLayer
+from tests.workload.test_graph import chain_graph
+
+DENSITIES = {"A": 0.5, "B": 0.6, "H": 0.7, "C": 0.4}
+
+
+def bundled_designs():
+    """The eight bundled design families (same set the sharded-search
+    identity bench scans), re-pointed at the shape-agnostic mapping
+    policy: the factories' hard-coded kernels don't schedule chain
+    einsums, and the oracle only needs *identical* mappings on both
+    paths, not clever ones."""
+    designs = [
+        ("toy-bitmask", toy.bitmask_design()),
+        ("toy-coordinate-list", toy.coordinate_list_design()),
+        ("eyeriss", eyeriss.eyeriss_design()),
+        ("eyeriss-v2-pe", eyeriss_v2.eyeriss_v2_pe_design()),
+        ("scnn", scnn.scnn_design()),
+        ("dstc", dstc.dstc_design()),
+        ("stc", stc.stc_design()),
+        ("codesign", codesign.build_design(*codesign.ALL_COMBINATIONS[0])),
+    ]
+    return [
+        (
+            name,
+            replace(
+                design,
+                mapping=None,
+                constraints=None,
+                mapping_factory=generic_einsum_mapping,
+            ),
+        )
+        for name, design in designs
+    ]
+
+
+def densities_for(layer):
+    names = {ref.name for ref in layer.spec.tensors}
+    return {t: d for t, d in DENSITIES.items() if t in names}
+
+
+@pytest.mark.parametrize(
+    "name,design", bundled_designs(), ids=[n for n, _ in bundled_designs()]
+)
+def test_degenerate_fused_matches_network(name, design):
+    graph = chain_graph()
+    layers = [NetLayer(spec.name, spec) for spec in graph.einsums]
+    with Session(check_capacity=False) as session:
+        fused = session.evaluate_fused(design, graph, dict(DENSITIES))
+        network = session.evaluate_network(design, layers, densities_for)
+    assert fused.fuse_at is None
+    assert [e.einsum_name for e in fused.einsums] == [
+        layer.layer_name for layer in network.layers
+    ]
+    for fused_entry, layer in zip(fused.einsums, network.layers):
+        assert (
+            fused_entry.result.to_dict() == layer.result.to_dict()
+        ), f"{name}: einsum {fused_entry.einsum_name} diverged"
+
+
+def test_degenerate_shared_records_report_backing_traffic():
+    """Even unfused, the result attributes the intermediate's traffic —
+    at the outermost level it is the full producer+consumer round trip."""
+    name, design = bundled_designs()[0]
+    graph = chain_graph()
+    with Session(check_capacity=False) as session:
+        result = session.evaluate_fused(design, graph, dict(DENSITIES))
+    record = result.shared_tensor("H")
+    assert record["producer"] == "fc1"
+    assert record["consumers"] == ["fc2"]
+    assert result.intermediate_backing_words > 0

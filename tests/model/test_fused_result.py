@@ -1,0 +1,88 @@
+"""FusedResult schema: bit-exact round-trips and lenient decoding."""
+
+import json
+
+import pytest
+
+from repro.api import Session
+from repro.common.errors import SpecError
+from repro.model.result import RESULT_SCHEMA_VERSION, FusedResult
+from tests.model.test_fused_oracle import DENSITIES, bundled_designs
+from tests.workload.test_graph import chain_graph
+
+
+@pytest.fixture(scope="module")
+def fused_result():
+    _, design = bundled_designs()[0]
+    with Session(check_capacity=False) as session:
+        return session.evaluate_fused(design, chain_graph(), dict(DENSITIES))
+
+
+class TestRoundTrip:
+    def test_to_dict_round_trip_is_bit_exact(self, fused_result):
+        data = fused_result.to_dict()
+        rebuilt = FusedResult.from_dict(data)
+        assert rebuilt.to_dict() == data
+
+    def test_json_round_trip_is_bit_exact(self, fused_result):
+        text = fused_result.to_json()
+        rebuilt = FusedResult.from_json(text)
+        assert rebuilt.to_json() == text
+        assert json.loads(text)["schema"] == RESULT_SCHEMA_VERSION
+        assert json.loads(text)["kind"] == "fused"
+
+    def test_totals_survive_round_trip(self, fused_result):
+        rebuilt = FusedResult.from_dict(fused_result.to_dict())
+        assert rebuilt.total_cycles == fused_result.total_cycles
+        assert rebuilt.total_energy_pj == fused_result.total_energy_pj
+        assert (
+            rebuilt.intermediate_backing_words
+            == fused_result.intermediate_backing_words
+        )
+
+
+class TestLenientDecoding:
+    def test_pre_fused_schema_v1_payload_decodes(self, fused_result):
+        # A minimal schema-v1 envelope carrying only the per-einsum
+        # results (no fuse_at, no shared section) must rebuild with the
+        # degenerate defaults, not raise KeyError.
+        data = fused_result.to_dict()
+        del data["fuse_at"]
+        del data["shared"]
+        rebuilt = FusedResult.from_dict(data)
+        assert rebuilt.fuse_at is None
+        assert rebuilt.shared == []
+        assert rebuilt.total_cycles == fused_result.total_cycles
+
+    def test_null_shared_decodes_as_empty(self, fused_result):
+        data = fused_result.to_dict()
+        data["shared"] = None
+        assert FusedResult.from_dict(data).shared == []
+
+    def test_wrong_kind_rejected(self, fused_result):
+        data = fused_result.to_dict()
+        data["kind"] = "network"
+        with pytest.raises(SpecError):
+            FusedResult.from_dict(data)
+
+    def test_truncated_payload_raises_spec_error(self, fused_result):
+        data = fused_result.to_dict()
+        del data["einsums"]
+        with pytest.raises(SpecError):
+            FusedResult.from_dict(data)
+
+
+class TestAccessors:
+    def test_einsum_lookup(self, fused_result):
+        assert fused_result.einsum("fc1").einsum_name == "fc1"
+        with pytest.raises(KeyError):
+            fused_result.einsum("nope")
+
+    def test_shared_tensor_lookup(self, fused_result):
+        assert fused_result.shared_tensor("H")["producer"] == "fc1"
+        with pytest.raises(KeyError):
+            fused_result.shared_tensor("nope")
+
+    def test_summary_mentions_fusion_state(self, fused_result):
+        assert "unfused (degenerate)" in fused_result.summary()
+        assert "fc1" in fused_result.summary()

@@ -143,6 +143,38 @@ class TestBasics:
         finally:
             d.stop()
 
+    def test_fused_identical_to_in_process(self, tmp_path):
+        from dataclasses import replace
+
+        from repro.api import FusedMapping
+        from repro.designs import toy
+        from repro.designs.common import generic_einsum_mapping
+        from repro.workload.nets import attention
+
+        d = _Daemon(
+            ServeConfig(port=None, unix_path=str(tmp_path / "fused.sock")),
+            check_capacity=False,
+        )
+        try:
+            design = replace(
+                toy.dense_design(),
+                mapping=None,
+                constraints=None,
+                mapping_factory=generic_einsum_mapping,
+            )
+            graph = attention(seq=32, d_model=64, heads=2)
+            fused = FusedMapping(fuse_at="Buffer")
+            with connect(d.address) as session:
+                remote_result = session.evaluate_fused(
+                    design, graph, fused=fused
+                )
+            with Session(check_capacity=False) as local:
+                expected = local.evaluate_fused(design, graph, fused=fused)
+            assert remote_result.to_dict() == expected.to_dict()
+            assert remote_result.intermediate_backing_words == 0
+        finally:
+            d.stop()
+
 
 class TestMicroBatching:
     def test_concurrent_clients_batch_and_match(self, daemon):

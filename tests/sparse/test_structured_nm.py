@@ -1,0 +1,184 @@
+"""StructuredNMDensity proven against brute-force tile enumeration.
+
+The model claims closed forms for tiles over a row-aware N:M pattern:
+every aligned block of M innermost elements holds exactly N nonzeros,
+uniformly placed within the block, independently across blocks. The
+oracle enumerates *every* placement (product of per-block position
+choices) for every aligned tile position and averages exactly.
+"""
+
+import itertools
+import math
+
+import pytest
+
+from repro.common.errors import SpecError
+from repro.sparse.density import FixedStructuredDensity, StructuredNMDensity
+
+
+def enumerate_row_tiles(n, m, row_len, tile_cols):
+    """Exact (occupancy, probability) pairs of one row segment of
+    ``tile_cols`` elements, by enumerating every per-block placement of
+    a ``row_len``-element row (row_len a multiple of m).
+
+    Tile starts are *block-aligned* — the model's stated assumption —
+    so a tile covers ``tile_cols // m`` whole blocks plus the first
+    ``tile_cols % m`` positions of the next one.
+    """
+    blocks = row_len // m
+    placements = list(itertools.combinations(range(m), n))
+    dist: dict[int, float] = {}
+    total = 0
+    for combo in itertools.product(range(len(placements)), repeat=blocks):
+        row = []
+        for b, choice in enumerate(combo):
+            row.extend(b * m + pos for pos in placements[choice])
+        for start in range(0, row_len - tile_cols + 1, m):
+            occ = sum(1 for pos in row if start <= pos < start + tile_cols)
+            dist[occ] = dist.get(occ, 0) + 1
+            total += 1
+    return {occ: count / total for occ, count in dist.items()}
+
+
+class TestClosedFormsAgainstBruteForce:
+    @pytest.mark.parametrize("n,m", [(2, 4), (1, 4), (1, 2), (3, 4)])
+    @pytest.mark.parametrize("tile_cols", [1, 2, 3, 4, 6, 8])
+    def test_single_row_distribution_matches_enumeration(
+        self, n, m, tile_cols
+    ):
+        row_len = 8
+        model = StructuredNMDensity(n, m)
+        expected = enumerate_row_tiles(n, m, row_len, tile_cols)
+        got = dict(model.occupancy_distribution(tile_cols))
+        assert set(got) == set(expected)
+        for occ, p in expected.items():
+            assert got[occ] == pytest.approx(p, abs=1e-12)
+
+    @pytest.mark.parametrize("n,m", [(2, 4), (1, 4), (3, 4)])
+    @pytest.mark.parametrize("tile_cols", [1, 2, 3, 5, 6])
+    def test_single_row_moments_match_enumeration(self, n, m, tile_cols):
+        row_len = 8
+        model = StructuredNMDensity(n, m)
+        expected = enumerate_row_tiles(n, m, row_len, tile_cols)
+        mean = sum(occ * p for occ, p in expected.items())
+        p_empty = expected.get(0, 0.0)
+        assert model.expected_occupancy(tile_cols) == pytest.approx(mean)
+        assert model.prob_empty(tile_cols) == pytest.approx(p_empty)
+        assert model.max_occupancy(tile_cols) == max(expected)
+
+    @pytest.mark.parametrize("rows", [1, 2, 3])
+    @pytest.mark.parametrize("tile_cols", [2, 3, 4, 6]
+    )
+    def test_multi_row_tiles_convolve_independent_rows(self, rows, tile_cols):
+        n, m, row_len = 2, 4, 8
+        model = StructuredNMDensity(n, m)
+        single = enumerate_row_tiles(n, m, row_len, tile_cols)
+        # Convolve the exact single-row law across independent rows.
+        expected = {0: 1.0}
+        for _ in range(rows):
+            folded: dict[int, float] = {}
+            for have, p0 in expected.items():
+                for occ, p in single.items():
+                    folded[have + occ] = folded.get(have + occ, 0.0) + p0 * p
+            expected = folded
+        got = dict(model.occupancy_distribution((rows, tile_cols)))
+        for occ, p in expected.items():
+            if p > 1e-12:
+                assert got[occ] == pytest.approx(p, abs=1e-10)
+        mean = sum(occ * p for occ, p in expected.items())
+        assert model.expected_occupancy((rows, tile_cols)) == pytest.approx(
+            mean
+        )
+        assert model.prob_empty((rows, tile_cols)) == pytest.approx(
+            expected.get(0, 0.0), abs=1e-12
+        )
+
+
+class TestModelProperties:
+    def test_density_and_cache_key(self):
+        model = StructuredNMDensity(2, 4)
+        assert model.density == 0.5
+        assert model.cache_key() == ("structured-nm", 2, 4)
+        assert model.cache_key() != FixedStructuredDensity(2, 4).cache_key()
+
+    def test_block_aligned_tiles_are_deterministic(self):
+        model = StructuredNMDensity(2, 4)
+        assert model.occupancy_distribution((3, 8)) == [(12, 1.0)]
+        assert model.quantile_occupancy((3, 8)) == 12.0
+        assert model.prob_empty((3, 8)) == 0.0
+
+    def test_distribution_sums_to_one(self):
+        model = StructuredNMDensity(2, 4)
+        for shape in (3, 6, (2, 3), (4, 7)):
+            total = sum(p for _, p in model.occupancy_distribution(shape))
+            assert total == pytest.approx(1.0)
+
+    def test_quantile_bounded_by_max(self):
+        model = StructuredNMDensity(2, 4)
+        for shape in (3, (2, 6), (8, 7)):
+            q = model.quantile_occupancy(shape)
+            assert (
+                model.expected_occupancy(shape)
+                <= q
+                <= model.max_occupancy(shape)
+            )
+
+    def test_monotone_bound_is_expected_occupancy(self):
+        model = StructuredNMDensity(2, 4)
+        assert model.monotone_occupancy_bound((4, 6)) == 12.0
+
+    def test_large_row_counts_fall_back_to_two_point(self):
+        model = StructuredNMDensity(2, 4)
+        dist = model.occupancy_distribution((1000, 6))
+        assert len(dist) <= 2
+        mean = sum(occ * p for occ, p in dist)
+        assert mean == pytest.approx(
+            model.expected_occupancy((1000, 6)), rel=1e-3
+        )
+
+    def test_zero_n_is_all_empty(self):
+        model = StructuredNMDensity(0, 4)
+        assert model.prob_empty((4, 4)) == 1.0
+        assert model.occupancy_distribution((4, 4)) == [(0, 1.0)]
+
+    def test_invalid_structures_rejected(self):
+        with pytest.raises(SpecError):
+            StructuredNMDensity(5, 4)
+        with pytest.raises(SpecError):
+            StructuredNMDensity(2, 0)
+        with pytest.raises(SpecError):
+            StructuredNMDensity(-1, 4)
+
+    def test_differs_from_flattened_model_on_multi_row_tiles(self):
+        """The row-aware model and the flattened model agree on single
+        rows but disagree on (rows, cols) tiles whose rows each end in
+        a partial block — the flattened model wrongly merges the
+        per-row partials into one contiguous run."""
+        nm = StructuredNMDensity(2, 4)
+        flat = FixedStructuredDensity(2, 4)
+        assert nm.occupancy_distribution(6) == flat.occupancy_distribution(6)
+        assert nm.max_occupancy((2, 6)) != flat.max_occupancy((2, 6))
+
+
+class TestEngineIntegration:
+    def test_evaluates_under_dstc_design(self):
+        """The model plugs into the bundled 2:4 tensor-core design's
+        evaluation as tensor density (ROADMAP 4(b))."""
+        from repro.api import Session
+        from repro.designs import dstc
+        from repro.workload.einsum import matmul
+        from repro.workload.spec import Workload
+
+        design = dstc.dstc_design()
+        einsum = matmul(64, 64, 64, name="mm")
+        workload = Workload(
+            einsum,
+            {
+                "A": StructuredNMDensity(2, 4),
+                "B": StructuredNMDensity(2, 4),
+            },
+        )
+        with Session(check_capacity=False) as session:
+            result = session.evaluate(design, workload)
+        assert result.cycles > 0
+        assert result.energy_pj > 0

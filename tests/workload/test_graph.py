@@ -1,0 +1,146 @@
+"""EinsumGraph construction, validation, and serialization."""
+
+import pytest
+
+from repro.common.errors import SpecError
+from repro.workload.einsum import (
+    EinsumSpec,
+    ProjectionTerm,
+    RankProjection,
+    TensorRef,
+    einsum_to_dict,
+    matmul,
+)
+from repro.workload.graph import EinsumGraph
+from repro.workload.nets import attention
+
+
+def _rank(name, dim):
+    return RankProjection(name, (ProjectionTerm(dim),))
+
+
+def _matmul_like(name, out_name, in_a, in_b, m, k, n):
+    """m x k @ k x n -> m x n with explicit tensor names."""
+    a = TensorRef(in_a, (_rank("M", "m"), _rank("K", "k")))
+    b = TensorRef(in_b, (_rank("K", "k"), _rank("N", "n")))
+    z = TensorRef(out_name, (_rank("M", "m"), _rank("N", "n")), is_output=True)
+    return EinsumSpec(name, {"m": m, "k": k, "n": n}, [a, b, z])
+
+
+def chain_graph(m=8, k=4, n1=16, n2=6):
+    """fc1 produces H; fc2 consumes it: A[m,k] @ B[k,n1] -> H; H @ C -> O."""
+    fc1 = _matmul_like("fc1", "H", "A", "B", m, k, n1)
+    fc2 = _matmul_like("fc2", "O", "H", "C", m, n1, n2)
+    return EinsumGraph("chain", [fc1, fc2])
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        graph = chain_graph()
+        assert [spec.name for spec in graph.einsums] == ["fc1", "fc2"]
+        assert graph.intermediates == ["H"]
+        assert graph.producer_of("H") == "fc1"
+        assert graph.consumers_of("H") == ["fc2"]
+        assert set(graph.graph_inputs) == {"A", "B", "C"}
+        assert graph.graph_outputs == ["O"]
+        assert graph.einsum("fc2").name == "fc2"
+        assert graph.total_operations == sum(
+            spec.total_operations for spec in graph.einsums
+        )
+
+    def test_tensor_names_first_appearance_order(self):
+        names = chain_graph().tensor_names()
+        assert names == ["A", "B", "H", "C", "O"]
+
+    def test_single_einsum_graph_has_no_intermediates(self):
+        graph = EinsumGraph("solo", [matmul(4, 4, 4, name="mm")])
+        assert graph.intermediates == []
+        assert set(graph.graph_inputs) == {"A", "B"}
+
+    def test_cache_key_is_content_based(self):
+        assert chain_graph().cache_key() == chain_graph().cache_key()
+        assert chain_graph().cache_key() != chain_graph(m=16).cache_key()
+
+
+class TestValidation:
+    def test_duplicate_einsum_names_rejected(self):
+        with pytest.raises(SpecError, match="duplicate"):
+            EinsumGraph(
+                "dup",
+                [matmul(4, 4, 4, name="mm"), matmul(8, 8, 8, name="mm")],
+            )
+
+    def test_two_producers_rejected(self):
+        e1 = _matmul_like("e1", "Z", "A", "B", 4, 4, 4)
+        e2 = _matmul_like("e2", "Z", "C", "D", 4, 4, 4)
+        with pytest.raises(SpecError, match="produced by both"):
+            EinsumGraph("bad", [e1, e2])
+
+    def test_consumer_before_producer_rejected(self):
+        fc1 = _matmul_like("fc1", "H", "A", "B", 8, 4, 16)
+        fc2 = _matmul_like("fc2", "O", "H", "C", 8, 16, 6)
+        with pytest.raises(SpecError, match="order"):
+            EinsumGraph("reversed", [fc2, fc1])
+
+    def test_shared_tensor_shape_mismatch_rejected(self):
+        fc1 = _matmul_like("fc1", "H", "A", "B", 8, 4, 16)
+        # Consumes H with the wrong contraction extent.
+        fc2 = _matmul_like("fc2", "O", "H", "C", 8, 12, 6)
+        with pytest.raises(SpecError, match="shape"):
+            EinsumGraph("mismatch", [fc1, fc2])
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(SpecError):
+            EinsumGraph("empty", [])
+
+
+class TestSerialization:
+    def test_round_trip_is_bit_exact(self):
+        graph = chain_graph()
+        data = graph.to_dict()
+        rebuilt = EinsumGraph.from_dict(data)
+        assert rebuilt.to_dict() == data
+        assert rebuilt.cache_key() == graph.cache_key()
+
+    def test_malformed_einsum_raises_spec_error_at_load(self):
+        data = chain_graph().to_dict()
+        # Duplicate tensor names inside one einsum must surface as a
+        # SpecError when the graph is rebuilt, not later at evaluation.
+        data["einsums"][0]["tensors"][1]["name"] = "A"
+        with pytest.raises(SpecError):
+            EinsumGraph.from_dict(data)
+
+    def test_unknown_projection_dim_raises_spec_error_at_load(self):
+        data = chain_graph().to_dict()
+        data["einsums"][0]["tensors"][0]["ranks"][0]["terms"][0]["dim"] = "zz"
+        with pytest.raises(SpecError):
+            EinsumGraph.from_dict(data)
+
+    def test_wrong_schema_version_rejected(self):
+        data = chain_graph().to_dict()
+        data["schema"] = 99
+        with pytest.raises(SpecError):
+            EinsumGraph.from_dict(data)
+
+    def test_einsum_to_dict_round_trip(self):
+        spec = chain_graph().einsums[0]
+        from repro.workload.einsum import einsum_from_dict
+
+        rebuilt = einsum_from_dict(einsum_to_dict(spec))
+        assert rebuilt.cache_key() == spec.cache_key()
+
+
+class TestAttention:
+    def test_attention_graph_shape(self):
+        graph = attention(seq=32, d_model=64, heads=4)
+        assert [spec.name for spec in graph.einsums] == ["qk", "av"]
+        assert graph.intermediates == ["S"]
+        assert graph.producer_of("S") == "qk"
+        assert graph.consumers_of("S") == ["av"]
+        # S is heads x seq x seq.
+        qk = graph.einsum("qk")
+        assert qk.tensor_shape("S") == (4, 32, 32)
+
+    def test_attention_head_divisibility_checked(self):
+        with pytest.raises(SpecError, match="divisible"):
+            attention(seq=8, d_model=10, heads=4)
